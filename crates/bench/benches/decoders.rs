@@ -1,0 +1,100 @@
+//! Criterion micro-benches for every schedule decoder — the fitness
+//! kernels whose cost drives all of the survey's speedup arithmetic.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shop::decoder::flexible::FlexDecoder;
+use shop::decoder::flow::FlowDecoder;
+use shop::decoder::job::JobDecoder;
+use shop::decoder::open::OpenDecoder;
+use shop::graph::{machine_orders_from_sequence, DisjunctiveGraph};
+use shop::instance::generate::{
+    flexible_job_shop, flow_shop_taillard, job_shop_uniform, open_shop_uniform, GenConfig,
+};
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("decoders");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g
+}
+
+fn bench_flow(c: &mut Criterion) {
+    let mut g = quick(c);
+    for (n, m) in [(20usize, 5usize), (100, 10)] {
+        let inst = flow_shop_taillard(&GenConfig::new(n, m, 1));
+        let d = FlowDecoder::new(&inst);
+        let perm: Vec<usize> = (0..n).collect();
+        g.bench_with_input(BenchmarkId::new("flow_makespan", format!("{n}x{m}")), &perm, |b, p| {
+            b.iter(|| d.makespan(std::hint::black_box(p)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_job(c: &mut Criterion) {
+    let mut g = quick(c);
+    for (n, m) in [(10usize, 5usize), (30, 10)] {
+        let inst = job_shop_uniform(&GenConfig::new(n, m, 2));
+        let d = JobDecoder::new(&inst);
+        let seq: Vec<usize> = (0..m).flat_map(|_| 0..n).collect();
+        g.bench_with_input(
+            BenchmarkId::new("job_semi_active", format!("{n}x{m}")),
+            &seq,
+            |b, s| b.iter(|| d.semi_active_makespan(std::hint::black_box(s))),
+        );
+        let keys: Vec<f64> = (0..n * m).map(|i| (i % 17) as f64 / 17.0).collect();
+        g.bench_with_input(
+            BenchmarkId::new("job_giffler_thompson", format!("{n}x{m}")),
+            &keys,
+            |b, k| b.iter(|| d.gt_from_keys(std::hint::black_box(k)).makespan()),
+        );
+        let orders = machine_orders_from_sequence(&inst, &seq);
+        g.bench_with_input(
+            BenchmarkId::new("graph_longest_path", format!("{n}x{m}")),
+            &orders,
+            |b, o| {
+                b.iter(|| {
+                    DisjunctiveGraph::from_machine_orders(&inst, std::hint::black_box(o), false)
+                        .makespan()
+                        .unwrap()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("graph_blocking", format!("{n}x{m}")),
+            &orders,
+            |b, o| {
+                b.iter(|| {
+                    DisjunctiveGraph::from_machine_orders(&inst, std::hint::black_box(o), true)
+                        .makespan()
+                        .ok()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_open_flexible(c: &mut Criterion) {
+    let mut g = quick(c);
+    let open = open_shop_uniform(&GenConfig::new(10, 8, 3));
+    let od = OpenDecoder::new(&open);
+    let genes: Vec<usize> = (0..80).map(|i| i % 10).collect();
+    g.bench_function("open_lpt_task_10x8", |b| {
+        b.iter(|| od.lpt_task_makespan(std::hint::black_box(&genes)))
+    });
+
+    let flex = flexible_job_shop(&GenConfig::new(10, 6, 4), 5, 3);
+    let fd = FlexDecoder::new(&flex);
+    let assign = fd.fastest_assignment();
+    let seq = fd.round_robin_sequence();
+    g.bench_function("flexible_decode_10x5ops", |b| {
+        b.iter(|| fd.makespan(std::hint::black_box(&assign), std::hint::black_box(&seq)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_flow, bench_job, bench_open_flexible);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benches for the GA operator catalogue — the
+//! per-generation serial work that bounds master-slave speedup (Amdahl).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ga::crossover::{KeysCrossover, PermCrossover, RepCrossover};
+use ga::mutate::{gaussian_keys, SeqMutation};
+use ga::rng::root_rng;
+use ga::select::Selection;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(600));
+    g
+}
+
+fn bench_crossovers(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = root_rng(1);
+    let p1: Vec<usize> = (0..100).collect();
+    let p2: Vec<usize> = (0..100).rev().collect();
+    for op in PermCrossover::ALL {
+        g.bench_function(format!("perm_{op:?}"), |b| {
+            b.iter(|| op.apply(std::hint::black_box(&p1), std::hint::black_box(&p2), &mut rng))
+        });
+    }
+    let r1: Vec<usize> = (0..100).map(|i| i % 10).collect();
+    let mut r2 = r1.clone();
+    r2.reverse();
+    for (name, op) in [("job_order", RepCrossover::JobOrder), ("thx", RepCrossover::Thx(0.5))] {
+        g.bench_function(format!("rep_{name}"), |b| {
+            b.iter(|| op.apply(std::hint::black_box(&r1), std::hint::black_box(&r2), 10, &mut rng))
+        });
+    }
+    let k1: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+    let k2: Vec<f64> = k1.iter().rev().copied().collect();
+    for (name, op) in [
+        ("uniform", KeysCrossover::Uniform),
+        ("arithmetic", KeysCrossover::Arithmetic),
+        ("two_point", KeysCrossover::TwoPoint),
+    ] {
+        g.bench_function(format!("keys_{name}"), |b| {
+            b.iter(|| op.apply(std::hint::black_box(&k1), std::hint::black_box(&k2), &mut rng))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mutation_selection(c: &mut Criterion) {
+    let mut g = quick(c);
+    let mut rng = root_rng(2);
+    for m in SeqMutation::ALL {
+        g.bench_function(format!("mutate_{m:?}"), |b| {
+            b.iter_batched(
+                || (0..100usize).collect::<Vec<_>>(),
+                |mut v| m.apply(&mut v, &mut rng),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.bench_function("mutate_gaussian_keys", |b| {
+        b.iter_batched(
+            || vec![0.5f64; 100],
+            |mut v| gaussian_keys(&mut v, 0.1, 0.2, &mut rng),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let fitness: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+    for (name, sel) in [
+        ("roulette", Selection::RouletteWheel),
+        ("tournament5", Selection::Tournament(5)),
+        ("rank", Selection::LinearRank),
+    ] {
+        g.bench_function(format!("select_{name}"), |b| {
+            b.iter(|| sel.pick(std::hint::black_box(&fitness), &mut rng))
+        });
+    }
+    g.bench_function("select_sus_pick100", |b| {
+        b.iter(|| Selection::StochasticUniversal.pick_many(std::hint::black_box(&fitness), 100, &mut rng))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_crossovers, bench_mutation_selection);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Prints the a01_migration ablation report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::a01_migration::run().to_text());
+}

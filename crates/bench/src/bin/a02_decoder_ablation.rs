@@ -1,0 +1,4 @@
+//! Prints the a02_decoders ablation report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::a02_decoders::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the a03_regimes ablation report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::a03_regimes::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e01_aitzai experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e01_aitzai::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e02_somani experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e02_somani::run().to_text());
+}

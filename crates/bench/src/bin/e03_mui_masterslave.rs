@@ -1,0 +1,4 @@
+//! Prints the e03_mui experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e03_mui::run().to_text());
+}

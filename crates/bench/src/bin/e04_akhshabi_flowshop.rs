@@ -1,0 +1,4 @@
+//! Prints the e04_akhshabi experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e04_akhshabi::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e05_tamaki experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e05_tamaki::run().to_text());
+}

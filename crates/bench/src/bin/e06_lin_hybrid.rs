@@ -1,0 +1,4 @@
+//! Prints the e06_lin experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e06_lin::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e07_huang experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e07_huang::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e08_zajicek experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e08_zajicek::run().to_text());
+}

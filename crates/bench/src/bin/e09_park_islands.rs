@@ -1,0 +1,4 @@
+//! Prints the e09_park experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e09_park::run().to_text());
+}

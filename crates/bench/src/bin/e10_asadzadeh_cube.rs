@@ -1,0 +1,4 @@
+//! Prints the e10_asadzadeh experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e10_asadzadeh::run().to_text());
+}

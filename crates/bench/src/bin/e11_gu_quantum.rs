@@ -1,0 +1,4 @@
+//! Prints the e11_gu experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e11_gu::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e12_spanos experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e12_spanos::run().to_text());
+}

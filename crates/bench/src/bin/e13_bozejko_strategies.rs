@@ -1,0 +1,4 @@
+//! Prints the e13_bozejko experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e13_bozejko::run().to_text());
+}

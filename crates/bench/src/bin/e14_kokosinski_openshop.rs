@@ -1,0 +1,4 @@
+//! Prints the e14_kokosinski experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e14_kokosinski::run().to_text());
+}

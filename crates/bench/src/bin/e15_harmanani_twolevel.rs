@@ -1,0 +1,4 @@
+//! Prints the e15_harmanani experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e15_harmanani::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e16_defersha_lots experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e16_defersha_lots::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the e17_defersha_sdst experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e17_defersha_sdst::run().to_text());
+}

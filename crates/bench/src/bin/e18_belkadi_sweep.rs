@@ -1,0 +1,4 @@
+//! Prints the e18_belkadi experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e18_belkadi::run().to_text());
+}

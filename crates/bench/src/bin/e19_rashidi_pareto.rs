@@ -1,0 +1,4 @@
+//! Prints the e19_rashidi experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::e19_rashidi::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the f01_matrix experiment report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::f01_matrix::run().to_text());
+}

@@ -1,0 +1,4 @@
+//! Prints the x01_energy extension report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::x01_energy::run().to_text());
+}

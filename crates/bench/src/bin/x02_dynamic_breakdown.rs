@@ -1,0 +1,4 @@
+//! Prints the x02_dynamic extension report (see DESIGN.md §3).
+fn main() {
+    print!("{}", bench::experiments::x02_dynamic::run().to_text());
+}

@@ -1,0 +1,107 @@
+//! E01 — AitZai et al. [14][15]: master-slave GA for the *blocking* job
+//! shop (alternative-graph evaluation), CPU star network vs CUDA GPU.
+//!
+//! Paper outcome: with population 1056 and a fixed 300 s budget, the GPU
+//! master-slave explored up to ~15x more solutions than the
+//! CPU-networking version.
+
+use crate::report::{fmt, Report};
+use crate::toolkits::{opseq_toolkit, run_shape};
+use ga::crossover::RepCrossover;
+use ga::engine::{Engine, GaConfig};
+use ga::mutate::SeqMutation;
+use ga::termination::Termination;
+use hpc::model::{evals_within_budget, master_slave_time, sequential_time};
+use hpc::Platform;
+use shop::graph::{machine_orders_from_sequence, DisjunctiveGraph};
+use shop::instance::generate::{job_shop_uniform, GenConfig};
+
+pub fn run() -> Report {
+    let inst = job_shop_uniform(&GenConfig::new(10, 5, 0xE01));
+    // Deadlocked (cyclic) selections get a graded penalty — the classic
+    // makespan pushed past every feasible blocking makespan — so the GA
+    // still has a gradient in the infeasible region (random operation
+    // sequences almost always deadlock under blocking).
+    let penalty_base = 2.0 * inst.total_work() as f64;
+    let eval = |seq: &Vec<usize>| -> f64 {
+        let orders = machine_orders_from_sequence(&inst, seq);
+        match DisjunctiveGraph::from_machine_orders(&inst, &orders, true).makespan() {
+            Ok(mk) => mk as f64,
+            Err(_) => {
+                let classic = DisjunctiveGraph::from_machine_orders(&inst, &orders, false)
+                    .makespan()
+                    .unwrap_or(0);
+                penalty_base + classic as f64
+            }
+        }
+    };
+
+    // A real (small) run to confirm the blocking GA optimises at all;
+    // seeded with the job-serial sequence, which is always
+    // blocking-feasible (jobs never wait holding a machine).
+    let cfg = GaConfig {
+        pop_size: 64,
+        seed: 0xE01,
+        ..GaConfig::default()
+    };
+    let tk = opseq_toolkit(&inst, RepCrossover::JobOrder, SeqMutation::Swap);
+    let mut engine = Engine::new(cfg, tk, &eval);
+    let serial: Vec<usize> = (0..10).flat_map(|j| std::iter::repeat(j).take(5)).collect();
+    engine.seed_individuals(vec![serial]);
+    let start_cost = engine.best().cost;
+    engine.run(&Termination::Generations(60));
+    let end_cost = engine.best().cost;
+
+    // Cost-model reproduction of the explored-solutions ratio. The paper
+    // ran pop 1056 for 300 s on (a) a star network of workstations and
+    // (b) an NVIDIA Quadro 2000 (192 CUDA cores).
+    let mut sample = Vec::new();
+    for j in 0..10 {
+        for _ in 0..5 {
+            sample.push(j);
+        }
+    }
+    let shape = run_shape(100, 1056, (sample.len() * 8) as f64, &sample, &eval);
+    let budget = 300.0;
+    let cpu_net = Platform::mpi_cluster(8); // star of interconnected PCs
+    let gpu = Platform::cuda_gpu(192, 0.12); // Quadro 2000 class
+    let t_cpu = master_slave_time(&shape, &cpu_net);
+    let t_gpu = master_slave_time(&shape, &gpu);
+    let t_seq = sequential_time(&shape);
+    let e_cpu = evals_within_budget(budget, &shape, t_cpu);
+    let e_gpu = evals_within_budget(budget, &shape, t_gpu);
+    let e_seq = evals_within_budget(budget, &shape, t_seq);
+    let ratio = e_gpu / e_cpu;
+
+    let shape_holds = end_cost < start_cost && ratio > 2.0 && ratio < 60.0;
+    Report {
+        id: "E01",
+        title: "AitZai [14][15]: blocking job shop, master-slave CPU-net vs GPU",
+        paper_claim: "GPU master-slave explores up to ~15x more solutions than CPU networking in a fixed 300 s budget (pop 1056)",
+        columns: vec!["configuration", "explored solutions in 300 s", "vs CPU net"],
+        rows: vec![
+            vec!["sequential".into(), fmt(e_seq), fmt(e_seq / e_cpu)],
+            vec!["master-slave, CPU star network (8 PCs)".into(), fmt(e_cpu), "1.00".into()],
+            vec!["master-slave, GPU (192 cores)".into(), fmt(e_gpu), fmt(ratio)],
+        ],
+        shape_holds,
+        notes: format!(
+            "Blocking semantics via alternative-graph longest path; deadlocked selections get a \
+             graded penalty and the population is seeded with the (always feasible) job-serial \
+             sequence. Real 60-generation run improved best blocking makespan \
+             {start_cost:.0} -> {end_cost:.0}. \
+             Explored-solutions counts come from the DESIGN.md 4 platform cost model driven by the \
+             measured {:.2} us/evaluation.",
+            1e6 * shape.eval_s
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shape_holds() {
+        let r = super::run();
+        assert!(r.shape_holds, "{}", r.to_text());
+    }
+}

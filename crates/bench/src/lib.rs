@@ -1,0 +1,68 @@
+//! Experiment harnesses reproducing every table/figure-level result the
+//! survey reports (DESIGN.md §3 index). Each experiment lives in
+//! [`experiments`] as a function returning a [`report::Report`]; thin
+//! binaries under `src/bin/` print them, and `run_all` regenerates
+//! EXPERIMENTS.md.
+
+pub mod report;
+pub mod toolkits;
+pub mod experiments {
+    pub mod a01_migration;
+    pub mod a02_decoders;
+    pub mod a03_regimes;
+    pub mod e01_aitzai;
+    pub mod e02_somani;
+    pub mod e03_mui;
+    pub mod e04_akhshabi;
+    pub mod e05_tamaki;
+    pub mod e06_lin;
+    pub mod e07_huang;
+    pub mod e08_zajicek;
+    pub mod e09_park;
+    pub mod e10_asadzadeh;
+    pub mod e11_gu;
+    pub mod e12_spanos;
+    pub mod e13_bozejko;
+    pub mod e14_kokosinski;
+    pub mod e15_harmanani;
+    pub mod e16_defersha_lots;
+    pub mod e17_defersha_sdst;
+    pub mod e18_belkadi;
+    pub mod e19_rashidi;
+    pub mod f01_matrix;
+    pub mod x01_energy;
+    pub mod x02_dynamic;
+
+    use crate::report::Report;
+
+    /// Every experiment in DESIGN.md §3 order.
+    pub fn all() -> Vec<fn() -> Report> {
+        vec![
+            e01_aitzai::run,
+            e02_somani::run,
+            e03_mui::run,
+            e04_akhshabi::run,
+            e05_tamaki::run,
+            e06_lin::run,
+            e07_huang::run,
+            e08_zajicek::run,
+            e09_park::run,
+            e10_asadzadeh::run,
+            e11_gu::run,
+            e12_spanos::run,
+            e13_bozejko::run,
+            e14_kokosinski::run,
+            e15_harmanani::run,
+            e16_defersha_lots::run,
+            e17_defersha_sdst::run,
+            e18_belkadi::run,
+            e19_rashidi::run,
+            f01_matrix::run,
+            a01_migration::run,
+            a02_decoders::run,
+            a03_regimes::run,
+            x01_energy::run,
+            x02_dynamic::run,
+        ]
+    }
+}

@@ -1,0 +1,157 @@
+//! Report structure shared by all experiment harnesses: a paper claim, a
+//! measured table, and a verdict on whether the claim's *shape* holds.
+
+/// One reproduced experiment.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id from DESIGN.md §3 (e.g. "E06").
+    pub id: &'static str,
+    /// Surveyed work and setting.
+    pub title: &'static str,
+    /// What the survey reports (the claim whose shape we reproduce).
+    pub paper_claim: &'static str,
+    /// Column headers of the measured table.
+    pub columns: Vec<&'static str>,
+    /// Measured rows.
+    pub rows: Vec<Vec<String>>,
+    /// Whether the qualitative shape of the claim held in this run.
+    pub shape_holds: bool,
+    /// Caveats, substitutions, commentary.
+    pub notes: String,
+}
+
+impl Report {
+    /// Renders the report as plain text for the per-experiment binaries.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {}: {} ==\n", self.id, self.title));
+        out.push_str(&format!("paper:    {}\n", self.paper_claim));
+        out.push_str(&format!(
+            "verdict:  shape {}\n\n",
+            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+        ));
+        out.push_str(&self.table_text());
+        if !self.notes.is_empty() {
+            out.push_str(&format!("\nnotes: {}\n", self.notes));
+        }
+        out
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < w.len() {
+                    w[i] = w[i].max(cell.len());
+                }
+            }
+        }
+        w
+    }
+
+    fn table_text(&self) -> String {
+        let w = self.column_widths();
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = w[i]))
+            .collect();
+        out.push_str(&format!("  {}\n", header.join("  ")));
+        out.push_str(&format!(
+            "  {}\n",
+            w.iter().map(|&x| "-".repeat(x)).collect::<Vec<_>>().join("  ")
+        ));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = w.get(i).copied().unwrap_or(0)))
+                .collect();
+            out.push_str(&format!("  {}\n", cells.join("  ")));
+        }
+        out
+    }
+
+    /// Renders a markdown section for EXPERIMENTS.md.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("## {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Paper:* {}\n\n", self.paper_claim));
+        out.push_str(&format!(
+            "*Verdict:* shape **{}**\n\n",
+            if self.shape_holds { "holds" } else { "does not hold" }
+        ));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.columns.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push_str(&format!("\n*Notes:* {}\n", self.notes));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            id: "E00",
+            title: "sample",
+            paper_claim: "x beats y",
+            columns: vec!["model", "value"],
+            rows: vec![
+                vec!["x".into(), "1.0".into()],
+                vec!["y".into(), "2.0".into()],
+            ],
+            shape_holds: true,
+            notes: "demo".into(),
+        }
+    }
+
+    #[test]
+    fn text_render_contains_everything() {
+        let t = sample().to_text();
+        assert!(t.contains("E00"));
+        assert!(t.contains("HOLDS"));
+        assert!(t.contains("model"));
+        assert!(t.contains("demo"));
+    }
+
+    #[test]
+    fn markdown_render_is_table_shaped() {
+        let m = sample().to_markdown();
+        assert!(m.contains("| model | value |"));
+        assert!(m.contains("|---|---|"));
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.6), "1235");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1.234), "1.23");
+    }
+}

@@ -1,0 +1,121 @@
+//! Crossovers over random-key vectors (`Vec<f64>` in `[0, 1]`), the
+//! encoding Huang et al. [24] use for fuzzy flow shops and Zajíček &
+//! Šucha [25] for their all-on-GPU island GA.
+
+use rand::Rng;
+
+/// n-point crossover: alternate donor parents at `n` random cut points.
+pub fn n_point(p1: &[f64], p2: &[f64], n: usize, rng: &mut impl Rng) -> (Vec<f64>, Vec<f64>) {
+    let len = p1.len();
+    let mut cuts: Vec<usize> = (0..n).map(|_| rng.gen_range(0..len.max(1))).collect();
+    cuts.sort_unstable();
+    let mut c1 = Vec::with_capacity(len);
+    let mut c2 = Vec::with_capacity(len);
+    let mut from_first = true;
+    let mut cut_iter = cuts.into_iter().peekable();
+    for i in 0..len {
+        while cut_iter.peek() == Some(&i) {
+            cut_iter.next();
+            from_first = !from_first;
+        }
+        if from_first {
+            c1.push(p1[i]);
+            c2.push(p2[i]);
+        } else {
+            c1.push(p2[i]);
+            c2.push(p1[i]);
+        }
+    }
+    (c1, c2)
+}
+
+/// Parameterized uniform crossover: gene-wise, take from the first parent
+/// with probability `p` (p = 0.5 is plain uniform; Huang et al. bias it).
+pub fn parameterized_uniform(
+    p1: &[f64],
+    p2: &[f64],
+    p: f64,
+    rng: &mut impl Rng,
+) -> (Vec<f64>, Vec<f64>) {
+    let mut c1 = Vec::with_capacity(p1.len());
+    let mut c2 = Vec::with_capacity(p1.len());
+    for i in 0..p1.len() {
+        if rng.gen_bool(p.clamp(0.0, 1.0)) {
+            c1.push(p1[i]);
+            c2.push(p2[i]);
+        } else {
+            c1.push(p2[i]);
+            c2.push(p1[i]);
+        }
+    }
+    (c1, c2)
+}
+
+/// Arithmetic crossover: convex combinations `λ·p1 + (1-λ)·p2` and the
+/// mirror, with a fresh `λ` per call (Zajíček [25]).
+pub fn arithmetic(p1: &[f64], p2: &[f64], rng: &mut impl Rng) -> (Vec<f64>, Vec<f64>) {
+    let lambda: f64 = rng.gen();
+    let c1 = p1
+        .iter()
+        .zip(p2)
+        .map(|(&a, &b)| lambda * a + (1.0 - lambda) * b)
+        .collect();
+    let c2 = p1
+        .iter()
+        .zip(p2)
+        .map(|(&a, &b)| (1.0 - lambda) * a + lambda * b)
+        .collect();
+    (c1, c2)
+}
+
+/// Sorting random keys yields a permutation: the rank of each key. Ties
+/// break by index, so decoding is deterministic.
+pub fn keys_to_permutation(keys: &[f64]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..keys.len()).collect();
+    idx.sort_by(|&a, &b| keys[a].total_cmp(&keys[b]).then(a.cmp(&b)));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::root_rng;
+
+    #[test]
+    fn n_point_children_complement() {
+        let mut rng = root_rng(4);
+        let p1 = vec![1.0, 1.0, 1.0, 1.0];
+        let p2 = vec![0.0, 0.0, 0.0, 0.0];
+        let (c1, c2) = n_point(&p1, &p2, 2, &mut rng);
+        for i in 0..4 {
+            assert!((c1[i] + c2[i] - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn param_uniform_bias_observable() {
+        let mut rng = root_rng(8);
+        let p1 = vec![1.0; 4000];
+        let p2 = vec![0.0; 4000];
+        let (c1, _) = parameterized_uniform(&p1, &p2, 0.8, &mut rng);
+        let share: f64 = c1.iter().sum::<f64>() / 4000.0;
+        assert!((share - 0.8).abs() < 0.03, "got {share}");
+    }
+
+    #[test]
+    fn arithmetic_children_average_to_midpoint() {
+        let mut rng = root_rng(9);
+        let p1 = vec![0.2, 0.8];
+        let p2 = vec![0.6, 0.4];
+        let (c1, c2) = arithmetic(&p1, &p2, &mut rng);
+        for i in 0..2 {
+            assert!(((c1[i] + c2[i]) - (p1[i] + p2[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn keys_sort_to_permutation() {
+        let keys = vec![0.9, 0.1, 0.5, 0.5];
+        assert_eq!(keys_to_permutation(&keys), vec![1, 2, 3, 0]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Crossovers over permutations with repetition (job-shop operation
+//! sequences, where job `j` appears `n_ops(j)` times). All operators
+//! preserve the gene multiset, so every child decodes feasibly.
+
+use rand::Rng;
+
+/// Job-order crossover: pick a random subset `S` of jobs; the child keeps
+/// `p1`'s genes at positions holding jobs in `S`, and fills the remaining
+/// positions with `p2`'s genes of jobs outside `S`, in `p2` order. This is
+/// the standard "generalised order crossover" for operation sequences.
+pub fn job_order(p1: &[usize], p2: &[usize], n_jobs: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let mut in_set = vec![false; n_jobs];
+    for flag in in_set.iter_mut() {
+        *flag = rng.gen_bool(0.5);
+    }
+    let mut child = vec![usize::MAX; p1.len()];
+    for (i, &g) in p1.iter().enumerate() {
+        if in_set[g] {
+            child[i] = g;
+        }
+    }
+    let mut fill = 0;
+    for &g in p2 {
+        if !in_set[g] {
+            while child[fill] != usize::MAX {
+                fill += 1;
+            }
+            child[fill] = g;
+        }
+    }
+    child
+}
+
+/// Time-horizon exchange (THX, Lin et al. [21]), sequence form: the child
+/// copies `p1` up to a horizon position (a fraction of the sequence — the
+/// "time horizon" of the partial schedule), then completes with the
+/// remaining multiset in `p2` order. Lin et al. designed THX so the child
+/// inherits the first parent's schedule up to a time horizon and the
+/// second parent's decisions after it.
+pub fn thx(p1: &[usize], p2: &[usize], horizon_fraction: f64, rng: &mut impl Rng) -> Vec<usize> {
+    let n = p1.len();
+    let frac = horizon_fraction.clamp(0.0, 1.0);
+    // Jitter the horizon a little so repeated applications explore.
+    let base = (n as f64 * frac) as usize;
+    let h = if base >= n {
+        n
+    } else {
+        rng.gen_range(base.min(n.saturating_sub(1))..=base.max(1).min(n))
+    };
+    let max_job = p1.iter().copied().max().unwrap_or(0);
+    let mut remaining = vec![0isize; max_job + 1];
+    for &g in p1 {
+        remaining[g] += 1;
+    }
+    let mut child = Vec::with_capacity(n);
+    for &g in &p1[..h] {
+        child.push(g);
+        remaining[g] -= 1;
+    }
+    for &g in p2 {
+        if remaining[g] > 0 {
+            child.push(g);
+            remaining[g] -= 1;
+        }
+    }
+    debug_assert_eq!(child.len(), n);
+    child
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::root_rng;
+
+    fn multiset_eq(a: &[usize], b: &[usize]) -> bool {
+        let mut x = a.to_vec();
+        let mut y = b.to_vec();
+        x.sort_unstable();
+        y.sort_unstable();
+        x == y
+    }
+
+    #[test]
+    fn job_order_preserves_multiset_and_positions() {
+        let mut rng = root_rng(11);
+        let p1 = vec![0, 0, 1, 1, 2, 2];
+        let p2 = vec![2, 1, 0, 2, 1, 0];
+        for _ in 0..100 {
+            let c = job_order(&p1, &p2, 3, &mut rng);
+            assert!(multiset_eq(&c, &p1));
+        }
+    }
+
+    #[test]
+    fn thx_prefix_comes_from_first_parent() {
+        let mut rng = root_rng(12);
+        let p1 = vec![0, 1, 2, 0, 1, 2];
+        let p2 = vec![2, 2, 1, 1, 0, 0];
+        for _ in 0..50 {
+            let c = thx(&p1, &p2, 0.5, &mut rng);
+            assert!(multiset_eq(&c, &p1));
+            // At least the first gene is always p1's.
+            assert_eq!(c[0], p1[0]);
+        }
+    }
+
+    #[test]
+    fn thx_extremes() {
+        let mut rng = root_rng(13);
+        let p1 = vec![0, 1, 0, 1];
+        let p2 = vec![1, 1, 0, 0];
+        // Full horizon: child == p1.
+        assert_eq!(thx(&p1, &p2, 1.0, &mut rng), p1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Dual-chromosome genome for flexible shops (Belkadi et al. [37],
+//! Defersha & Chen [35][36]): an *assignment* part (one gene per
+//! operation choosing the eligible machine) and a *sequencing* part (a
+//! permutation with repetition of job ids). Crossover recombines the two
+//! parts independently; mutation picks a part to perturb.
+
+use crate::crossover::rep::job_order;
+use crate::mutate::SeqMutation;
+use rand::Rng;
+
+/// Assignment + sequencing chromosome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualGenome {
+    /// Eligible-choice index per operation (decoder reduces modulo the
+    /// choice count, so any value is legal).
+    pub assign: Vec<usize>,
+    /// Permutation with repetition of job ids.
+    pub seq: Vec<usize>,
+}
+
+impl DualGenome {
+    /// Random genome: uniform choice genes in `0..max_choices` and a
+    /// shuffled repetition sequence where job `j` appears `ops_per_job[j]`
+    /// times.
+    pub fn random(ops_per_job: &[usize], max_choices: usize, rng: &mut impl Rng) -> Self {
+        use rand::seq::SliceRandom;
+        let total: usize = ops_per_job.iter().sum();
+        let assign = (0..total)
+            .map(|_| rng.gen_range(0..max_choices.max(1)))
+            .collect();
+        let mut seq = Vec::with_capacity(total);
+        for (j, &k) in ops_per_job.iter().enumerate() {
+            seq.extend(std::iter::repeat(j).take(k));
+        }
+        seq.shuffle(rng);
+        DualGenome { assign, seq }
+    }
+
+    /// Crossover: uniform exchange on the assignment part, job-order
+    /// crossover on the sequencing part.
+    pub fn crossover(
+        a: &DualGenome,
+        b: &DualGenome,
+        n_jobs: usize,
+        rng: &mut impl Rng,
+    ) -> (DualGenome, DualGenome) {
+        let mut a1 = Vec::with_capacity(a.assign.len());
+        let mut a2 = Vec::with_capacity(a.assign.len());
+        for i in 0..a.assign.len() {
+            if rng.gen_bool(0.5) {
+                a1.push(a.assign[i]);
+                a2.push(b.assign[i]);
+            } else {
+                a1.push(b.assign[i]);
+                a2.push(a.assign[i]);
+            }
+        }
+        let s1 = job_order(&a.seq, &b.seq, n_jobs, rng);
+        let s2 = job_order(&b.seq, &a.seq, n_jobs, rng);
+        (
+            DualGenome { assign: a1, seq: s1 },
+            DualGenome { assign: a2, seq: s2 },
+        )
+    }
+
+    /// Mutation: with equal probability either reassigns one operation to
+    /// a fresh random choice or applies a sequencing-neighbourhood move.
+    pub fn mutate(&mut self, max_choices: usize, rng: &mut impl Rng) {
+        if rng.gen_bool(0.5) && !self.assign.is_empty() {
+            let i = rng.gen_range(0..self.assign.len());
+            self.assign[i] = rng.gen_range(0..max_choices.max(1));
+        } else {
+            SeqMutation::Swap.apply(&mut self.seq, rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::root_rng;
+
+    fn counts(seq: &[usize], n: usize) -> Vec<usize> {
+        let mut c = vec![0; n];
+        for &g in seq {
+            c[g] += 1;
+        }
+        c
+    }
+
+    #[test]
+    fn random_genome_has_right_shape() {
+        let mut rng = root_rng(1);
+        let g = DualGenome::random(&[2, 3, 1], 4, &mut rng);
+        assert_eq!(g.assign.len(), 6);
+        assert_eq!(counts(&g.seq, 3), vec![2, 3, 1]);
+        assert!(g.assign.iter().all(|&a| a < 4));
+    }
+
+    #[test]
+    fn crossover_preserves_both_invariants() {
+        let mut rng = root_rng(2);
+        let a = DualGenome::random(&[2, 2, 2], 3, &mut rng);
+        let b = DualGenome::random(&[2, 2, 2], 3, &mut rng);
+        for _ in 0..50 {
+            let (c1, c2) = DualGenome::crossover(&a, &b, 3, &mut rng);
+            for c in [&c1, &c2] {
+                assert_eq!(counts(&c.seq, 3), vec![2, 2, 2]);
+                assert_eq!(c.assign.len(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_keeps_invariants() {
+        let mut rng = root_rng(3);
+        let mut g = DualGenome::random(&[3, 3], 5, &mut rng);
+        for _ in 0..100 {
+            g.mutate(5, &mut rng);
+            assert_eq!(counts(&g.seq, 2), vec![3, 3]);
+            assert!(g.assign.iter().all(|&a| a < 5));
+        }
+    }
+}

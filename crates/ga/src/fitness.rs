@@ -1,0 +1,66 @@
+//! Fitness transforms of the survey's Section III.A.
+//!
+//! Shop objectives are minimised, while classic selection operators expect
+//! a maximised fitness. The survey gives two standard transforms:
+//!
+//! * Eq. 1: `FIT(i) = max(F̄ − F_i, 0)` where `F̄` is the objective value
+//!   of some heuristic reference solution;
+//! * Eq. 2: `FIT(i) = 1 / F_i` (objective values are positive).
+
+/// Cost-to-fitness transform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FitnessTransform {
+    /// Survey Eq. 1 with the reference value `F̄`.
+    ReferenceGap(f64),
+    /// Survey Eq. 2.
+    Reciprocal,
+    /// Rank-free linear transform `max_cost_in_pop - cost` computed per
+    /// generation; behaves like Eq. 1 with a moving reference.
+    PopulationGap,
+}
+
+impl FitnessTransform {
+    /// Applies the transform to one cost, given the generation's maximum
+    /// cost (only used by `PopulationGap`).
+    pub fn apply(&self, cost: f64, pop_max_cost: f64) -> f64 {
+        match *self {
+            FitnessTransform::ReferenceGap(fbar) => (fbar - cost).max(0.0),
+            FitnessTransform::Reciprocal => {
+                debug_assert!(cost > 0.0, "Eq. 2 requires positive objective values");
+                1.0 / cost
+            }
+            FitnessTransform::PopulationGap => (pop_max_cost - cost).max(0.0),
+        }
+    }
+
+    /// Transforms a whole cost vector into fitness values.
+    pub fn apply_all(&self, costs: &[f64]) -> Vec<f64> {
+        let pop_max = costs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        costs.iter().map(|&c| self.apply(c, pop_max)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_gap_clamps_at_zero() {
+        let t = FitnessTransform::ReferenceGap(100.0);
+        assert_eq!(t.apply(40.0, 0.0), 60.0);
+        assert_eq!(t.apply(140.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn reciprocal_orders_correctly() {
+        let t = FitnessTransform::Reciprocal;
+        assert!(t.apply(10.0, 0.0) > t.apply(20.0, 0.0));
+    }
+
+    #[test]
+    fn population_gap_uses_generation_max() {
+        let t = FitnessTransform::PopulationGap;
+        let f = t.apply_all(&[10.0, 30.0, 20.0]);
+        assert_eq!(f, vec![20.0, 0.0, 10.0]);
+    }
+}

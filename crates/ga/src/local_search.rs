@@ -1,0 +1,163 @@
+//! Local search used as a GA add-on: first-improvement hill climbing over
+//! the swap and insertion neighbourhoods, plus the *Redirect* procedure of
+//! Rashidi et al. [38] (perturb-and-reclimb restarts that push a solution
+//! towards unexplored regions when the climb stalls).
+
+use crate::mutate::SeqMutation;
+use rand::Rng;
+
+/// Neighbourhood used by the hill climber.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Neighborhood {
+    /// Pairwise interchange.
+    Swap,
+    /// Remove-and-reinsert.
+    Insertion,
+}
+
+/// First-improvement hill climbing from `start`, bounded by `max_evals`
+/// cost calls. Returns the improved sequence and its cost.
+pub fn hill_climb(
+    start: &[usize],
+    neighborhood: Neighborhood,
+    max_evals: usize,
+    cost: &dyn Fn(&[usize]) -> f64,
+) -> (Vec<usize>, f64) {
+    let n = start.len();
+    let mut current = start.to_vec();
+    let mut current_cost = cost(&current);
+    let mut evals = 1usize;
+    let mut improved = true;
+    while improved && evals < max_evals {
+        improved = false;
+        'scan: for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut cand = current.clone();
+                match neighborhood {
+                    Neighborhood::Swap => {
+                        if i < j {
+                            cand.swap(i, j);
+                        } else {
+                            continue;
+                        }
+                    }
+                    Neighborhood::Insertion => {
+                        let v = cand.remove(i);
+                        cand.insert(j.min(cand.len()), v);
+                    }
+                }
+                let c = cost(&cand);
+                evals += 1;
+                if c < current_cost {
+                    current = cand;
+                    current_cost = c;
+                    improved = true;
+                    break 'scan;
+                }
+                if evals >= max_evals {
+                    break 'scan;
+                }
+            }
+        }
+    }
+    (current, current_cost)
+}
+
+/// The Redirect procedure: when the climb stalls, apply `kick_strength`
+/// random mutations and climb again, keeping the best of `restarts`
+/// rounds. Rashidi et al. run this after the conventional GA operators to
+/// extend Pareto coverage.
+pub fn redirect(
+    start: &[usize],
+    restarts: usize,
+    kick_strength: usize,
+    per_climb_evals: usize,
+    cost: &dyn Fn(&[usize]) -> f64,
+    rng: &mut impl Rng,
+) -> (Vec<usize>, f64) {
+    let (mut best, mut best_cost) =
+        hill_climb(start, Neighborhood::Swap, per_climb_evals, cost);
+    for _ in 0..restarts {
+        let mut kicked = best.clone();
+        for _ in 0..kick_strength {
+            SeqMutation::Shift.apply(&mut kicked, rng);
+        }
+        let (cand, cand_cost) =
+            hill_climb(&kicked, Neighborhood::Swap, per_climb_evals, cost);
+        if cand_cost < best_cost {
+            best = cand;
+            best_cost = cand_cost;
+        }
+    }
+    (best, best_cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::root_rng;
+
+    /// Cost = number of positions where the value differs from the index
+    /// (a simple sorted-target landscape both neighbourhoods can descend).
+    fn misplacement(s: &[usize]) -> f64 {
+        s.iter().enumerate().filter(|(i, &v)| *i != v).count() as f64
+    }
+
+    #[test]
+    fn swap_climb_sorts_small_permutation() {
+        let start = vec![2, 0, 1, 3];
+        let (best, c) = hill_climb(&start, Neighborhood::Swap, 10_000, &misplacement);
+        assert_eq!(c, 0.0);
+        assert_eq!(best, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn insertion_climb_solves_single_rotation() {
+        // [1, 0] needs exactly one insertion move.
+        let (best, c) = hill_climb(&[1, 0], Neighborhood::Insertion, 100, &misplacement);
+        assert_eq!(c, 0.0);
+        assert_eq!(best, vec![0, 1]);
+    }
+
+    #[test]
+    fn insertion_climb_reaches_local_optimum() {
+        // First-improvement descent can stop at a local optimum of the
+        // insertion neighbourhood; it must still strictly improve and be
+        // locally optimal (no single insertion improves further).
+        let start = vec![3, 0, 1, 2];
+        let (best, c) = hill_climb(&start, Neighborhood::Insertion, 10_000, &misplacement);
+        assert!(c < misplacement(&start));
+        let n = best.len();
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let mut cand = best.clone();
+                let v = cand.remove(i);
+                cand.insert(j.min(cand.len()), v);
+                assert!(misplacement(&cand) >= c, "not locally optimal");
+            }
+        }
+    }
+
+    #[test]
+    fn eval_budget_respected() {
+        // With a 1-eval budget the climber cannot move.
+        let start = vec![1, 0];
+        let (best, _) = hill_climb(&start, Neighborhood::Swap, 1, &misplacement);
+        assert_eq!(best, start);
+    }
+
+    #[test]
+    fn redirect_never_worse_than_plain_climb() {
+        let mut rng = root_rng(31);
+        let start = vec![4, 3, 2, 1, 0];
+        let (_, plain) = hill_climb(&start, Neighborhood::Swap, 200, &misplacement);
+        let (_, redirected) = redirect(&start, 3, 2, 200, &misplacement, &mut rng);
+        assert!(redirected <= plain);
+    }
+}

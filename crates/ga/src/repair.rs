@@ -1,0 +1,114 @@
+//! Repair operators. The survey notes that "additional steps may be
+//! required to repair the illegal offspring caused by the crossover";
+//! these helpers restore permutation / repetition-multiset invariants for
+//! operators (or hand-written experiments) that break them.
+
+/// Repairs `genome` into a strict permutation of `0..n`: duplicate values
+/// are replaced, left to right, by the missing values in ascending order.
+pub fn to_permutation(genome: &mut Vec<usize>, n: usize) {
+    genome.resize(n, 0);
+    let mut present = vec![false; n];
+    for g in genome.iter_mut() {
+        if *g >= n {
+            *g = n - 1;
+        }
+        present[*g] = true;
+    }
+    let mut missing: Vec<usize> = (0..n).filter(|&v| !present[v]).collect();
+    missing.reverse(); // pop() yields ascending order
+    let mut seen = vec![false; n];
+    for g in genome.iter_mut() {
+        if seen[*g] {
+            // Later duplicate occurrences are replaced; the first stays.
+            *g = missing.pop().expect("one missing value per duplicate");
+        }
+        seen[*g] = true;
+    }
+}
+
+/// Repairs `genome` into a permutation with repetition where value `j`
+/// appears exactly `required[j]` times: excess occurrences are replaced,
+/// left to right, by deficient values (smallest first).
+pub fn to_repetition(genome: &mut Vec<usize>, required: &[usize]) {
+    let n_vals = required.len();
+    let total: usize = required.iter().sum();
+    genome.resize(total, 0);
+    let mut count = vec![0usize; n_vals];
+    for g in genome.iter_mut() {
+        if *g >= n_vals {
+            *g = n_vals - 1;
+        }
+        count[*g] += 1;
+    }
+    let mut deficit: Vec<usize> = Vec::new();
+    for v in (0..n_vals).rev() {
+        for _ in count[v]..required[v] {
+            deficit.push(v);
+        }
+    }
+    for g in genome.iter_mut() {
+        if count[*g] > required[*g] {
+            count[*g] -= 1;
+            let v = deficit.pop().expect("deficits match excesses");
+            *g = v;
+            count[v] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutation_repair_fixes_duplicates() {
+        let mut g = vec![0, 0, 2, 2, 4];
+        to_permutation(&mut g, 5);
+        let mut s = g.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        // First occurrences stay put.
+        assert_eq!(g[0], 0);
+        assert_eq!(g[2], 2);
+    }
+
+    #[test]
+    fn permutation_repair_handles_out_of_range() {
+        let mut g = vec![9, 9, 9];
+        to_permutation(&mut g, 3);
+        let mut s = g.clone();
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn permutation_repair_is_identity_on_valid_input() {
+        let mut g = vec![2, 0, 1];
+        to_permutation(&mut g, 3);
+        assert_eq!(g, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn repetition_repair_restores_counts() {
+        let required = vec![2, 2, 1];
+        let mut g = vec![0, 0, 0, 1, 2];
+        to_repetition(&mut g, &required);
+        let mut count = vec![0usize; 3];
+        for &v in &g {
+            count[v] += 1;
+        }
+        assert_eq!(count, required);
+    }
+
+    #[test]
+    fn repetition_repair_resizes_short_genomes() {
+        let required = vec![1, 1, 1];
+        let mut g = vec![2];
+        to_repetition(&mut g, &required);
+        let mut count = vec![0usize; 3];
+        for &v in &g {
+            count[v] += 1;
+        }
+        assert_eq!(count, required);
+    }
+}

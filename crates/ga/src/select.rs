@@ -1,0 +1,191 @@
+//! Selection operators (survey Section III.A: "roulette wheel selection,
+//! stochastic universal sampling, tournament selection and so on", plus
+//! the elitist-roulette combination of Mui et al. [17] and the 2-element
+//! tournament of Kokosiński [32] as the `k = 2` case).
+
+use rand::Rng;
+
+/// A selection method: given per-individual fitness (maximised), picks
+/// parent indices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Selection {
+    /// Fitness-proportional roulette wheel.
+    RouletteWheel,
+    /// Stochastic universal sampling (low-variance proportional).
+    StochasticUniversal,
+    /// k-way tournament (`k >= 2`); Defersha & Chen use k-way, Kokosiński
+    /// uses `k = 2`.
+    Tournament(usize),
+    /// Linear-rank selection (pressure in `[1, 2]` encoded as 10·s; kept
+    /// integral so the enum stays `Copy`+`Eq`-friendly).
+    LinearRank,
+    /// Mui et al. [17]'s combination: with probability 1/4 pick the best
+    /// individual outright (elitist), otherwise spin the roulette wheel.
+    ElitistRoulette,
+}
+
+impl Selection {
+    /// Selects one index from `fitness`.
+    pub fn pick(&self, fitness: &[f64], rng: &mut impl Rng) -> usize {
+        debug_assert!(!fitness.is_empty());
+        match *self {
+            Selection::RouletteWheel => roulette(fitness, rng),
+            Selection::StochasticUniversal => {
+                // Single-arm SUS degenerates to roulette; the batch method
+                // below is the real SUS.
+                roulette(fitness, rng)
+            }
+            Selection::Tournament(k) => {
+                let k = k.max(2).min(fitness.len());
+                let mut best = rng.gen_range(0..fitness.len());
+                for _ in 1..k {
+                    let c = rng.gen_range(0..fitness.len());
+                    if fitness[c] > fitness[best] {
+                        best = c;
+                    }
+                }
+                best
+            }
+            Selection::LinearRank => {
+                let ranks = rank_weights(fitness);
+                roulette(&ranks, rng)
+            }
+            Selection::ElitistRoulette => {
+                if rng.gen_bool(0.25) {
+                    fitness
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap_or(0)
+                } else {
+                    roulette(fitness, rng)
+                }
+            }
+        }
+    }
+
+    /// Selects `n` indices. For [`Selection::StochasticUniversal`] this is
+    /// the genuine equally-spaced-pointer sweep; other methods just call
+    /// [`pick`](Self::pick) repeatedly.
+    pub fn pick_many(&self, fitness: &[f64], n: usize, rng: &mut impl Rng) -> Vec<usize> {
+        match *self {
+            Selection::StochasticUniversal => sus(fitness, n, rng),
+            _ => (0..n).map(|_| self.pick(fitness, rng)).collect(),
+        }
+    }
+}
+
+fn roulette(weights: &[f64], rng: &mut impl Rng) -> usize {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        // Degenerate population (all-zero fitness): uniform choice.
+        return rng.gen_range(0..weights.len());
+    }
+    let mut spin = rng.gen_range(0.0..total);
+    for (i, &w) in weights.iter().enumerate() {
+        if spin < w {
+            return i;
+        }
+        spin -= w;
+    }
+    weights.len() - 1
+}
+
+fn sus(fitness: &[f64], n: usize, rng: &mut impl Rng) -> Vec<usize> {
+    let total: f64 = fitness.iter().sum();
+    if total <= 0.0 || n == 0 {
+        return (0..n).map(|_| rng.gen_range(0..fitness.len())).collect();
+    }
+    let step = total / n as f64;
+    let mut pointer = rng.gen_range(0.0..step);
+    let mut picks = Vec::with_capacity(n);
+    let mut cum = 0.0;
+    let mut i = 0;
+    for _ in 0..n {
+        while cum + fitness[i] < pointer {
+            cum += fitness[i];
+            i += 1;
+        }
+        picks.push(i);
+        pointer += step;
+    }
+    picks
+}
+
+fn rank_weights(fitness: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..fitness.len()).collect();
+    order.sort_by(|&a, &b| fitness[a].total_cmp(&fitness[b]));
+    let n = fitness.len() as f64;
+    let mut w = vec![0.0; fitness.len()];
+    // Linear ranking with pressure s = 1.8: weight = 2-s + 2(s-1)·rank/(n-1).
+    const S: f64 = 1.8;
+    for (rank, &idx) in order.iter().enumerate() {
+        let r = if fitness.len() == 1 { 1.0 } else { rank as f64 / (n - 1.0) };
+        w[idx] = (2.0 - S) + 2.0 * (S - 1.0) * r;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::root_rng;
+
+    fn frequencies(sel: Selection, fitness: &[f64], trials: usize) -> Vec<f64> {
+        let mut rng = root_rng(1234);
+        let mut counts = vec![0usize; fitness.len()];
+        for _ in 0..trials {
+            counts[sel.pick(fitness, &mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / trials as f64).collect()
+    }
+
+    #[test]
+    fn roulette_prefers_fitter() {
+        let f = frequencies(Selection::RouletteWheel, &[1.0, 3.0], 20_000);
+        assert!((f[1] - 0.75).abs() < 0.03, "got {f:?}");
+    }
+
+    #[test]
+    fn tournament_pressure_grows_with_k() {
+        let w2 = frequencies(Selection::Tournament(2), &[1.0, 2.0, 3.0, 4.0], 20_000);
+        let w4 = frequencies(Selection::Tournament(4), &[1.0, 2.0, 3.0, 4.0], 20_000);
+        assert!(w4[3] > w2[3], "k=4 should select the best more often");
+    }
+
+    #[test]
+    fn sus_matches_expected_counts() {
+        let mut rng = root_rng(7);
+        let fitness = [1.0, 1.0, 2.0];
+        let picks = Selection::StochasticUniversal.pick_many(&fitness, 4000, &mut rng);
+        let share2 = picks.iter().filter(|&&i| i == 2).count() as f64 / 4000.0;
+        assert!((share2 - 0.5).abs() < 0.02, "got {share2}");
+    }
+
+    #[test]
+    fn rank_selection_handles_scale_free() {
+        // Rank selection must behave identically under fitness scaling.
+        let a = frequencies(Selection::LinearRank, &[1.0, 2.0, 3.0], 30_000);
+        let b = frequencies(Selection::LinearRank, &[100.0, 200.0, 300.0], 30_000);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn elitist_roulette_favours_best_strongly() {
+        let f = frequencies(Selection::ElitistRoulette, &[1.0, 1.0, 2.0], 20_000);
+        // Plain roulette would give the best 0.5; the elitist mix gives
+        // 0.25 + 0.75 * 0.5 = 0.625.
+        assert!((f[2] - 0.625).abs() < 0.03, "got {f:?}");
+    }
+
+    #[test]
+    fn zero_fitness_population_is_uniform() {
+        let f = frequencies(Selection::RouletteWheel, &[0.0, 0.0, 0.0], 9_000);
+        for share in f {
+            assert!((share - 1.0 / 3.0).abs() < 0.03);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Termination criteria ("while termination criteria are not satisfied",
+//! survey Tables II–V). Composable: any satisfied criterion stops the run.
+
+use std::time::Duration;
+
+/// A stopping rule for a GA run.
+#[derive(Debug, Clone)]
+pub enum Termination {
+    /// Stop after this many generations.
+    Generations(u64),
+    /// Stop after this many fitness evaluations.
+    Evaluations(u64),
+    /// Stop after this much wall-clock time (AitZai's fixed 300 s budget).
+    WallTime(Duration),
+    /// Stop when the best cost reaches the target or below.
+    TargetCost(f64),
+    /// Stop after this many generations without best-cost improvement.
+    Stagnation(u64),
+    /// Stop when *any* inner criterion fires.
+    Any(Vec<Termination>),
+}
+
+/// Snapshot of run progress that criteria are checked against.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    pub generation: u64,
+    pub evaluations: u64,
+    pub elapsed: Duration,
+    pub best_cost: f64,
+    pub generations_since_improvement: u64,
+}
+
+impl Termination {
+    /// True when the run should stop.
+    pub fn should_stop(&self, p: &Progress) -> bool {
+        match self {
+            Termination::Generations(g) => p.generation >= *g,
+            Termination::Evaluations(e) => p.evaluations >= *e,
+            Termination::WallTime(t) => p.elapsed >= *t,
+            Termination::TargetCost(c) => p.best_cost <= *c,
+            Termination::Stagnation(s) => p.generations_since_improvement >= *s,
+            Termination::Any(list) => list.iter().any(|t| t.should_stop(p)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn progress() -> Progress {
+        Progress {
+            generation: 10,
+            evaluations: 1000,
+            elapsed: Duration::from_secs(5),
+            best_cost: 42.0,
+            generations_since_improvement: 3,
+        }
+    }
+
+    #[test]
+    fn individual_criteria() {
+        let p = progress();
+        assert!(Termination::Generations(10).should_stop(&p));
+        assert!(!Termination::Generations(11).should_stop(&p));
+        assert!(Termination::Evaluations(900).should_stop(&p));
+        assert!(Termination::WallTime(Duration::from_secs(5)).should_stop(&p));
+        assert!(Termination::TargetCost(42.0).should_stop(&p));
+        assert!(!Termination::TargetCost(41.0).should_stop(&p));
+        assert!(Termination::Stagnation(3).should_stop(&p));
+        assert!(!Termination::Stagnation(4).should_stop(&p));
+    }
+
+    #[test]
+    fn any_combinator() {
+        let p = progress();
+        let t = Termination::Any(vec![
+            Termination::Generations(100),
+            Termination::TargetCost(50.0),
+        ]);
+        assert!(t.should_stop(&p));
+        let t2 = Termination::Any(vec![Termination::Generations(100)]);
+        assert!(!t2.should_stop(&p));
+    }
+}

@@ -1,0 +1,67 @@
+//! Host calibration: measures the per-unit costs the models consume.
+//!
+//! The experiment harnesses measure the *actual* cost of one fitness
+//! evaluation (decoding a schedule) and of one generation's serial
+//! operator work on this machine, then feed those numbers into
+//! [`crate::model`] to predict wall times on the surveyed platforms.
+
+use std::time::Instant;
+
+/// Measures the mean wall time of `f` over `iters` calls (after one
+/// warm-up call). Returns seconds per call.
+pub fn measure_s(iters: u32, mut f: impl FnMut()) -> f64 {
+    assert!(iters > 0);
+    f(); // warm-up
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_secs_f64() / iters as f64
+}
+
+/// Measures `f` adaptively: doubles the iteration count until the run
+/// takes at least `min_total_s`, for stable small-cost measurements.
+pub fn measure_adaptive_s(min_total_s: f64, mut f: impl FnMut()) -> f64 {
+    let mut iters: u32 = 1;
+    loop {
+        f(); // warm-up / steady state
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= min_total_s || iters >= 1 << 24 {
+            return elapsed / iters as f64;
+        }
+        iters = iters.saturating_mul(2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_are_positive_and_ordered() {
+        let cheap = measure_s(100, || {
+            std::hint::black_box(1 + 1);
+        });
+        let costly = measure_s(10, || {
+            let mut x = 0u64;
+            for i in 0..20_000 {
+                x = x.wrapping_add(i);
+            }
+            std::hint::black_box(x);
+        });
+        assert!(cheap >= 0.0);
+        assert!(costly > cheap);
+    }
+
+    #[test]
+    fn adaptive_measurement_terminates() {
+        let t = measure_adaptive_s(1e-4, || {
+            std::hint::black_box(42u64.wrapping_mul(7));
+        });
+        assert!(t >= 0.0);
+    }
+}

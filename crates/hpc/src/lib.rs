@@ -1,0 +1,25 @@
+//! Deterministic HPC platform cost models.
+//!
+//! The surveyed experiments ran on GPUs (NVIDIA Quadro 2000, Tesla
+//! C2075/C1060, GTX 285), MPI clusters (Beowulf, a 250-workstation Xeon
+//! farm), MIMD machines (Transputer arrays, Sun Enterprise) and
+//! multi-core PCs — none of which exist in this container (which exposes
+//! a single CPU core). Per DESIGN.md §4 we substitute *cost models*: a
+//! [`platform::Platform`] is a small set of parameters (worker count,
+//! relative per-worker speed, message latency and bandwidth, dispatch
+//! overhead), and [`model`] predicts the wall time of each parallel-GA
+//! schedule from run structure (generations, population, measured
+//! per-evaluation cost, migration counts).
+//!
+//! The predictions are ratios of compute to communication — exactly the
+//! quantity the surveyed speedup and "who wins where" claims are about —
+//! so the *shape* of each reported outcome is preserved even though
+//! absolute numbers differ from the original testbeds.
+
+pub mod amdahl;
+pub mod calibrate;
+pub mod model;
+pub mod platform;
+
+pub use model::{cellular_time, island_time, master_slave_time, sequential_time, RunShape};
+pub use platform::Platform;

@@ -1,0 +1,253 @@
+//! Wall-time predictions for each parallel-GA schedule.
+//!
+//! Every function takes the *run shape* (structure counts measured from a
+//! real run of the corresponding `pga` model) plus per-unit costs measured
+//! on the host (see [`crate::calibrate`]) and returns predicted seconds on
+//! a [`Platform`].
+
+use crate::platform::Platform;
+
+/// Structure of a GA run, as the cost models need it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunShape {
+    /// Generations executed.
+    pub generations: u64,
+    /// Individuals evaluated per generation (population or offspring
+    /// count).
+    pub evals_per_gen: u64,
+    /// Measured cost of one fitness evaluation on the host core (s).
+    pub eval_s: f64,
+    /// Measured cost of the per-generation serial part — selection,
+    /// crossover, mutation, bookkeeping (s).
+    pub serial_gen_s: f64,
+    /// Genome size on the wire (bytes).
+    pub genome_bytes: f64,
+}
+
+/// Sequential GA: everything on one host core.
+pub fn sequential_time(shape: &RunShape) -> f64 {
+    shape.generations as f64
+        * (shape.serial_gen_s + shape.evals_per_gen as f64 * shape.eval_s)
+}
+
+/// Master-slave GA (survey Table III): the master runs the serial
+/// operators, ships the generation's individuals to slaves in one
+/// scatter, slaves evaluate `ceil(pop / workers)` each, and fitness
+/// values return in one gather.
+pub fn master_slave_time(shape: &RunShape, platform: &Platform) -> f64 {
+    let pop = shape.evals_per_gen as f64;
+    let per_worker = (pop / platform.workers as f64).ceil();
+    let compute = platform.compute_s(per_worker, shape.eval_s);
+    let comm = if platform.on_device {
+        platform.dispatch_overhead_s
+    } else {
+        // Scatter genomes + gather fitness values (8 bytes each), plus
+        // the dispatch overhead.
+        platform.transfer_s(pop * shape.genome_bytes)
+            + platform.transfer_s(pop * 8.0)
+            + platform.dispatch_overhead_s
+    };
+    shape.generations as f64 * (shape.serial_gen_s + compute + comm)
+}
+
+/// Island GA (survey Table V): `islands` subpopulations of
+/// `shape.evals_per_gen / islands` individuals each run *whole GAs* in
+/// parallel (serial part included); every `interval` generations each
+/// island sends `migrants` genomes over `links` directed links.
+#[allow(clippy::too_many_arguments)]
+pub fn island_time(
+    shape: &RunShape,
+    islands: usize,
+    interval: u64,
+    migrants_per_link: u64,
+    links: u64,
+    platform: &Platform,
+) -> f64 {
+    assert!(islands >= 1);
+    let sub_pop = shape.evals_per_gen as f64 / islands as f64;
+    // Islands are the unit of placement: rounds of islands per worker set.
+    let rounds = (islands as f64 / platform.workers as f64).ceil();
+    let per_island_gen =
+        shape.serial_gen_s / islands as f64 + platform.compute_s(sub_pop, shape.eval_s);
+    let compute = shape.generations as f64 * rounds * per_island_gen;
+    let migration_events = if interval == 0 {
+        0.0
+    } else {
+        (shape.generations / interval) as f64
+    };
+    let per_event_comm = if platform.on_device {
+        platform.dispatch_overhead_s
+    } else {
+        // Links fire in parallel across distinct island pairs, but each
+        // island serialises its own sends: per event, an island pays for
+        // its out-degree worth of messages.
+        let out_degree = links as f64 / islands as f64;
+        out_degree
+            * platform.transfer_s(migrants_per_link as f64 * shape.genome_bytes)
+    };
+    compute + migration_events * per_event_comm
+}
+
+/// Fine-grained / cellular GA (survey Table IV): one individual per cell;
+/// every generation each cell evaluates once and exchanges state with its
+/// `degree` neighbours. On a machine with fewer workers than cells, cells
+/// are strip-mapped onto workers and only the strip *boundary* traffic
+/// crosses links.
+pub fn cellular_time(
+    shape: &RunShape,
+    cells: usize,
+    degree: usize,
+    platform: &Platform,
+) -> f64 {
+    let per_worker_cells = (cells as f64 / platform.workers as f64).ceil();
+    let compute = platform.compute_s(
+        per_worker_cells * (1.0 + 0.05 * degree as f64), // eval + local ops
+        shape.eval_s,
+    );
+    let comm = if platform.workers == 1 {
+        0.0
+    } else if platform.on_device {
+        platform.dispatch_overhead_s
+    } else {
+        // Each worker exchanges its boundary (≈ perimeter of its strip)
+        // once per generation.
+        let boundary = per_worker_cells.sqrt().max(1.0) * degree as f64;
+        platform.transfer_s(boundary * shape.genome_bytes)
+    };
+    shape.generations as f64 * (compute + comm + shape.serial_gen_s / cells as f64)
+}
+
+/// Speedup of `parallel` over `baseline` (guarding division by zero).
+pub fn speedup(baseline_s: f64, parallel_s: f64) -> f64 {
+    if parallel_s <= 0.0 {
+        return f64::INFINITY;
+    }
+    baseline_s / parallel_s
+}
+
+/// Solutions explored under a fixed wall-clock budget — AitZai et al.
+/// [14] report "explored solutions in 300 s" rather than time; this
+/// inverts the cost model.
+pub fn evals_within_budget(
+    budget_s: f64,
+    shape: &RunShape,
+    time_of_run: f64,
+) -> f64 {
+    if time_of_run <= 0.0 {
+        return f64::INFINITY;
+    }
+    let total_evals = (shape.generations * shape.evals_per_gen) as f64;
+    total_evals * budget_s / time_of_run
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(eval_us: f64) -> RunShape {
+        RunShape {
+            generations: 100,
+            evals_per_gen: 1000,
+            eval_s: eval_us * 1e-6,
+            serial_gen_s: 200e-6,
+            genome_bytes: 400.0,
+        }
+    }
+
+    #[test]
+    fn master_slave_beats_serial_when_eval_dominates() {
+        // The survey: master-slave "performs well ... when the fitness
+        // value calculation is complex and requires considerable
+        // computation".
+        let s = shape(500.0); // 500 µs per evaluation
+        let seq = sequential_time(&s);
+        let par = master_slave_time(&s, &Platform::mpi_cluster(16));
+        assert!(speedup(seq, par) > 8.0, "got {}", speedup(seq, par));
+    }
+
+    #[test]
+    fn master_slave_loses_when_eval_is_trivial() {
+        // Frequent communication overhead "offsets some performance
+        // gains" — with near-free evaluations the cluster should barely
+        // help (or hurt).
+        let s = shape(0.1); // 100 ns per evaluation
+        let seq = sequential_time(&s);
+        let par = master_slave_time(&s, &Platform::mpi_cluster(16));
+        assert!(speedup(seq, par) < 2.0);
+    }
+
+    #[test]
+    fn gpu_wins_big_on_large_populations() {
+        let mut s = shape(100.0);
+        s.evals_per_gen = 10_000;
+        let seq = sequential_time(&s);
+        let gpu = master_slave_time(&s, &Platform::cuda_gpu(448, 0.1));
+        let cluster = master_slave_time(&s, &Platform::mpi_cluster(8));
+        assert!(speedup(seq, gpu) > speedup(seq, cluster));
+        assert!(speedup(seq, gpu) > 10.0);
+    }
+
+    #[test]
+    fn resident_gpu_beats_transfer_gpu() {
+        // Zajíček's design point: keeping everything on the device
+        // removes per-generation transfers.
+        let s = shape(20.0);
+        let xfer = master_slave_time(&s, &Platform::cuda_gpu(240, 0.1));
+        let resident = master_slave_time(&s, &Platform::cuda_gpu_resident(240, 0.1));
+        assert!(resident < xfer);
+    }
+
+    #[test]
+    fn island_speedup_near_linear_without_migration() {
+        let s = shape(200.0);
+        let seq = sequential_time(&s);
+        let par = island_time(&s, 8, 0, 0, 0, &Platform::multicore(8));
+        let sp = speedup(seq, par);
+        assert!(sp > 6.0 && sp <= 8.5, "got {sp}");
+    }
+
+    #[test]
+    fn more_frequent_migration_costs_more() {
+        let s = shape(50.0);
+        let p = Platform::mpi_cluster(8);
+        let rare = island_time(&s, 8, 50, 2, 8, &p);
+        let frequent = island_time(&s, 8, 1, 2, 8, &p);
+        assert!(frequent > rare);
+    }
+
+    #[test]
+    fn more_workers_never_slower_for_compute_bound_runs() {
+        let s = shape(1000.0);
+        let p4 = master_slave_time(&s, &Platform::multicore(4));
+        let p8 = master_slave_time(&s, &Platform::multicore(8));
+        assert!(p8 <= p4);
+    }
+
+    #[test]
+    fn cellular_on_transputer_shortens_time_but_subideal() {
+        // Tamaki [20]: 16 Transputers shorten calculation dramatically,
+        // but communication keeps it below the ideal 16x.
+        let s = RunShape {
+            generations: 200,
+            evals_per_gen: 256,
+            eval_s: 2e-3,
+            serial_gen_s: 1e-4,
+            genome_bytes: 200.0,
+        };
+        let seq = sequential_time(&s);
+        let t16 = cellular_time(&s, 256, 4, &Platform::transputer(16));
+        let sp = speedup(seq, t16);
+        assert!(sp > 4.0, "should still help: {sp}");
+        assert!(sp < 16.0, "must stay sub-ideal: {sp}");
+    }
+
+    #[test]
+    fn budget_inversion_counts_evals() {
+        let s = shape(100.0);
+        let t = sequential_time(&s);
+        let evals = evals_within_budget(t, &s, t);
+        assert_eq!(evals, (s.generations * s.evals_per_gen) as f64);
+        // Twice the budget, twice the explored solutions.
+        assert_eq!(evals_within_budget(2.0 * t, &s, t), 2.0 * evals);
+    }
+}

@@ -1,0 +1,211 @@
+//! Hybrid parallel models (Lin, Goodman & Punch [21]):
+//!
+//! 1. [`IslandsOfCellular`] — an island GA whose subpopulations are
+//!    *cellular grids* (a ring of toruses): migration on the ring is much
+//!    less frequent than the within-torus neighbourhood diffusion.
+//! 2. `cellular_style_islands` — an island GA whose (many, small) islands
+//!    are wired in a torus topology, i.e. islands connected "in a
+//!    fine-grained GA style"; Lin et al. found this hybrid produced the
+//!    best solutions. This is a configuration of [`IslandGa`], provided
+//!    here as a constructor.
+
+use crate::cellular::{CellularConfig, CellularGa};
+use crate::island::{IslandConfig, IslandGa};
+use crate::migration::{MigrationConfig, MigrationPolicy};
+use crate::telemetry::RunTelemetry;
+use crate::topology::Topology;
+use ga::engine::{GaConfig, Individual, Toolkit};
+use ga::rng::{split_seed, stream_rng};
+use ga::Evaluator;
+use rand_chacha::ChaCha8Rng;
+
+/// Model 1: a ring of cellular toruses.
+pub struct IslandsOfCellular<'a, G> {
+    grids: Vec<CellularGa<'a, G>>,
+    /// Generations between ring migrations (≫ 1: the survey notes ring
+    /// migration is "much less frequent than within the torus").
+    ring_interval: u64,
+    migrants_per_event: usize,
+    generation: u64,
+    mig_rng: ChaCha8Rng,
+    pub telemetry: RunTelemetry,
+}
+
+impl<'a, G: Clone + Send + Sync> IslandsOfCellular<'a, G> {
+    pub fn new<E: Evaluator<G>>(
+        n_islands: usize,
+        grid: CellularConfig,
+        toolkit_factory: &dyn Fn(usize) -> Toolkit<G>,
+        evaluator: &'a E,
+        ring_interval: u64,
+        migrants_per_event: usize,
+    ) -> Self {
+        assert!(n_islands >= 1);
+        let grids: Vec<CellularGa<G>> = (0..n_islands)
+            .map(|i| {
+                let mut cfg = grid.clone();
+                cfg.seed = split_seed(grid.seed, i as u64);
+                CellularGa::new(cfg, toolkit_factory(i), evaluator)
+            })
+            .collect();
+        let workers: usize = grids.iter().map(|g| g.grid().len()).sum();
+        IslandsOfCellular {
+            grids,
+            ring_interval: ring_interval.max(1),
+            migrants_per_event,
+            generation: 0,
+            mig_rng: stream_rng(grid.seed, 0x48_59_42), // "HYB"
+            telemetry: RunTelemetry {
+                workers,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// One global generation: every torus steps once; on ring epochs the
+    /// best individuals of each torus replace random cells of the next
+    /// torus on the ring.
+    pub fn step(&mut self) {
+        use rayon::prelude::*;
+        self.generation += 1;
+        self.grids.par_iter_mut().for_each(|g| g.step());
+        self.telemetry.generations += 1;
+        if self.generation % self.ring_interval == 0 {
+            let n = self.grids.len();
+            if n > 1 {
+                let emigrants: Vec<Individual<G>> =
+                    self.grids.iter().map(|g| g.best().clone()).collect();
+                for (i, em) in emigrants.into_iter().enumerate() {
+                    let dest = (i + 1) % n;
+                    for _ in 0..self.migrants_per_event {
+                        use rand::Rng;
+                        let cell =
+                            self.mig_rng.gen_range(0..self.grids[dest].grid().len());
+                        self.grids[dest].replace(cell, em.clone());
+                        self.telemetry.migrants += 1;
+                    }
+                    self.telemetry.messages += 1;
+                }
+            }
+        }
+    }
+
+    pub fn run(&mut self, generations: u64) -> Individual<G> {
+        for _ in 0..generations {
+            self.step();
+        }
+        self.best()
+    }
+
+    pub fn best(&self) -> Individual<G> {
+        self.grids
+            .iter()
+            .map(|g| g.best().clone())
+            .min_by(|a, b| a.cost.total_cmp(&b.cost))
+            .expect("at least one torus")
+    }
+
+    pub fn grids(&self) -> &[CellularGa<'a, G>] {
+        &self.grids
+    }
+}
+
+/// Model 2: many small islands wired as a torus — the hybrid Lin et al.
+/// found best. Returns a ready-to-run [`IslandGa`].
+pub fn cellular_style_islands<'a, G, E>(
+    base: GaConfig,
+    rows: usize,
+    cols: usize,
+    toolkit_factory: &dyn Fn(usize) -> Toolkit<G>,
+    evaluator: &'a E,
+    interval: u64,
+    migrants: usize,
+) -> IslandGa<'a, G>
+where
+    G: Clone + Send + Sync,
+    E: Evaluator<G>,
+{
+    let mut mig = MigrationConfig::ring(interval, migrants);
+    mig.topology = Topology::Torus2D { cols };
+    mig.policy = MigrationPolicy::BestReplaceRandom;
+    IslandGa::homogeneous(base, rows * cols, toolkit_factory, evaluator, IslandConfig::new(mig))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::crossover::PermCrossover;
+    use ga::mutate::SeqMutation;
+    use rand::seq::SliceRandom;
+
+    fn displacement(p: &[usize]) -> f64 {
+        p.iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 - v as f64).abs())
+            .sum()
+    }
+
+    fn toolkit(n: usize) -> Toolkit<Vec<usize>> {
+        Toolkit {
+            init: Box::new(move |rng| {
+                let mut p: Vec<usize> = (0..n).collect();
+                p.shuffle(rng);
+                p
+            }),
+            crossover: Box::new(|a, b, rng| PermCrossover::Order.apply(a, b, rng)),
+            mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
+            seq_view: None,
+        }
+    }
+
+    #[test]
+    fn islands_of_cellular_improves_and_migrates() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let mut h = IslandsOfCellular::new(
+            3,
+            CellularConfig::new(3, 3, 5),
+            &|_| toolkit(8),
+            &eval,
+            4,
+            1,
+        );
+        let start = h.best().cost;
+        h.run(12);
+        assert!(h.best().cost <= start);
+        // 12 generations / interval 4 = 3 events x 3 islands.
+        assert_eq!(h.telemetry.messages, 9);
+    }
+
+    #[test]
+    fn islands_of_cellular_deterministic() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let run = || {
+            let mut h = IslandsOfCellular::new(
+                2,
+                CellularConfig::new(3, 3, 9),
+                &|_| toolkit(6),
+                &eval,
+                3,
+                1,
+            );
+            h.run(9).cost
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn cellular_style_islands_runs() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let base = GaConfig {
+            pop_size: 8,
+            seed: 2,
+            ..GaConfig::default()
+        };
+        let mut ig = cellular_style_islands(base, 2, 3, &|_| toolkit(7), &eval, 2, 1);
+        let start = ig.best().cost;
+        ig.run(10);
+        assert!(ig.best().cost <= start);
+        // Torus 2x3: every island has neighbours, so messages flowed.
+        assert!(ig.telemetry.messages > 0);
+    }
+}

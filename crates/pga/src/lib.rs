@@ -1,0 +1,41 @@
+//! Parallel genetic-algorithm models for shop scheduling — the survey's
+//! Section III taxonomy, implemented over the sequential engine of the
+//! `ga` crate:
+//!
+//! * [`master_slave`] — Table III: one panmictic population, fitness
+//!   evaluation fanned out to workers (rayon), plus the batched-queue
+//!   variant of Akhshabi [18] and the "slaves run whole GAs" variant of
+//!   Mui et al. [17].
+//! * [`cellular`] — Table IV: the fine-grained / neighbourhood /
+//!   diffusion model of Tamaki [20] on a 2-D torus.
+//! * [`island`] — Table V: coarse-grained subpopulations with migration;
+//!   heterogeneous islands, stagnation-triggered merging (Spanos [29])
+//!   and weighted multi-objective islands (Rashidi [38]).
+//! * [`topology`] / [`migration`] — the island interconnects (ring, grid,
+//!   torus, hypercube, star, fully connected, broadcast, random-epoch,
+//!   two-level) and replacement policies the surveyed papers sweep.
+//! * [`hybrid`] — Lin et al. [21]'s two hybrid models (islands of
+//!   cellular grids; island sets wired in a cellular-style topology).
+//!
+//! Determinism: every model takes a single `u64` seed and derives
+//! independent per-worker streams with `ga::rng::split_seed`, so results
+//! are reproducible regardless of thread scheduling. Master-slave
+//! parallel evaluation is bit-identical to sequential evaluation with the
+//! same seed (the survey's defining property of the model); island and
+//! cellular models are deterministic but — as the survey stresses — *do*
+//! change the algorithm's trajectory relative to the panmictic GA.
+
+pub mod cellular;
+pub mod hybrid;
+pub mod island;
+pub mod master_slave;
+pub mod migration;
+pub mod telemetry;
+pub mod topology;
+
+pub use cellular::{CellularGa, CellularConfig, NeighborhoodShape};
+pub use island::{IslandConfig, IslandGa};
+pub use master_slave::{BatchedEvaluator, DistributedSlavesGa, RayonEvaluator};
+pub use migration::{MigrationConfig, MigrationPolicy};
+pub use telemetry::RunTelemetry;
+pub use topology::Topology;

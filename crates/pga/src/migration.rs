@@ -1,0 +1,143 @@
+//! Migration operators between islands: the three replacement policies
+//! Defersha & Chen [35] sweep (random-replace-random, best-replace-random,
+//! best-replace-worst), migration interval and rate, and the two-level
+//! GN ≪ LN scheme of Harmanani et al. [33] (frequent neighbour exchange,
+//! rare broadcast).
+
+use crate::topology::Topology;
+use ga::engine::Individual;
+use rand::Rng;
+
+/// Which individuals emigrate and whom they replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationPolicy {
+    /// Random emigrants replace random hosts.
+    RandomReplaceRandom,
+    /// Best emigrants replace random hosts.
+    BestReplaceRandom,
+    /// Best emigrants replace the worst hosts.
+    BestReplaceWorst,
+}
+
+/// Full migration configuration.
+#[derive(Debug, Clone)]
+pub struct MigrationConfig {
+    /// Generations between migration events ("migration interval").
+    pub interval: u64,
+    /// Individuals sent per link per event ("migration rate").
+    pub count: usize,
+    pub policy: MigrationPolicy,
+    pub topology: Topology,
+}
+
+impl MigrationConfig {
+    pub fn ring(interval: u64, count: usize) -> Self {
+        MigrationConfig {
+            interval,
+            count,
+            policy: MigrationPolicy::BestReplaceWorst,
+            topology: Topology::Ring,
+        }
+    }
+}
+
+/// Selects the emigrant indices of `population` under `policy`.
+pub fn emigrant_indices<G>(
+    population: &[Individual<G>],
+    policy: MigrationPolicy,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n = population.len();
+    let count = count.min(n);
+    match policy {
+        MigrationPolicy::RandomReplaceRandom => {
+            (0..count).map(|_| rng.gen_range(0..n)).collect()
+        }
+        MigrationPolicy::BestReplaceRandom | MigrationPolicy::BestReplaceWorst => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| population[a].cost.total_cmp(&population[b].cost));
+            idx.truncate(count);
+            idx
+        }
+    }
+}
+
+/// Selects the host indices to be replaced under `policy`.
+pub fn replacement_indices<G>(
+    population: &[Individual<G>],
+    policy: MigrationPolicy,
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<usize> {
+    let n = population.len();
+    let count = count.min(n);
+    match policy {
+        MigrationPolicy::RandomReplaceRandom | MigrationPolicy::BestReplaceRandom => {
+            // Distinct random victims.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for k in 0..count {
+                let swap = rng.gen_range(k..n);
+                idx.swap(k, swap);
+            }
+            idx.truncate(count);
+            idx
+        }
+        MigrationPolicy::BestReplaceWorst => {
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| population[b].cost.total_cmp(&population[a].cost));
+            idx.truncate(count);
+            idx
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ga::rng::root_rng;
+
+    fn pop(costs: &[f64]) -> Vec<Individual<u32>> {
+        costs
+            .iter()
+            .map(|&cost| Individual { genome: 0u32, cost })
+            .collect()
+    }
+
+    #[test]
+    fn best_policy_selects_lowest_cost() {
+        let mut rng = root_rng(1);
+        let p = pop(&[5.0, 1.0, 3.0, 2.0]);
+        let e = emigrant_indices(&p, MigrationPolicy::BestReplaceWorst, 2, &mut rng);
+        assert_eq!(e, vec![1, 3]);
+    }
+
+    #[test]
+    fn worst_replacement_selects_highest_cost() {
+        let mut rng = root_rng(2);
+        let p = pop(&[5.0, 1.0, 3.0, 2.0]);
+        let r = replacement_indices(&p, MigrationPolicy::BestReplaceWorst, 2, &mut rng);
+        assert_eq!(r, vec![0, 2]);
+    }
+
+    #[test]
+    fn random_replacement_indices_are_distinct() {
+        let mut rng = root_rng(3);
+        let p = pop(&[1.0; 10]);
+        for _ in 0..50 {
+            let r = replacement_indices(&p, MigrationPolicy::BestReplaceRandom, 4, &mut rng);
+            let mut s = r.clone();
+            s.sort_unstable();
+            s.dedup();
+            assert_eq!(s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn counts_clamped_to_population() {
+        let mut rng = root_rng(4);
+        let p = pop(&[1.0, 2.0]);
+        let e = emigrant_indices(&p, MigrationPolicy::BestReplaceWorst, 10, &mut rng);
+        assert_eq!(e.len(), 2);
+    }
+}

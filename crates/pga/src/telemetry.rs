@@ -1,0 +1,52 @@
+//! Structural run telemetry consumed by the `hpc` cost models.
+//!
+//! The surveyed speedup numbers come from hardware we do not have, so the
+//! experiment harnesses replay a run's *structure* — how many evaluations
+//! per generation, how much of the work is serial, how many migration
+//! messages of what size — through a platform cost model. The parallel
+//! models in this crate record that structure here.
+
+/// Counters describing one run of any parallel GA model.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunTelemetry {
+    /// Generations executed (per island, summed over islands for island
+    /// models).
+    pub generations: u64,
+    /// Total fitness evaluations.
+    pub evaluations: u64,
+    /// Evaluations per generation of the *critical path* unit (one
+    /// island's generation, one master batch, ...).
+    pub evals_per_generation: Vec<u64>,
+    /// Migration (or neighbour-exchange) messages sent.
+    pub messages: u64,
+    /// Total migrated individuals (message payload, in genomes).
+    pub migrants: u64,
+    /// Number of parallel workers the model logically used.
+    pub workers: usize,
+}
+
+impl RunTelemetry {
+    /// Mean evaluations per generation (0 when empty).
+    pub fn mean_evals_per_gen(&self) -> f64 {
+        if self.evals_per_generation.is_empty() {
+            return 0.0;
+        }
+        self.evals_per_generation.iter().sum::<u64>() as f64
+            / self.evals_per_generation.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_evals() {
+        let t = RunTelemetry {
+            evals_per_generation: vec![10, 20, 30],
+            ..Default::default()
+        };
+        assert_eq!(t.mean_evals_per_gen(), 20.0);
+        assert_eq!(RunTelemetry::default().mean_evals_per_gen(), 0.0);
+    }
+}

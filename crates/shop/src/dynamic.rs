@@ -1,0 +1,222 @@
+//! Dynamic-environment scheduling — the second "new integrated factor"
+//! of the survey's Section II (Tang et al. [9] use a predictive-reactive
+//! approach for dynamic flexible flow shops): machine breakdowns and job
+//! arrivals hit a running schedule, and the scheduler reacts either by
+//! *right-shift repair* (push affected operations later, keeping all
+//! sequencing decisions) or by *rescheduling* the unstarted suffix.
+//!
+//! The GA hook is [`frozen_prefix`]: at a disruption time, the already
+//! started operations are frozen and the remaining operation multiset is
+//! rescheduled — typically by a GA warm-started from the old sequence.
+
+use crate::instance::JobShopInstance;
+use crate::schedule::{Schedule, ScheduledOp};
+use crate::{Problem, Time};
+
+/// A disruption event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Machine `machine` is down during `[from, from + duration)`.
+    Breakdown {
+        machine: usize,
+        from: Time,
+        duration: Time,
+    },
+}
+
+/// Right-shift repair: keeps every machine sequence and job order from
+/// `schedule` and pushes operations later until the breakdown window and
+/// all precedences are respected. Returns the repaired schedule.
+pub fn right_shift_repair(
+    inst: &JobShopInstance,
+    schedule: &Schedule,
+    event: Event,
+) -> Schedule {
+    let Event::Breakdown {
+        machine,
+        from,
+        duration,
+    } = event;
+    let down_until = from + duration;
+
+    // Rebuild in global start order, re-deriving start times with the
+    // original sequences as hard orders.
+    let mut ops: Vec<ScheduledOp> = schedule.ops.clone();
+    ops.sort_by_key(|o| (o.start, o.machine, o.job));
+    let mut machine_free = vec![0 as Time; inst.n_machines()];
+    let mut job_free: Vec<Time> = (0..inst.n_jobs()).map(|j| inst.release(j)).collect();
+    let mut out = Vec::with_capacity(ops.len());
+    for o in ops {
+        let dur = o.end - o.start;
+        // Right-shift: never earlier than the original start, plus
+        // whatever upstream shifts force.
+        let mut start = job_free[o.job].max(machine_free[o.machine]).max(o.start);
+        if o.machine == machine {
+            // An operation overlapping the window must wait it out
+            // (non-preemptive re-run after repair).
+            if start < down_until && start + dur > from {
+                start = start.max(down_until);
+            }
+        }
+        let end = start + dur;
+        machine_free[o.machine] = end;
+        job_free[o.job] = end;
+        out.push(ScheduledOp { start, end, ..o });
+    }
+    Schedule::new(out)
+}
+
+/// Splits `schedule` at `t`: operations that already *started* stay
+/// frozen; the rest are collected as a remaining operation multiset.
+/// Returns `(frozen ops, remaining op-sequence in original order)`.
+pub fn frozen_prefix(
+    schedule: &Schedule,
+    t: Time,
+) -> (Vec<ScheduledOp>, Vec<(usize, usize)>) {
+    let mut frozen = Vec::new();
+    let mut remaining: Vec<ScheduledOp> = Vec::new();
+    for &o in &schedule.ops {
+        if o.start < t {
+            frozen.push(o);
+        } else {
+            remaining.push(o);
+        }
+    }
+    remaining.sort_by_key(|o| (o.start, o.machine));
+    (frozen, remaining.into_iter().map(|o| (o.job, o.op)).collect())
+}
+
+/// Reschedules the suffix after `event`: frozen operations keep their
+/// slots; `suffix_order` (a GA decision vector of `(job, op)`s) acts as a
+/// *priority list* — operations are dispatched greedily in priority order
+/// but never before their job predecessor, so any permutation of the
+/// suffix decodes to a feasible schedule.
+pub fn reschedule_suffix(
+    inst: &JobShopInstance,
+    frozen: &[ScheduledOp],
+    suffix_order: &[(usize, usize)],
+    event: Event,
+) -> Schedule {
+    let Event::Breakdown {
+        machine,
+        from,
+        duration,
+    } = event;
+    let down_until = from + duration;
+    let mut machine_free = vec![0 as Time; inst.n_machines()];
+    let mut job_free: Vec<Time> = (0..inst.n_jobs()).map(|j| inst.release(j)).collect();
+    let mut next_op = vec![0usize; inst.n_jobs()];
+    let mut ops: Vec<ScheduledOp> = frozen.to_vec();
+    for o in frozen {
+        machine_free[o.machine] = machine_free[o.machine].max(o.end);
+        job_free[o.job] = job_free[o.job].max(o.end);
+        next_op[o.job] = next_op[o.job].max(o.op + 1);
+    }
+    let mut pending: Vec<(usize, usize)> = suffix_order.to_vec();
+    while !pending.is_empty() {
+        // First pending op whose job predecessor is already scheduled.
+        let pos = pending
+            .iter()
+            .position(|&(j, s)| s == next_op[j])
+            .expect("suffix multiset must contain each job's next stage");
+        let (j, s) = pending.remove(pos);
+        let op = inst.op(j, s);
+        let mut start = job_free[j].max(machine_free[op.machine]);
+        if op.machine == machine && start < down_until && start + op.duration > from {
+            start = start.max(down_until);
+        }
+        let end = start + op.duration;
+        ops.push(ScheduledOp {
+            job: j,
+            op: s,
+            machine: op.machine,
+            start,
+            end,
+        });
+        machine_free[op.machine] = end;
+        job_free[j] = end;
+        next_op[j] = s + 1;
+    }
+    Schedule::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoder::job::JobDecoder;
+    use crate::instance::generate::{job_shop_uniform, GenConfig};
+
+    fn base() -> (JobShopInstance, Schedule) {
+        let inst = job_shop_uniform(&GenConfig::new(5, 3, 9));
+        let seq: Vec<usize> = (0..3).flat_map(|_| 0..5).collect();
+        let sched = JobDecoder::new(&inst).semi_active(&seq);
+        (inst, sched)
+    }
+
+    #[test]
+    fn right_shift_repair_is_feasible_and_avoids_window() {
+        let (inst, sched) = base();
+        let mk = sched.makespan();
+        let event = Event::Breakdown {
+            machine: 1,
+            from: mk / 4,
+            duration: mk / 3,
+        };
+        let repaired = right_shift_repair(&inst, &sched, event);
+        repaired.validate_job(&inst).unwrap();
+        let Event::Breakdown { machine, from, duration } = event;
+        for o in repaired.ops.iter().filter(|o| o.machine == machine) {
+            let overlaps = o.start < from + duration && o.end > from;
+            assert!(!overlaps, "op {o:?} overlaps breakdown window");
+        }
+        assert!(repaired.makespan() >= mk);
+    }
+
+    #[test]
+    fn frozen_prefix_partitions_all_ops() {
+        let (_, sched) = base();
+        let t = sched.makespan() / 2;
+        let (frozen, rest) = frozen_prefix(&sched, t);
+        assert_eq!(frozen.len() + rest.len(), sched.ops.len());
+        assert!(frozen.iter().all(|o| o.start < t));
+    }
+
+    #[test]
+    fn reschedule_suffix_feasible_and_respects_window() {
+        let (inst, sched) = base();
+        let mk = sched.makespan();
+        let t = mk / 3;
+        let event = Event::Breakdown {
+            machine: 0,
+            from: t,
+            duration: mk / 4,
+        };
+        let (frozen, rest) = frozen_prefix(&sched, t);
+        let re = reschedule_suffix(&inst, &frozen, &rest, event);
+        re.validate_job(&inst).unwrap();
+        let Event::Breakdown { machine, from, duration } = event;
+        for o in re.ops.iter().filter(|o| o.machine == machine && o.start >= t) {
+            let overlaps = o.start < from + duration && o.end > from;
+            assert!(!overlaps);
+        }
+    }
+
+    #[test]
+    fn rescheduling_never_loses_to_right_shift_given_same_order() {
+        // Right-shift keeps the old order; rescheduling with the same
+        // order is at least as good (equal), and re-sequencing can only
+        // help a GA from there.
+        let (inst, sched) = base();
+        let mk = sched.makespan();
+        let event = Event::Breakdown {
+            machine: 2,
+            from: mk / 4,
+            duration: mk / 2,
+        };
+        let repaired = right_shift_repair(&inst, &sched, event);
+        let (frozen, rest) = frozen_prefix(&sched, mk / 4);
+        let re = reschedule_suffix(&inst, &frozen, &rest, event);
+        re.validate_job(&inst).unwrap();
+        assert!(re.makespan() <= repaired.makespan() + mk / 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Flow-shop instances: every job visits machines `0, 1, ..., m-1` in the
+//! same order (survey Section II). The decision variable is a single job
+//! permutation (the classic *permutation flow shop*).
+
+use super::JobMeta;
+use crate::{Problem, ShopError, ShopResult, Time};
+
+/// An `n x m` permutation flow-shop instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowShopInstance {
+    /// `proc[j][m]` = processing time of job `j` on machine `m`.
+    proc: Vec<Vec<Time>>,
+    n_machines: usize,
+    /// Release / due / weight data.
+    pub meta: JobMeta,
+}
+
+impl FlowShopInstance {
+    /// Builds an instance from the `proc[j][m]` matrix with neutral job
+    /// metadata. Fails when rows are ragged or empty.
+    pub fn new(proc: Vec<Vec<Time>>) -> ShopResult<Self> {
+        if proc.is_empty() || proc[0].is_empty() {
+            return Err(ShopError::BadInstance("empty processing matrix".into()));
+        }
+        let m = proc[0].len();
+        if proc.iter().any(|row| row.len() != m) {
+            return Err(ShopError::BadInstance("ragged processing matrix".into()));
+        }
+        if proc.iter().flatten().any(|&p| p == 0) {
+            return Err(ShopError::BadInstance("zero processing time".into()));
+        }
+        let n = proc.len();
+        Ok(FlowShopInstance {
+            proc,
+            n_machines: m,
+            meta: JobMeta::neutral(n),
+        })
+    }
+
+    /// Same as [`new`](Self::new) but with explicit job metadata.
+    pub fn with_meta(proc: Vec<Vec<Time>>, meta: JobMeta) -> ShopResult<Self> {
+        let mut inst = Self::new(proc)?;
+        if meta.release.len() != inst.n_jobs()
+            || meta.due.len() != inst.n_jobs()
+            || meta.weight.len() != inst.n_jobs()
+        {
+            return Err(ShopError::BadInstance("meta length mismatch".into()));
+        }
+        inst.meta = meta;
+        Ok(inst)
+    }
+
+    /// Processing time of `job` on `machine`.
+    #[inline]
+    pub fn proc(&self, job: usize, machine: usize) -> Time {
+        self.proc[job][machine]
+    }
+
+    /// Row of processing times for `job` over machines `0..m`.
+    #[inline]
+    pub fn job_row(&self, job: usize) -> &[Time] {
+        &self.proc[job]
+    }
+
+    /// Sum of all processing times; an upper bound on the makespan of any
+    /// semi-active schedule and a convenient fitness scale (`F̄` in the
+    /// survey's Eq. 1).
+    pub fn total_work(&self) -> Time {
+        self.proc.iter().flatten().sum()
+    }
+
+    /// A simple lower bound on the makespan: the maximum over machines of
+    /// total machine load, and over jobs of total job length.
+    pub fn makespan_lower_bound(&self) -> Time {
+        let machine_load = (0..self.n_machines)
+            .map(|m| self.proc.iter().map(|row| row[m]).sum::<Time>())
+            .max()
+            .unwrap_or(0);
+        let job_len = self
+            .proc
+            .iter()
+            .map(|row| row.iter().sum::<Time>())
+            .max()
+            .unwrap_or(0);
+        machine_load.max(job_len)
+    }
+}
+
+impl Problem for FlowShopInstance {
+    fn n_jobs(&self) -> usize {
+        self.proc.len()
+    }
+    fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+    fn n_ops(&self, _job: usize) -> usize {
+        self.n_machines
+    }
+    fn release(&self, job: usize) -> Time {
+        self.meta.release[job]
+    }
+    fn due(&self, job: usize) -> Time {
+        self.meta.due[job]
+    }
+    fn weight(&self, job: usize) -> f64 {
+        self.meta.weight[job]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> FlowShopInstance {
+        FlowShopInstance::new(vec![vec![3, 2], vec![1, 4]]).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let inst = tiny();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.n_machines(), 2);
+        assert_eq!(inst.proc(0, 1), 2);
+        assert_eq!(inst.total_work(), 10);
+        assert_eq!(inst.total_ops(), 4);
+    }
+
+    #[test]
+    fn ragged_rejected() {
+        assert!(matches!(
+            FlowShopInstance::new(vec![vec![1, 2], vec![3]]),
+            Err(ShopError::BadInstance(_))
+        ));
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(FlowShopInstance::new(vec![]).is_err());
+        assert!(FlowShopInstance::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn zero_time_rejected() {
+        assert!(FlowShopInstance::new(vec![vec![1, 0]]).is_err());
+    }
+
+    #[test]
+    fn lower_bound_sane() {
+        let inst = tiny();
+        // Machine 0 load = 4, machine 1 load = 6, job lengths 5 and 5.
+        assert_eq!(inst.makespan_lower_bound(), 6);
+    }
+
+    #[test]
+    fn meta_mismatch_rejected() {
+        let meta = JobMeta::neutral(3);
+        assert!(FlowShopInstance::with_meta(vec![vec![1], vec![2]], meta).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Seeded instance generators.
+//!
+//! Several surveyed papers do not publish their exact instances; per the
+//! reproduction plan (DESIGN.md §4) we generate same-shape instances with
+//! the classic uniform `U[1,99]` processing times Taillard used, from a
+//! fixed seed so every experiment is reproducible bit-for-bit.
+
+use super::{FlexOp, FlexibleInstance, FlowShopInstance, JobMeta, JobShopInstance, Op, OpenShopInstance};
+use crate::setup::SetupMatrix;
+use crate::Time;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters shared by the generators: `n` jobs, `m` machines, a seed,
+/// and the processing-time range (defaults to Taillard's `U[1,99]`).
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    pub n_jobs: usize,
+    pub n_machines: usize,
+    pub seed: u64,
+    pub min_time: Time,
+    pub max_time: Time,
+}
+
+impl GenConfig {
+    /// Standard config with `U[1,99]` times.
+    pub fn new(n_jobs: usize, n_machines: usize, seed: u64) -> Self {
+        GenConfig {
+            n_jobs,
+            n_machines,
+            seed,
+            min_time: 1,
+            max_time: 99,
+        }
+    }
+
+    /// Overrides the processing-time range.
+    pub fn with_times(mut self, min_time: Time, max_time: Time) -> Self {
+        assert!(min_time >= 1 && max_time >= min_time);
+        self.min_time = min_time;
+        self.max_time = max_time;
+        self
+    }
+
+    fn rng(&self) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(self.seed)
+    }
+
+    fn sample_time(&self, rng: &mut impl Rng) -> Time {
+        rng.gen_range(self.min_time..=self.max_time)
+    }
+}
+
+/// Taillard-style permutation flow shop: an `n x m` matrix of uniform
+/// processing times.
+pub fn flow_shop_taillard(cfg: &GenConfig) -> FlowShopInstance {
+    let mut rng = cfg.rng();
+    let proc = (0..cfg.n_jobs)
+        .map(|_| (0..cfg.n_machines).map(|_| cfg.sample_time(&mut rng)).collect())
+        .collect();
+    FlowShopInstance::new(proc).expect("generator produces valid matrices")
+}
+
+/// Classic random job shop: each job visits every machine exactly once in
+/// a random order (the FT/LA/Taillard convention), uniform times.
+pub fn job_shop_uniform(cfg: &GenConfig) -> JobShopInstance {
+    let mut rng = cfg.rng();
+    let jobs = (0..cfg.n_jobs)
+        .map(|_| {
+            let mut machines: Vec<usize> = (0..cfg.n_machines).collect();
+            machines.shuffle(&mut rng);
+            machines
+                .into_iter()
+                .map(|m| Op::new(m, cfg.sample_time(&mut rng)))
+                .collect()
+        })
+        .collect();
+    JobShopInstance::new(jobs).expect("generator produces valid routes")
+}
+
+/// Random open shop: an `n x m` uniform matrix (order is free, so only the
+/// times are generated).
+pub fn open_shop_uniform(cfg: &GenConfig) -> OpenShopInstance {
+    let mut rng = cfg.rng();
+    let proc = (0..cfg.n_jobs)
+        .map(|_| (0..cfg.n_machines).map(|_| cfg.sample_time(&mut rng)).collect())
+        .collect();
+    OpenShopInstance::new(proc).expect("generator produces valid matrices")
+}
+
+/// Flexible flow shop with `machines_per_stage[s]` unrelated parallel
+/// machines on stage `s`. Per-machine times are drawn independently
+/// (unrelated machines, as in Rashidi [38]); pass `related = true` to use
+/// one time per (job, stage) on all machines of the stage (Belkadi [37]).
+pub fn flexible_flow_shop(
+    cfg: &GenConfig,
+    machines_per_stage: &[usize],
+    related: bool,
+) -> FlexibleInstance {
+    let mut rng = cfg.rng();
+    let mut stage_machines = Vec::new();
+    let mut next = 0usize;
+    for &k in machines_per_stage {
+        assert!(k >= 1, "each stage needs at least one machine");
+        stage_machines.push((next..next + k).collect::<Vec<_>>());
+        next += k;
+    }
+    let proc: Vec<Vec<Vec<Time>>> = (0..cfg.n_jobs)
+        .map(|_| {
+            machines_per_stage
+                .iter()
+                .map(|&k| {
+                    if related {
+                        let t = cfg.sample_time(&mut rng);
+                        vec![t; k]
+                    } else {
+                        (0..k).map(|_| cfg.sample_time(&mut rng)).collect()
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    FlexibleInstance::flexible_flow(&stage_machines, &proc).expect("valid by construction")
+}
+
+/// Flexible job shop (Defersha & Chen [36] shape): each job has
+/// `ops_per_job` operations; each operation is eligible on a random subset
+/// of machines (between 1 and `max_eligible`), with unrelated times.
+pub fn flexible_job_shop(
+    cfg: &GenConfig,
+    ops_per_job: usize,
+    max_eligible: usize,
+) -> FlexibleInstance {
+    assert!(ops_per_job >= 1 && max_eligible >= 1);
+    let mut rng = cfg.rng();
+    let jobs = (0..cfg.n_jobs)
+        .map(|_| {
+            (0..ops_per_job)
+                .map(|_| {
+                    let k = rng.gen_range(1..=max_eligible.min(cfg.n_machines));
+                    let mut machines: Vec<usize> = (0..cfg.n_machines).collect();
+                    machines.shuffle(&mut rng);
+                    machines.truncate(k);
+                    machines.sort_unstable();
+                    let choices = machines
+                        .into_iter()
+                        .map(|m| (m, cfg.sample_time(&mut rng)))
+                        .collect();
+                    FlexOp::new(choices).expect("positive times")
+                })
+                .collect()
+        })
+        .collect();
+    FlexibleInstance::new(jobs).expect("valid by construction")
+}
+
+/// Attaches release dates and due dates to any metadata block: releases
+/// uniform in `[0, release_span]`, due dates set by the common TWK rule
+/// `D_j = R_j + tightness * (total processing of job)`, and weights
+/// uniform in `{1..10}`.
+pub fn due_date_meta(
+    n_jobs: usize,
+    job_work: &[Time],
+    release_span: Time,
+    tightness: f64,
+    seed: u64,
+) -> JobMeta {
+    assert_eq!(job_work.len(), n_jobs);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let release: Vec<Time> = (0..n_jobs)
+        .map(|_| if release_span == 0 { 0 } else { rng.gen_range(0..=release_span) })
+        .collect();
+    let due: Vec<Time> = (0..n_jobs)
+        .map(|j| release[j] + (job_work[j] as f64 * tightness).ceil() as Time)
+        .collect();
+    let weight: Vec<f64> = (0..n_jobs).map(|_| rng.gen_range(1..=10) as f64).collect();
+    JobMeta { release, due, weight }
+}
+
+/// Sequence-dependent setup-time matrix with setups uniform in
+/// `[min_setup, max_setup]` (Defersha & Chen [36], Rashidi [38]).
+pub fn sdst_matrix(
+    n_jobs: usize,
+    n_machines: usize,
+    min_setup: Time,
+    max_setup: Time,
+    seed: u64,
+) -> SetupMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+    SetupMatrix::generate(n_jobs, n_machines, &mut |_, _, _| {
+        rng.gen_range(min_setup..=max_setup)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Problem;
+
+    #[test]
+    fn generators_are_deterministic() {
+        let cfg = GenConfig::new(8, 4, 7);
+        assert_eq!(flow_shop_taillard(&cfg), flow_shop_taillard(&cfg));
+        assert_eq!(job_shop_uniform(&cfg), job_shop_uniform(&cfg));
+        assert_eq!(open_shop_uniform(&cfg), open_shop_uniform(&cfg));
+        let a = flexible_flow_shop(&cfg, &[2, 3, 1], false);
+        let b = flexible_flow_shop(&cfg, &[2, 3, 1], false);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = flow_shop_taillard(&GenConfig::new(8, 4, 1));
+        let b = flow_shop_taillard(&GenConfig::new(8, 4, 2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn job_shop_visits_every_machine_once() {
+        let inst = job_shop_uniform(&GenConfig::new(6, 5, 3));
+        for j in 0..6 {
+            let mut seen: Vec<usize> = inst.route(j).iter().map(|o| o.machine).collect();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..5).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn times_in_range() {
+        let cfg = GenConfig::new(10, 5, 11).with_times(5, 20);
+        let inst = flow_shop_taillard(&cfg);
+        for j in 0..10 {
+            for m in 0..5 {
+                let t = inst.proc(j, m);
+                assert!((5..=20).contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn flexible_flow_related_times_equal_across_stage() {
+        let inst = flexible_flow_shop(&GenConfig::new(4, 0, 5), &[3, 2], true);
+        for j in 0..4 {
+            let c = &inst.op(j, 0).choices;
+            assert!(c.windows(2).all(|w| w[0].1 == w[1].1));
+        }
+    }
+
+    #[test]
+    fn flexible_job_shop_shape() {
+        let inst = flexible_job_shop(&GenConfig::new(5, 6, 9), 4, 3);
+        assert_eq!(inst.n_jobs(), 5);
+        for j in 0..5 {
+            assert_eq!(inst.n_ops(j), 4);
+            for s in 0..4 {
+                let k = inst.op(j, s).choices.len();
+                assert!((1..=3).contains(&k));
+            }
+        }
+    }
+
+    #[test]
+    fn due_dates_follow_twk() {
+        let work = vec![100, 50];
+        let meta = due_date_meta(2, &work, 0, 1.5, 1);
+        assert_eq!(meta.release, vec![0, 0]);
+        assert_eq!(meta.due, vec![150, 75]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Job-shop instances: each job has its own technological route over the
+//! machines (survey Section II). The decision variable is the order of
+//! operations on each machine, most commonly encoded as an operation
+//! sequence (permutation with repetition).
+
+use super::{JobMeta, Op};
+use crate::{Problem, ShopError, ShopResult, Time};
+
+/// An `n`-job job-shop instance with per-job routes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobShopInstance {
+    /// `jobs[j]` = ordered route of job `j`.
+    jobs: Vec<Vec<Op>>,
+    n_machines: usize,
+    /// Release / due / weight data.
+    pub meta: JobMeta,
+}
+
+impl JobShopInstance {
+    /// Builds an instance from per-job routes with neutral metadata.
+    ///
+    /// `n_machines` is inferred as `max machine index + 1`; routes may
+    /// visit a machine more than once (re-entrant shops) or skip machines.
+    pub fn new(jobs: Vec<Vec<Op>>) -> ShopResult<Self> {
+        if jobs.is_empty() || jobs.iter().any(|r| r.is_empty()) {
+            return Err(ShopError::BadInstance("empty job route".into()));
+        }
+        let n_machines = jobs
+            .iter()
+            .flatten()
+            .map(|op| op.machine)
+            .max()
+            .map(|m| m + 1)
+            .unwrap_or(0);
+        let n = jobs.len();
+        Ok(JobShopInstance {
+            jobs,
+            n_machines,
+            meta: JobMeta::neutral(n),
+        })
+    }
+
+    /// Same as [`new`](Self::new) but with explicit job metadata.
+    pub fn with_meta(jobs: Vec<Vec<Op>>, meta: JobMeta) -> ShopResult<Self> {
+        let mut inst = Self::new(jobs)?;
+        if meta.release.len() != inst.n_jobs()
+            || meta.due.len() != inst.n_jobs()
+            || meta.weight.len() != inst.n_jobs()
+        {
+            return Err(ShopError::BadInstance("meta length mismatch".into()));
+        }
+        inst.meta = meta;
+        Ok(inst)
+    }
+
+    /// The `s`-th operation of `job`.
+    #[inline]
+    pub fn op(&self, job: usize, s: usize) -> Op {
+        self.jobs[job][s]
+    }
+
+    /// Full route of `job`.
+    #[inline]
+    pub fn route(&self, job: usize) -> &[Op] {
+        &self.jobs[job]
+    }
+
+    /// Sum of all processing times (schedule-length upper bound / `F̄`).
+    pub fn total_work(&self) -> Time {
+        self.jobs.iter().flatten().map(|op| op.duration).sum()
+    }
+
+    /// Max over machines of machine load and over jobs of route length —
+    /// a classic makespan lower bound.
+    pub fn makespan_lower_bound(&self) -> Time {
+        let mut load = vec![0; self.n_machines];
+        for route in &self.jobs {
+            for op in route {
+                load[op.machine] += op.duration;
+            }
+        }
+        let machine = load.into_iter().max().unwrap_or(0);
+        let job = self
+            .jobs
+            .iter()
+            .map(|r| r.iter().map(|o| o.duration).sum::<Time>())
+            .max()
+            .unwrap_or(0);
+        machine.max(job)
+    }
+
+    /// Flat list of `(job, op_index)` pairs in job order; useful for
+    /// indexing chromosomes over all operations.
+    pub fn all_ops(&self) -> Vec<(usize, usize)> {
+        let mut v = Vec::with_capacity(self.total_ops());
+        for (j, route) in self.jobs.iter().enumerate() {
+            for s in 0..route.len() {
+                v.push((j, s));
+            }
+        }
+        v
+    }
+}
+
+impl Problem for JobShopInstance {
+    fn n_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+    fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+    fn n_ops(&self, job: usize) -> usize {
+        self.jobs[job].len()
+    }
+    fn release(&self, job: usize) -> Time {
+        self.meta.release[job]
+    }
+    fn due(&self, job: usize) -> Time {
+        self.meta.due[job]
+    }
+    fn weight(&self, job: usize) -> f64 {
+        self.meta.weight[job]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny() -> JobShopInstance {
+        // Two jobs, two machines, crossing routes.
+        JobShopInstance::new(vec![
+            vec![Op::new(0, 3), Op::new(1, 2)],
+            vec![Op::new(1, 2), Op::new(0, 4)],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction() {
+        let inst = tiny();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.n_machines(), 2);
+        assert_eq!(inst.op(1, 1).machine, 0);
+        assert_eq!(inst.total_work(), 11);
+        assert_eq!(inst.all_ops().len(), 4);
+    }
+
+    #[test]
+    fn machine_count_inferred() {
+        let inst = JobShopInstance::new(vec![vec![Op::new(5, 1)]]).unwrap();
+        assert_eq!(inst.n_machines(), 6);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(JobShopInstance::new(vec![]).is_err());
+        assert!(JobShopInstance::new(vec![vec![]]).is_err());
+    }
+
+    #[test]
+    fn lower_bound() {
+        let inst = tiny();
+        // M0 load 7, M1 load 4; job lengths 5, 6.
+        assert_eq!(inst.makespan_lower_bound(), 7);
+    }
+}

@@ -1,0 +1,107 @@
+//! Open-shop instances: each job must be processed once on each machine
+//! but *no route is imposed* (survey Section II) — the scheduler chooses
+//! both machine orders and job orders.
+
+use super::JobMeta;
+use crate::{Problem, ShopError, ShopResult, Time};
+
+/// An `n x m` open-shop instance; `proc[j][m]` is the processing time of
+/// job `j` on machine `m`, required exactly once in any order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpenShopInstance {
+    proc: Vec<Vec<Time>>,
+    n_machines: usize,
+    /// Release / due / weight data.
+    pub meta: JobMeta,
+}
+
+impl OpenShopInstance {
+    /// Builds an instance from the `proc[j][m]` matrix.
+    pub fn new(proc: Vec<Vec<Time>>) -> ShopResult<Self> {
+        if proc.is_empty() || proc[0].is_empty() {
+            return Err(ShopError::BadInstance("empty processing matrix".into()));
+        }
+        let m = proc[0].len();
+        if proc.iter().any(|row| row.len() != m) {
+            return Err(ShopError::BadInstance("ragged processing matrix".into()));
+        }
+        if proc.iter().flatten().any(|&p| p == 0) {
+            return Err(ShopError::BadInstance("zero processing time".into()));
+        }
+        let n = proc.len();
+        Ok(OpenShopInstance {
+            proc,
+            n_machines: m,
+            meta: JobMeta::neutral(n),
+        })
+    }
+
+    /// Processing time of `job` on `machine`.
+    #[inline]
+    pub fn proc(&self, job: usize, machine: usize) -> Time {
+        self.proc[job][machine]
+    }
+
+    /// Sum of all processing times.
+    pub fn total_work(&self) -> Time {
+        self.proc.iter().flatten().sum()
+    }
+
+    /// Classic open-shop lower bound: max(machine load, job load).
+    pub fn makespan_lower_bound(&self) -> Time {
+        let machine_load = (0..self.n_machines)
+            .map(|m| self.proc.iter().map(|row| row[m]).sum::<Time>())
+            .max()
+            .unwrap_or(0);
+        let job_load = self
+            .proc
+            .iter()
+            .map(|row| row.iter().sum::<Time>())
+            .max()
+            .unwrap_or(0);
+        machine_load.max(job_load)
+    }
+}
+
+impl Problem for OpenShopInstance {
+    fn n_jobs(&self) -> usize {
+        self.proc.len()
+    }
+    fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+    fn n_ops(&self, _job: usize) -> usize {
+        self.n_machines
+    }
+    fn release(&self, job: usize) -> Time {
+        self.meta.release[job]
+    }
+    fn due(&self, job: usize) -> Time {
+        self.meta.due[job]
+    }
+    fn weight(&self, job: usize) -> f64 {
+        self.meta.weight[job]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_bound() {
+        let inst = OpenShopInstance::new(vec![vec![2, 3], vec![4, 1]]).unwrap();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.n_machines(), 2);
+        // Machine loads 6 and 4; job loads 5 and 5.
+        assert_eq!(inst.makespan_lower_bound(), 6);
+        assert_eq!(inst.total_work(), 10);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(OpenShopInstance::new(vec![]).is_err());
+        assert!(OpenShopInstance::new(vec![vec![1], vec![1, 2]]).is_err());
+        assert!(OpenShopInstance::new(vec![vec![0]]).is_err());
+    }
+}

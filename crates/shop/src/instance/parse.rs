@@ -1,0 +1,159 @@
+//! Text parsing/serialisation in the OR-Library job-shop format:
+//!
+//! ```text
+//! n m
+//! m0 p0 m1 p1 ... m(m-1) p(m-1)    # one line per job
+//! ```
+//!
+//! plus the analogous matrix format for flow and open shops (`n m` header
+//! then an `n x m` matrix of times). Lets users load their own instances
+//! and round-trips the embedded classics.
+
+use super::{FlowShopInstance, JobShopInstance, Op, OpenShopInstance};
+use crate::{Problem, ShopError, ShopResult, Time};
+
+fn tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .flat_map(|l| l.split_whitespace())
+}
+
+fn parse_usize(tok: Option<&str>, what: &str) -> ShopResult<usize> {
+    tok.ok_or_else(|| ShopError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ShopError::Parse(format!("bad {what}")))
+}
+
+fn parse_time(tok: Option<&str>, what: &str) -> ShopResult<Time> {
+    tok.ok_or_else(|| ShopError::Parse(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| ShopError::Parse(format!("bad {what}")))
+}
+
+/// Parses the OR-Library job-shop format.
+pub fn parse_job_shop(text: &str) -> ShopResult<JobShopInstance> {
+    let mut it = tokens(text);
+    let n = parse_usize(it.next(), "job count")?;
+    let m = parse_usize(it.next(), "machine count")?;
+    let mut jobs = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut route = Vec::with_capacity(m);
+        for s in 0..m {
+            let machine = parse_usize(it.next(), &format!("machine of ({j},{s})"))?;
+            let dur = parse_time(it.next(), &format!("duration of ({j},{s})"))?;
+            if machine >= m {
+                return Err(ShopError::Parse(format!(
+                    "job {j} stage {s}: machine {machine} out of range"
+                )));
+            }
+            if dur == 0 {
+                return Err(ShopError::Parse(format!("job {j} stage {s}: zero duration")));
+            }
+            route.push(Op::new(machine, dur));
+        }
+        jobs.push(route);
+    }
+    if it.next().is_some() {
+        return Err(ShopError::Parse("trailing tokens".into()));
+    }
+    JobShopInstance::new(jobs)
+}
+
+/// Serialises a job shop in the same format.
+pub fn write_job_shop(inst: &JobShopInstance) -> String {
+    let mut out = format!("{} {}\n", inst.n_jobs(), inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        let row: Vec<String> = inst
+            .route(j)
+            .iter()
+            .map(|op| format!("{} {}", op.machine, op.duration))
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_matrix(text: &str) -> ShopResult<Vec<Vec<Time>>> {
+    let mut it = tokens(text);
+    let n = parse_usize(it.next(), "job count")?;
+    let m = parse_usize(it.next(), "machine count")?;
+    let mut proc = Vec::with_capacity(n);
+    for j in 0..n {
+        let mut row = Vec::with_capacity(m);
+        for k in 0..m {
+            row.push(parse_time(it.next(), &format!("time ({j},{k})"))?);
+        }
+        proc.push(row);
+    }
+    if it.next().is_some() {
+        return Err(ShopError::Parse("trailing tokens".into()));
+    }
+    Ok(proc)
+}
+
+/// Parses the `n m` + matrix flow-shop format.
+pub fn parse_flow_shop(text: &str) -> ShopResult<FlowShopInstance> {
+    FlowShopInstance::new(parse_matrix(text)?)
+}
+
+/// Parses the `n m` + matrix open-shop format.
+pub fn parse_open_shop(text: &str) -> ShopResult<OpenShopInstance> {
+    OpenShopInstance::new(parse_matrix(text)?)
+}
+
+/// Serialises a flow shop as `n m` + matrix.
+pub fn write_flow_shop(inst: &FlowShopInstance) -> String {
+    let mut out = format!("{} {}\n", inst.n_jobs(), inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        let row: Vec<String> = inst.job_row(j).iter().map(|t| t.to_string()).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::classic::ft06;
+    use crate::instance::generate::{flow_shop_taillard, GenConfig};
+
+    #[test]
+    fn job_shop_roundtrip() {
+        let orig = ft06().instance;
+        let text = write_job_shop(&orig);
+        let back = parse_job_shop(&text).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn flow_shop_roundtrip() {
+        let orig = flow_shop_taillard(&GenConfig::new(7, 3, 2));
+        let back = parse_flow_shop(&write_flow_shop(&orig)).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn comments_and_whitespace_tolerated() {
+        let text = "2 1   # two jobs, one machine\n0 5 # job 0\n0 7\n";
+        let inst = parse_job_shop(text).unwrap();
+        assert_eq!(inst.n_jobs(), 2);
+        assert_eq!(inst.op(1, 0).duration, 7);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert!(matches!(parse_job_shop("1"), Err(ShopError::Parse(_))));
+        assert!(matches!(parse_job_shop("1 1 5 3 9"), Err(ShopError::Parse(_)))); // trailing
+        assert!(matches!(parse_job_shop("1 1 9 5"), Err(ShopError::Parse(_)))); // machine oob
+        assert!(matches!(parse_job_shop("1 1 0 0"), Err(ShopError::Parse(_)))); // zero duration
+        assert!(matches!(parse_flow_shop("2 2 1 2 3"), Err(ShopError::Parse(_))));
+    }
+
+    #[test]
+    fn open_shop_parse() {
+        let inst = parse_open_shop("2 2\n1 2\n3 4\n").unwrap();
+        assert_eq!(inst.proc(1, 0), 3);
+    }
+}

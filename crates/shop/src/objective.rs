@@ -1,0 +1,252 @@
+//! Optimality criteria of the survey's Section II: makespan `Cmax`, total
+//! weighted completion time `Σ w_j C_j`, total weighted tardiness
+//! `Σ w_j T_j`, weighted unit penalty `Σ w_j U_j`, arbitrary weighted
+//! combinations, and Pareto utilities for the multi-objective islands of
+//! Rashidi et al. [38].
+
+use crate::schedule::Schedule;
+use crate::{Problem, Time};
+
+/// Which scalar criterion to minimise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Criterion {
+    /// Minimise the makespan `Cmax`.
+    Makespan,
+    /// Minimise `Σ w_j C_j`.
+    WeightedCompletion,
+    /// Minimise `Σ w_j T_j` with `T_j = max(0, C_j - D_j)`.
+    WeightedTardiness,
+    /// Minimise `Σ w_j U_j` with `U_j = 1` iff `C_j > D_j`.
+    WeightedUnitPenalty,
+    /// Minimise the maximum tardiness `max_j T_j` (used by Rashidi [38]).
+    MaxTardiness,
+}
+
+/// Per-job derived quantities for a given schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcomes {
+    pub completion: Vec<Time>,
+    pub tardiness: Vec<Time>,
+    pub unit_penalty: Vec<u32>,
+}
+
+/// Computes completion/tardiness/unit-penalty vectors for `schedule`.
+pub fn job_outcomes(problem: &dyn Problem, schedule: &Schedule) -> JobOutcomes {
+    let completion = schedule.completion_times(problem.n_jobs());
+    let mut tardiness = Vec::with_capacity(completion.len());
+    let mut unit = Vec::with_capacity(completion.len());
+    for (j, &c) in completion.iter().enumerate() {
+        let d = problem.due(j);
+        let t = c.saturating_sub(d);
+        tardiness.push(t);
+        unit.push(u32::from(c > d));
+    }
+    JobOutcomes {
+        completion,
+        tardiness,
+        unit_penalty: unit,
+    }
+}
+
+/// Evaluates a single criterion; all criteria are minimised.
+pub fn evaluate(problem: &dyn Problem, schedule: &Schedule, criterion: Criterion) -> f64 {
+    let out = job_outcomes(problem, schedule);
+    evaluate_outcomes(problem, &out, criterion)
+}
+
+/// Evaluates a criterion from precomputed [`JobOutcomes`] (avoids
+/// recomputing when several criteria are needed, as in the weighted
+/// bi-criteria islands of Rashidi [38]).
+pub fn evaluate_outcomes(
+    problem: &dyn Problem,
+    out: &JobOutcomes,
+    criterion: Criterion,
+) -> f64 {
+    match criterion {
+        Criterion::Makespan => out.completion.iter().copied().max().unwrap_or(0) as f64,
+        Criterion::WeightedCompletion => out
+            .completion
+            .iter()
+            .enumerate()
+            .map(|(j, &c)| problem.weight(j) * c as f64)
+            .sum(),
+        Criterion::WeightedTardiness => out
+            .tardiness
+            .iter()
+            .enumerate()
+            .map(|(j, &t)| problem.weight(j) * t as f64)
+            .sum(),
+        Criterion::WeightedUnitPenalty => out
+            .unit_penalty
+            .iter()
+            .enumerate()
+            .map(|(j, &u)| problem.weight(j) * u as f64)
+            .sum(),
+        Criterion::MaxTardiness => out.tardiness.iter().copied().max().unwrap_or(0) as f64,
+    }
+}
+
+/// A weighted combination of criteria, e.g. Rashidi's
+/// `w1 * Cmax + w2 * Tmax` single-objective transformation.
+#[derive(Debug, Clone)]
+pub struct WeightedObjective {
+    pub terms: Vec<(Criterion, f64)>,
+}
+
+impl WeightedObjective {
+    pub fn new(terms: Vec<(Criterion, f64)>) -> Self {
+        assert!(!terms.is_empty(), "need at least one criterion");
+        WeightedObjective { terms }
+    }
+
+    /// The Rashidi [38] bi-criteria pair `(Cmax, Tmax)` with weights
+    /// `(w, 1 - w)`.
+    pub fn rashidi(w: f64) -> Self {
+        assert!((0.0..=1.0).contains(&w));
+        WeightedObjective::new(vec![
+            (Criterion::Makespan, w),
+            (Criterion::MaxTardiness, 1.0 - w),
+        ])
+    }
+
+    pub fn evaluate(&self, problem: &dyn Problem, schedule: &Schedule) -> f64 {
+        let out = job_outcomes(problem, schedule);
+        self.terms
+            .iter()
+            .map(|&(c, w)| w * evaluate_outcomes(problem, &out, c))
+            .sum()
+    }
+
+    /// Evaluates each term separately (objective vector for Pareto work).
+    pub fn vector(&self, problem: &dyn Problem, schedule: &Schedule) -> Vec<f64> {
+        let out = job_outcomes(problem, schedule);
+        self.terms
+            .iter()
+            .map(|&(c, _)| evaluate_outcomes(problem, &out, c))
+            .collect()
+    }
+}
+
+/// Pareto dominance for minimisation: `a` dominates `b` when it is no
+/// worse in every component and strictly better in at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x > y {
+            return false;
+        }
+        if x < y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Extracts the non-dominated subset (indices into `points`).
+pub fn pareto_front(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut front = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && (dominates(q, p) || (q == p && j < i)) {
+                continue 'outer;
+            }
+        }
+        front.push(i);
+    }
+    front
+}
+
+/// Hypervolume-style coverage indicator in 2-D (area dominated relative to
+/// a reference point); used to compare Pareto fronts in E19.
+pub fn hypervolume_2d(front: &[(f64, f64)], reference: (f64, f64)) -> f64 {
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .copied()
+        .filter(|&(x, y)| x <= reference.0 && y <= reference.1)
+        .collect();
+    pts.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.total_cmp(&b.1)));
+    let mut hv = 0.0;
+    let mut prev_y = reference.1;
+    for &(x, y) in &pts {
+        if y < prev_y {
+            hv += (reference.0 - x) * (prev_y - y);
+            prev_y = y;
+        }
+    }
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{FlowShopInstance, JobMeta};
+    use crate::schedule::ScheduledOp;
+
+    fn inst() -> FlowShopInstance {
+        let meta = JobMeta {
+            release: vec![0, 0],
+            due: vec![4, 8],
+            weight: vec![2.0, 1.0],
+        };
+        FlowShopInstance::with_meta(vec![vec![3, 2], vec![1, 4]], meta).unwrap()
+    }
+
+    fn sched() -> Schedule {
+        Schedule::new(vec![
+            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
+            ScheduledOp { job: 0, op: 1, machine: 1, start: 3, end: 5 },
+            ScheduledOp { job: 1, op: 0, machine: 0, start: 3, end: 4 },
+            ScheduledOp { job: 1, op: 1, machine: 1, start: 5, end: 9 },
+        ])
+    }
+
+    #[test]
+    fn criteria_values() {
+        let i = inst();
+        let s = sched();
+        assert_eq!(evaluate(&i, &s, Criterion::Makespan), 9.0);
+        // C = [5, 9]; weighted completion = 2*5 + 1*9 = 19.
+        assert_eq!(evaluate(&i, &s, Criterion::WeightedCompletion), 19.0);
+        // T = [1, 1]; weighted tardiness = 2 + 1 = 3.
+        assert_eq!(evaluate(&i, &s, Criterion::WeightedTardiness), 3.0);
+        assert_eq!(evaluate(&i, &s, Criterion::WeightedUnitPenalty), 3.0);
+        assert_eq!(evaluate(&i, &s, Criterion::MaxTardiness), 1.0);
+    }
+
+    #[test]
+    fn weighted_combination() {
+        let obj = WeightedObjective::rashidi(0.75);
+        let v = obj.evaluate(&inst(), &sched());
+        assert!((v - (0.75 * 9.0 + 0.25 * 1.0)).abs() < 1e-12);
+        assert_eq!(obj.vector(&inst(), &sched()), vec![9.0, 1.0]);
+    }
+
+    #[test]
+    fn dominance() {
+        assert!(dominates(&[1.0, 2.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]));
+    }
+
+    #[test]
+    fn front_extraction() {
+        let pts = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 2.0],
+            vec![3.0, 3.0], // dominated by (2,2)
+            vec![5.0, 1.0],
+            vec![2.0, 2.0], // duplicate, only first kept
+        ];
+        assert_eq!(pareto_front(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn hypervolume() {
+        let hv = hypervolume_2d(&[(1.0, 2.0), (2.0, 1.0)], (3.0, 3.0));
+        // (3-1)*(3-2) + (3-2)*(2-1) = 2 + 1 = 3.
+        assert!((hv - 3.0).abs() < 1e-12);
+        // Points beyond the reference contribute nothing.
+        assert_eq!(hypervolume_2d(&[(4.0, 4.0)], (3.0, 3.0)), 0.0);
+    }
+}

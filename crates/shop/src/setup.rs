@@ -1,0 +1,160 @@
+//! Sequence-dependent setup times (SDST), machine release dates and time
+//! lags — the "new integrated factors" extensions used by Defersha & Chen
+//! [36] and Rashidi et al. [38].
+
+use crate::Time;
+
+/// Sequence-dependent setup-time matrix: `setup(m, from, to)` is the setup
+//  incurred on machine `m` between processing a job `from` and a job `to`.
+/// `from == None` denotes the initial setup of the machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetupMatrix {
+    n_jobs: usize,
+    n_machines: usize,
+    /// Indexed `[machine][from + 1][to]`, row 0 = initial setup.
+    data: Vec<Vec<Vec<Time>>>,
+}
+
+impl SetupMatrix {
+    /// All-zero setups (the Table I condition-4 baseline).
+    pub fn zero(n_jobs: usize, n_machines: usize) -> Self {
+        SetupMatrix {
+            n_jobs,
+            n_machines,
+            data: vec![vec![vec![0; n_jobs]; n_jobs + 1]; n_machines],
+        }
+    }
+
+    /// Fills the matrix from a closure `(machine, from, to) -> setup`,
+    /// where `from == n_jobs` encodes the initial state.
+    pub fn generate(
+        n_jobs: usize,
+        n_machines: usize,
+        f: &mut dyn FnMut(usize, usize, usize) -> Time,
+    ) -> Self {
+        let mut s = Self::zero(n_jobs, n_machines);
+        for m in 0..n_machines {
+            for row in 0..=n_jobs {
+                // Row 0 stores the initial setup; expose it to the closure
+                // as `from == n_jobs` so job indices stay 0-based.
+                let from = if row == 0 { n_jobs } else { row - 1 };
+                for to in 0..n_jobs {
+                    s.data[m][row][to] = f(m, from, to);
+                }
+            }
+        }
+        s
+    }
+
+    /// Setup time on `machine` between `from` (`None` = initial) and `to`.
+    #[inline]
+    pub fn setup(&self, machine: usize, from: Option<usize>, to: usize) -> Time {
+        let row = match from {
+            Some(j) => j + 1,
+            None => 0,
+        };
+        self.data[machine][row][to]
+    }
+
+    /// Sets one entry (test / hand-built instances).
+    pub fn set(&mut self, machine: usize, from: Option<usize>, to: usize, value: Time) {
+        let row = match from {
+            Some(j) => j + 1,
+            None => 0,
+        };
+        self.data[machine][row][to] = value;
+    }
+
+    pub fn n_jobs(&self) -> usize {
+        self.n_jobs
+    }
+
+    pub fn n_machines(&self) -> usize {
+        self.n_machines
+    }
+
+    /// Largest setup anywhere in the matrix (bounding / fitness scaling).
+    pub fn max_setup(&self) -> Time {
+        self.data
+            .iter()
+            .flatten()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Whether a setup can run while the previous job is still on the machine
+/// ("detached", i.e. anticipatory) or only after the job arrives
+/// ("attached"). Defersha & Chen [36] model both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SetupKind {
+    /// Setup requires the incoming job to be present: it starts at
+    /// `max(machine free, job ready)`.
+    #[default]
+    Attached,
+    /// Setup may be performed before the incoming job arrives: it starts
+    /// at `machine free`.
+    Detached,
+}
+
+/// Extra machine-side constraints of the Defersha & Chen [36] model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConstraints {
+    /// `release[m]` = earliest time machine `m` is available.
+    pub release: Vec<Time>,
+    /// Minimum time lag inserted between consecutive operations of the
+    /// same job (transfer/cooling lag); 0 = none.
+    pub job_lag: Time,
+    pub setup_kind: SetupKind,
+}
+
+impl MachineConstraints {
+    /// No machine releases, no lags, attached setups.
+    pub fn none(n_machines: usize) -> Self {
+        MachineConstraints {
+            release: vec![0; n_machines],
+            job_lag: 0,
+            setup_kind: SetupKind::Attached,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_matrix_is_zero() {
+        let s = SetupMatrix::zero(3, 2);
+        assert_eq!(s.setup(0, None, 2), 0);
+        assert_eq!(s.setup(1, Some(0), 1), 0);
+        assert_eq!(s.max_setup(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut s = SetupMatrix::zero(3, 2);
+        s.set(1, Some(2), 0, 7);
+        s.set(1, None, 0, 4);
+        assert_eq!(s.setup(1, Some(2), 0), 7);
+        assert_eq!(s.setup(1, None, 0), 4);
+        assert_eq!(s.max_setup(), 7);
+    }
+
+    #[test]
+    fn generate_closure() {
+        let s = SetupMatrix::generate(2, 1, &mut |_, from, to| (from * 10 + to) as Time);
+        // from == n_jobs (=2) encodes initial row.
+        assert_eq!(s.setup(0, None, 1), 21);
+        assert_eq!(s.setup(0, Some(1), 0), 10);
+    }
+
+    #[test]
+    fn constraints_default() {
+        let c = MachineConstraints::none(4);
+        assert_eq!(c.release, vec![0; 4]);
+        assert_eq!(c.setup_kind, SetupKind::Attached);
+    }
+}

@@ -1,0 +1,78 @@
+//! Master-slave parallelism: demonstrates the survey's defining property
+//! of the model — parallel fitness evaluation leaves the GA's trajectory
+//! bit-identical — and prices the run on three modelled HPC platforms.
+//!
+//! Run with: `cargo run --release --example flowshop_masterslave`
+
+use ga::crossover::PermCrossover;
+use ga::engine::{Engine, GaConfig, Toolkit};
+use ga::mutate::SeqMutation;
+use ga::termination::Termination;
+use hpc::calibrate::measure_adaptive_s;
+use hpc::model::{master_slave_time, sequential_time, speedup, RunShape};
+use hpc::Platform;
+use pga::master_slave::RayonEvaluator;
+use shop::decoder::flow::FlowDecoder;
+use shop::instance::generate::{flow_shop_taillard, GenConfig};
+
+fn toolkit(n: usize) -> Toolkit<Vec<usize>> {
+    Toolkit {
+        init: Box::new(move |rng| {
+            use rand::seq::SliceRandom;
+            let mut p: Vec<usize> = (0..n).collect();
+            p.shuffle(rng);
+            p
+        }),
+        crossover: Box::new(|a, b, rng| PermCrossover::Pmx.apply(a, b, rng)),
+        mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
+        seq_view: None,
+    }
+}
+
+fn main() {
+    let inst = flow_shop_taillard(&GenConfig::new(50, 10, 11));
+    let decoder = FlowDecoder::new(&inst);
+    let eval = move |perm: &Vec<usize>| decoder.makespan(perm) as f64;
+    let cfg = GaConfig {
+        pop_size: 60,
+        seed: 3,
+        ..Default::default()
+    };
+    let term = Termination::Generations(100);
+
+    // Sequential evaluation.
+    let mut seq_engine = Engine::new(cfg.clone(), toolkit(50), &eval);
+    let seq_best = seq_engine.run(&term);
+
+    // Master-slave: same algorithm, rayon-parallel fitness evaluation.
+    let parallel = RayonEvaluator::new(eval);
+    let mut ms_engine = Engine::new(cfg, toolkit(50), &parallel);
+    let ms_best = ms_engine.run(&term);
+
+    println!("sequential best:  {}", seq_best.cost);
+    println!("master-slave best: {} (identical: {})", ms_best.cost, seq_best.genome == ms_best.genome);
+
+    // Price the run on the survey's platforms using the measured
+    // evaluation cost.
+    let sample: Vec<usize> = (0..50).collect();
+    let eval_s = measure_adaptive_s(1e-3, || {
+        std::hint::black_box(decoder.makespan(std::hint::black_box(&sample)));
+    });
+    let shape = RunShape {
+        generations: 100,
+        evals_per_gen: 60,
+        eval_s,
+        serial_gen_s: 0.05 * 60.0 * eval_s,
+        genome_bytes: 400.0,
+    };
+    let t_seq = sequential_time(&shape);
+    println!("\nmeasured evaluation cost: {:.2} us", 1e6 * eval_s);
+    for p in [
+        Platform::multicore(8),
+        Platform::mpi_cluster(16),
+        Platform::cuda_gpu(448, 0.1),
+    ] {
+        let t = master_slave_time(&shape, &p);
+        println!("predicted speedup on {:<12}: {:.2}x", p.name, speedup(t_seq, t));
+    }
+}

@@ -1,0 +1,23 @@
+//! # pga-shop — Parallel Genetic Algorithms for Shop Scheduling
+//!
+//! Facade crate for the workspace reproducing Luo & El Baz,
+//! *A Survey on Parallel Genetic Algorithms for Shop Scheduling Problems*
+//! (IPPS 2018). It re-exports the four member crates:
+//!
+//! * [`shop`] — problem substrate: instances (flow / job / open /
+//!   flexible), generators, classic benchmarks, schedules + Table I
+//!   validation, decoders, disjunctive/alternative graphs, objectives,
+//!   fuzzy and stochastic extensions, setup times;
+//! * [`ga`] — the sequential GA engine and operator catalogue (Table II);
+//! * [`pga`] — the parallel models: master-slave (Table III),
+//!   fine-grained / cellular (Table IV), island (Table V) and hybrids;
+//! * [`hpc`] — deterministic platform cost models predicting parallel
+//!   wall times (GPU / MPI cluster / multicore / Transputer).
+//!
+//! See `examples/quickstart.rs` for a 50-line end-to-end run and
+//! DESIGN.md / EXPERIMENTS.md for the reproduction index.
+
+pub use ga;
+pub use hpc;
+pub use pga;
+pub use shop;
