@@ -26,9 +26,11 @@ fn bench_flow(c: &mut Criterion) {
         let inst = flow_shop_taillard(&GenConfig::new(n, m, 1));
         let d = FlowDecoder::new(&inst);
         let perm: Vec<usize> = (0..n).collect();
-        g.bench_with_input(BenchmarkId::new("flow_makespan", format!("{n}x{m}")), &perm, |b, p| {
-            b.iter(|| d.makespan(std::hint::black_box(p)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("flow_makespan", format!("{n}x{m}")),
+            &perm,
+            |b, p| b.iter(|| d.makespan(std::hint::black_box(p))),
+        );
     }
     g.finish();
 }

@@ -78,7 +78,16 @@ fn bench_models(c: &mut Criterion) {
         b.iter(|| master_slave_time(std::hint::black_box(&shape), &Platform::cuda_gpu(448, 0.1)))
     });
     g.bench_function("cost_model_island", |b| {
-        b.iter(|| island_time(std::hint::black_box(&shape), 16, 10, 2, 16, &Platform::mpi_cluster(16)))
+        b.iter(|| {
+            island_time(
+                std::hint::black_box(&shape),
+                16,
+                10,
+                2,
+                16,
+                &Platform::mpi_cluster(16),
+            )
+        })
     });
     g.finish();
 }

@@ -23,15 +23,31 @@ fn bench_crossovers(c: &mut Criterion) {
     let p2: Vec<usize> = (0..100).rev().collect();
     for op in PermCrossover::ALL {
         g.bench_function(format!("perm_{op:?}"), |b| {
-            b.iter(|| op.apply(std::hint::black_box(&p1), std::hint::black_box(&p2), &mut rng))
+            b.iter(|| {
+                op.apply(
+                    std::hint::black_box(&p1),
+                    std::hint::black_box(&p2),
+                    &mut rng,
+                )
+            })
         });
     }
     let r1: Vec<usize> = (0..100).map(|i| i % 10).collect();
     let mut r2 = r1.clone();
     r2.reverse();
-    for (name, op) in [("job_order", RepCrossover::JobOrder), ("thx", RepCrossover::Thx(0.5))] {
+    for (name, op) in [
+        ("job_order", RepCrossover::JobOrder),
+        ("thx", RepCrossover::Thx(0.5)),
+    ] {
         g.bench_function(format!("rep_{name}"), |b| {
-            b.iter(|| op.apply(std::hint::black_box(&r1), std::hint::black_box(&r2), 10, &mut rng))
+            b.iter(|| {
+                op.apply(
+                    std::hint::black_box(&r1),
+                    std::hint::black_box(&r2),
+                    10,
+                    &mut rng,
+                )
+            })
         });
     }
     let k1: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
@@ -42,7 +58,13 @@ fn bench_crossovers(c: &mut Criterion) {
         ("two_point", KeysCrossover::TwoPoint),
     ] {
         g.bench_function(format!("keys_{name}"), |b| {
-            b.iter(|| op.apply(std::hint::black_box(&k1), std::hint::black_box(&k2), &mut rng))
+            b.iter(|| {
+                op.apply(
+                    std::hint::black_box(&k1),
+                    std::hint::black_box(&k2),
+                    &mut rng,
+                )
+            })
         });
     }
     g.finish();
@@ -78,7 +100,9 @@ fn bench_mutation_selection(c: &mut Criterion) {
         });
     }
     g.bench_function("select_sus_pick100", |b| {
-        b.iter(|| Selection::StochasticUniversal.pick_many(std::hint::black_box(&fitness), 100, &mut rng))
+        b.iter(|| {
+            Selection::StochasticUniversal.pick_many(std::hint::black_box(&fitness), 100, &mut rng)
+        })
     });
     g.finish();
 }

@@ -46,7 +46,7 @@ pub fn run() -> Report {
     };
     let tk = opseq_toolkit(&inst, RepCrossover::JobOrder, SeqMutation::Swap);
     let mut engine = Engine::new(cfg, tk, &eval);
-    let serial: Vec<usize> = (0..10).flat_map(|j| std::iter::repeat(j).take(5)).collect();
+    let serial: Vec<usize> = (0..10).flat_map(|j| std::iter::repeat_n(j, 5)).collect();
     engine.seed_individuals(vec![serial]);
     let start_cost = engine.best().cost;
     engine.run(&Termination::Generations(60));

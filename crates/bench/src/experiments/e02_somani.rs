@@ -15,9 +15,7 @@ use shop::instance::JobShopInstance;
 use shop::Problem;
 
 fn toposort_eval_shape(inst: &JobShopInstance, pop: u64) -> hpc::model::RunShape {
-    let seq: Vec<usize> = (0..inst.n_ops(0))
-        .flat_map(|_| 0..inst.n_jobs())
-        .collect();
+    let seq: Vec<usize> = (0..inst.n_ops(0)).flat_map(|_| 0..inst.n_jobs()).collect();
     let eval = |s: &Vec<usize>| -> f64 {
         let orders = machine_orders_from_sequence(inst, s);
         DisjunctiveGraph::from_machine_orders(inst, &orders, false)

@@ -40,7 +40,9 @@ pub fn run() -> Report {
     // included), i.e. the island formula with zero migration, on a
     // 6-node server; the sequential baseline does the 6 slaves' work one
     // after another.
-    let sample: Vec<f64> = (0..total_ops).map(|i| i as f64 / total_ops as f64).collect();
+    let sample: Vec<f64> = (0..total_ops)
+        .map(|i| i as f64 / total_ops as f64)
+        .collect();
     let mut shape = run_shape(30, 6 * 30, (total_ops * 8) as f64, &sample, &eval);
     shape.serial_gen_s *= 1.0; // operators also replicated per slave
     let t_seq = sequential_time(&shape);
@@ -52,13 +54,26 @@ pub fn run() -> Report {
     Report {
         id: "E03",
         title: "Mui [17]: slaves run full GAs on GT-active schedules (6 CPUs)",
-        paper_claim: "Master-slave GA with 6 processors saves 3-4x execution time vs the sequential version",
+        paper_claim:
+            "Master-slave GA with 6 processors saves 3-4x execution time vs the sequential version",
         columns: vec!["metric", "value"],
         rows: vec![
-            vec!["best makespan, 1 slave".into(), fmt(single.global_best().cost)],
-            vec!["best makespan, 6 slaves (master keeps global opt)".into(), fmt(six.global_best().cost)],
-            vec!["total evaluations, 6 slaves".into(), six.total_evaluations.to_string()],
-            vec!["predicted time saving on 6-node cluster".into(), format!("{}x", fmt(sp))],
+            vec![
+                "best makespan, 1 slave".into(),
+                fmt(single.global_best().cost),
+            ],
+            vec![
+                "best makespan, 6 slaves (master keeps global opt)".into(),
+                fmt(six.global_best().cost),
+            ],
+            vec![
+                "total evaluations, 6 slaves".into(),
+                six.total_evaluations.to_string(),
+            ],
+            vec![
+                "predicted time saving on 6-node cluster".into(),
+                format!("{}x", fmt(sp)),
+            ],
         ],
         shape_holds: quality_ok && speed_ok,
         notes: "Giffler-Thompson active-schedule decoding (shop::decoder::job) with random-key \

@@ -56,10 +56,19 @@ pub fn run() -> Report {
         paper_claim: "Parallel GA up to ~9x faster than the serial GA (Lingo 8 baseline)",
         columns: vec!["metric", "value"],
         rows: vec![
-            vec!["best makespan start -> end".into(), format!("{start:.0} -> {end:.0}")],
+            vec![
+                "best makespan start -> end".into(),
+                format!("{start:.0} -> {end:.0}"),
+            ],
             vec!["batches dispatched (size 12)".into(), batches.to_string()],
-            vec!["batched == sequential trajectory".into(), identical.to_string()],
-            vec!["predicted speedup, 12 shared-memory slaves".into(), format!("{}x", fmt(sp))],
+            vec![
+                "batched == sequential trajectory".into(),
+                identical.to_string(),
+            ],
+            vec![
+                "predicted speedup, 12 shared-memory slaves".into(),
+                format!("{}x", fmt(sp)),
+            ],
         ],
         shape_holds: identical && end < start && sp > 1.0,
         notes: "The unassigned-queue batching is pga::master_slave::BatchedEvaluator; \

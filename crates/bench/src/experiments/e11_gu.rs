@@ -29,7 +29,7 @@ pub fn run() -> Report {
     let shop = StochasticJobShop::from_crisp(&crisp, 0.25);
     let n_ops = crisp.total_ops();
     let job_of_op: Vec<usize> = (0..crisp.n_jobs())
-        .flat_map(|j| std::iter::repeat(j).take(crisp.n_ops(j)))
+        .flat_map(|j| std::iter::repeat_n(j, crisp.n_ops(j)))
         .collect();
 
     let generations = 30u64;
@@ -75,8 +75,7 @@ pub fn run() -> Report {
         // rotate towards it ("penetration migration" at the upper level).
         let mut islands: Vec<QuantumGa> = (0..4)
             .map(|i| {
-                QuantumGa::new(6, n_ops, 5, seed ^ ((i as u64) << 8), &qcost)
-                    .with_rates(0.06, 0.01)
+                QuantumGa::new(6, n_ops, 5, seed ^ ((i as u64) << 8), &qcost).with_rates(0.06, 0.01)
             })
             .collect();
         let mut best_cost = f64::INFINITY;

@@ -28,7 +28,11 @@ pub fn run() -> Report {
 
     // Path-relinking crossover: child = best point on the relink path.
     let pr_toolkit = |_: usize| -> Toolkit<Vec<usize>> {
-        let base = opseq_toolkit(&inst, ga::crossover::RepCrossover::JobOrder, SeqMutation::Swap);
+        let base = opseq_toolkit(
+            &inst,
+            ga::crossover::RepCrossover::JobOrder,
+            SeqMutation::Swap,
+        );
         let owned = inst.clone(); // boxed operators must be 'static
         Toolkit {
             init: base.init,

@@ -79,18 +79,64 @@ pub fn run() -> Report {
     let mut seq_costs = Vec::new();
     for &s in &seeds {
         let cfg = crate::toolkits::pressure_config(48, split_seed(0xE13, s));
-        let mut e = Engine::new(cfg, perm_toolkit(20, PermCrossover::Order, SeqMutation::Swap), &eval);
+        let mut e = Engine::new(
+            cfg,
+            perm_toolkit(20, PermCrossover::Order, SeqMutation::Swap),
+            &eval,
+        );
         e.run(&Termination::Generations(generations));
         seq_costs.push(e.best().cost);
     }
 
     let all = [
-        ("same starts, independent, same ops", Strategy { diff_starts: false, cooperative: false, diff_operators: false }),
-        ("same starts, coop, same ops", Strategy { diff_starts: false, cooperative: true, diff_operators: false }),
-        ("diff starts, independent, same ops", Strategy { diff_starts: true, cooperative: false, diff_operators: false }),
-        ("diff starts, independent, diff ops", Strategy { diff_starts: true, cooperative: false, diff_operators: true }),
-        ("diff starts, coop, same ops", Strategy { diff_starts: true, cooperative: true, diff_operators: false }),
-        ("diff starts, coop, diff ops", Strategy { diff_starts: true, cooperative: true, diff_operators: true }),
+        (
+            "same starts, independent, same ops",
+            Strategy {
+                diff_starts: false,
+                cooperative: false,
+                diff_operators: false,
+            },
+        ),
+        (
+            "same starts, coop, same ops",
+            Strategy {
+                diff_starts: false,
+                cooperative: true,
+                diff_operators: false,
+            },
+        ),
+        (
+            "diff starts, independent, same ops",
+            Strategy {
+                diff_starts: true,
+                cooperative: false,
+                diff_operators: false,
+            },
+        ),
+        (
+            "diff starts, independent, diff ops",
+            Strategy {
+                diff_starts: true,
+                cooperative: false,
+                diff_operators: true,
+            },
+        ),
+        (
+            "diff starts, coop, same ops",
+            Strategy {
+                diff_starts: true,
+                cooperative: true,
+                diff_operators: false,
+            },
+        ),
+        (
+            "diff starts, coop, diff ops",
+            Strategy {
+                diff_starts: true,
+                cooperative: true,
+                diff_operators: true,
+            },
+        ),
     ];
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let stddev = |v: &[f64]| {

@@ -29,7 +29,9 @@ pub fn run() -> Report {
     let base_inst = flexible_flow_shop(&GenConfig::new(5, 0, 0xE16), &[2, 1, 2], false);
     let lots = LotStreaming::uniform(5, 20, 2);
     let fractions = vec![vec![0.3, 0.7]; 5];
-    let (inst, _origin) = lots.expand(&base_inst, &fractions).expect("valid fractions");
+    let (inst, _origin) = lots
+        .expand(&base_inst, &fractions)
+        .expect("valid fractions");
     let decoder = FlexDecoder::new(&inst);
     let eval = move |g: &DualGenome| decoder.makespan(&g.assign, &g.seq) as f64;
 
@@ -93,7 +95,10 @@ pub fn run() -> Report {
     }
 
     let policies = [
-        ("random-replace-random", MigrationPolicy::RandomReplaceRandom),
+        (
+            "random-replace-random",
+            MigrationPolicy::RandomReplaceRandom,
+        ),
         ("best-replace-random", MigrationPolicy::BestReplaceRandom),
         ("best-replace-worst", MigrationPolicy::BestReplaceWorst),
     ];

@@ -48,7 +48,9 @@ fn evaluate_case(n_jobs: usize, ops: usize, seed: u64, generations: u64) -> (f64
             interval: 10,
             count: 2,
             policy: MigrationPolicy::BestReplaceRandom,
-            topology: Topology::RandomEpoch { seed: split_seed(seed, 999) },
+            topology: Topology::RandomEpoch {
+                seed: split_seed(seed, 999),
+            },
         };
         let mut ig = IslandGa::homogeneous(
             base,
@@ -71,7 +73,12 @@ fn evaluate_case(n_jobs: usize, ops: usize, seed: u64, generations: u64) -> (f64
         }
     }
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    (mean(&single_best), mean(&island_best), single_hit, island_hit)
+    (
+        mean(&single_best),
+        mean(&island_best),
+        single_hit,
+        island_hit,
+    )
 }
 
 pub fn run() -> Report {

@@ -30,30 +30,31 @@ pub fn run() -> Report {
     let total_pop = 48usize;
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
 
-    let run_cfg = |islands: usize, topology: Topology, policy: MigrationPolicy, interval: u64| -> f64 {
-        let costs: Vec<f64> = seeds
-            .iter()
-            .map(|&s| {
-                let base =
-                    crate::toolkits::pressure_config(total_pop / islands, split_seed(0xE18, s));
-                let mig = MigrationConfig {
-                    interval,
-                    count: 1,
-                    policy,
-                    topology,
-                };
-                let mut ig = IslandGa::homogeneous(
-                    base,
-                    islands,
-                    &|_| dual_toolkit(&inst),
-                    &eval,
-                    IslandConfig::new(mig),
-                );
-                ig.run(generations).cost
-            })
-            .collect();
-        mean(&costs)
-    };
+    let run_cfg =
+        |islands: usize, topology: Topology, policy: MigrationPolicy, interval: u64| -> f64 {
+            let costs: Vec<f64> = seeds
+                .iter()
+                .map(|&s| {
+                    let base =
+                        crate::toolkits::pressure_config(total_pop / islands, split_seed(0xE18, s));
+                    let mig = MigrationConfig {
+                        interval,
+                        count: 1,
+                        policy,
+                        topology,
+                    };
+                    let mut ig = IslandGa::homogeneous(
+                        base,
+                        islands,
+                        &|_| dual_toolkit(&inst),
+                        &eval,
+                        IslandConfig::new(mig),
+                    );
+                    ig.run(generations).cost
+                })
+                .collect();
+            mean(&costs)
+        };
 
     // Sequential baseline.
     let serial = mean(
@@ -71,8 +72,18 @@ pub fn run() -> Report {
     // Axis 1: topology x replacement (4 islands, interval 6).
     let ring_best = run_cfg(4, Topology::Ring, MigrationPolicy::BestReplaceRandom, 6);
     let ring_rand = run_cfg(4, Topology::Ring, MigrationPolicy::RandomReplaceRandom, 6);
-    let grid_best = run_cfg(4, Topology::Grid2D { cols: 2 }, MigrationPolicy::BestReplaceRandom, 6);
-    let grid_rand = run_cfg(4, Topology::Grid2D { cols: 2 }, MigrationPolicy::RandomReplaceRandom, 6);
+    let grid_best = run_cfg(
+        4,
+        Topology::Grid2D { cols: 2 },
+        MigrationPolicy::BestReplaceRandom,
+        6,
+    );
+    let grid_rand = run_cfg(
+        4,
+        Topology::Grid2D { cols: 2 },
+        MigrationPolicy::RandomReplaceRandom,
+        6,
+    );
     let axis1 = [ring_best, ring_rand, grid_best, grid_rand];
     let axis1_spread = {
         let max = axis1.iter().fold(f64::MIN, |a, &b| a.max(b));

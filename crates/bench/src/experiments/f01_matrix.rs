@@ -14,7 +14,9 @@
 
 use crate::report::{fmt, Report};
 use hpc::amdahl::{amdahl, master_slave_serial_fraction};
-use hpc::model::{cellular_time, island_time, master_slave_time, sequential_time, speedup, RunShape};
+use hpc::model::{
+    cellular_time, island_time, master_slave_time, sequential_time, speedup, RunShape,
+};
 use hpc::Platform;
 
 fn shape(eval_us: f64) -> RunShape {
@@ -33,7 +35,10 @@ pub fn run() -> Report {
         Platform::mpi_cluster(16),
         Platform::cuda_gpu(448, 0.1),
     ];
-    let evals = [("cheap eval (0.5 us)", 0.5), ("costly eval (200 us)", 200.0)];
+    let evals = [
+        ("cheap eval (0.5 us)", 0.5),
+        ("costly eval (200 us)", 200.0),
+    ];
 
     let mut rows = Vec::new();
     let mut matrix = std::collections::HashMap::new();

@@ -14,12 +14,12 @@ use ga::engine::GaConfig;
 use ga::rng::split_seed;
 use pga::island::{IslandConfig, IslandGa};
 use pga::migration::MigrationConfig;
+use rand::Rng;
 use shop::decoder::flexible::FlexDecoder;
 use shop::energy::{MachinePower, PowerProfile};
 use shop::instance::generate::GenConfig;
 use shop::instance::{FlexOp, FlexibleInstance};
 use shop::objective::pareto_front;
-use rand::Rng;
 
 /// Builds the speed-scaled shop: `stages` stages, each with a fast
 /// machine (duration `d`, power 24) and a slow one (duration `2d`,

@@ -92,7 +92,9 @@ pub fn run() -> Report {
     // Validity check of the reactive winner.
     let order: Vec<(usize, usize)> = rebest.genome.iter().map(|&i| remaining[i]).collect();
     let resched = reschedule_suffix(&inst, &frozen, &order, event);
-    resched.validate_job(&inst).expect("reschedule stays feasible");
+    resched
+        .validate_job(&inst)
+        .expect("reschedule stays feasible");
 
     let shape_holds = rebest.cost <= repaired.makespan() as f64 && rebest.cost >= mk0 as f64;
     Report {

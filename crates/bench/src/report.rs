@@ -28,7 +28,11 @@ impl Report {
         out.push_str(&format!("paper:    {}\n", self.paper_claim));
         out.push_str(&format!(
             "verdict:  shape {}\n\n",
-            if self.shape_holds { "HOLDS" } else { "DOES NOT HOLD" }
+            if self.shape_holds {
+                "HOLDS"
+            } else {
+                "DOES NOT HOLD"
+            }
         ));
         out.push_str(&self.table_text());
         if !self.notes.is_empty() {
@@ -61,7 +65,10 @@ impl Report {
         out.push_str(&format!("  {}\n", header.join("  ")));
         out.push_str(&format!(
             "  {}\n",
-            w.iter().map(|&x| "-".repeat(x)).collect::<Vec<_>>().join("  ")
+            w.iter()
+                .map(|&x| "-".repeat(x))
+                .collect::<Vec<_>>()
+                .join("  ")
         ));
         for row in &self.rows {
             let cells: Vec<String> = row
@@ -81,13 +88,14 @@ impl Report {
         out.push_str(&format!("*Paper:* {}\n\n", self.paper_claim));
         out.push_str(&format!(
             "*Verdict:* shape **{}**\n\n",
-            if self.shape_holds { "holds" } else { "does not hold" }
+            if self.shape_holds {
+                "holds"
+            } else {
+                "does not hold"
+            }
         ));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }

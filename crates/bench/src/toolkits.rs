@@ -6,13 +6,17 @@ use ga::crossover::{KeysCrossover, PermCrossover, RepCrossover};
 use ga::dual::DualGenome;
 use ga::engine::Toolkit;
 use ga::mutate::{gaussian_keys, SeqMutation};
-use hpc::model::RunShape;
 use hpc::calibrate::measure_adaptive_s;
+use hpc::model::RunShape;
 use shop::instance::{FlexibleInstance, JobShopInstance};
 use shop::Problem;
 
 /// Toolkit over strict job permutations (flow shops).
-pub fn perm_toolkit(n_jobs: usize, crossover: PermCrossover, mutation: SeqMutation) -> Toolkit<Vec<usize>> {
+pub fn perm_toolkit(
+    n_jobs: usize,
+    crossover: PermCrossover,
+    mutation: SeqMutation,
+) -> Toolkit<Vec<usize>> {
     Toolkit {
         init: Box::new(move |rng| {
             use rand::seq::SliceRandom;
@@ -40,7 +44,7 @@ pub fn opseq_toolkit(
             use rand::seq::SliceRandom;
             let mut seq = Vec::new();
             for (j, &k) in ops_per_job.iter().enumerate() {
-                seq.extend(std::iter::repeat(j).take(k));
+                seq.extend(std::iter::repeat_n(j, k));
             }
             seq.shuffle(rng);
             seq

@@ -57,11 +57,7 @@ pub fn msxf(
 /// intermediate, and returning the best sequence on the path. Works on
 /// strict permutations and on repetition sequences alike (it swaps
 /// positions, preserving the multiset).
-pub fn path_relink(
-    from: &[usize],
-    to: &[usize],
-    cost: &dyn Fn(&[usize]) -> f64,
-) -> Vec<usize> {
+pub fn path_relink(from: &[usize], to: &[usize], cost: &dyn Fn(&[usize]) -> f64) -> Vec<usize> {
     let n = from.len();
     let mut current = from.to_vec();
     let mut best = current.clone();

@@ -41,13 +41,15 @@ impl PermCrossover {
         match self {
             PermCrossover::Pmx => (perm::pmx(p1, p2, rng), perm::pmx(p2, p1, rng)),
             PermCrossover::Order => (perm::order(p1, p2, rng), perm::order(p2, p1, rng)),
-            PermCrossover::LinearOrder => {
-                (perm::linear_order(p1, p2, rng), perm::linear_order(p2, p1, rng))
-            }
+            PermCrossover::LinearOrder => (
+                perm::linear_order(p1, p2, rng),
+                perm::linear_order(p2, p1, rng),
+            ),
             PermCrossover::Cycle => perm::cycle(p1, p2),
-            PermCrossover::PositionBased => {
-                (perm::position_based(p1, p2, rng), perm::position_based(p2, p1, rng))
-            }
+            PermCrossover::PositionBased => (
+                perm::position_based(p1, p2, rng),
+                perm::position_based(p2, p1, rng),
+            ),
         }
     }
 

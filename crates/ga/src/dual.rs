@@ -30,7 +30,7 @@ impl DualGenome {
             .collect();
         let mut seq = Vec::with_capacity(total);
         for (j, &k) in ops_per_job.iter().enumerate() {
-            seq.extend(std::iter::repeat(j).take(k));
+            seq.extend(std::iter::repeat_n(j, k));
         }
         seq.shuffle(rng);
         DualGenome { assign, seq }
@@ -58,8 +58,14 @@ impl DualGenome {
         let s1 = job_order(&a.seq, &b.seq, n_jobs, rng);
         let s2 = job_order(&b.seq, &a.seq, n_jobs, rng);
         (
-            DualGenome { assign: a1, seq: s1 },
-            DualGenome { assign: a2, seq: s2 },
+            DualGenome {
+                assign: a1,
+                seq: s1,
+            },
+            DualGenome {
+                assign: a2,
+                seq: s2,
+            },
         )
     }
 

@@ -25,16 +25,25 @@ use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 use std::time::Instant;
 
+/// Fresh-random-genome constructor.
+pub type InitFn<G> = dyn Fn(&mut ChaCha8Rng) -> G + Send + Sync;
+/// Two parents to two children.
+pub type CrossoverFn<G> = dyn Fn(&G, &G, &mut ChaCha8Rng) -> (G, G) + Send + Sync;
+/// In-place mutation.
+pub type MutateFn<G> = dyn Fn(&mut G, &mut ChaCha8Rng) + Send + Sync;
+/// Integer-sequence view of a genome (diversity telemetry).
+pub type SeqView<G> = dyn Fn(&G) -> Vec<usize> + Send + Sync;
+
 /// Operator bundle for genome type `G`.
 pub struct Toolkit<G> {
     /// Fresh random genome.
-    pub init: Box<dyn Fn(&mut ChaCha8Rng) -> G + Send + Sync>,
+    pub init: Box<InitFn<G>>,
     /// Two parents to two children.
-    pub crossover: Box<dyn Fn(&G, &G, &mut ChaCha8Rng) -> (G, G) + Send + Sync>,
+    pub crossover: Box<CrossoverFn<G>>,
     /// In-place mutation.
-    pub mutate: Box<dyn Fn(&mut G, &mut ChaCha8Rng) + Send + Sync>,
+    pub mutate: Box<MutateFn<G>>,
     /// Optional integer-sequence view used for diversity telemetry.
-    pub seq_view: Option<Box<dyn Fn(&G) -> Vec<usize> + Send + Sync>>,
+    pub seq_view: Option<Box<SeqView<G>>>,
 }
 
 /// GA hyper-parameters.
@@ -99,7 +108,9 @@ impl<'a, G: Clone> Engine<'a, G> {
         assert!(config.pop_size >= 2, "population of at least 2 required");
         assert!(config.elites < config.pop_size);
         let mut rng = root_rng(config.seed);
-        let genomes: Vec<G> = (0..config.pop_size).map(|_| (toolkit.init)(&mut rng)).collect();
+        let genomes: Vec<G> = (0..config.pop_size)
+            .map(|_| (toolkit.init)(&mut rng))
+            .collect();
         let costs = evaluator.cost_batch(&genomes);
         let population: Vec<Individual<G>> = genomes
             .into_iter()
@@ -134,8 +145,7 @@ impl<'a, G: Clone> Engine<'a, G> {
     pub fn seed_individuals(&mut self, genomes: Vec<G>) {
         let costs = self.evaluator.cost_batch(&genomes);
         self.evaluations += genomes.len() as u64;
-        self.population
-            .sort_by(|a, b| a.cost.total_cmp(&b.cost));
+        self.population.sort_by(|a, b| a.cost.total_cmp(&b.cost));
         let n = self.population.len();
         for (k, (genome, cost)) in genomes.into_iter().zip(costs).enumerate() {
             if k >= n {
@@ -161,8 +171,8 @@ impl<'a, G: Clone> Engine<'a, G> {
     }
 
     fn record(&mut self) {
-        let mean = self.population.iter().map(|i| i.cost).sum::<f64>()
-            / self.population.len() as f64;
+        let mean =
+            self.population.iter().map(|i| i.cost).sum::<f64>() / self.population.len() as f64;
         let diversity = match &self.toolkit.seq_view {
             Some(view) => {
                 let seqs: Vec<Vec<usize>> =
@@ -184,8 +194,7 @@ impl<'a, G: Clone> Engine<'a, G> {
         self.generation += 1;
         let pop = self.config.pop_size;
         let elites = self.config.elites;
-        let immigrants =
-            ((pop - elites) as f64 * self.config.immigration_rate).floor() as usize;
+        let immigrants = ((pop - elites) as f64 * self.config.immigration_rate).floor() as usize;
         let offspring_target = pop - elites - immigrants;
 
         // Fitness for selection.
@@ -301,7 +310,7 @@ impl<'a, G: Clone> Engine<'a, G> {
 
     /// The toolkit's optional integer-sequence view (diversity telemetry
     /// and stagnation detection).
-    pub fn seq_view(&self) -> Option<&(dyn Fn(&G) -> Vec<usize> + Send + Sync)> {
+    pub fn seq_view(&self) -> Option<&SeqView<G>> {
         self.toolkit.seq_view.as_deref()
     }
 }

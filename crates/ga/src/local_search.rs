@@ -78,15 +78,13 @@ pub fn redirect(
     cost: &dyn Fn(&[usize]) -> f64,
     rng: &mut impl Rng,
 ) -> (Vec<usize>, f64) {
-    let (mut best, mut best_cost) =
-        hill_climb(start, Neighborhood::Swap, per_climb_evals, cost);
+    let (mut best, mut best_cost) = hill_climb(start, Neighborhood::Swap, per_climb_evals, cost);
     for _ in 0..restarts {
         let mut kicked = best.clone();
         for _ in 0..kick_strength {
             SeqMutation::Shift.apply(&mut kicked, rng);
         }
-        let (cand, cand_cost) =
-            hill_climb(&kicked, Neighborhood::Swap, per_climb_evals, cost);
+        let (cand, cand_cost) = hill_climb(&kicked, Neighborhood::Swap, per_climb_evals, cost);
         if cand_cost < best_cost {
             best = cand;
             best_cost = cand_cost;

@@ -68,7 +68,7 @@ pub struct QGenome {
 
 impl QGenome {
     pub fn balanced(genes: usize, bits_per_gene: usize) -> Self {
-        assert!(bits_per_gene >= 1 && bits_per_gene <= 16);
+        assert!((1..=16).contains(&bits_per_gene));
         QGenome {
             qbits: vec![Qbit::balanced(); genes * bits_per_gene],
             bits_per_gene,
@@ -263,8 +263,14 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cost = |p: &[usize]| p.iter().map(|&v| v as f64).rev().enumerate()
-            .map(|(i, v)| i as f64 * v).sum();
+        let cost = |p: &[usize]| {
+            p.iter()
+                .map(|&v| v as f64)
+                .rev()
+                .enumerate()
+                .map(|(i, v)| i as f64 * v)
+                .sum()
+        };
         let mut a = QuantumGa::new(10, 6, 4, 9, &cost);
         let mut b = QuantumGa::new(10, 6, 4, 9, &cost);
         assert_eq!(a.run(20), b.run(20));

@@ -121,7 +121,11 @@ fn rank_weights(fitness: &[f64]) -> Vec<f64> {
     // Linear ranking with pressure s = 1.8: weight = 2-s + 2(s-1)·rank/(n-1).
     const S: f64 = 1.8;
     for (rank, &idx) in order.iter().enumerate() {
-        let r = if fitness.len() == 1 { 1.0 } else { rank as f64 / (n - 1.0) };
+        let r = if fitness.len() == 1 {
+            1.0
+        } else {
+            rank as f64 / (n - 1.0)
+        };
         w[idx] = (2.0 - S) + 2.0 * (S - 1.0) * r;
     }
     w

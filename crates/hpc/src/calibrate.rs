@@ -19,11 +19,15 @@ pub fn measure_s(iters: u32, mut f: impl FnMut()) -> f64 {
     start.elapsed().as_secs_f64() / iters as f64
 }
 
-/// Measures `f` adaptively: doubles the iteration count until the run
-/// takes at least `min_total_s`, for stable small-cost measurements.
+/// Measures `f` adaptively: doubles the iteration count until one run
+/// takes at least `min_total_s`, then returns the *minimum* per-call
+/// time over three runs at that count. The minimum estimates the
+/// uncontended cost of `f`; mean-based timing inflates under CPU
+/// contention (e.g. a parallel test suite), which would leak the host's
+/// load average into the platform-model predictions.
 pub fn measure_adaptive_s(min_total_s: f64, mut f: impl FnMut()) -> f64 {
     let mut iters: u32 = 1;
-    loop {
+    let first = loop {
         f(); // warm-up / steady state
         let start = Instant::now();
         for _ in 0..iters {
@@ -31,10 +35,19 @@ pub fn measure_adaptive_s(min_total_s: f64, mut f: impl FnMut()) -> f64 {
         }
         let elapsed = start.elapsed().as_secs_f64();
         if elapsed >= min_total_s || iters >= 1 << 24 {
-            return elapsed / iters as f64;
+            break elapsed / iters as f64;
         }
         iters = iters.saturating_mul(2);
+    };
+    let mut best = first;
+    for _ in 0..2 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
     }
+    best
 }
 
 #[cfg(test)]

@@ -26,8 +26,7 @@ pub struct RunShape {
 
 /// Sequential GA: everything on one host core.
 pub fn sequential_time(shape: &RunShape) -> f64 {
-    shape.generations as f64
-        * (shape.serial_gen_s + shape.evals_per_gen as f64 * shape.eval_s)
+    shape.generations as f64 * (shape.serial_gen_s + shape.evals_per_gen as f64 * shape.eval_s)
 }
 
 /// Master-slave GA (survey Table III): the master runs the serial
@@ -70,11 +69,7 @@ pub fn island_time(
     let per_island_gen =
         shape.serial_gen_s / islands as f64 + platform.compute_s(sub_pop, shape.eval_s);
     let compute = shape.generations as f64 * rounds * per_island_gen;
-    let migration_events = if interval == 0 {
-        0.0
-    } else {
-        (shape.generations / interval) as f64
-    };
+    let migration_events = shape.generations.checked_div(interval).unwrap_or(0) as f64;
     let per_event_comm = if platform.on_device {
         platform.dispatch_overhead_s
     } else {
@@ -82,8 +77,7 @@ pub fn island_time(
         // island serialises its own sends: per event, an island pays for
         // its out-degree worth of messages.
         let out_degree = links as f64 / islands as f64;
-        out_degree
-            * platform.transfer_s(migrants_per_link as f64 * shape.genome_bytes)
+        out_degree * platform.transfer_s(migrants_per_link as f64 * shape.genome_bytes)
     };
     compute + migration_events * per_event_comm
 }
@@ -93,12 +87,7 @@ pub fn island_time(
 /// `degree` neighbours. On a machine with fewer workers than cells, cells
 /// are strip-mapped onto workers and only the strip *boundary* traffic
 /// crosses links.
-pub fn cellular_time(
-    shape: &RunShape,
-    cells: usize,
-    degree: usize,
-    platform: &Platform,
-) -> f64 {
+pub fn cellular_time(shape: &RunShape, cells: usize, degree: usize, platform: &Platform) -> f64 {
     let per_worker_cells = (cells as f64 / platform.workers as f64).ceil();
     let compute = platform.compute_s(
         per_worker_cells * (1.0 + 0.05 * degree as f64), // eval + local ops
@@ -128,11 +117,7 @@ pub fn speedup(baseline_s: f64, parallel_s: f64) -> f64 {
 /// Solutions explored under a fixed wall-clock budget — AitZai et al.
 /// [14] report "explored solutions in 300 s" rather than time; this
 /// inverts the cost model.
-pub fn evals_within_budget(
-    budget_s: f64,
-    shape: &RunShape,
-    time_of_run: f64,
-) -> f64 {
+pub fn evals_within_budget(budget_s: f64, shape: &RunShape, time_of_run: f64) -> f64 {
     if time_of_run <= 0.0 {
         return f64::INFINITY;
     }

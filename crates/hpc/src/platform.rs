@@ -74,8 +74,8 @@ impl Platform {
             name: "cuda-gpu",
             workers: cores,
             worker_speed: speed,
-            latency_s: 1e-5,       // kernel-launch-ish
-            bandwidth_bps: 8e9,    // PCIe host<->device
+            latency_s: 1e-5,    // kernel-launch-ish
+            bandwidth_bps: 8e9, // PCIe host<->device
             dispatch_overhead_s: 1e-5,
             on_device: false,
         }

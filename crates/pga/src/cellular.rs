@@ -152,8 +152,7 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         let seed = self.config.seed;
         let mutation_rate = self.config.mutation_rate;
         let n = self.grid.len();
-        let neighbours: Vec<Vec<usize>> =
-            (0..n).map(|i| self.neighbour_indices(i)).collect();
+        let neighbours: Vec<Vec<usize>> = (0..n).map(|i| self.neighbour_indices(i)).collect();
 
         // Phase 1 (parallel, read-only grid): breed one child per cell.
         let grid = &self.grid;
@@ -188,7 +187,10 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         // Phase 3 (synchronous write): elitist replacement.
         for (i, (child, cost)) in children.into_iter().zip(costs).enumerate() {
             if cost <= self.grid[i].cost {
-                self.grid[i] = Individual { genome: child, cost };
+                self.grid[i] = Individual {
+                    genome: child,
+                    cost,
+                };
             }
         }
         for ind in &self.grid {
@@ -200,12 +202,10 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
     }
 
     fn record(&mut self) {
-        let mean =
-            self.grid.iter().map(|i| i.cost).sum::<f64>() / self.grid.len() as f64;
+        let mean = self.grid.iter().map(|i| i.cost).sum::<f64>() / self.grid.len() as f64;
         let diversity = match &self.toolkit.seq_view {
             Some(view) => {
-                let seqs: Vec<Vec<usize>> =
-                    self.grid.iter().map(|i| view(&i.genome)).collect();
+                let seqs: Vec<Vec<usize>> = self.grid.iter().map(|i| view(&i.genome)).collect();
                 mean_hamming(&seqs)
             }
             None => 0.0,
@@ -298,8 +298,7 @@ mod tests {
     fn improves_and_is_deterministic() {
         let eval = |g: &Vec<usize>| displacement(g);
         let run = || {
-            let mut cga =
-                CellularGa::new(CellularConfig::new(4, 4, 17), toolkit(10), &eval);
+            let mut cga = CellularGa::new(CellularConfig::new(4, 4, 17), toolkit(10), &eval);
             let start = cga.best().cost;
             let end = cga.run(25).cost;
             (start, end)

@@ -70,7 +70,7 @@ impl<'a, G: Clone + Send + Sync> IslandsOfCellular<'a, G> {
         self.generation += 1;
         self.grids.par_iter_mut().for_each(|g| g.step());
         self.telemetry.generations += 1;
-        if self.generation % self.ring_interval == 0 {
+        if self.generation.is_multiple_of(self.ring_interval) {
             let n = self.grids.len();
             if n > 1 {
                 let emigrants: Vec<Individual<G>> =
@@ -79,8 +79,7 @@ impl<'a, G: Clone + Send + Sync> IslandsOfCellular<'a, G> {
                     let dest = (i + 1) % n;
                     for _ in 0..self.migrants_per_event {
                         use rand::Rng;
-                        let cell =
-                            self.mig_rng.gen_range(0..self.grids[dest].grid().len());
+                        let cell = self.mig_rng.gen_range(0..self.grids[dest].grid().len());
                         self.grids[dest].replace(cell, em.clone());
                         self.telemetry.migrants += 1;
                     }
@@ -128,7 +127,13 @@ where
     let mut mig = MigrationConfig::ring(interval, migrants);
     mig.topology = Topology::Torus2D { cols };
     mig.policy = MigrationPolicy::BestReplaceRandom;
-    IslandGa::homogeneous(base, rows * cols, toolkit_factory, evaluator, IslandConfig::new(mig))
+    IslandGa::homogeneous(
+        base,
+        rows * cols,
+        toolkit_factory,
+        evaluator,
+        IslandConfig::new(mig),
+    )
 }
 
 #[cfg(test)]

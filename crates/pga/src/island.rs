@@ -99,7 +99,7 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
             active: vec![true; n],
             config: island_config,
             generation: 0,
-            mig_rng: stream_rng(seed, 0x4D31_47), // "M1G" stream tag
+            mig_rng: stream_rng(seed, 0x004D_3147), // "M1G" stream tag
             best_overall,
             global_history: History::default(),
             telemetry: RunTelemetry {
@@ -130,8 +130,9 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
             })
             .collect();
         let toolkits = (0..n_islands).map(toolkit_factory).collect();
-        let evaluators: Vec<&'a dyn Evaluator<G>> =
-            (0..n_islands).map(|_| evaluator as &dyn Evaluator<G>).collect();
+        let evaluators: Vec<&'a dyn Evaluator<G>> = (0..n_islands)
+            .map(|_| evaluator as &dyn Evaluator<G>)
+            .collect();
         Self::new(configs, toolkits, evaluators, island_config)
     }
 
@@ -186,13 +187,15 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
         self.telemetry.evaluations += evals_this_gen;
 
         if self.config.migration.interval > 0
-            && self.generation % self.config.migration.interval == 0
+            && self
+                .generation
+                .is_multiple_of(self.config.migration.interval)
         {
             let topo = self.config.migration.topology;
             self.migrate_with(topo, self.config.migration.count);
         }
         if let Some(ln) = self.config.broadcast_interval {
-            if ln > 0 && self.generation % ln == 0 {
+            if ln > 0 && self.generation.is_multiple_of(ln) {
                 self.migrate_with(Topology::FullyConnected, self.config.migration.count);
             }
         }
@@ -264,19 +267,17 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
             if !self.active[i] || self.active_islands() <= 1 {
                 continue;
             }
-            let Some(seqs) = self.seq_population(i) else { return };
+            let Some(seqs) = self.seq_population(i) else {
+                return;
+            };
             if stagnation_fraction(&seqs, rule.distance) <= rule.majority {
                 continue;
             }
             // Find the next active island to absorb it.
-            let Some(target) = (1..n)
-                .map(|k| (i + k) % n)
-                .find(|&d| self.active[d])
-            else {
+            let Some(target) = (1..n).map(|k| (i + k) % n).find(|&d| self.active[d]) else {
                 continue;
             };
-            let mut movers: Vec<Individual<G>> =
-                self.engines[i].population().to_vec();
+            let mut movers: Vec<Individual<G>> = self.engines[i].population().to_vec();
             movers.sort_by(|a, b| a.cost.total_cmp(&b.cost));
             movers.truncate(self.engines[i].population().len() / 2);
             let slots = replacement_indices(
@@ -436,8 +437,13 @@ mod tests {
         let eval = |g: &Vec<usize>| displacement(g);
         let mut cfg = MigrationConfig::ring(0, 2);
         cfg.policy = MigrationPolicy::BestReplaceWorst;
-        let mut ig =
-            IslandGa::homogeneous(base_cfg(2), 3, &|_| toolkit(6), &eval, IslandConfig::new(cfg));
+        let mut ig = IslandGa::homogeneous(
+            base_cfg(2),
+            3,
+            &|_| toolkit(6),
+            &eval,
+            IslandConfig::new(cfg),
+        );
         ig.run(10);
         assert_eq!(ig.telemetry.messages, 0);
     }
@@ -457,7 +463,10 @@ mod tests {
         );
         // Inject optimum into island 0 via replace.
         let opt: Vec<usize> = (0..8).collect();
-        let ind = Individual { genome: opt, cost: 0.0 };
+        let ind = Individual {
+            genome: opt,
+            cost: 0.0,
+        };
         // Safe: direct engine access is test-only.
         ig.engines[0].replace(0, ind);
         ig.run(6);

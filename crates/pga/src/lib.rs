@@ -33,7 +33,7 @@ pub mod migration;
 pub mod telemetry;
 pub mod topology;
 
-pub use cellular::{CellularGa, CellularConfig, NeighborhoodShape};
+pub use cellular::{CellularConfig, CellularGa, NeighborhoodShape};
 pub use island::{IslandConfig, IslandGa};
 pub use master_slave::{BatchedEvaluator, DistributedSlavesGa, RayonEvaluator};
 pub use migration::{MigrationConfig, MigrationPolicy};

@@ -20,8 +20,8 @@ use ga::engine::{Engine, GaConfig, Individual, Toolkit};
 use ga::rng::split_seed;
 use ga::termination::Termination;
 use ga::Evaluator;
-use parking_lot::Mutex;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wraps any evaluator so batches are mapped in parallel with rayon.
 pub struct RayonEvaluator<E> {
@@ -51,7 +51,7 @@ impl<G: Sync, E: Evaluator<G>> Evaluator<G> for RayonEvaluator<E> {
 pub struct BatchedEvaluator<E> {
     inner: E,
     batch_size: usize,
-    batches_dispatched: Mutex<u64>,
+    batches_dispatched: AtomicU64,
 }
 
 impl<E> BatchedEvaluator<E> {
@@ -60,13 +60,13 @@ impl<E> BatchedEvaluator<E> {
         BatchedEvaluator {
             inner,
             batch_size,
-            batches_dispatched: Mutex::new(0),
+            batches_dispatched: AtomicU64::new(0),
         }
     }
 
     /// Number of batches dispatched so far.
     pub fn batches(&self) -> u64 {
-        *self.batches_dispatched.lock()
+        self.batches_dispatched.load(Ordering::Relaxed)
     }
 
     pub fn batch_size(&self) -> usize {
@@ -81,7 +81,8 @@ impl<G: Sync, E: Evaluator<G>> Evaluator<G> for BatchedEvaluator<E> {
 
     fn cost_batch(&self, genomes: &[G]) -> Vec<f64> {
         let n_batches = genomes.len().div_ceil(self.batch_size) as u64;
-        *self.batches_dispatched.lock() += n_batches;
+        self.batches_dispatched
+            .fetch_add(n_batches, Ordering::Relaxed);
         genomes
             .par_chunks(self.batch_size)
             .flat_map_iter(|chunk| chunk.iter().map(|g| self.inner.cost(g)))
@@ -231,15 +232,9 @@ mod tests {
             ..GaConfig::default()
         };
         let run = || {
-            DistributedSlavesGa::run(
-                &cfg,
-                &|| toolkit(6),
-                &eval,
-                3,
-                &Termination::Generations(8),
-            )
-            .global_best()
-            .cost
+            DistributedSlavesGa::run(&cfg, &|| toolkit(6), &eval, 3, &Termination::Generations(8))
+                .global_best()
+                .cost
         };
         assert_eq!(run(), run());
     }

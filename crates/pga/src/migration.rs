@@ -51,9 +51,7 @@ pub fn emigrant_indices<G>(
     let n = population.len();
     let count = count.min(n);
     match policy {
-        MigrationPolicy::RandomReplaceRandom => {
-            (0..count).map(|_| rng.gen_range(0..n)).collect()
-        }
+        MigrationPolicy::RandomReplaceRandom => (0..count).map(|_| rng.gen_range(0..n)).collect(),
         MigrationPolicy::BestReplaceRandom | MigrationPolicy::BestReplaceWorst => {
             let mut idx: Vec<usize> = (0..n).collect();
             idx.sort_by(|&a, &b| population[a].cost.total_cmp(&population[b].cost));

@@ -185,9 +185,7 @@ mod tests {
         }
         // Routes change across epochs (with overwhelming probability for
         // at least one island).
-        let changed = (0..7).any(|i| {
-            t.destinations(i, 7, 0) != t.destinations(i, 7, 1)
-        });
+        let changed = (0..7).any(|i| t.destinations(i, 7, 0) != t.destinations(i, 7, 1));
         assert!(changed);
     }
 

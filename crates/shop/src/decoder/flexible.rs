@@ -144,7 +144,9 @@ impl<'a> FlexDecoder<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instance::generate::{flexible_flow_shop, flexible_job_shop, sdst_matrix, GenConfig};
+    use crate::instance::generate::{
+        flexible_flow_shop, flexible_job_shop, sdst_matrix, GenConfig,
+    };
 
     fn two_stage() -> FlexibleInstance {
         FlexibleInstance::flexible_flow(
@@ -210,11 +212,18 @@ mod tests {
         su.set(2, None, 0, 3);
         let mut cons = MachineConstraints::none(3);
         cons.setup_kind = SetupKind::Detached;
-        let d = FlexDecoder::new(&inst).with_setups(&su).with_constraints(cons);
+        let d = FlexDecoder::new(&inst)
+            .with_setups(&su)
+            .with_constraints(cons);
         let s = d.decode(&[0, 0, 1, 0], &[0, 1, 0, 1]);
         // Detached: setup runs during [0,3] while J0 is still on M0, so J0
         // stage 1 starts at max(0+3, 4) = 4 — no delay.
-        let st = s.ops.iter().find(|o| o.job == 0 && o.op == 1).unwrap().start;
+        let st = s
+            .ops
+            .iter()
+            .find(|o| o.job == 0 && o.op == 1)
+            .unwrap()
+            .start;
         assert_eq!(st, 4);
     }
 

@@ -27,7 +27,11 @@ pub fn johnson_two_machine(a: &[Time], b: &[Time]) -> Vec<usize> {
 
 /// Johnson's rule applied directly to a 2-machine [`FlowShopInstance`].
 pub fn johnson(inst: &FlowShopInstance) -> Vec<usize> {
-    assert_eq!(inst.n_machines(), 2, "Johnson's rule needs exactly 2 machines");
+    assert_eq!(
+        inst.n_machines(),
+        2,
+        "Johnson's rule needs exactly 2 machines"
+    );
     let a: Vec<Time> = (0..inst.n_jobs()).map(|j| inst.proc(j, 0)).collect();
     let b: Vec<Time> = (0..inst.n_jobs()).map(|j| inst.proc(j, 1)).collect();
     johnson_two_machine(&a, &b)
@@ -50,7 +54,7 @@ pub fn cds(inst: &FlowShopInstance) -> Vec<usize> {
             .collect();
         let perm = johnson_two_machine(&a, &b);
         let mk = decoder.makespan(&perm);
-        if best.as_ref().map_or(true, |(bmk, _)| mk < *bmk) {
+        if best.as_ref().is_none_or(|(bmk, _)| mk < *bmk) {
             best = Some((mk, perm));
         }
     }

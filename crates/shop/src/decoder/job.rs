@@ -99,7 +99,7 @@ impl<'a> JobDecoder<'a> {
                 let op = self.inst.op(j, next_op[j]);
                 let start = job_free[j].max(machine_free[op.machine]);
                 let done = start + op.duration;
-                if best.map_or(true, |(c, _)| done < c) {
+                if best.is_none_or(|(c, _)| done < c) {
                     best = Some((done, op.machine));
                 }
             }
@@ -118,7 +118,7 @@ impl<'a> JobDecoder<'a> {
                 let start = job_free[j].max(machine_free[m_star]);
                 if start < c_star {
                     let p = priority(j, next_op[j]);
-                    if chosen.map_or(true, |(_, bp)| p < bp) {
+                    if chosen.is_none_or(|(_, bp)| p < bp) {
                         chosen = Some((j, p));
                     }
                 }
@@ -171,7 +171,7 @@ impl<'a> JobDecoder<'a> {
                 }
                 let op = self.inst.op(j, next_op[j]);
                 let start = job_free[j].max(machine_free[op.machine]);
-                if min_start.map_or(true, |m| start < m) {
+                if min_start.is_none_or(|m| start < m) {
                     min_start = Some(start);
                 }
             }
@@ -187,7 +187,7 @@ impl<'a> JobDecoder<'a> {
                 let start = job_free[j].max(machine_free[op.machine]);
                 if start == t {
                     let p = priority(j, next_op[j]);
-                    if chosen.map_or(true, |(_, bp)| p < bp) {
+                    if chosen.is_none_or(|(_, bp)| p < bp) {
                         chosen = Some((j, p));
                     }
                 }
@@ -239,7 +239,7 @@ impl<'a> JobDecoder<'a> {
                 let op = self.inst.op(j, next_op[j]);
                 let start = job_free[j].max(machine_free[op.machine]);
                 let done = start + op.duration;
-                if best.map_or(true, |(c, _)| done < c) {
+                if best.is_none_or(|(c, _)| done < c) {
                     best = Some((done, op.machine));
                 }
             }
@@ -271,7 +271,7 @@ impl<'a> JobDecoder<'a> {
                     DispatchRule::Fifo => arrival as f64,
                     DispatchRule::Edd => self.inst.due(j) as f64,
                 };
-                if chosen.map_or(true, |(_, bs)| score < bs) {
+                if chosen.is_none_or(|(_, bs)| score < bs) {
                     chosen = Some((j, score));
                 }
             }
@@ -365,7 +365,7 @@ mod tests {
         // "all of job 0, then all of job 1, ..." serialisation easily.
         let inst = job_shop_uniform(&GenConfig::new(6, 4, 44));
         let d = JobDecoder::new(&inst);
-        let serial: Vec<usize> = (0..6).flat_map(|j| std::iter::repeat(j).take(4)).collect();
+        let serial: Vec<usize> = (0..6).flat_map(|j| std::iter::repeat_n(j, 4)).collect();
         let keys: Vec<f64> = vec![0.0; inst.total_ops()];
         let gt = d.gt_from_keys(&keys).makespan();
         let naive = d.semi_active(&serial).makespan();
@@ -376,7 +376,9 @@ mod tests {
     fn non_delay_is_feasible_and_never_idles_machines_needlessly() {
         let inst = job_shop_uniform(&GenConfig::new(6, 4, 77));
         let d = JobDecoder::new(&inst);
-        let keys: Vec<f64> = (0..inst.total_ops()).map(|i| (i * 13 % 29) as f64).collect();
+        let keys: Vec<f64> = (0..inst.total_ops())
+            .map(|i| (i * 13 % 29) as f64)
+            .collect();
         let s = d.non_delay_from_keys(&keys);
         s.validate_job(&inst).unwrap();
         // Non-delay property (spot check): at every op start, no other

@@ -27,11 +27,7 @@ pub enum Event {
 /// Right-shift repair: keeps every machine sequence and job order from
 /// `schedule` and pushes operations later until the breakdown window and
 /// all precedences are respected. Returns the repaired schedule.
-pub fn right_shift_repair(
-    inst: &JobShopInstance,
-    schedule: &Schedule,
-    event: Event,
-) -> Schedule {
+pub fn right_shift_repair(inst: &JobShopInstance, schedule: &Schedule, event: Event) -> Schedule {
     let Event::Breakdown {
         machine,
         from,
@@ -69,10 +65,7 @@ pub fn right_shift_repair(
 /// Splits `schedule` at `t`: operations that already *started* stay
 /// frozen; the rest are collected as a remaining operation multiset.
 /// Returns `(frozen ops, remaining op-sequence in original order)`.
-pub fn frozen_prefix(
-    schedule: &Schedule,
-    t: Time,
-) -> (Vec<ScheduledOp>, Vec<(usize, usize)>) {
+pub fn frozen_prefix(schedule: &Schedule, t: Time) -> (Vec<ScheduledOp>, Vec<(usize, usize)>) {
     let mut frozen = Vec::new();
     let mut remaining: Vec<ScheduledOp> = Vec::new();
     for &o in &schedule.ops {
@@ -83,7 +76,10 @@ pub fn frozen_prefix(
         }
     }
     remaining.sort_by_key(|o| (o.start, o.machine));
-    (frozen, remaining.into_iter().map(|o| (o.job, o.op)).collect())
+    (
+        frozen,
+        remaining.into_iter().map(|o| (o.job, o.op)).collect(),
+    )
 }
 
 /// Reschedules the suffix after `event`: frozen operations keep their
@@ -164,7 +160,11 @@ mod tests {
         };
         let repaired = right_shift_repair(&inst, &sched, event);
         repaired.validate_job(&inst).unwrap();
-        let Event::Breakdown { machine, from, duration } = event;
+        let Event::Breakdown {
+            machine,
+            from,
+            duration,
+        } = event;
         for o in repaired.ops.iter().filter(|o| o.machine == machine) {
             let overlaps = o.start < from + duration && o.end > from;
             assert!(!overlaps, "op {o:?} overlaps breakdown window");
@@ -194,8 +194,16 @@ mod tests {
         let (frozen, rest) = frozen_prefix(&sched, t);
         let re = reschedule_suffix(&inst, &frozen, &rest, event);
         re.validate_job(&inst).unwrap();
-        let Event::Breakdown { machine, from, duration } = event;
-        for o in re.ops.iter().filter(|o| o.machine == machine && o.start >= t) {
+        let Event::Breakdown {
+            machine,
+            from,
+            duration,
+        } = event;
+        for o in re
+            .ops
+            .iter()
+            .filter(|o| o.machine == machine && o.start >= t)
+        {
             let overlaps = o.start < from + duration && o.end > from;
             assert!(!overlaps);
         }

@@ -89,11 +89,7 @@ impl PowerProfile {
                 });
             }
         }
-        let mut events: Vec<Time> = schedule
-            .ops
-            .iter()
-            .flat_map(|o| [o.start, o.end])
-            .collect();
+        let mut events: Vec<Time> = schedule.ops.iter().flat_map(|o| [o.start, o.end]).collect();
         events.sort_unstable();
         events.dedup();
         let mut peak = 0.0f64;
@@ -122,12 +118,7 @@ impl PowerProfile {
 
     /// The Tang et al. [9] style bi-objective scalarisation:
     /// `w * makespan + (1 - w) * energy / energy_scale`.
-    pub fn energy_makespan_cost(
-        &self,
-        schedule: &Schedule,
-        w: f64,
-        energy_scale: f64,
-    ) -> f64 {
+    pub fn energy_makespan_cost(&self, schedule: &Schedule, w: f64, energy_scale: f64) -> f64 {
         assert!((0.0..=1.0).contains(&w) && energy_scale > 0.0);
         w * schedule.makespan() as f64 + (1.0 - w) * self.energy(schedule) / energy_scale
     }
@@ -141,9 +132,27 @@ mod tests {
     fn sched() -> Schedule {
         // M0: [0,3] and [5,7] (idle 2 in between); M1: [1,4].
         Schedule::new(vec![
-            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
-            ScheduledOp { job: 1, op: 0, machine: 0, start: 5, end: 7 },
-            ScheduledOp { job: 0, op: 1, machine: 1, start: 1, end: 4 },
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 0,
+                start: 0,
+                end: 3,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 0,
+                machine: 0,
+                start: 5,
+                end: 7,
+            },
+            ScheduledOp {
+                job: 0,
+                op: 1,
+                machine: 1,
+                start: 1,
+                end: 4,
+            },
         ])
     }
 

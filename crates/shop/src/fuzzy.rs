@@ -27,7 +27,10 @@ impl TriFuzzy {
         TriFuzzy { a: x, b: x, c: x }
     }
 
-    /// Fuzzy addition (exact for triangular numbers).
+    /// Fuzzy addition (exact for triangular numbers). The inherent name
+    /// is kept (rather than only `impl std::ops::Add`) so call sites work
+    /// without importing the trait.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: TriFuzzy) -> TriFuzzy {
         TriFuzzy {
             a: self.a + other.a,
@@ -168,9 +171,7 @@ impl FuzzyFlowShop {
         completion
             .iter()
             .zip(&self.due)
-            .map(|(c, d)| {
-                lambda * c.possibility_le(*d) + (1.0 - lambda) * c.necessity_le(*d)
-            })
+            .map(|(c, d)| lambda * c.possibility_le(*d) + (1.0 - lambda) * c.necessity_le(*d))
             .sum::<f64>()
             / n
     }

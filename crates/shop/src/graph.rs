@@ -272,7 +272,10 @@ mod tests {
         let graph_mk = g.makespan().unwrap();
         let semi_mk = d.semi_active_makespan(&seq);
         assert_eq!(graph_mk, semi_mk);
-        g.longest_path_schedule().unwrap().validate_job(&inst).unwrap();
+        g.longest_path_schedule()
+            .unwrap()
+            .validate_job(&inst)
+            .unwrap();
     }
 
     #[test]

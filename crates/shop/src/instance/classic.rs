@@ -8,8 +8,11 @@
 //! (55) is small enough to verify in tests; the larger optima are recorded
 //! for reference only.
 
+use super::flexible::{FlexOp, FlexibleInstance};
+use super::flow::FlowShopInstance;
 use super::generate::{job_shop_uniform, GenConfig};
 use super::job::JobShopInstance;
+use super::open::OpenShopInstance;
 use super::Op;
 
 /// A named benchmark instance with its best-known makespan.
@@ -48,16 +51,126 @@ pub fn ft06() -> Benchmark {
 /// Fisher–Thompson 10×10 (optimum 930).
 pub fn ft10() -> Benchmark {
     let data: &[&[(usize, u64)]] = &[
-        &[(0, 29), (1, 78), (2, 9), (3, 36), (4, 49), (5, 11), (6, 62), (7, 56), (8, 44), (9, 21)],
-        &[(0, 43), (2, 90), (4, 75), (9, 11), (3, 69), (1, 28), (6, 46), (5, 46), (7, 72), (8, 30)],
-        &[(1, 91), (0, 85), (3, 39), (2, 74), (8, 90), (5, 10), (7, 12), (6, 89), (9, 45), (4, 33)],
-        &[(1, 81), (2, 95), (0, 71), (4, 99), (6, 9), (8, 52), (7, 85), (3, 98), (9, 22), (5, 43)],
-        &[(2, 14), (0, 6), (1, 22), (5, 61), (3, 26), (4, 69), (8, 21), (7, 49), (9, 72), (6, 53)],
-        &[(2, 84), (1, 2), (5, 52), (3, 95), (8, 48), (9, 72), (0, 47), (6, 65), (4, 6), (7, 25)],
-        &[(1, 46), (0, 37), (3, 61), (2, 13), (6, 32), (5, 21), (9, 32), (8, 89), (7, 30), (4, 55)],
-        &[(2, 31), (0, 86), (1, 46), (5, 74), (4, 32), (6, 88), (8, 19), (9, 48), (7, 36), (3, 79)],
-        &[(0, 76), (1, 69), (3, 76), (5, 51), (2, 85), (9, 11), (6, 40), (7, 89), (4, 26), (8, 74)],
-        &[(1, 85), (0, 13), (2, 61), (6, 7), (8, 64), (9, 76), (5, 47), (3, 52), (4, 90), (7, 45)],
+        &[
+            (0, 29),
+            (1, 78),
+            (2, 9),
+            (3, 36),
+            (4, 49),
+            (5, 11),
+            (6, 62),
+            (7, 56),
+            (8, 44),
+            (9, 21),
+        ],
+        &[
+            (0, 43),
+            (2, 90),
+            (4, 75),
+            (9, 11),
+            (3, 69),
+            (1, 28),
+            (6, 46),
+            (5, 46),
+            (7, 72),
+            (8, 30),
+        ],
+        &[
+            (1, 91),
+            (0, 85),
+            (3, 39),
+            (2, 74),
+            (8, 90),
+            (5, 10),
+            (7, 12),
+            (6, 89),
+            (9, 45),
+            (4, 33),
+        ],
+        &[
+            (1, 81),
+            (2, 95),
+            (0, 71),
+            (4, 99),
+            (6, 9),
+            (8, 52),
+            (7, 85),
+            (3, 98),
+            (9, 22),
+            (5, 43),
+        ],
+        &[
+            (2, 14),
+            (0, 6),
+            (1, 22),
+            (5, 61),
+            (3, 26),
+            (4, 69),
+            (8, 21),
+            (7, 49),
+            (9, 72),
+            (6, 53),
+        ],
+        &[
+            (2, 84),
+            (1, 2),
+            (5, 52),
+            (3, 95),
+            (8, 48),
+            (9, 72),
+            (0, 47),
+            (6, 65),
+            (4, 6),
+            (7, 25),
+        ],
+        &[
+            (1, 46),
+            (0, 37),
+            (3, 61),
+            (2, 13),
+            (6, 32),
+            (5, 21),
+            (9, 32),
+            (8, 89),
+            (7, 30),
+            (4, 55),
+        ],
+        &[
+            (2, 31),
+            (0, 86),
+            (1, 46),
+            (5, 74),
+            (4, 32),
+            (6, 88),
+            (8, 19),
+            (9, 48),
+            (7, 36),
+            (3, 79),
+        ],
+        &[
+            (0, 76),
+            (1, 69),
+            (3, 76),
+            (5, 51),
+            (2, 85),
+            (9, 11),
+            (6, 40),
+            (7, 89),
+            (4, 26),
+            (8, 74),
+        ],
+        &[
+            (1, 85),
+            (0, 13),
+            (2, 61),
+            (6, 7),
+            (8, 64),
+            (9, 76),
+            (5, 47),
+            (3, 52),
+            (4, 90),
+            (7, 45),
+        ],
     ];
     Benchmark {
         name: "ft10",
@@ -142,6 +255,51 @@ pub fn abz_like(index: u32) -> Benchmark {
 /// All embedded exact benchmarks.
 pub fn all_exact() -> Vec<Benchmark> {
     vec![ft06(), ft10(), ft20(), la01()]
+}
+
+/// Textbook 5×3 permutation flow shop. Small enough that the optimal
+/// permutation makespan (46, over all 120 permutations) is verified by
+/// exhaustive search in the decoder test suite, so it anchors both the
+/// decoder and the heuristics (Johnson/CDS/Palmer/NEH) against ground
+/// truth rather than a transcribed best-known value.
+pub fn flow05() -> (FlowShopInstance, u64) {
+    let proc: Vec<Vec<u64>> = vec![
+        vec![5, 9, 8],
+        vec![9, 3, 10],
+        vec![9, 4, 5],
+        vec![4, 8, 8],
+        vec![3, 5, 6],
+    ];
+    let inst = FlowShopInstance::new(proc).expect("well-formed");
+    (inst, 46)
+}
+
+/// The classic 3×3 Latin-square open shop: every job needs 1, 2 and 3
+/// time units on some machine, arranged so each machine's load and each
+/// job's load are both 6. Its optimum equals the lower bound 6 (achieved
+/// by rotating jobs across machines in rounds), making it the standard
+/// example that open-shop optimal schedules can saturate every machine.
+pub fn open_latin3() -> (OpenShopInstance, u64) {
+    let proc: Vec<Vec<u64>> = vec![vec![1, 2, 3], vec![2, 3, 1], vec![3, 1, 2]];
+    let inst = OpenShopInstance::new(proc).expect("well-formed");
+    (inst, 6)
+}
+
+/// Textbook 3-job flexible job shop on 3 machines, 2 operations per job
+/// with two eligible machines each. Small enough that the decoder tests
+/// can check feasibility for *every* assignment vector exhaustively.
+pub fn flex03() -> FlexibleInstance {
+    let job = |ops: Vec<Vec<(usize, u64)>>| -> Vec<FlexOp> {
+        ops.into_iter()
+            .map(|c| FlexOp::new(c).expect("well-formed"))
+            .collect()
+    };
+    FlexibleInstance::new(vec![
+        job(vec![vec![(0, 3), (1, 5)], vec![(1, 2), (2, 4)]]),
+        job(vec![vec![(1, 4), (2, 2)], vec![(0, 3), (2, 5)]]),
+        job(vec![vec![(0, 2), (2, 3)], vec![(0, 6), (1, 3)]]),
+    ])
+    .expect("well-formed")
 }
 
 #[cfg(test)]

@@ -24,7 +24,9 @@ impl FlexOp {
     /// all durations must be positive.
     pub fn new(choices: Vec<(usize, Time)>) -> ShopResult<Self> {
         if choices.is_empty() {
-            return Err(ShopError::BadInstance("operation with no eligible machine".into()));
+            return Err(ShopError::BadInstance(
+                "operation with no eligible machine".into(),
+            ));
         }
         if choices.iter().any(|&(_, d)| d == 0) {
             return Err(ShopError::BadInstance("zero processing time".into()));
@@ -300,10 +302,7 @@ mod tests {
         // 2 jobs, stage 0 = machines {0,1}, stage 1 = machine {2}.
         FlexibleInstance::flexible_flow(
             &[vec![0, 1], vec![2]],
-            &[
-                vec![vec![4, 6], vec![3]],
-                vec![vec![2, 2], vec![5]],
-            ],
+            &[vec![vec![4, 6], vec![3]], vec![vec![2, 2], vec![5]]],
         )
         .unwrap()
     }
@@ -349,7 +348,9 @@ mod tests {
     fn lot_streaming_bad_fractions() {
         let inst = two_stage();
         let lots = LotStreaming::uniform(2, 10, 2);
-        assert!(lots.expand(&inst, &[vec![0.5, 0.6], vec![0.5, 0.5]]).is_err());
+        assert!(lots
+            .expand(&inst, &[vec![0.5, 0.6], vec![0.5, 0.5]])
+            .is_err());
         assert!(lots.expand(&inst, &[vec![1.0], vec![0.5, 0.5]]).is_err());
     }
 }

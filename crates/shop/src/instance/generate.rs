@@ -5,7 +5,9 @@
 //! the classic uniform `U[1,99]` processing times Taillard used, from a
 //! fixed seed so every experiment is reproducible bit-for-bit.
 
-use super::{FlexOp, FlexibleInstance, FlowShopInstance, JobMeta, JobShopInstance, Op, OpenShopInstance};
+use super::{
+    FlexOp, FlexibleInstance, FlowShopInstance, JobMeta, JobShopInstance, Op, OpenShopInstance,
+};
 use crate::setup::SetupMatrix;
 use crate::Time;
 use rand::prelude::*;
@@ -56,7 +58,11 @@ impl GenConfig {
 pub fn flow_shop_taillard(cfg: &GenConfig) -> FlowShopInstance {
     let mut rng = cfg.rng();
     let proc = (0..cfg.n_jobs)
-        .map(|_| (0..cfg.n_machines).map(|_| cfg.sample_time(&mut rng)).collect())
+        .map(|_| {
+            (0..cfg.n_machines)
+                .map(|_| cfg.sample_time(&mut rng))
+                .collect()
+        })
         .collect();
     FlowShopInstance::new(proc).expect("generator produces valid matrices")
 }
@@ -83,7 +89,11 @@ pub fn job_shop_uniform(cfg: &GenConfig) -> JobShopInstance {
 pub fn open_shop_uniform(cfg: &GenConfig) -> OpenShopInstance {
     let mut rng = cfg.rng();
     let proc = (0..cfg.n_jobs)
-        .map(|_| (0..cfg.n_machines).map(|_| cfg.sample_time(&mut rng)).collect())
+        .map(|_| {
+            (0..cfg.n_machines)
+                .map(|_| cfg.sample_time(&mut rng))
+                .collect()
+        })
         .collect();
     OpenShopInstance::new(proc).expect("generator produces valid matrices")
 }
@@ -168,13 +178,23 @@ pub fn due_date_meta(
     assert_eq!(job_work.len(), n_jobs);
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
     let release: Vec<Time> = (0..n_jobs)
-        .map(|_| if release_span == 0 { 0 } else { rng.gen_range(0..=release_span) })
+        .map(|_| {
+            if release_span == 0 {
+                0
+            } else {
+                rng.gen_range(0..=release_span)
+            }
+        })
         .collect();
     let due: Vec<Time> = (0..n_jobs)
         .map(|j| release[j] + (job_work[j] as f64 * tightness).ceil() as Time)
         .collect();
     let weight: Vec<f64> = (0..n_jobs).map(|_| rng.gen_range(1..=10) as f64).collect();
-    JobMeta { release, due, weight }
+    JobMeta {
+        release,
+        due,
+        weight,
+    }
 }
 
 /// Sequence-dependent setup-time matrix with setups uniform in

@@ -47,7 +47,9 @@ pub fn parse_job_shop(text: &str) -> ShopResult<JobShopInstance> {
                 )));
             }
             if dur == 0 {
-                return Err(ShopError::Parse(format!("job {j} stage {s}: zero duration")));
+                return Err(ShopError::Parse(format!(
+                    "job {j} stage {s}: zero duration"
+                )));
             }
             route.push(Op::new(machine, dur));
         }
@@ -145,10 +147,22 @@ mod tests {
     #[test]
     fn errors_reported() {
         assert!(matches!(parse_job_shop("1"), Err(ShopError::Parse(_))));
-        assert!(matches!(parse_job_shop("1 1 5 3 9"), Err(ShopError::Parse(_)))); // trailing
-        assert!(matches!(parse_job_shop("1 1 9 5"), Err(ShopError::Parse(_)))); // machine oob
-        assert!(matches!(parse_job_shop("1 1 0 0"), Err(ShopError::Parse(_)))); // zero duration
-        assert!(matches!(parse_flow_shop("2 2 1 2 3"), Err(ShopError::Parse(_))));
+        assert!(matches!(
+            parse_job_shop("1 1 5 3 9"),
+            Err(ShopError::Parse(_))
+        )); // trailing
+        assert!(matches!(
+            parse_job_shop("1 1 9 5"),
+            Err(ShopError::Parse(_))
+        )); // machine oob
+        assert!(matches!(
+            parse_job_shop("1 1 0 0"),
+            Err(ShopError::Parse(_))
+        )); // zero duration
+        assert!(matches!(
+            parse_flow_shop("2 2 1 2 3"),
+            Err(ShopError::Parse(_))
+        ));
     }
 
     #[test]

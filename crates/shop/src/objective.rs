@@ -57,11 +57,7 @@ pub fn evaluate(problem: &dyn Problem, schedule: &Schedule, criterion: Criterion
 /// Evaluates a criterion from precomputed [`JobOutcomes`] (avoids
 /// recomputing when several criteria are needed, as in the weighted
 /// bi-criteria islands of Rashidi [38]).
-pub fn evaluate_outcomes(
-    problem: &dyn Problem,
-    out: &JobOutcomes,
-    criterion: Criterion,
-) -> f64 {
+pub fn evaluate_outcomes(problem: &dyn Problem, out: &JobOutcomes, criterion: Criterion) -> f64 {
     match criterion {
         Criterion::Makespan => out.completion.iter().copied().max().unwrap_or(0) as f64,
         Criterion::WeightedCompletion => out
@@ -194,10 +190,34 @@ mod tests {
 
     fn sched() -> Schedule {
         Schedule::new(vec![
-            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
-            ScheduledOp { job: 0, op: 1, machine: 1, start: 3, end: 5 },
-            ScheduledOp { job: 1, op: 0, machine: 0, start: 3, end: 4 },
-            ScheduledOp { job: 1, op: 1, machine: 1, start: 5, end: 9 },
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 0,
+                start: 0,
+                end: 3,
+            },
+            ScheduledOp {
+                job: 0,
+                op: 1,
+                machine: 1,
+                start: 3,
+                end: 5,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 0,
+                machine: 0,
+                start: 3,
+                end: 4,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 1,
+                machine: 1,
+                start: 5,
+                end: 9,
+            },
         ])
     }
 

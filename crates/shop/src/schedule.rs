@@ -146,7 +146,14 @@ impl Schedule {
                 if w[1].start < w[0].end {
                     return Err(ShopError::Infeasible(format!(
                         "overlap on M{m}: ({},{}) [{}..{}] vs ({},{}) [{}..{}]",
-                        w[0].job, w[0].op, w[0].start, w[0].end, w[1].job, w[1].op, w[1].start, w[1].end
+                        w[0].job,
+                        w[0].op,
+                        w[0].start,
+                        w[0].end,
+                        w[1].job,
+                        w[1].op,
+                        w[1].start,
+                        w[1].end
                     )));
                 }
             }
@@ -154,8 +161,7 @@ impl Schedule {
 
         // Per-job exclusivity: a job is on at most one machine at a time.
         for j in 0..problem.n_jobs() {
-            let mut seq: Vec<&ScheduledOp> =
-                self.ops.iter().filter(|o| o.job == j).collect();
+            let mut seq: Vec<&ScheduledOp> = self.ops.iter().filter(|o| o.job == j).collect();
             seq.sort_by_key(|o| (o.start, o.end));
             for w in seq.windows(2) {
                 if w[1].start < w[0].end {
@@ -172,9 +178,7 @@ impl Schedule {
     /// Validates against a flow-shop instance: core conditions plus the
     /// fixed technological order `machine s` at stage `s`.
     pub fn validate_flow(&self, inst: &FlowShopInstance) -> ShopResult<()> {
-        self.validate_core(inst, &|j, s, m| {
-            (m == s).then(|| inst.proc(j, s))
-        })?;
+        self.validate_core(inst, &|j, s, m| (m == s).then(|| inst.proc(j, s)))?;
         self.check_stage_order(inst)
     }
 
@@ -192,9 +196,7 @@ impl Schedule {
     /// is interpreted as "the visit to machine `s`", with no order
     /// constraint between stages (open routing).
     pub fn validate_open(&self, inst: &OpenShopInstance) -> ShopResult<()> {
-        self.validate_core(inst, &|j, s, m| {
-            (m == s).then(|| inst.proc(j, s))
-        })
+        self.validate_core(inst, &|j, s, m| (m == s).then(|| inst.proc(j, s)))
     }
 
     /// Validates against a flexible instance: core conditions (machine
@@ -262,10 +264,7 @@ impl Schedule {
     /// Total idle time summed over machines (makespan - busy per machine).
     pub fn total_idle(&self, n_machines: usize) -> Time {
         let mk = self.makespan();
-        self.machine_busy(n_machines)
-            .iter()
-            .map(|&b| mk - b)
-            .sum()
+        self.machine_busy(n_machines).iter().map(|&b| mk - b).sum()
     }
 
     /// Renders a small ASCII Gantt chart (one row per machine), mostly for
@@ -302,10 +301,34 @@ mod tests {
     fn sched_ok() -> Schedule {
         // Permutation (0, 1) on the flow2 instance.
         Schedule::new(vec![
-            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
-            ScheduledOp { job: 0, op: 1, machine: 1, start: 3, end: 5 },
-            ScheduledOp { job: 1, op: 0, machine: 0, start: 3, end: 4 },
-            ScheduledOp { job: 1, op: 1, machine: 1, start: 5, end: 9 },
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 0,
+                start: 0,
+                end: 3,
+            },
+            ScheduledOp {
+                job: 0,
+                op: 1,
+                machine: 1,
+                start: 3,
+                end: 5,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 0,
+                machine: 0,
+                start: 3,
+                end: 4,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 1,
+                machine: 1,
+                start: 5,
+                end: 9,
+            },
         ])
     }
 
@@ -321,7 +344,10 @@ mod tests {
         let mut s = sched_ok();
         s.ops[2].start = 2; // overlaps job 0 on machine 0
         s.ops[2].end = 3;
-        assert!(matches!(s.validate_flow(&flow2()), Err(ShopError::Infeasible(_))));
+        assert!(matches!(
+            s.validate_flow(&flow2()),
+            Err(ShopError::Infeasible(_))
+        ));
     }
 
     #[test]
@@ -361,8 +387,7 @@ mod tests {
             due: vec![Time::MAX; 2],
             weight: vec![1.0; 2],
         };
-        let inst =
-            FlowShopInstance::with_meta(vec![vec![3, 2], vec![1, 4]], meta).unwrap();
+        let inst = FlowShopInstance::with_meta(vec![vec![3, 2], vec![1, 4]], meta).unwrap();
         assert!(sched_ok().validate_flow(&inst).is_err());
     }
 
@@ -374,10 +399,34 @@ mod tests {
         ])
         .unwrap();
         let s = Schedule::new(vec![
-            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
-            ScheduledOp { job: 0, op: 1, machine: 1, start: 3, end: 5 },
-            ScheduledOp { job: 1, op: 0, machine: 1, start: 0, end: 2 },
-            ScheduledOp { job: 1, op: 1, machine: 0, start: 3, end: 7 },
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 0,
+                start: 0,
+                end: 3,
+            },
+            ScheduledOp {
+                job: 0,
+                op: 1,
+                machine: 1,
+                start: 3,
+                end: 5,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 0,
+                machine: 1,
+                start: 0,
+                end: 2,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 1,
+                machine: 0,
+                start: 3,
+                end: 7,
+            },
         ]);
         assert!(s.validate_job(&inst).is_ok());
 
@@ -391,8 +440,20 @@ mod tests {
         // A job cannot run on two machines at once even if machines are free.
         let inst = JobShopInstance::new(vec![vec![Op::new(0, 3), Op::new(1, 2)]]).unwrap();
         let s = Schedule::new(vec![
-            ScheduledOp { job: 0, op: 0, machine: 0, start: 0, end: 3 },
-            ScheduledOp { job: 0, op: 1, machine: 1, start: 1, end: 3 },
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 0,
+                start: 0,
+                end: 3,
+            },
+            ScheduledOp {
+                job: 0,
+                op: 1,
+                machine: 1,
+                start: 1,
+                end: 3,
+            },
         ]);
         assert!(s.validate_job(&inst).is_err());
     }

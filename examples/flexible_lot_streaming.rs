@@ -51,7 +51,9 @@ fn main() {
 
     let decoder = FlexDecoder::new(&inst).with_setups(&setups);
     let schedule = decoder.decode(&best.genome.assign, &best.genome.seq);
-    schedule.validate_flexible(&inst).expect("feasible schedule");
+    schedule
+        .validate_flexible(&inst)
+        .expect("feasible schedule");
     println!("best makespan with lot streaming + SDST: {}", best.cost);
     println!("sublot -> original job map: {origin:?}");
     println!("{}", schedule.gantt(inst.n_machines(), 72));

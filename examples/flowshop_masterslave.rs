@@ -50,7 +50,11 @@ fn main() {
     let ms_best = ms_engine.run(&term);
 
     println!("sequential best:  {}", seq_best.cost);
-    println!("master-slave best: {} (identical: {})", ms_best.cost, seq_best.genome == ms_best.genome);
+    println!(
+        "master-slave best: {} (identical: {})",
+        ms_best.cost,
+        seq_best.genome == ms_best.genome
+    );
 
     // Price the run on the survey's platforms using the measured
     // evaluation cost.
@@ -73,6 +77,10 @@ fn main() {
         Platform::cuda_gpu(448, 0.1),
     ] {
         let t = master_slave_time(&shape, &p);
-        println!("predicted speedup on {:<12}: {:.2}x", p.name, speedup(t_seq, t));
+        println!(
+            "predicted speedup on {:<12}: {:.2}x",
+            p.name,
+            speedup(t_seq, t)
+        );
     }
 }

@@ -23,7 +23,7 @@ fn opseq_toolkit(inst: &JobShopInstance) -> Toolkit<Vec<usize>> {
             let mut seq: Vec<usize> = ops
                 .iter()
                 .enumerate()
-                .flat_map(|(j, &k)| std::iter::repeat(j).take(k))
+                .flat_map(|(j, &k)| std::iter::repeat_n(j, k))
                 .collect();
             seq.shuffle(rng);
             seq
@@ -57,7 +57,9 @@ fn main() {
         let best = islands.run(300);
 
         let schedule = JobDecoder::new(inst).semi_active(&best.genome);
-        schedule.validate_job(inst).expect("GA output must be feasible");
+        schedule
+            .validate_job(inst)
+            .expect("GA output must be feasible");
         println!(
             "{}: best {} (best known {}, gap {:+.1}%)",
             bench.name,

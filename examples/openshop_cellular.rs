@@ -23,9 +23,7 @@ fn main() {
             seq.shuffle(rng);
             seq
         }),
-        crossover: Box::new(|a, b, rng| {
-            (job_order(a, b, 12, rng), job_order(b, a, 12, rng))
-        }),
+        crossover: Box::new(|a, b, rng| (job_order(a, b, 12, rng), job_order(b, a, 12, rng))),
         mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
         seq_view: Some(Box::new(|g: &Vec<usize>| g.clone())),
     };

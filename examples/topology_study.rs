@@ -28,7 +28,7 @@ fn main() {
                 let mut seq: Vec<usize> = ops
                     .iter()
                     .enumerate()
-                    .flat_map(|(j, &k)| std::iter::repeat(j).take(k))
+                    .flat_map(|(j, &k)| std::iter::repeat_n(j, k))
                     .collect();
                 seq.shuffle(rng);
                 seq
@@ -49,7 +49,10 @@ fn main() {
         ("random/epoch", Topology::RandomEpoch { seed: 5 }),
     ];
 
-    println!("{:<16} {:>9} {:>10} {:>10}", "topology", "best", "messages", "migrants");
+    println!(
+        "{:<16} {:>9} {:>10} {:>10}",
+        "topology", "best", "messages", "migrants"
+    );
     for (name, topo) in topologies {
         let base = ga::engine::GaConfig {
             pop_size: 12,

@@ -1,0 +1,249 @@
+//! Offline shim for the `criterion` API subset the workspace benches
+//! use. No crates.io mirror is reachable, so benches link against this
+//! minimal harness: each benchmark runs its closure for the configured
+//! measurement window and prints a `name ... mean ns/iter` line. The
+//! statistical machinery of real criterion (outlier analysis, HTML
+//! reports) is intentionally absent; the point is that `cargo bench`
+//! compiles, links and produces comparable wall-time numbers offline.
+
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub mod measurement {
+    /// Marker for wall-clock measurement (the only one supported).
+    pub struct WallTime;
+}
+
+/// How `iter_batched` amortises setup; accepted and ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Two-part benchmark identifier, `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Re-export position matches real criterion (`criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy)]
+struct Settings {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings {
+            sample_size: 20,
+            warm_up: Duration::from_millis(200),
+            measurement: Duration::from_millis(600),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    pub fn benchmark_group(
+        &mut self,
+        name: impl Into<String>,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings,
+            _criterion: PhantomData,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let settings = self.settings;
+        run_one(&name.into(), settings, f);
+        self
+    }
+
+    /// Matches real criterion's `Criterion::default().configure_from_args()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a, M> {
+    name: String,
+    settings: Settings,
+    _criterion: PhantomData<&'a mut M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.settings.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement = d;
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into()), self.settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.id), self.settings, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, settings: Settings, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    // Warm-up and calibration: grow the iteration count until one sample
+    // is long enough to time reliably.
+    let warm_up_end = Instant::now() + settings.warm_up;
+    loop {
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        if Instant::now() >= warm_up_end {
+            break;
+        }
+        if b.elapsed < Duration::from_micros(100) {
+            b.iters = (b.iters * 2).min(1 << 24);
+        }
+    }
+    let per_sample = b.iters;
+    let mut total = Duration::ZERO;
+    let mut total_iters: u64 = 0;
+    let measure_end = Instant::now() + settings.measurement;
+    for _ in 0..settings.sample_size {
+        b.iters = per_sample;
+        b.elapsed = Duration::ZERO;
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += per_sample;
+        if Instant::now() >= measure_end {
+            break;
+        }
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    println!("bench: {name:<55} {mean_ns:>12.1} ns/iter ({total_iters} iters)");
+}
+
+/// Passed to benchmark closures; times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_simple_loop() {
+        let mut c = Criterion {
+            settings: Settings {
+                sample_size: 2,
+                warm_up: Duration::from_millis(1),
+                measurement: Duration::from_millis(5),
+            },
+        };
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        g.finish();
+    }
+}

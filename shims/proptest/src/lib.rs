@@ -1,0 +1,251 @@
+//! Offline shim for the `proptest` API subset `tests/properties.rs`
+//! uses: the `proptest!` macro with `arg in strategy` bindings,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, range and tuple
+//! strategies, `prop::collection::vec`, `Strategy::prop_map` and
+//! `ProptestConfig::with_cases`.
+//!
+//! Unlike real proptest there is no shrinking and no persisted failure
+//! file: each test runs `cases` deterministic iterations, case `k`
+//! drawing its inputs from [`case_rng`]`(k)` (ChaCha8 seeded with
+//! `PROPTEST_SEED ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15)`).
+//! Failures therefore reproduce exactly on re-run, which is what CI
+//! needs; shrinking is a luxury the offline environment trades away.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const PROPTEST_SEED: u64 = 0x5eed_cafe_f00d_0001;
+
+/// Per-test run configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Deterministic RNG for case `k` of a property test.
+pub fn case_rng(case: u64) -> ChaCha8Rng {
+    ChaCha8Rng::seed_from_u64(PROPTEST_SEED ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value;
+
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut ChaCha8Rng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut ChaCha8Rng) -> $t {
+                use rand::Rng;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, i64, i32);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut ChaCha8Rng) -> f64 {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut ChaCha8Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+pub mod collection {
+    use super::{ChaCha8Rng, Strategy};
+
+    /// Accepted sizes for [`vec`]: an exact length or a length range.
+    pub trait SizeRange {
+        fn pick(&self, rng: &mut ChaCha8Rng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut ChaCha8Rng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut ChaCha8Rng) -> usize {
+            use rand::Rng;
+            rng.gen_range(self.clone())
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Box<dyn SizeRange>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut ChaCha8Rng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl SizeRange + 'static) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: Box::new(size),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+
+    /// Mirror of real proptest's `prelude::prop` re-export module.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The `proptest!` test-block macro. Each contained `#[test] fn` becomes
+/// a standard test running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@tests $cfg; $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest!(@tests $crate::ProptestConfig::default(); $(#[test] fn $name($($arg in $strat),*) $body)*);
+    };
+    (@tests $cfg:expr; $(#[test] fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases as u64 {
+                    let mut __proptest_rng = $crate::case_rng(case);
+                    $(let $arg = $crate::Strategy::generate(&$strat, &mut __proptest_rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn evens() -> impl Strategy<Value = u64> {
+        (0u64..100).prop_map(|v| v * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9, f in 0.0f64..1.0) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in prop::collection::vec((0u64..10, 0.0f64..1.0), 1..5),
+            e in evens(),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert_eq!(e % 2, 0);
+            prop_assert_ne!(e, 1);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        let s = 0u64..1_000_000;
+        let a: Vec<u64> = (0..10)
+            .map(|k| s.generate(&mut crate::case_rng(k)))
+            .collect();
+        let b: Vec<u64> = (0..10)
+            .map(|k| s.generate(&mut crate::case_rng(k)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

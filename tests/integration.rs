@@ -2,9 +2,7 @@
 //! from `pga`, decoding and validation from `shop`, and cost predictions
 //! from `hpc` working together through the public API.
 
-use ga::crossover::RepCrossover;
-use ga::engine::{Engine, GaConfig, Toolkit};
-use ga::mutate::SeqMutation;
+use ga::engine::{Engine, GaConfig};
 use ga::termination::Termination;
 use pga::cellular::{CellularConfig, CellularGa};
 use pga::island::{IslandConfig, IslandGa};
@@ -12,28 +10,9 @@ use pga::master_slave::RayonEvaluator;
 use pga::migration::MigrationConfig;
 use shop::decoder::job::JobDecoder;
 use shop::instance::classic;
-use shop::instance::JobShopInstance;
-use shop::Problem;
 
-fn opseq_toolkit(inst: &JobShopInstance) -> Toolkit<Vec<usize>> {
-    let n_jobs = inst.n_jobs();
-    let ops: Vec<usize> = (0..n_jobs).map(|j| inst.n_ops(j)).collect();
-    Toolkit {
-        init: Box::new(move |rng| {
-            use rand::seq::SliceRandom;
-            let mut seq: Vec<usize> = ops
-                .iter()
-                .enumerate()
-                .flat_map(|(j, &k)| std::iter::repeat(j).take(k))
-                .collect();
-            seq.shuffle(rng);
-            seq
-        }),
-        crossover: Box::new(move |a, b, rng| RepCrossover::JobOrder.apply(a, b, n_jobs, rng)),
-        mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
-        seq_view: Some(Box::new(|g: &Vec<usize>| g.clone())),
-    }
-}
+mod common;
+use common::opseq_toolkit;
 
 #[test]
 fn island_ga_solves_ft06_close_to_optimum() {

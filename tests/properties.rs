@@ -17,7 +17,6 @@ use shop::instance::generate::{
     flexible_job_shop, flow_shop_taillard, job_shop_uniform, open_shop_uniform, GenConfig,
 };
 use shop::objective::{dominates, pareto_front};
-use shop::Problem;
 
 /// An arbitrary permutation of `0..n` built from a shuffle-key vector.
 fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
