@@ -1,0 +1,125 @@
+//! Serving-path micro-bench: requests/sec against an in-process
+//! `serve::Service` on `ft06`, cached (same cache key every request)
+//! vs. cold (fresh seed ⇒ cache miss ⇒ full portfolio race each
+//! request). Besides the criterion lines, the measured throughput is
+//! written to `BENCH_serve.json` in the working directory so the
+//! serving path has a tracked performance record (the file is
+//! gitignored; numbers are machine-local).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use serve::json::obj;
+use serve::protocol::{encode_request, InstanceSpec, Objective, SolveRequest};
+use serve::{ServeConfig, Service};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+struct Client {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("timeout");
+        // Without TCP_NODELAY, Nagle + delayed ACK adds ~40 ms per
+        // request/response pair and drowns the cached path entirely.
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.writer, "{line}").expect("send");
+        self.writer.flush().expect("flush");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("receive");
+        response
+    }
+}
+
+fn solve_line(seed: u64) -> String {
+    encode_request(&SolveRequest {
+        id: None,
+        instance: InstanceSpec::Named("ft06".into()),
+        objective: Objective::Makespan,
+        seed,
+        deadline_ms: 200,
+    })
+}
+
+/// Requests/sec over `window` for requests produced by `next_line`.
+fn throughput(client: &mut Client, window: Duration, mut next_line: impl FnMut() -> String) -> f64 {
+    let started = Instant::now();
+    let mut done = 0u64;
+    while started.elapsed() < window {
+        let response = client.roundtrip(&next_line());
+        assert!(response.contains("\"status\":\"ok\""), "bad response");
+        done += 1;
+    }
+    done as f64 / started.elapsed().as_secs_f64()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let service = Service::bind(ServeConfig {
+        // Small caps keep a cold ft06 race in the low milliseconds so
+        // the bench finishes quickly; the cached path is cap-independent.
+        gen_cap: 40,
+        racers: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+
+    // Warm the cache entry the "cached" benchmark hits.
+    let mut client = Client::connect(addr);
+    client.roundtrip(&solve_line(42));
+
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    g.bench_function("request_ft06_cached", |b| {
+        b.iter(|| client.roundtrip(&solve_line(42)))
+    });
+    let mut cold_seed = 1_000u64;
+    g.bench_function("request_ft06_cold", |b| {
+        b.iter(|| {
+            cold_seed += 1;
+            client.roundtrip(&solve_line(cold_seed))
+        })
+    });
+    g.finish();
+
+    // Throughput record for BENCH_serve.json.
+    let cached_rps = throughput(&mut client, Duration::from_millis(400), || solve_line(42));
+    let mut seed = 10_000u64;
+    let cold_rps = throughput(&mut client, Duration::from_millis(400), || {
+        seed += 1;
+        solve_line(seed)
+    });
+    let report = obj([
+        ("bench", "serve_throughput".into()),
+        ("instance", "ft06".into()),
+        ("deadline_ms", 200u64.into()),
+        ("cached_requests_per_sec", cached_rps.into()),
+        ("cold_requests_per_sec", cold_rps.into()),
+        ("speedup_cached_over_cold", (cached_rps / cold_rps).into()),
+    ]);
+    // Workspace root, so the record sits next to the other top-level
+    // reports regardless of where cargo runs the bench from.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(path, format!("{}\n", report.encode())).expect("write report");
+    println!("BENCH_serve.json: {}", report.encode());
+
+    drop(client);
+    service.shutdown();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -86,6 +86,56 @@ pub struct Individual<G> {
     pub cost: f64,
 }
 
+/// Snapshot a generational model reports to [`run_anytime`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnytimeStatus {
+    pub generation: u64,
+    pub evaluations: u64,
+    pub best_cost: f64,
+}
+
+/// Drives any generational model until `termination` fires, invoking
+/// `on_best` on the initial best and on every improvement — the one
+/// shared anytime loop behind the parallel models' `run_until_observed`
+/// entry points (wall time is measured from this call; improvement
+/// stagnation is tracked here, per call, from the model's best cost).
+pub fn run_anytime<M, G: Clone>(
+    model: &mut M,
+    termination: &Termination,
+    status: &dyn Fn(&M) -> AnytimeStatus,
+    step: &dyn Fn(&mut M),
+    best: &dyn Fn(&M) -> Individual<G>,
+    on_best: &mut dyn FnMut(&Individual<G>),
+) -> Individual<G> {
+    let started = Instant::now();
+    let mut since_improvement = 0u64;
+    let mut last_best = status(model).best_cost;
+    on_best(&best(model));
+    loop {
+        let s = status(model);
+        let progress = Progress {
+            generation: s.generation,
+            evaluations: s.evaluations,
+            elapsed: started.elapsed(),
+            best_cost: s.best_cost,
+            generations_since_improvement: since_improvement,
+        };
+        if termination.should_stop(&progress) {
+            break;
+        }
+        step(model);
+        let now_best = status(model).best_cost;
+        if now_best < last_best {
+            last_best = now_best;
+            since_improvement = 0;
+            on_best(&best(model));
+        } else {
+            since_improvement += 1;
+        }
+    }
+    best(model)
+}
+
 /// The engine itself. Create with [`Engine::new`], advance with
 /// [`Engine::step`] or [`Engine::run`].
 pub struct Engine<'a, G> {
@@ -260,6 +310,21 @@ impl<'a, G: Clone> Engine<'a, G> {
 
     /// Runs until `termination` fires; returns the best individual found.
     pub fn run(&mut self, termination: &Termination) -> Individual<G> {
+        self.run_observed(termination, &mut |_| {})
+    }
+
+    /// Like [`run`](Self::run), but invokes `on_best` every time the
+    /// best-so-far individual improves (including once for the initial
+    /// best before the first generation). This is the anytime hook: a
+    /// caller racing several solvers against a deadline extracts each
+    /// improvement the moment it happens instead of waiting for the run
+    /// to finish.
+    pub fn run_observed(
+        &mut self,
+        termination: &Termination,
+        on_best: &mut dyn FnMut(&Individual<G>),
+    ) -> Individual<G> {
+        on_best(&self.best);
         loop {
             let progress = Progress {
                 generation: self.generation,
@@ -271,7 +336,11 @@ impl<'a, G: Clone> Engine<'a, G> {
             if termination.should_stop(&progress) {
                 break;
             }
+            let before = self.best.cost;
             self.step();
+            if self.best.cost < before {
+                on_best(&self.best);
+            }
         }
         self.best.clone()
     }
@@ -443,6 +512,26 @@ mod tests {
         // Tiny instance: the GA should actually sort it.
         assert_eq!(e.best().cost, 0.0);
         assert!(e.generation() < 500);
+    }
+
+    #[test]
+    fn run_observed_reports_every_improvement() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let cfg = GaConfig {
+            pop_size: 40,
+            seed: 11,
+            ..GaConfig::default()
+        };
+        let mut e = Engine::new(cfg, perm_toolkit(12), &eval);
+        let mut seen: Vec<f64> = Vec::new();
+        let best = e.run_observed(&Termination::Generations(60), &mut |ind| {
+            seen.push(ind.cost);
+        });
+        // First report is the initial best, last is the final best, and
+        // the sequence is strictly decreasing.
+        assert!(seen.len() >= 2, "expected at least one improvement");
+        assert_eq!(*seen.last().unwrap(), best.cost);
+        assert!(seen.windows(2).all(|w| w[1] < w[0]));
     }
 
     #[test]

@@ -1,7 +1,19 @@
 //! Termination criteria ("while termination criteria are not satisfied",
-//! survey Tables II–V). Composable: any satisfied criterion stops the run.
+//! survey Tables II–V). Composable with [`Termination::Any`] /
+//! [`Termination::All`]; both combinators evaluate their children
+//! left-to-right and short-circuit on the first decisive child (`Any`
+//! stops at the first satisfied criterion, `All` at the first
+//! unsatisfied one), so cheap criteria should be listed first.
+//!
+//! Clock handling: a whole criterion tree is evaluated against *one*
+//! clock snapshot. [`Termination::should_stop`] reads `Instant::now()`
+//! exactly once and hands it down to every nested [`Deadline`]
+//! (`Termination::Deadline`) check via [`Termination::should_stop_at`],
+//! so two deadlines in one combinator can never disagree about what
+//! time it is — and tests can drive the clock by hand instead of
+//! sleeping.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A stopping rule for a GA run.
 #[derive(Debug, Clone)]
@@ -10,14 +22,22 @@ pub enum Termination {
     Generations(u64),
     /// Stop after this many fitness evaluations.
     Evaluations(u64),
-    /// Stop after this much wall-clock time (AitZai's fixed 300 s budget).
+    /// Stop after this much wall-clock time (AitZai's fixed 300 s budget),
+    /// measured from the run's own start via [`Progress::elapsed`].
     WallTime(Duration),
+    /// Stop at an absolute wall-clock instant — the *anytime* criterion
+    /// the solver service races against. Unlike [`Termination::WallTime`]
+    /// the deadline is shared by every portfolio member regardless of
+    /// when each one started.
+    Deadline(Instant),
     /// Stop when the best cost reaches the target or below.
     TargetCost(f64),
     /// Stop after this many generations without best-cost improvement.
     Stagnation(u64),
-    /// Stop when *any* inner criterion fires.
+    /// Stop when *any* inner criterion fires (false when empty).
     Any(Vec<Termination>),
+    /// Stop only when *every* inner criterion fires (true when empty).
+    All(Vec<Termination>),
 }
 
 /// Snapshot of run progress that criteria are checked against.
@@ -31,16 +51,30 @@ pub struct Progress {
 }
 
 impl Termination {
-    /// True when the run should stop.
-    pub fn should_stop(&self, p: &Progress) -> bool {
+    /// True when the run should stop, judged at clock instant `now`.
+    /// `now` is threaded through combinators unchanged, so an entire
+    /// criterion tree sees a single consistent clock reading.
+    pub fn should_stop_at(&self, p: &Progress, now: Instant) -> bool {
         match self {
             Termination::Generations(g) => p.generation >= *g,
             Termination::Evaluations(e) => p.evaluations >= *e,
             Termination::WallTime(t) => p.elapsed >= *t,
+            Termination::Deadline(d) => now >= *d,
             Termination::TargetCost(c) => p.best_cost <= *c,
             Termination::Stagnation(s) => p.generations_since_improvement >= *s,
-            Termination::Any(list) => list.iter().any(|t| t.should_stop(p)),
+            Termination::Any(list) => list.iter().any(|t| t.should_stop_at(p, now)),
+            Termination::All(list) => list.iter().all(|t| t.should_stop_at(p, now)),
         }
+    }
+
+    /// True when the run should stop, judged at the current instant.
+    pub fn should_stop(&self, p: &Progress) -> bool {
+        self.should_stop_at(p, Instant::now())
+    }
+
+    /// Convenience: a deadline `budget` from now.
+    pub fn deadline_in(budget: Duration) -> Self {
+        Termination::Deadline(Instant::now() + budget)
     }
 }
 
@@ -81,5 +115,91 @@ mod tests {
         assert!(t.should_stop(&p));
         let t2 = Termination::Any(vec![Termination::Generations(100)]);
         assert!(!t2.should_stop(&p));
+        assert!(!Termination::Any(vec![]).should_stop(&p));
+    }
+
+    #[test]
+    fn all_combinator() {
+        let p = progress();
+        let both = Termination::All(vec![
+            Termination::Generations(10),
+            Termination::TargetCost(50.0),
+        ]);
+        assert!(both.should_stop(&p));
+        let one_unmet = Termination::All(vec![
+            Termination::Generations(10),
+            Termination::TargetCost(41.0),
+        ]);
+        assert!(!one_unmet.should_stop(&p));
+        assert!(Termination::All(vec![]).should_stop(&p));
+    }
+
+    // The Deadline tests drive the clock by hand through
+    // `should_stop_at`: one base `Instant` plus offsets, no sleeping.
+    #[test]
+    fn deadline_with_mocked_clock() {
+        let p = progress();
+        let t0 = Instant::now();
+        let d = Termination::Deadline(t0 + Duration::from_millis(100));
+        assert!(!d.should_stop_at(&p, t0));
+        assert!(!d.should_stop_at(&p, t0 + Duration::from_millis(99)));
+        assert!(d.should_stop_at(&p, t0 + Duration::from_millis(100)));
+        assert!(d.should_stop_at(&p, t0 + Duration::from_secs(10)));
+    }
+
+    #[test]
+    fn combinators_share_one_clock_snapshot() {
+        // Two identical deadlines inside one combinator must agree at
+        // every instant — Any(d, d) and All(d, d) are equivalent to d.
+        let p = progress();
+        let t0 = Instant::now();
+        let d = Termination::Deadline(t0 + Duration::from_millis(50));
+        let any = Termination::Any(vec![d.clone(), d.clone()]);
+        let all = Termination::All(vec![d.clone(), d.clone()]);
+        for off_ms in [0u64, 49, 50, 51, 1000] {
+            let now = t0 + Duration::from_millis(off_ms);
+            let expect = d.should_stop_at(&p, now);
+            assert_eq!(any.should_stop_at(&p, now), expect);
+            assert_eq!(all.should_stop_at(&p, now), expect);
+        }
+    }
+
+    #[test]
+    fn nested_combinators_short_circuit_consistently() {
+        let p = progress();
+        let t0 = Instant::now();
+        // Any(sat, unsat-deadline-in-the-future): must stop regardless of
+        // the clock — the satisfied head short-circuits.
+        let t = Termination::Any(vec![
+            Termination::Generations(10),
+            Termination::Deadline(t0 + Duration::from_secs(3600)),
+        ]);
+        assert!(t.should_stop_at(&p, t0));
+        // All(unsat, sat): the unsatisfied head short-circuits to false.
+        let t = Termination::All(vec![
+            Termination::Generations(11),
+            Termination::Deadline(t0),
+        ]);
+        assert!(!t.should_stop_at(&p, t0));
+        // Deep nesting mixes fine.
+        let deep = Termination::All(vec![
+            Termination::Any(vec![
+                Termination::Deadline(t0 + Duration::from_secs(1)),
+                Termination::Stagnation(3),
+            ]),
+            Termination::Generations(10),
+        ]);
+        assert!(deep.should_stop_at(&p, t0));
+    }
+
+    #[test]
+    fn deadline_in_is_a_future_deadline() {
+        let p = progress();
+        let t = Termination::deadline_in(Duration::from_secs(3600));
+        assert!(!t.should_stop(&p));
+        let Termination::Deadline(d) = t else {
+            panic!("deadline_in must build a Deadline");
+        };
+        assert!(d > Instant::now());
     }
 }

@@ -225,6 +225,34 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         self.best.clone()
     }
 
+    /// Runs until a [`ga::termination::Termination`] criterion fires
+    /// (evaluated on the whole grid's progress).
+    pub fn run_until(&mut self, termination: &ga::termination::Termination) -> Individual<G> {
+        self.run_until_observed(termination, &mut |_| {})
+    }
+
+    /// Like [`run_until`](Self::run_until), but invokes `on_best` on the
+    /// initial best and on every subsequent improvement — the anytime
+    /// best-so-far hook used by portfolio racing.
+    pub fn run_until_observed(
+        &mut self,
+        termination: &ga::termination::Termination,
+        on_best: &mut dyn FnMut(&Individual<G>),
+    ) -> Individual<G> {
+        ga::engine::run_anytime(
+            self,
+            termination,
+            &|m| ga::engine::AnytimeStatus {
+                generation: m.generation,
+                evaluations: m.telemetry.evaluations,
+                best_cost: m.best.cost,
+            },
+            &|m| m.step(),
+            &|m| m.best.clone(),
+            on_best,
+        )
+    }
+
     pub fn best(&self) -> &Individual<G> {
         &self.best
     }

@@ -310,29 +310,29 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
     /// Runs until a [`ga::termination::Termination`] criterion fires
     /// (evaluated on the island model's global progress).
     pub fn run_until(&mut self, termination: &ga::termination::Termination) -> Individual<G> {
-        let started = std::time::Instant::now();
-        let mut last_best = self.best_overall.cost;
-        let mut since_improvement = 0u64;
-        loop {
-            let progress = ga::termination::Progress {
-                generation: self.generation,
-                evaluations: self.telemetry.evaluations,
-                elapsed: started.elapsed(),
-                best_cost: self.best_overall.cost,
-                generations_since_improvement: since_improvement,
-            };
-            if termination.should_stop(&progress) {
-                break;
-            }
-            self.step_generation();
-            if self.best_overall.cost < last_best {
-                last_best = self.best_overall.cost;
-                since_improvement = 0;
-            } else {
-                since_improvement += 1;
-            }
-        }
-        self.best_overall.clone()
+        self.run_until_observed(termination, &mut |_| {})
+    }
+
+    /// Like [`run_until`](Self::run_until), but invokes `on_best` on the
+    /// initial global best and on every subsequent improvement — the
+    /// anytime best-so-far hook used by portfolio racing.
+    pub fn run_until_observed(
+        &mut self,
+        termination: &ga::termination::Termination,
+        on_best: &mut dyn FnMut(&Individual<G>),
+    ) -> Individual<G> {
+        ga::engine::run_anytime(
+            self,
+            termination,
+            &|m| ga::engine::AnytimeStatus {
+                generation: m.generation,
+                evaluations: m.telemetry.evaluations,
+                best_cost: m.best_overall.cost,
+            },
+            &|m| m.step_generation(),
+            &|m| m.best_overall.clone(),
+            on_best,
+        )
     }
 
     /// Best individual found so far across all islands (including merged

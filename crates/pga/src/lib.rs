@@ -33,9 +33,14 @@ pub mod migration;
 pub mod telemetry;
 pub mod topology;
 
+// Facade re-exports: every type a downstream consumer (notably the
+// `serve` crate's portfolio) needs to configure, run and observe the
+// parallel models is available at the crate root — reaching into the
+// modules is never required for the public surface.
 pub use cellular::{CellularConfig, CellularGa, NeighborhoodShape};
-pub use island::{IslandConfig, IslandGa};
+pub use hybrid::{cellular_style_islands, IslandsOfCellular};
+pub use island::{IslandConfig, IslandGa, MergeRule};
 pub use master_slave::{BatchedEvaluator, DistributedSlavesGa, RayonEvaluator};
 pub use migration::{MigrationConfig, MigrationPolicy};
-pub use telemetry::RunTelemetry;
+pub use telemetry::{RequestTelemetry, RunTelemetry};
 pub use topology::Topology;

@@ -24,6 +24,7 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Wraps any evaluator so batches are mapped in parallel with rayon.
+#[derive(Clone)]
 pub struct RayonEvaluator<E> {
     inner: E,
 }
@@ -31,6 +32,16 @@ pub struct RayonEvaluator<E> {
 impl<E> RayonEvaluator<E> {
     pub fn new(inner: E) -> Self {
         RayonEvaluator { inner }
+    }
+}
+
+// The wrapped evaluator is usually a closure, so Debug is implemented by
+// hand rather than derived (a `E: Debug` bound would exclude closures).
+impl<E> std::fmt::Debug for RayonEvaluator<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RayonEvaluator")
+            .field("inner", &std::any::type_name::<E>())
+            .finish()
     }
 }
 
@@ -52,6 +63,16 @@ pub struct BatchedEvaluator<E> {
     inner: E,
     batch_size: usize,
     batches_dispatched: AtomicU64,
+}
+
+impl<E> std::fmt::Debug for BatchedEvaluator<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchedEvaluator")
+            .field("inner", &std::any::type_name::<E>())
+            .field("batch_size", &self.batch_size)
+            .field("batches_dispatched", &self.batches())
+            .finish()
+    }
 }
 
 impl<E> BatchedEvaluator<E> {

@@ -36,9 +36,67 @@ impl RunTelemetry {
     }
 }
 
+/// Per-request telemetry for a *served* solve: what the anytime solver
+/// service records about one request racing a portfolio of parallel
+/// models against a deadline. Structural counters per model are the
+/// same [`RunTelemetry`] the cost models consume.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTelemetry {
+    /// Time the request waited in the service queue before a worker
+    /// picked it up.
+    pub queue_wait: std::time::Duration,
+    /// Wall-clock time spent solving (zero for cache hits).
+    pub solve_time: std::time::Duration,
+    /// Chromosome decodes (= fitness evaluations) across all portfolio
+    /// members.
+    pub decode_count: u64,
+    /// Name of the portfolio member that produced the returned solution
+    /// (`None` for cache hits).
+    pub winning_model: Option<String>,
+    /// Structural counters per portfolio member, by model name.
+    pub models: Vec<(String, RunTelemetry)>,
+    /// True when the response was served from the solution cache.
+    pub cache_hit: bool,
+}
+
+impl RequestTelemetry {
+    /// Sums decode counts from the per-model counters into
+    /// `decode_count` and returns self (builder-style).
+    pub fn with_decodes_from_models(mut self) -> Self {
+        self.decode_count = self.models.iter().map(|(_, t)| t.evaluations).sum();
+        self
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn request_telemetry_sums_model_decodes() {
+        let t = RequestTelemetry {
+            models: vec![
+                (
+                    "island".into(),
+                    RunTelemetry {
+                        evaluations: 120,
+                        ..Default::default()
+                    },
+                ),
+                (
+                    "cellular".into(),
+                    RunTelemetry {
+                        evaluations: 80,
+                        ..Default::default()
+                    },
+                ),
+            ],
+            ..Default::default()
+        }
+        .with_decodes_from_models();
+        assert_eq!(t.decode_count, 200);
+        assert!(!t.cache_hit);
+    }
 
     #[test]
     fn mean_evals() {

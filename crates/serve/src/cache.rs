@@ -1,0 +1,151 @@
+//! The LRU solution cache.
+//!
+//! Keyed by the *canonical* instance hash (see
+//! `shop::instance::hash`) plus objective and seed, so repeated traffic
+//! for the same problem — however the instance text was formatted, and
+//! whether it arrived inline or as a named classic — is answered in
+//! microseconds with a bit-identical solution. The deadline is
+//! deliberately **not** part of the key: the cache memoises the best
+//! schedule the service has found for the keyed problem, and replaying
+//! it is always at least as good as re-racing under any deadline.
+
+use crate::protocol::{Objective, Solution};
+use std::collections::HashMap;
+
+/// What uniquely identifies a solve, for caching purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// `CanonicalHash::canonical_hash` of the parsed instance.
+    pub instance: u64,
+    pub objective: Objective,
+    pub seed: u64,
+}
+
+struct Entry {
+    stamp: u64,
+    solution: Solution,
+}
+
+/// A fixed-capacity least-recently-used map from [`CacheKey`] to the
+/// memoised [`Solution`]. Recency is tracked with a monotonic stamp;
+/// eviction scans for the minimum, which is O(capacity) but the
+/// capacity is small (hundreds) and eviction is off the cache-hit fast
+/// path.
+pub struct SolutionCache {
+    map: HashMap<CacheKey, Entry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl std::fmt::Debug for SolutionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SolutionCache")
+            .field("len", &self.map.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl SolutionCache {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        SolutionCache {
+            map: HashMap::with_capacity(capacity + 1),
+            capacity,
+            clock: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up and touches (marks most-recently-used) an entry.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Solution> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(key).map(|e| {
+            e.stamp = clock;
+            e.solution.clone()
+        })
+    }
+
+    /// Inserts (or replaces) an entry, evicting the least-recently-used
+    /// one when over capacity.
+    pub fn insert(&mut self, key: CacheKey, solution: Solution) {
+        self.clock += 1;
+        self.map.insert(
+            key,
+            Entry {
+                stamp: self.clock,
+                solution,
+            },
+        );
+        if self.map.len() > self.capacity {
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
+                self.map.remove(&lru);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(i: u64) -> CacheKey {
+        CacheKey {
+            instance: i,
+            objective: Objective::Makespan,
+            seed: 42,
+        }
+    }
+
+    fn sol(mk: u64) -> Solution {
+        Solution {
+            objective: Objective::Makespan,
+            value: mk as f64,
+            makespan: mk,
+            model: "island".into(),
+            schedule: vec![],
+        }
+    }
+
+    #[test]
+    fn get_returns_inserted_solution() {
+        let mut c = SolutionCache::new(4);
+        assert!(c.get(&key(1)).is_none());
+        c.insert(key(1), sol(55));
+        assert_eq!(c.get(&key(1)).unwrap().makespan, 55);
+        // Different seed => different key.
+        let other = CacheKey { seed: 43, ..key(1) };
+        assert!(c.get(&other).is_none());
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = SolutionCache::new(2);
+        c.insert(key(1), sol(1));
+        c.insert(key(2), sol(2));
+        // Touch 1 so 2 becomes the LRU.
+        assert!(c.get(&key(1)).is_some());
+        c.insert(key(3), sol(3));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+    }
+
+    #[test]
+    fn replacing_does_not_grow() {
+        let mut c = SolutionCache::new(2);
+        c.insert(key(1), sol(1));
+        c.insert(key(1), sol(10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&key(1)).unwrap().makespan, 10);
+    }
+}

@@ -1,0 +1,35 @@
+//! # serve — an anytime solver service for shop scheduling
+//!
+//! The request/response layer on top of the `shop` / `ga` / `pga` /
+//! `hpc` stack: a long-lived multi-threaded TCP service that accepts
+//! scheduling instances, races a **portfolio** of the survey's parallel
+//! GA models (master-slave, island, cellular — lineup picked per
+//! instance size by the `hpc` cost models) against a wall-clock
+//! **deadline**, and returns the best feasible schedule found —
+//! **anytime** behaviour via `ga::termination::Termination::Deadline`
+//! plus cooperative best-so-far reporting. Results are memoised in an
+//! LRU **solution cache** keyed by the canonical instance hash
+//! (`shop::instance::hash`), objective and seed, so repeated traffic is
+//! served in microseconds with bit-identical responses.
+//!
+//! The wire protocol is line-delimited JSON over TCP (hand-rolled
+//! [`json`] module — no external dependencies, consistent with the
+//! workspace's offline-shim policy); see [`protocol`] for the request
+//! and response shapes, and `pga-shop-serve --help` for the bundled
+//! binary. A copy-pasteable transcript lives in the README's "Serving"
+//! section; DESIGN.md §5 documents the protocol, portfolio policy and
+//! cache-key canonicalisation.
+
+pub mod cache;
+pub mod json;
+pub mod portfolio;
+pub mod protocol;
+pub mod server;
+pub mod solver;
+
+pub use cache::{CacheKey, SolutionCache};
+pub use json::Json;
+pub use portfolio::{plan_lineup, BestSoFar, ModelKind};
+pub use protocol::{Family, InstanceSpec, Objective, Request, Solution, SolveRequest};
+pub use server::{ServeConfig, Service, StatsSnapshot};
+pub use solver::{solve, LoadedInstance, SolveOutcome};

@@ -1,0 +1,403 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One request per line, one response line per request, in order. A
+//! solve request names an instance (an embedded classic) or carries it
+//! inline in the `shop::instance::parse` text formats:
+//!
+//! ```text
+//! {"id":"r1","instance":{"name":"ft06"},"objective":"makespan","seed":42,"deadline_ms":2000}
+//! {"id":"r2","instance":{"kind":"flow","data":"2 2\n3 4\n5 1\n"},"seed":7,"deadline_ms":500}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! A solve response carries the schedule as `[job, op, machine, start,
+//! end]` rows plus per-request telemetry:
+//!
+//! ```text
+//! {"id":"r1","status":"ok","objective":"makespan","value":55,"makespan":55,
+//!  "model":"island","cached":false,"schedule":[[0,0,2,0,1],...],
+//!  "telemetry":{"queue_wait_us":12,"solve_ms":104,"decode_count":48000,
+//!               "winning_model":"island","cache_hit":false}}
+//! ```
+
+use crate::json::{obj, Json};
+use pga::telemetry::RequestTelemetry;
+use shop::schedule::ScheduledOp;
+
+/// Shop family tag for inline instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    Flow,
+    Job,
+    Open,
+    Flexible,
+}
+
+impl Family {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Flow => "flow",
+            Family::Job => "job",
+            Family::Open => "open",
+            Family::Flexible => "flexible",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "flow" => Some(Family::Flow),
+            "job" => Some(Family::Job),
+            "open" => Some(Family::Open),
+            "flexible" | "flex" => Some(Family::Flexible),
+            _ => None,
+        }
+    }
+}
+
+/// Objective the service minimises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Objective {
+    /// Maximum completion time `C_max` (the survey's default criterion).
+    #[default]
+    Makespan,
+    /// Sum of job completion times `ΣC_j`.
+    TotalCompletion,
+}
+
+impl Objective {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Objective::Makespan => "makespan",
+            Objective::TotalCompletion => "total_completion",
+        }
+    }
+
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "makespan" => Some(Objective::Makespan),
+            "total_completion" => Some(Objective::TotalCompletion),
+            _ => None,
+        }
+    }
+}
+
+/// How a request names its problem instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstanceSpec {
+    /// One of the embedded classics (`ft06`, `ft10`, `ft20`, `la01`,
+    /// `flow05`, `open_latin3`, `flex03`).
+    Named(String),
+    /// Inline text in the family's `shop::instance::parse` format.
+    Inline { family: Family, text: String },
+}
+
+/// A solve request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    pub instance: InstanceSpec,
+    pub objective: Objective,
+    /// Root seed of the whole portfolio (deterministic racing).
+    pub seed: u64,
+    /// Wall-clock budget for this request in milliseconds.
+    pub deadline_ms: u64,
+}
+
+/// Any protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    Solve(Box<SolveRequest>),
+    Stats,
+    Shutdown,
+}
+
+/// Protocol-level failure (bad request line). The server answers with a
+/// `status:"error"` line instead of dropping the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+fn bad(msg: impl Into<String>) -> ProtocolError {
+    ProtocolError(msg.into())
+}
+
+/// Decodes one request line.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v = crate::json::parse(line).map_err(|e| bad(e.to_string()))?;
+    if let Some(cmd) = v.get("cmd").and_then(Json::as_str) {
+        return match cmd {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(bad(format!("unknown cmd {other:?}"))),
+        };
+    }
+    let inst = v.get("instance").ok_or_else(|| bad("missing instance"))?;
+    let instance = if let Some(name) = inst.get("name").and_then(Json::as_str) {
+        InstanceSpec::Named(name.to_string())
+    } else {
+        let family = inst
+            .get("kind")
+            .and_then(Json::as_str)
+            .and_then(Family::from_name)
+            .ok_or_else(|| bad("instance needs a name or a valid kind"))?;
+        let text = inst
+            .get("data")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("inline instance needs data"))?
+            .to_string();
+        InstanceSpec::Inline { family, text }
+    };
+    let objective = match v.get("objective") {
+        None => Objective::default(),
+        Some(o) => o
+            .as_str()
+            .and_then(Objective::from_name)
+            .ok_or_else(|| bad("unknown objective"))?,
+    };
+    let seed = match v.get("seed") {
+        None => 0,
+        Some(s) => s.as_u64().ok_or_else(|| bad("seed must be a u64"))?,
+    };
+    let deadline_ms = match v.get("deadline_ms") {
+        None => 0, // 0 = use the server default
+        Some(d) => d.as_u64().ok_or_else(|| bad("deadline_ms must be a u64"))?,
+    };
+    let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+    Ok(Request::Solve(Box::new(SolveRequest {
+        id,
+        instance,
+        objective,
+        seed,
+        deadline_ms,
+    })))
+}
+
+/// Encodes a solve request (client side).
+pub fn encode_request(req: &SolveRequest) -> String {
+    let instance = match &req.instance {
+        InstanceSpec::Named(name) => obj([("name", name.as_str().into())]),
+        InstanceSpec::Inline { family, text } => obj([
+            ("kind", family.name().into()),
+            ("data", text.as_str().into()),
+        ]),
+    };
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &req.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("instance".into(), instance));
+    fields.push(("objective".into(), req.objective.name().into()));
+    fields.push(("seed".into(), req.seed.into()));
+    fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    Json::Obj(fields).encode()
+}
+
+/// The solution part of a solve response (what the cache stores).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    pub objective: Objective,
+    pub value: f64,
+    pub makespan: u64,
+    /// Portfolio member that found it.
+    pub model: String,
+    pub schedule: Vec<ScheduledOp>,
+}
+
+fn schedule_to_json(ops: &[ScheduledOp]) -> Json {
+    Json::Arr(
+        ops.iter()
+            .map(|o| {
+                Json::Arr(vec![
+                    (o.job as u64).into(),
+                    (o.op as u64).into(),
+                    (o.machine as u64).into(),
+                    o.start.into(),
+                    o.end.into(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Parses a `[[job,op,machine,start,end],...]` schedule array (client /
+/// test side).
+pub fn schedule_from_json(v: &Json) -> Result<Vec<ScheduledOp>, ProtocolError> {
+    let rows = v.as_arr().ok_or_else(|| bad("schedule must be an array"))?;
+    rows.iter()
+        .map(|row| {
+            let f = row
+                .as_arr()
+                .filter(|f| f.len() == 5)
+                .ok_or_else(|| bad("schedule row must be [job, op, machine, start, end]"))?;
+            let g = |i: usize| f[i].as_u64().ok_or_else(|| bad("schedule entry not a u64"));
+            Ok(ScheduledOp {
+                job: g(0)? as usize,
+                op: g(1)? as usize,
+                machine: g(2)? as usize,
+                start: g(3)?,
+                end: g(4)?,
+            })
+        })
+        .collect()
+}
+
+fn telemetry_to_json(t: &RequestTelemetry) -> Json {
+    obj([
+        ("queue_wait_us", (t.queue_wait.as_micros() as u64).into()),
+        ("solve_ms", (t.solve_time.as_millis() as u64).into()),
+        ("decode_count", t.decode_count.into()),
+        (
+            "winning_model",
+            t.winning_model
+                .as_deref()
+                .map(Json::from)
+                .unwrap_or(Json::Null),
+        ),
+        ("cache_hit", t.cache_hit.into()),
+    ])
+}
+
+/// Encodes a successful solve response line.
+pub fn encode_solution(
+    id: Option<&str>,
+    sol: &Solution,
+    cached: bool,
+    telemetry: &RequestTelemetry,
+) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("objective".into(), sol.objective.name().into()));
+    fields.push(("value".into(), sol.value.into()));
+    fields.push(("makespan".into(), sol.makespan.into()));
+    fields.push(("model".into(), sol.model.as_str().into()));
+    fields.push(("cached".into(), cached.into()));
+    fields.push(("schedule".into(), schedule_to_json(&sol.schedule)));
+    fields.push(("telemetry".into(), telemetry_to_json(telemetry)));
+    Json::Obj(fields).encode()
+}
+
+/// Encodes an error response line.
+pub fn encode_error(id: Option<&str>, message: &str) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "error".into()));
+    fields.push(("error".into(), message.into()));
+    Json::Obj(fields).encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_roundtrips() {
+        let req = SolveRequest {
+            id: Some("r1".into()),
+            instance: InstanceSpec::Named("ft06".into()),
+            objective: Objective::Makespan,
+            seed: 42,
+            deadline_ms: 2000,
+        };
+        let line = encode_request(&req);
+        let Request::Solve(back) = parse_request(&line).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn inline_instance_roundtrips_with_newlines() {
+        let req = SolveRequest {
+            id: None,
+            instance: InstanceSpec::Inline {
+                family: Family::Flow,
+                text: "2 2\n3 4\n5 1\n".into(),
+            },
+            objective: Objective::TotalCompletion,
+            seed: 7,
+            deadline_ms: 100,
+        };
+        let Request::Solve(back) = parse_request(&encode_request(&req)).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn commands_parse() {
+        assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert!(parse_request(r#"{"cmd":"dance"}"#).is_err());
+    }
+
+    #[test]
+    fn defaults_and_errors() {
+        let Request::Solve(req) = parse_request(r#"{"instance":{"name":"ft06"}}"#).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(req.objective, Objective::Makespan);
+        assert_eq!(req.seed, 0);
+        assert_eq!(req.deadline_ms, 0);
+        assert!(parse_request("{}").is_err());
+        assert!(parse_request(r#"{"instance":{"kind":"nope","data":""}}"#).is_err());
+        assert!(parse_request(r#"{"instance":{"name":"x"},"seed":-1}"#).is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn schedule_roundtrips() {
+        let ops = vec![
+            ScheduledOp {
+                job: 0,
+                op: 0,
+                machine: 2,
+                start: 0,
+                end: 1,
+            },
+            ScheduledOp {
+                job: 1,
+                op: 0,
+                machine: 1,
+                start: 0,
+                end: 8,
+            },
+        ];
+        let back = schedule_from_json(&schedule_to_json(&ops)).unwrap();
+        assert_eq!(back, ops);
+    }
+
+    #[test]
+    fn response_encoding_is_deterministic() {
+        let sol = Solution {
+            objective: Objective::Makespan,
+            value: 55.0,
+            makespan: 55,
+            model: "island".into(),
+            schedule: vec![],
+        };
+        let t = RequestTelemetry::default();
+        assert_eq!(
+            encode_solution(Some("a"), &sol, false, &t),
+            encode_solution(Some("a"), &sol, false, &t)
+        );
+        let line = encode_error(Some("a"), "boom");
+        assert!(line.contains("\"status\":\"error\""));
+    }
+}

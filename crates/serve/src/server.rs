@@ -1,0 +1,666 @@
+//! The TCP service: an acceptor thread feeding a queue of connections
+//! to a pool of worker threads, line-delimited JSON per connection,
+//! graceful shutdown, per-request telemetry and service-wide counters.
+//!
+//! Concurrency layout (std only — no async runtime, consistent with the
+//! offline-shim policy):
+//!
+//! ```text
+//! acceptor ──► queue: Mutex<VecDeque<(TcpStream, enqueued_at)>> ──► N workers
+//!                          ▲ Condvar                                   │
+//!                          └── shutdown: AtomicBool ◄──────────────────┘
+//! ```
+//!
+//! Each worker owns one connection at a time and answers its requests
+//! in order; a solve request races the portfolio on scoped threads (see
+//! [`crate::portfolio`]). Reads use a 100 ms timeout so idle keep-alive
+//! connections observe shutdown promptly. Shutdown is graceful: the
+//! acceptor stops accepting, workers finish the connection they hold
+//! and drain the queue, then exit.
+
+use crate::cache::{CacheKey, SolutionCache};
+use crate::json::obj;
+use crate::protocol::{encode_error, encode_solution, parse_request, Request, SolveRequest};
+use crate::solver::{solve, LoadedInstance};
+use pga::telemetry::RequestTelemetry;
+use shop::schedule::Schedule;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (concurrent connections being served).
+    pub workers: usize,
+    /// LRU solution-cache capacity (entries).
+    pub cache_capacity: usize,
+    /// Deadline applied when a request carries none (`deadline_ms` 0).
+    pub default_deadline_ms: u64,
+    /// Upper bound on any request's deadline.
+    pub max_deadline_ms: u64,
+    /// Per-racer generation cap — the determinism anchor: when every
+    /// racer hits the cap before the deadline, a request's outcome is
+    /// machine-independent.
+    pub gen_cap: u64,
+    /// Racer threads per request (portfolio size, at most 3).
+    pub racers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            cache_capacity: 256,
+            default_deadline_ms: 1_000,
+            max_deadline_ms: 30_000,
+            gen_cap: 2_000,
+            racers: 3,
+        }
+    }
+}
+
+/// Monotonic service counters (lock-free; read with
+/// [`Service::stats`]).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    pub requests: AtomicU64,
+    pub solved: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    pub errors: AtomicU64,
+    pub queue_wait_us: AtomicU64,
+}
+
+/// Point-in-time copy of the counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    pub requests: u64,
+    pub solved: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub errors: u64,
+    pub queue_wait_us: u64,
+}
+
+impl ServiceStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+struct Shared {
+    config: ServeConfig,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    ready: Condvar,
+    shutdown: AtomicBool,
+    cache: Mutex<SolutionCache>,
+    stats: ServiceStats,
+}
+
+/// A running solver service. Binds eagerly in [`Service::bind`]; stops
+/// accepting and joins all threads on [`Service::shutdown`] (or when a
+/// client sends `{"cmd":"shutdown"}` and the owner calls
+/// [`Service::wait`]). Dropping a still-running service shuts it down.
+pub struct Service {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service")
+            .field("addr", &self.addr)
+            .field("workers", &self.shared.config.workers)
+            .finish()
+    }
+}
+
+impl Service {
+    /// Binds the listener and spawns the acceptor + worker pool.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Service> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            stats: ServiceStats::default(),
+        });
+        let mut threads = Vec::with_capacity(shared.config.workers + 1);
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-acceptor".into())
+                    .spawn(move || acceptor_loop(listener, &shared))
+                    .expect("spawn acceptor"),
+            );
+        }
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker"),
+            );
+        }
+        Ok(Service {
+            addr,
+            shared,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Entries currently memoised.
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.lock().expect("cache poisoned").len()
+    }
+
+    /// Requests shutdown and joins every thread (graceful: in-flight
+    /// connections finish, the queue drains).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        self.join_threads();
+    }
+
+    /// Blocks until the service shuts down (a client sent
+    /// `{"cmd":"shutdown"}`), then joins every thread.
+    pub fn wait(mut self) {
+        self.join_threads();
+    }
+
+    fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.ready.notify_all();
+    }
+
+    fn join_threads(&mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        if !self.threads.is_empty() {
+            self.request_shutdown();
+            self.join_threads();
+        }
+    }
+}
+
+fn acceptor_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut q = shared.queue.lock().expect("queue poisoned");
+                q.push_back((stream, Instant::now()));
+                drop(q);
+                shared.ready.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let picked = {
+            let mut q = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(item) = q.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                let (guard, _) = shared
+                    .ready
+                    .wait_timeout(q, Duration::from_millis(100))
+                    .expect("queue poisoned");
+                q = guard;
+            }
+        };
+        let Some((stream, enqueued_at)) = picked else {
+            return;
+        };
+        let queue_wait = enqueued_at.elapsed();
+        shared
+            .stats
+            .queue_wait_us
+            .fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+        handle_connection(stream, queue_wait, shared);
+    }
+}
+
+/// Requests larger than this are rejected and the connection closed
+/// (the stream position is no longer trustworthy past a giant line).
+/// Generous enough for multi-megabyte inline instances.
+const MAX_REQUEST_BYTES: usize = 8 * 1024 * 1024;
+
+/// A connection that completes no request for this long is closed, so
+/// idle keep-alive clients cannot pin workers (and thereby starve the
+/// queue) indefinitely.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Outcome of one bounded line read.
+enum LineRead {
+    /// A complete newline-terminated line is in the buffer.
+    Line,
+    /// The peer closed its write side (a final unterminated request may
+    /// be in the buffer).
+    Eof,
+    /// The line exceeded [`MAX_REQUEST_BYTES`] (possibly mid-line).
+    TooLarge,
+}
+
+/// Reads towards the next newline, appending to `buf`, enforcing the
+/// size cap *as bytes arrive* (a `read_until` call would buffer a fast
+/// newline-free stream without bound before returning). Timeout errors
+/// surface as `Err(WouldBlock)` with all consumed bytes kept in `buf`.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineRead> {
+    loop {
+        let used = {
+            let available = reader.fill_buf()?;
+            if available.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            match available.iter().position(|&b| b == b'\n') {
+                Some(i) => {
+                    buf.extend_from_slice(&available[..=i]);
+                    i + 1
+                }
+                None => {
+                    buf.extend_from_slice(available);
+                    available.len()
+                }
+            }
+        };
+        let found_newline = buf.ends_with(b"\n");
+        reader.consume(used);
+        if buf.len() > MAX_REQUEST_BYTES {
+            return Ok(LineRead::TooLarge);
+        }
+        if found_newline {
+            return Ok(LineRead::Line);
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, queue_wait: Duration, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not `read_line`: byte accumulation keeps partial data
+    // across timeouts (read_line's UTF-8 guard can silently drop a
+    // chunk that ends mid multi-byte character), and the cap is
+    // enforced before decoding.
+    let mut buf: Vec<u8> = Vec::new();
+    // Queue wait is attributed to the connection's first request only;
+    // later requests on a keep-alive connection never waited.
+    let mut queue_wait = Some(queue_wait);
+    let mut last_activity = Instant::now();
+    loop {
+        match read_bounded_line(&mut reader, &mut buf) {
+            // EOF: serve a final request that arrived without a
+            // trailing newline before closing.
+            Ok(LineRead::Eof) => {
+                if buf.iter().any(|b| !b.is_ascii_whitespace()) {
+                    let _ = respond(&mut writer, &mut buf, &mut queue_wait, shared);
+                }
+                return;
+            }
+            Ok(LineRead::TooLarge) => {
+                let _ = writeln!(writer, "{}", encode_error(None, "request too large"));
+                return;
+            }
+            Ok(LineRead::Line) => {
+                last_activity = Instant::now();
+                if buf.iter().all(|b| b.is_ascii_whitespace()) {
+                    buf.clear();
+                    continue;
+                }
+                match respond(&mut writer, &mut buf, &mut queue_wait, shared) {
+                    Ok(true) => {}
+                    Ok(false) | Err(_) => return,
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if last_activity.elapsed() > IDLE_TIMEOUT {
+                    return; // idle keep-alive: free the worker
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Decodes, handles and answers one buffered request line. Returns
+/// `Ok(false)` when the connection should close (shutdown command).
+fn respond(
+    writer: &mut TcpStream,
+    buf: &mut Vec<u8>,
+    queue_wait: &mut Option<Duration>,
+    shared: &Shared,
+) -> std::io::Result<bool> {
+    let text = String::from_utf8_lossy(buf).trim().to_string();
+    buf.clear();
+    let wait = queue_wait.take().unwrap_or(Duration::ZERO);
+    let (response, stop) = handle_line(&text, wait, shared);
+    writeln!(writer, "{response}")?;
+    writer.flush()?;
+    Ok(!stop)
+}
+
+/// Handles one request line; returns the response line and whether the
+/// connection (and, after a shutdown command, the service) should stop.
+fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bool) {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    match parse_request(text) {
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            (encode_error(None, &e.to_string()), false)
+        }
+        Ok(Request::Stats) => {
+            let s = shared.stats.snapshot();
+            let cache_len = shared.cache.lock().expect("cache poisoned").len() as u64;
+            let body = obj([
+                ("status", "ok".into()),
+                ("requests", s.requests.into()),
+                ("solved", s.solved.into()),
+                ("cache_hits", s.cache_hits.into()),
+                ("cache_misses", s.cache_misses.into()),
+                ("errors", s.errors.into()),
+                ("queue_wait_us", s.queue_wait_us.into()),
+                ("cache_len", cache_len.into()),
+                ("workers", (shared.config.workers as u64).into()),
+            ]);
+            (body.encode(), false)
+        }
+        Ok(Request::Shutdown) => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.ready.notify_all();
+            let body = obj([("status", "ok".into()), ("shutting_down", true.into())]);
+            (body.encode(), true)
+        }
+        Ok(Request::Solve(req)) => (handle_solve(&req, queue_wait, shared), false),
+    }
+}
+
+fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let inst = match LoadedInstance::load(&req.instance) {
+        Ok(inst) => inst,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return encode_error(id, &e.to_string());
+        }
+    };
+    let key = CacheKey {
+        instance: inst.canonical_hash(),
+        objective: req.objective,
+        seed: req.seed,
+    };
+    // Fast path: memoised solution (lock held only for the lookup).
+    if let Some(hit) = shared.cache.lock().expect("cache poisoned").get(&key) {
+        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+        let telemetry = RequestTelemetry {
+            queue_wait,
+            cache_hit: true,
+            ..Default::default()
+        };
+        return encode_solution(id, &hit, true, &telemetry);
+    }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+    let deadline_ms = match req.deadline_ms {
+        0 => shared.config.default_deadline_ms,
+        d => d.min(shared.config.max_deadline_ms),
+    };
+    let solve_started = Instant::now();
+    let deadline = solve_started + Duration::from_millis(deadline_ms);
+    let outcome = solve(
+        &inst,
+        req.objective,
+        req.seed,
+        deadline,
+        shared.config.gen_cap,
+        shared.config.racers,
+    );
+
+    // Never hand out an infeasible schedule: validate before replying
+    // (and before caching).
+    let schedule = Schedule::new(outcome.solution.schedule.clone());
+    if let Err(e) = inst.validate(&schedule) {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return encode_error(id, &format!("internal: produced {e}"));
+    }
+
+    let telemetry = RequestTelemetry {
+        queue_wait,
+        solve_time: solve_started.elapsed(),
+        winning_model: Some(outcome.solution.model.clone()),
+        models: outcome.models,
+        cache_hit: false,
+        ..Default::default()
+    }
+    .with_decodes_from_models();
+
+    shared
+        .cache
+        .lock()
+        .expect("cache poisoned")
+        .insert(key, outcome.solution.clone());
+    shared.stats.solved.fetch_add(1, Ordering::Relaxed);
+    encode_solution(id, &outcome.solution, false, &telemetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{encode_request, InstanceSpec, Objective};
+
+    fn send_lines(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        for l in lines {
+            writeln!(writer, "{l}").unwrap();
+            writer.flush().unwrap();
+            let mut resp = String::new();
+            reader.read_line(&mut resp).unwrap();
+            out.push(resp.trim().to_string());
+        }
+        out
+    }
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            gen_cap: 60,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn serves_solves_stats_and_errors_over_tcp() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let req = encode_request(&SolveRequest {
+            id: Some("t1".into()),
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 9,
+            deadline_ms: 2_000,
+        });
+        let responses = send_lines(
+            addr,
+            &[
+                req.clone(),
+                req, // second hit must come from the cache
+                "garbage".to_string(),
+                r#"{"cmd":"stats"}"#.to_string(),
+            ],
+        );
+        let first = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(first.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+        let second = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            first.get("schedule").unwrap(),
+            second.get("schedule").unwrap()
+        );
+        let err = crate::json::parse(&responses[2]).unwrap();
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        let stats = crate::json::parse(&responses[3]).unwrap();
+        assert_eq!(stats.get("cache_hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("cache_misses").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(service.stats().cache_hits, 1);
+        assert_eq!(service.cache_len(), 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn request_without_trailing_newline_is_served_at_eof() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // No trailing newline; half-close the write side to signal EOF.
+        write!(writer, r#"{{"cmd":"stats"}}"#).unwrap();
+        writer.flush().unwrap();
+        writer.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp).unwrap();
+        let v = crate::json::parse(resp.trim()).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_line_is_rejected() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        // One 9 MiB line (over MAX_REQUEST_BYTES) must be answered with
+        // an error, not buffered indefinitely.
+        let chunk = vec![b'x'; 1024 * 1024];
+        for _ in 0..9 {
+            if writer.write_all(&chunk).is_err() {
+                break; // server may close early once over the cap
+            }
+        }
+        let _ = writer.write_all(b"\n");
+        let _ = writer.flush();
+        let mut resp = String::new();
+        let _ = BufReader::new(stream).read_line(&mut resp);
+        if !resp.trim().is_empty() {
+            assert!(resp.contains("request too large"), "got: {resp}");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_command_stops_the_service() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(addr, &[r#"{"cmd":"shutdown"}"#.to_string()]);
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("shutting_down").unwrap().as_bool(), Some(true));
+        // wait() returns because the protocol shutdown stopped every
+        // thread; afterwards new connections are refused eventually.
+        service.wait();
+    }
+
+    #[test]
+    fn concurrent_connections_are_served() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let mk = |seed: u64| {
+            encode_request(&SolveRequest {
+                id: None,
+                instance: InstanceSpec::Named("open_latin3".into()),
+                objective: Objective::Makespan,
+                seed,
+                deadline_ms: 2_000,
+            })
+        };
+        std::thread::scope(|s| {
+            for seed in 0..4u64 {
+                let req = mk(seed);
+                s.spawn(move || {
+                    let resp = send_lines(addr, &[req]);
+                    let v = crate::json::parse(&resp[0]).unwrap();
+                    assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+                });
+            }
+        });
+        assert_eq!(service.stats().solved, 4);
+        service.shutdown();
+    }
+}

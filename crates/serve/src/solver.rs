@@ -1,0 +1,427 @@
+//! Glue between the wire protocol and the GA stack: load an instance
+//! (named classic or inline text), build the family's toolkit/decoder
+//! pair, race the portfolio, and decode the winning genome into a
+//! validated schedule.
+
+use crate::portfolio::{plan_lineup, race, RaceResult};
+use crate::protocol::{Family, InstanceSpec, Objective, Solution};
+use ga::dual::DualGenome;
+use ga::engine::Toolkit;
+use pga::telemetry::RunTelemetry;
+use shop::decoder::flexible::FlexDecoder;
+use shop::decoder::flow::FlowDecoder;
+use shop::decoder::job::JobDecoder;
+use shop::decoder::open::OpenDecoder;
+use shop::instance::classic;
+use shop::instance::parse;
+use shop::instance::CanonicalHash;
+use shop::instance::{FlexibleInstance, FlowShopInstance, JobShopInstance, OpenShopInstance};
+use shop::schedule::Schedule;
+use shop::{Problem, ShopError};
+use std::time::Instant;
+
+/// A parsed problem instance of any family.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LoadedInstance {
+    Flow(FlowShopInstance),
+    Job(JobShopInstance),
+    Open(OpenShopInstance),
+    Flexible(FlexibleInstance),
+}
+
+/// Error loading an instance from a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadError(pub String);
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot load instance: {}", self.0)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl LoadedInstance {
+    /// Resolves a request's instance spec. Named classics cover the
+    /// embedded benchmarks of all four families.
+    pub fn load(spec: &InstanceSpec) -> Result<Self, LoadError> {
+        match spec {
+            InstanceSpec::Named(name) => match name.as_str() {
+                "ft06" => Ok(LoadedInstance::Job(classic::ft06().instance)),
+                "ft10" => Ok(LoadedInstance::Job(classic::ft10().instance)),
+                "ft20" => Ok(LoadedInstance::Job(classic::ft20().instance)),
+                "la01" => Ok(LoadedInstance::Job(classic::la01().instance)),
+                "flow05" => Ok(LoadedInstance::Flow(classic::flow05().0)),
+                "open_latin3" => Ok(LoadedInstance::Open(classic::open_latin3().0)),
+                "flex03" => Ok(LoadedInstance::Flexible(classic::flex03())),
+                other => Err(LoadError(format!("unknown named instance {other:?}"))),
+            },
+            InstanceSpec::Inline { family, text } => {
+                let parse_err = |e: ShopError| LoadError(e.to_string());
+                match family {
+                    Family::Flow => parse::parse_flow_shop(text)
+                        .map(LoadedInstance::Flow)
+                        .map_err(parse_err),
+                    Family::Job => parse::parse_job_shop(text)
+                        .map(LoadedInstance::Job)
+                        .map_err(parse_err),
+                    Family::Open => parse::parse_open_shop(text)
+                        .map(LoadedInstance::Open)
+                        .map_err(parse_err),
+                    Family::Flexible => parse::parse_flexible(text)
+                        .map(LoadedInstance::Flexible)
+                        .map_err(parse_err),
+                }
+            }
+        }
+    }
+
+    pub fn family(&self) -> Family {
+        match self {
+            LoadedInstance::Flow(_) => Family::Flow,
+            LoadedInstance::Job(_) => Family::Job,
+            LoadedInstance::Open(_) => Family::Open,
+            LoadedInstance::Flexible(_) => Family::Flexible,
+        }
+    }
+
+    fn problem(&self) -> &dyn Problem {
+        match self {
+            LoadedInstance::Flow(i) => i,
+            LoadedInstance::Job(i) => i,
+            LoadedInstance::Open(i) => i,
+            LoadedInstance::Flexible(i) => i,
+        }
+    }
+
+    /// Canonical content hash — the cache-key component.
+    pub fn canonical_hash(&self) -> u64 {
+        match self {
+            LoadedInstance::Flow(i) => i.canonical_hash(),
+            LoadedInstance::Job(i) => i.canonical_hash(),
+            LoadedInstance::Open(i) => i.canonical_hash(),
+            LoadedInstance::Flexible(i) => i.canonical_hash(),
+        }
+    }
+
+    pub fn total_ops(&self) -> usize {
+        self.problem().total_ops()
+    }
+
+    /// Validates a schedule against the instance's Table I conditions.
+    pub fn validate(&self, schedule: &Schedule) -> Result<(), ShopError> {
+        match self {
+            LoadedInstance::Flow(i) => schedule.validate_flow(i),
+            LoadedInstance::Job(i) => schedule.validate_job(i),
+            LoadedInstance::Open(i) => schedule.validate_open(i),
+            LoadedInstance::Flexible(i) => schedule.validate_flexible(i),
+        }
+    }
+
+    /// A makespan value no feasible schedule can beat — the early-exit
+    /// target when minimising makespan.
+    fn makespan_lower_bound(&self) -> u64 {
+        match self {
+            LoadedInstance::Flow(i) => i.makespan_lower_bound(),
+            LoadedInstance::Job(i) => i.makespan_lower_bound(),
+            LoadedInstance::Open(i) => i.makespan_lower_bound(),
+            LoadedInstance::Flexible(i) => i.makespan_lower_bound(),
+        }
+    }
+}
+
+fn objective_of(problem: &dyn Problem, schedule: &Schedule, objective: Objective) -> f64 {
+    match objective {
+        Objective::Makespan => schedule.makespan() as f64,
+        Objective::TotalCompletion => schedule
+            .completion_times(problem.n_jobs())
+            .iter()
+            .map(|&c| c as f64)
+            .sum(),
+    }
+}
+
+/// Everything a solved request reports back.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    pub solution: Solution,
+    pub models: Vec<(String, RunTelemetry)>,
+}
+
+/// Races the portfolio on `inst` until `deadline` and returns the best
+/// schedule found, decoded and ready to validate. `threads` bounds the
+/// number of racing models, `gen_cap` bounds each racer's generations
+/// (the determinism anchor: when every racer hits its cap before the
+/// deadline, the outcome is machine-independent).
+pub fn solve(
+    inst: &LoadedInstance,
+    objective: Objective,
+    seed: u64,
+    deadline: Instant,
+    gen_cap: u64,
+    threads: usize,
+) -> SolveOutcome {
+    let lineup = plan_lineup(inst.total_ops(), threads);
+    // Early-exit target: the makespan lower bound certifies optimality;
+    // other objectives have no cheap bound, so they race to the cap.
+    let target = match objective {
+        Objective::Makespan => inst.makespan_lower_bound() as f64,
+        Objective::TotalCompletion => 0.0,
+    };
+    match inst {
+        LoadedInstance::Flow(flow) => {
+            let decoder = FlowDecoder::new(flow);
+            let n_jobs = flow.n_jobs();
+            let eval = move |perm: &Vec<usize>| match objective {
+                Objective::Makespan => decoder.makespan(perm) as f64,
+                Objective::TotalCompletion => {
+                    objective_of(flow, &decoder.schedule(perm), objective)
+                }
+            };
+            let outcome = race(
+                &lineup,
+                &|| perm_toolkit(n_jobs),
+                &eval,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+            );
+            finish(
+                inst,
+                objective,
+                decoder.schedule(&outcome.best.genome),
+                outcome,
+            )
+        }
+        LoadedInstance::Job(job) => {
+            let decoder = JobDecoder::new(job);
+            let ops_per_job: Vec<usize> = (0..job.n_jobs()).map(|j| job.n_ops(j)).collect();
+            let eval = move |seq: &Vec<usize>| match objective {
+                Objective::Makespan => decoder.semi_active_makespan(seq) as f64,
+                Objective::TotalCompletion => {
+                    objective_of(job, &decoder.semi_active(seq), objective)
+                }
+            };
+            let outcome = race(
+                &lineup,
+                &|| opseq_toolkit(ops_per_job.clone()),
+                &eval,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+            );
+            finish(
+                inst,
+                objective,
+                decoder.semi_active(&outcome.best.genome),
+                outcome,
+            )
+        }
+        LoadedInstance::Open(open) => {
+            let decoder = OpenDecoder::new(open);
+            let (n, m) = (open.n_jobs(), open.n_machines());
+            let to_order = move |perm: &[usize]| -> Vec<(usize, usize)> {
+                perm.iter().map(|&v| (v / m, v % m)).collect()
+            };
+            let eval = move |perm: &Vec<usize>| {
+                objective_of(open, &decoder.by_op_order(&to_order(perm)), objective)
+            };
+            let outcome = race(
+                &lineup,
+                &|| perm_toolkit(n * m),
+                &eval,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+            );
+            let schedule = decoder.by_op_order(&to_order(&outcome.best.genome));
+            finish(inst, objective, schedule, outcome)
+        }
+        LoadedInstance::Flexible(flex) => {
+            let decoder = FlexDecoder::new(flex);
+            let ops_per_job: Vec<usize> = (0..flex.n_jobs()).map(|j| flex.n_ops(j)).collect();
+            let max_choices = (0..flex.n_jobs())
+                .flat_map(|j| (0..flex.n_ops(j)).map(move |s| flex.op(j, s).choices.len()))
+                .max()
+                .unwrap_or(1);
+            let eval = move |g: &DualGenome| match objective {
+                Objective::Makespan => decoder.makespan(&g.assign, &g.seq) as f64,
+                Objective::TotalCompletion => {
+                    objective_of(flex, &decoder.decode(&g.assign, &g.seq), objective)
+                }
+            };
+            let n_jobs = flex.n_jobs();
+            let outcome = race(
+                &lineup,
+                &|| dual_toolkit(ops_per_job.clone(), max_choices, n_jobs),
+                &eval,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+            );
+            let schedule = FlexDecoder::new(flex)
+                .decode(&outcome.best.genome.assign, &outcome.best.genome.seq);
+            finish(inst, objective, schedule, outcome)
+        }
+    }
+}
+
+fn finish<G>(
+    inst: &LoadedInstance,
+    objective: Objective,
+    schedule: Schedule,
+    outcome: RaceResult<G>,
+) -> SolveOutcome {
+    let value = objective_of(inst.problem(), &schedule, objective);
+    SolveOutcome {
+        solution: Solution {
+            objective,
+            value,
+            makespan: schedule.makespan(),
+            model: outcome.winner,
+            schedule: schedule.ops,
+        },
+        models: outcome.models,
+    }
+}
+
+/// Toolkit over strict permutations of `0..n` (flow shops, open-shop
+/// operation orders).
+fn perm_toolkit(n: usize) -> Toolkit<Vec<usize>> {
+    use ga::crossover::PermCrossover;
+    use ga::mutate::SeqMutation;
+    Toolkit {
+        init: Box::new(move |rng| {
+            use rand::seq::SliceRandom;
+            let mut p: Vec<usize> = (0..n).collect();
+            p.shuffle(rng);
+            p
+        }),
+        crossover: Box::new(|a, b, rng| PermCrossover::Order.apply(a, b, rng)),
+        mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
+        seq_view: Some(Box::new(|g: &Vec<usize>| g.clone())),
+    }
+}
+
+/// Toolkit over operation sequences (permutation with repetition) for
+/// job shops.
+fn opseq_toolkit(ops_per_job: Vec<usize>) -> Toolkit<Vec<usize>> {
+    use ga::crossover::RepCrossover;
+    use ga::mutate::SeqMutation;
+    let n_jobs = ops_per_job.len();
+    Toolkit {
+        init: Box::new(move |rng| {
+            use rand::seq::SliceRandom;
+            let mut seq = Vec::new();
+            for (j, &k) in ops_per_job.iter().enumerate() {
+                seq.extend(std::iter::repeat_n(j, k));
+            }
+            seq.shuffle(rng);
+            seq
+        }),
+        crossover: Box::new(move |a, b, rng| RepCrossover::JobOrder.apply(a, b, n_jobs, rng)),
+        mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
+        seq_view: Some(Box::new(|g: &Vec<usize>| g.clone())),
+    }
+}
+
+/// Toolkit over dual assignment+sequencing genomes for flexible shops.
+fn dual_toolkit(ops_per_job: Vec<usize>, max_choices: usize, n_jobs: usize) -> Toolkit<DualGenome> {
+    Toolkit {
+        init: Box::new(move |rng| DualGenome::random(&ops_per_job, max_choices, rng)),
+        crossover: Box::new(move |a, b, rng| DualGenome::crossover(a, b, n_jobs, rng)),
+        mutate: Box::new(move |g, rng| g.mutate(max_choices, rng)),
+        seq_view: Some(Box::new(|g: &DualGenome| g.seq.clone())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn deadline() -> Instant {
+        Instant::now() + Duration::from_secs(10)
+    }
+
+    #[test]
+    fn loads_named_and_inline_instances() {
+        let ft = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        assert_eq!(ft.family(), Family::Job);
+        assert_eq!(ft.total_ops(), 36);
+        let inline = LoadedInstance::load(&InstanceSpec::Inline {
+            family: Family::Flow,
+            text: "2 2\n3 4\n5 1\n".into(),
+        })
+        .unwrap();
+        assert_eq!(inline.family(), Family::Flow);
+        assert!(LoadedInstance::load(&InstanceSpec::Named("nope".into())).is_err());
+        assert!(LoadedInstance::load(&InstanceSpec::Inline {
+            family: Family::Job,
+            text: "bogus".into(),
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn named_and_inline_ft06_share_a_cache_hash() {
+        let named = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let LoadedInstance::Job(inst) = &named else {
+            panic!("ft06 is a job shop");
+        };
+        let inline = LoadedInstance::load(&InstanceSpec::Inline {
+            family: Family::Job,
+            text: format!("{inst}"),
+        })
+        .unwrap();
+        assert_eq!(named.canonical_hash(), inline.canonical_hash());
+    }
+
+    #[test]
+    fn solves_every_family_feasibly() {
+        for (spec, cap) in [
+            (InstanceSpec::Named("flow05".into()), 60),
+            (InstanceSpec::Named("ft06".into()), 60),
+            (InstanceSpec::Named("open_latin3".into()), 60),
+            (InstanceSpec::Named("flex03".into()), 60),
+        ] {
+            let inst = LoadedInstance::load(&spec).unwrap();
+            let out = solve(&inst, Objective::Makespan, 1, deadline(), cap, 2);
+            let schedule = Schedule::new(out.solution.schedule.clone());
+            assert!(
+                inst.validate(&schedule).is_ok(),
+                "{spec:?} produced an infeasible schedule"
+            );
+            assert_eq!(out.solution.makespan, schedule.makespan());
+            assert!(!out.models.is_empty());
+        }
+    }
+
+    #[test]
+    fn total_completion_objective_is_consistent() {
+        let inst = LoadedInstance::load(&InstanceSpec::Named("flow05".into())).unwrap();
+        let out = solve(&inst, Objective::TotalCompletion, 3, deadline(), 40, 1);
+        let schedule = Schedule::new(out.solution.schedule.clone());
+        let LoadedInstance::Flow(flow) = &inst else {
+            panic!("flow05 is a flow shop");
+        };
+        let sum: u64 = schedule.completion_times(flow.n_jobs()).iter().sum();
+        assert_eq!(out.solution.value, sum as f64);
+        assert!(inst.validate(&schedule).is_ok());
+    }
+
+    #[test]
+    fn solve_is_deterministic_when_caps_bind() {
+        let inst = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let run = || solve(&inst, Objective::Makespan, 42, deadline(), 150, 3);
+        let a = run();
+        let b = run();
+        assert_eq!(a.solution.schedule, b.solution.schedule);
+        assert_eq!(a.solution.model, b.solution.model);
+        assert_eq!(a.solution.makespan, b.solution.makespan);
+    }
+}

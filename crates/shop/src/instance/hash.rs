@@ -1,0 +1,194 @@
+//! Canonical instance hashing — the solution-cache key of the solver
+//! service.
+//!
+//! Two requests carrying the same problem must hash identically no
+//! matter how the instance text was formatted (whitespace, comments,
+//! inline data vs. a named classic), so the hash is computed over the
+//! *parsed* instance: a family tag, the dimensions, every operation in
+//! job-major order, and the job metadata. The digest is FNV-1a 64-bit —
+//! tiny, dependency-free and stable across platforms (all inputs are
+//! fed as little-endian fixed-width words, never as `usize`).
+
+use super::{FlexibleInstance, FlowShopInstance, JobShopInstance, OpenShopInstance};
+use crate::Problem;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    pub fn write_f64(&mut self, v: f64) {
+        // Bit pattern, so the hash never depends on float formatting.
+        self.write_u64(v.to_bits());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn write_meta(h: &mut Fnv1a, p: &dyn Problem) {
+    for j in 0..p.n_jobs() {
+        h.write_u64(p.release(j));
+        h.write_u64(p.due(j));
+        h.write_f64(p.weight(j));
+    }
+}
+
+/// A problem instance with a canonical, content-addressed 64-bit hash.
+pub trait CanonicalHash {
+    /// Stable digest of the instance content (family, dimensions,
+    /// operations, metadata). Equal instances hash equally; the family
+    /// tag keeps, e.g., a flow shop and an open shop with identical
+    /// matrices apart.
+    fn canonical_hash(&self) -> u64;
+}
+
+impl CanonicalHash for FlowShopInstance {
+    fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_bytes(b"flow");
+        h.write_u64(self.n_jobs() as u64);
+        h.write_u64(self.n_machines() as u64);
+        for j in 0..self.n_jobs() {
+            for &t in self.job_row(j) {
+                h.write_u64(t);
+            }
+        }
+        write_meta(&mut h, self);
+        h.finish()
+    }
+}
+
+impl CanonicalHash for JobShopInstance {
+    fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_bytes(b"job");
+        h.write_u64(self.n_jobs() as u64);
+        h.write_u64(self.n_machines() as u64);
+        for j in 0..self.n_jobs() {
+            h.write_u64(self.n_ops(j) as u64);
+            for op in self.route(j) {
+                h.write_u64(op.machine as u64);
+                h.write_u64(op.duration);
+            }
+        }
+        write_meta(&mut h, self);
+        h.finish()
+    }
+}
+
+impl CanonicalHash for OpenShopInstance {
+    fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_bytes(b"open");
+        h.write_u64(self.n_jobs() as u64);
+        h.write_u64(self.n_machines() as u64);
+        for j in 0..self.n_jobs() {
+            for m in 0..self.n_machines() {
+                h.write_u64(self.proc(j, m));
+            }
+        }
+        write_meta(&mut h, self);
+        h.finish()
+    }
+}
+
+impl CanonicalHash for FlexibleInstance {
+    fn canonical_hash(&self) -> u64 {
+        let mut h = Fnv1a::default();
+        h.write_bytes(b"flex");
+        h.write_u64(self.n_jobs() as u64);
+        h.write_u64(self.n_machines() as u64);
+        for j in 0..self.n_jobs() {
+            h.write_u64(self.n_ops(j) as u64);
+            for op in self.route(j) {
+                h.write_u64(op.choices.len() as u64);
+                for &(m, t) in &op.choices {
+                    h.write_u64(m as u64);
+                    h.write_u64(t);
+                }
+            }
+        }
+        write_meta(&mut h, self);
+        h.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::classic::{ft06, ft10};
+    use crate::instance::generate::{
+        flexible_job_shop, flow_shop_taillard, job_shop_uniform, open_shop_uniform, GenConfig,
+    };
+    use crate::instance::parse::{parse_job_shop, write_job_shop};
+
+    #[test]
+    fn hash_is_deterministic_and_separates_instances() {
+        assert_eq!(
+            ft06().instance.canonical_hash(),
+            ft06().instance.canonical_hash()
+        );
+        assert_ne!(
+            ft06().instance.canonical_hash(),
+            ft10().instance.canonical_hash()
+        );
+    }
+
+    #[test]
+    fn hash_survives_reformatting() {
+        let orig = ft06().instance;
+        // Re-serialise with extra whitespace and comments; the parsed
+        // instance must hash identically.
+        let noisy = format!("# ft06\n  {}", write_job_shop(&orig).replace(' ', "  "));
+        let back = parse_job_shop(&noisy).unwrap();
+        assert_eq!(orig.canonical_hash(), back.canonical_hash());
+    }
+
+    #[test]
+    fn family_tag_separates_equal_matrices() {
+        let cfg = GenConfig::new(5, 3, 7);
+        let flow = flow_shop_taillard(&cfg);
+        let open = open_shop_uniform(&cfg);
+        // Same seed => same matrix content, different family => hashes
+        // must differ.
+        assert_eq!(
+            (0..5).map(|j| flow.job_row(j).to_vec()).collect::<Vec<_>>(),
+            (0..5)
+                .map(|j| (0..3).map(|m| open.proc(j, m)).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        );
+        assert_ne!(flow.canonical_hash(), open.canonical_hash());
+    }
+
+    #[test]
+    fn small_perturbation_changes_hash() {
+        let a = job_shop_uniform(&GenConfig::new(6, 4, 1));
+        let b = job_shop_uniform(&GenConfig::new(6, 4, 2));
+        assert_ne!(a.canonical_hash(), b.canonical_hash());
+        let fa = flexible_job_shop(&GenConfig::new(4, 3, 1), 3, 2);
+        let fb = flexible_job_shop(&GenConfig::new(4, 3, 2), 3, 2);
+        assert_ne!(fa.canonical_hash(), fb.canonical_hash());
+    }
+}

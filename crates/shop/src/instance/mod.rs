@@ -5,12 +5,14 @@ pub mod classic;
 pub mod flexible;
 pub mod flow;
 pub mod generate;
+pub mod hash;
 pub mod job;
 pub mod open;
 pub mod parse;
 
 pub use flexible::{FlexOp, FlexibleInstance, LotStreaming};
 pub use flow::FlowShopInstance;
+pub use hash::CanonicalHash;
 pub use job::JobShopInstance;
 pub use open::OpenShopInstance;
 

@@ -6,10 +6,14 @@
 //! ```
 //!
 //! plus the analogous matrix format for flow and open shops (`n m` header
-//! then an `n x m` matrix of times). Lets users load their own instances
-//! and round-trips the embedded classics.
+//! then an `n x m` matrix of times) and the Brandimarte-style flexible
+//! format (per job: operation count, then per operation the number of
+//! eligible machines followed by `machine time` pairs; machine indices
+//! 0-based). Lets users load their own instances and round-trips the
+//! embedded classics: every instance type also implements `Display` via
+//! its writer, so `format!("{inst}")` parses back to an equal instance.
 
-use super::{FlowShopInstance, JobShopInstance, Op, OpenShopInstance};
+use super::{FlexOp, FlexibleInstance, FlowShopInstance, JobShopInstance, Op, OpenShopInstance};
 use crate::{Problem, ShopError, ShopResult, Time};
 
 fn tokens(text: &str) -> impl Iterator<Item = &str> {
@@ -115,6 +119,106 @@ pub fn write_flow_shop(inst: &FlowShopInstance) -> String {
     out
 }
 
+/// Serialises an open shop as `n m` + matrix.
+pub fn write_open_shop(inst: &OpenShopInstance) -> String {
+    let mut out = format!("{} {}\n", inst.n_jobs(), inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        let row: Vec<String> = (0..inst.n_machines())
+            .map(|m| inst.proc(j, m).to_string())
+            .collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses the Brandimarte-style flexible format (0-based machines):
+///
+/// ```text
+/// n m
+/// n_ops  [k  m0 t0 m1 t1 ... m(k-1) t(k-1)]  per operation, per job
+/// ```
+pub fn parse_flexible(text: &str) -> ShopResult<FlexibleInstance> {
+    let mut it = tokens(text);
+    let n = parse_usize(it.next(), "job count")?;
+    let m = parse_usize(it.next(), "machine count")?;
+    let mut jobs = Vec::with_capacity(n);
+    for j in 0..n {
+        let n_ops = parse_usize(it.next(), &format!("operation count of job {j}"))?;
+        let mut route = Vec::with_capacity(n_ops);
+        for s in 0..n_ops {
+            let k = parse_usize(it.next(), &format!("choice count of ({j},{s})"))?;
+            if k == 0 {
+                return Err(ShopError::Parse(format!(
+                    "job {j} op {s}: no eligible machine"
+                )));
+            }
+            let mut choices = Vec::with_capacity(k);
+            for c in 0..k {
+                let machine = parse_usize(it.next(), &format!("machine {c} of ({j},{s})"))?;
+                let dur = parse_time(it.next(), &format!("duration {c} of ({j},{s})"))?;
+                if machine >= m {
+                    return Err(ShopError::Parse(format!(
+                        "job {j} op {s}: machine {machine} out of range"
+                    )));
+                }
+                if dur == 0 {
+                    return Err(ShopError::Parse(format!("job {j} op {s}: zero duration")));
+                }
+                choices.push((machine, dur));
+            }
+            route.push(FlexOp::new(choices).map_err(|e| ShopError::Parse(e.to_string()))?);
+        }
+        jobs.push(route);
+    }
+    if it.next().is_some() {
+        return Err(ShopError::Parse("trailing tokens".into()));
+    }
+    FlexibleInstance::new(jobs)
+}
+
+/// Serialises a flexible instance in the same format.
+pub fn write_flexible(inst: &FlexibleInstance) -> String {
+    let mut out = format!("{} {}\n", inst.n_jobs(), inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        let mut row = vec![inst.n_ops(j).to_string()];
+        for op in inst.route(j) {
+            row.push(op.choices.len().to_string());
+            for &(m, t) in &op.choices {
+                row.push(m.to_string());
+                row.push(t.to_string());
+            }
+        }
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+impl std::fmt::Display for JobShopInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_job_shop(self))
+    }
+}
+
+impl std::fmt::Display for FlowShopInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_flow_shop(self))
+    }
+}
+
+impl std::fmt::Display for OpenShopInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_open_shop(self))
+    }
+}
+
+impl std::fmt::Display for FlexibleInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&write_flexible(self))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,5 +273,46 @@ mod tests {
     fn open_shop_parse() {
         let inst = parse_open_shop("2 2\n1 2\n3 4\n").unwrap();
         assert_eq!(inst.proc(1, 0), 3);
+    }
+
+    #[test]
+    fn open_shop_roundtrip() {
+        let orig = parse_open_shop("2 3\n1 2 9\n3 4 1\n").unwrap();
+        let back = parse_open_shop(&write_open_shop(&orig)).unwrap();
+        assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn flexible_roundtrip_and_display() {
+        use crate::instance::generate::flexible_job_shop;
+        let orig = flexible_job_shop(&GenConfig::new(4, 3, 11), 3, 2);
+        let back = parse_flexible(&write_flexible(&orig)).unwrap();
+        assert_eq!(orig, back);
+        let via_display = parse_flexible(&format!("{orig}")).unwrap();
+        assert_eq!(orig, via_display);
+    }
+
+    #[test]
+    fn flexible_errors_reported() {
+        // Zero eligible machines.
+        assert!(matches!(
+            parse_flexible("1 2\n1 0\n"),
+            Err(ShopError::Parse(_))
+        ));
+        // Machine out of range.
+        assert!(matches!(
+            parse_flexible("1 2\n1 1 5 3\n"),
+            Err(ShopError::Parse(_))
+        ));
+        // Zero duration.
+        assert!(matches!(
+            parse_flexible("1 2\n1 1 0 0\n"),
+            Err(ShopError::Parse(_))
+        ));
+        // Trailing tokens.
+        assert!(matches!(
+            parse_flexible("1 2\n1 1 0 3 7\n"),
+            Err(ShopError::Parse(_))
+        ));
     }
 }

@@ -1,0 +1,123 @@
+//! Minimal client for the `pga-shop-serve` service: submits one solve
+//! request (a named classic or an inline instance file) and prints the
+//! response. Exits non-zero unless the service returned a feasible
+//! solution, so CI can use it as a smoke probe.
+//!
+//! ```text
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --instance ft06 --seed 42 --deadline-ms 2000
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 --cmd shutdown
+//! ```
+
+use pga_shop::serve::json;
+use pga_shop::serve::protocol::{encode_request, InstanceSpec, Objective, SolveRequest};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client --addr HOST:PORT \
+         (--instance NAME | --file PATH --kind FAMILY) \
+         [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
+         | --cmd stats|shutdown"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut addr = None;
+    let mut instance = None;
+    let mut file = None;
+    let mut kind = None;
+    let mut objective = Objective::Makespan;
+    let mut seed = 0u64;
+    let mut deadline_ms = 2_000u64;
+    let mut cmd = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => addr = Some(value()),
+            "--instance" => instance = Some(value()),
+            "--file" => file = Some(value()),
+            "--kind" => kind = Some(value()),
+            "--objective" => objective = Objective::from_name(&value()).unwrap_or_else(|| usage()),
+            "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--cmd" => cmd = Some(value()),
+            _ => usage(),
+        }
+    }
+    let Some(addr) = addr else { usage() };
+
+    let line = match (&cmd, &instance, &file) {
+        (Some(c), _, _) if c == "stats" || c == "shutdown" => format!("{{\"cmd\":\"{c}\"}}"),
+        (None, Some(name), None) => encode_request(&SolveRequest {
+            id: Some("client".into()),
+            instance: InstanceSpec::Named(name.clone()),
+            objective,
+            seed,
+            deadline_ms,
+        }),
+        (None, None, Some(path)) => {
+            let family = kind
+                .as_deref()
+                .and_then(pga_shop::serve::Family::from_name)
+                .unwrap_or_else(|| usage());
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            });
+            encode_request(&SolveRequest {
+                id: Some("client".into()),
+                instance: InstanceSpec::Inline { family, text },
+                objective,
+                seed,
+                deadline_ms,
+            })
+        }
+        _ => usage(),
+    };
+
+    let stream = TcpStream::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    stream
+        .set_read_timeout(Some(Duration::from_millis(deadline_ms + 30_000)))
+        .expect("set timeout");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone stream");
+    writeln!(writer, "{line}")
+        .and_then(|_| writer.flush())
+        .unwrap_or_else(|e| {
+            eprintln!("send failed: {e}");
+            std::process::exit(1);
+        });
+    let mut response = String::new();
+    BufReader::new(stream)
+        .read_line(&mut response)
+        .unwrap_or_else(|e| {
+            eprintln!("no response: {e}");
+            std::process::exit(1);
+        });
+    println!("{}", response.trim());
+
+    if cmd.is_some() {
+        return; // stats/shutdown: printing the response is enough
+    }
+    let parsed = json::parse(response.trim()).unwrap_or_else(|e| {
+        eprintln!("unparseable response: {e}");
+        std::process::exit(1);
+    });
+    let ok = parsed.get("status").and_then(json::Json::as_str) == Some("ok");
+    let has_schedule = parsed
+        .get("schedule")
+        .and_then(json::Json::as_arr)
+        .is_some_and(|s| !s.is_empty());
+    if !(ok && has_schedule) {
+        eprintln!("service did not return a solution");
+        std::process::exit(1);
+    }
+}

@@ -12,7 +12,10 @@
 //! * [`pga`] — the parallel models: master-slave (Table III),
 //!   fine-grained / cellular (Table IV), island (Table V) and hybrids;
 //! * [`hpc`] — deterministic platform cost models predicting parallel
-//!   wall times (GPU / MPI cluster / multicore / Transputer).
+//!   wall times (GPU / MPI cluster / multicore / Transputer);
+//! * [`serve`] — the anytime solver service: line-delimited JSON over
+//!   TCP, portfolio racing against deadlines, LRU solution cache
+//!   (`pga-shop-serve` binary, README "Serving" section).
 //!
 //! See `examples/quickstart.rs` for a 50-line end-to-end run and
 //! DESIGN.md / EXPERIMENTS.md for the reproduction index.
@@ -20,4 +23,5 @@
 pub use ga;
 pub use hpc;
 pub use pga;
+pub use serve;
 pub use shop;

@@ -222,6 +222,56 @@ proptest! {
         }
     }
 
+    // Text-format round-trips: for every family, writing an instance
+    // (via its `Display`/writer) and parsing it back yields an equal
+    // instance. Instances come from the seeded generators, so the
+    // property covers arbitrary shapes and times, not just classics.
+    #[test]
+    fn job_shop_text_roundtrips(n in 2usize..9, m in 2usize..6, seed in 0u64..500) {
+        let inst = job_shop_uniform(&GenConfig::new(n, m, seed));
+        let back = shop::instance::parse::parse_job_shop(&format!("{inst}")).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn flow_shop_text_roundtrips(n in 2usize..9, m in 2usize..6, seed in 0u64..500) {
+        let inst = flow_shop_taillard(&GenConfig::new(n, m, seed));
+        let back = shop::instance::parse::parse_flow_shop(&format!("{inst}")).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn open_shop_text_roundtrips(n in 2usize..9, m in 2usize..6, seed in 0u64..500) {
+        let inst = open_shop_uniform(&GenConfig::new(n, m, seed));
+        let back = shop::instance::parse::parse_open_shop(&format!("{inst}")).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+
+    #[test]
+    fn flexible_text_roundtrips(
+        n in 2usize..7,
+        m in 2usize..5,
+        ops in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        let inst = flexible_job_shop(&GenConfig::new(n, m, seed), ops, m);
+        let back = shop::instance::parse::parse_flexible(&format!("{inst}")).unwrap();
+        prop_assert_eq!(inst, back);
+    }
+
+    // Canonical hashing: reformatting the text never changes the cache
+    // key; changing the content does (across 500 seeds).
+    #[test]
+    fn canonical_hash_is_format_independent(n in 2usize..8, m in 2usize..5, seed in 0u64..500) {
+        use shop::instance::CanonicalHash;
+        let inst = job_shop_uniform(&GenConfig::new(n, m, seed));
+        let noisy = format!("# seed {seed}\n{}", format!("{inst}").replace(' ', "\t "));
+        let back = shop::instance::parse::parse_job_shop(&noisy).unwrap();
+        prop_assert_eq!(inst.canonical_hash(), back.canonical_hash());
+        let other = job_shop_uniform(&GenConfig::new(n, m, seed + 1000));
+        prop_assert_ne!(inst.canonical_hash(), other.canonical_hash());
+    }
+
     #[test]
     fn topology_destinations_are_valid(n in 2usize..17, epoch in 0u64..10) {
         use pga::topology::Topology;
