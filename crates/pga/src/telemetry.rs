@@ -51,9 +51,13 @@ pub struct RequestTelemetry {
     /// members.
     pub decode_count: u64,
     /// Name of the portfolio member that produced the returned solution
-    /// (`None` for cache hits).
+    /// (`None` for cache hits). After a budget-upgrade merge this can
+    /// name a member of the *earlier* race whose solution was kept,
+    /// while `models` describes the race run for this request — join
+    /// the two only for fresh (non-merged) solves.
     pub winning_model: Option<String>,
-    /// Structural counters per portfolio member, by model name.
+    /// Structural counters per portfolio member, by model name, for the
+    /// race run by this request.
     pub models: Vec<(String, RunTelemetry)>,
     /// True when the response was served from the solution cache.
     pub cache_hit: bool,

@@ -4,13 +4,23 @@
 //! `shop::instance::hash`) plus objective and seed, so repeated traffic
 //! for the same problem — however the instance text was formatted, and
 //! whether it arrived inline or as a named classic — is answered in
-//! microseconds with a bit-identical solution. The deadline is
-//! deliberately **not** part of the key: the cache memoises the best
-//! schedule the service has found for the keyed problem, and replaying
-//! it is always at least as good as re-racing under any deadline.
+//! microseconds with a bit-identical solution. The deadline is not part
+//! of the key; instead each entry records the wall-clock budget of the
+//! race that produced it and whether that race was *deadline-bound*
+//! (cut short by the clock with the target uncertified). A replay fully
+//! honours a request only when the stored race was not deadline-limited
+//! or the request's budget is no larger than the one already spent —
+//! see [`CachedSolve::replayable_for`]; otherwise the server re-races
+//! under the larger budget and keeps the better solution, so a
+//! short-deadline solve is never silently replayed to answer a
+//! long-deadline request — with one last-resort exception: when the
+//! re-race itself produces an internally invalid schedule, the server
+//! degrades to replaying the stored entry rather than failing the
+//! request (the anomaly is recorded in the `errors` counter).
 
 use crate::protocol::{Objective, Solution};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What uniquely identifies a solve, for caching purposes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -21,13 +31,41 @@ pub struct CacheKey {
     pub seed: u64,
 }
 
+/// A memoised solve: the solution plus the budget it was found under,
+/// so the server can tell when a replay would short-change a request
+/// with a larger deadline. The solution sits behind an `Arc` so hits
+/// and merges copy a pointer, not a whole schedule, while the shared
+/// cache mutex is held.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedSolve {
+    pub solution: Arc<Solution>,
+    /// Effective wall-clock budget (ms) of the race that produced — or
+    /// last re-confirmed — `solution`.
+    pub budget_ms: u64,
+    /// Whether that race was cut short by its deadline (see
+    /// `portfolio::RaceResult::deadline_bound`). False means the result
+    /// is budget-independent (cap-bound or target-certified) and
+    /// replayable for any deadline.
+    pub deadline_bound: bool,
+}
+
+impl CachedSolve {
+    /// Whether replaying this entry fully honours a request with the
+    /// given effective deadline: either the stored race was not
+    /// deadline-limited (more time would not have helped), or the new
+    /// request's budget is no larger than the one already spent.
+    pub fn replayable_for(&self, deadline_ms: u64) -> bool {
+        !self.deadline_bound || deadline_ms <= self.budget_ms
+    }
+}
+
 struct Entry {
     stamp: u64,
-    solution: Solution,
+    solve: CachedSolve,
 }
 
 /// A fixed-capacity least-recently-used map from [`CacheKey`] to the
-/// memoised [`Solution`]. Recency is tracked with a monotonic stamp;
+/// memoised [`CachedSolve`]. Recency is tracked with a monotonic stamp;
 /// eviction scans for the minimum, which is O(capacity) but the
 /// capacity is small (hundreds) and eviction is off the cache-hit fast
 /// path.
@@ -65,26 +103,67 @@ impl SolutionCache {
     }
 
     /// Looks up and touches (marks most-recently-used) an entry.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Solution> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedSolve> {
         self.clock += 1;
         let clock = self.clock;
         self.map.get_mut(key).map(|e| {
             e.stamp = clock;
-            e.solution.clone()
+            e.solve.clone()
         })
     }
 
     /// Inserts (or replaces) an entry, evicting the least-recently-used
     /// one when over capacity.
-    pub fn insert(&mut self, key: CacheKey, solution: Solution) {
+    pub fn insert(&mut self, key: CacheKey, solve: CachedSolve) {
         self.clock += 1;
         self.map.insert(
             key,
             Entry {
                 stamp: self.clock,
-                solution,
+                solve,
             },
         );
+        self.evict_lru_if_over_capacity();
+    }
+
+    /// Inserts `solve`, merging with any entry already present so that
+    /// concurrent solves of the same key can never downgrade it: the
+    /// better (lower-value) solution wins — ties keep the stored one,
+    /// so already-published schedules stay stable — the budget grows to
+    /// the largest race spent on the key, and `deadline_bound` is ANDed
+    /// (budget-independence is permanent once any race proves it:
+    /// trajectories are seed-deterministic, so a clock-cut race is a
+    /// prefix of the cap-bound one and can never beat it). Returns the
+    /// merged entry, which is what the caller should answer with. This
+    /// is the whole-entry compare-and-keep the server needs under its
+    /// cache lock: merging against a pre-solve snapshot instead would
+    /// let a slow short-deadline solve overwrite a better long-deadline
+    /// entry that landed mid-flight.
+    pub fn insert_best(&mut self, key: CacheKey, solve: CachedSolve) -> CachedSolve {
+        self.clock += 1;
+        let stamp = self.clock;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.stamp = stamp;
+            let cur = &mut e.solve;
+            cur.deadline_bound = cur.deadline_bound && solve.deadline_bound;
+            cur.budget_ms = cur.budget_ms.max(solve.budget_ms);
+            if solve.solution.value < cur.solution.value {
+                cur.solution = solve.solution;
+            }
+            return cur.clone();
+        }
+        self.map.insert(
+            key,
+            Entry {
+                stamp,
+                solve: solve.clone(),
+            },
+        );
+        self.evict_lru_if_over_capacity();
+        solve
+    }
+
+    fn evict_lru_if_over_capacity(&mut self) {
         if self.map.len() > self.capacity {
             if let Some(&lru) = self.map.iter().min_by_key(|(_, e)| e.stamp).map(|(k, _)| k) {
                 self.map.remove(&lru);
@@ -105,13 +184,17 @@ mod tests {
         }
     }
 
-    fn sol(mk: u64) -> Solution {
-        Solution {
-            objective: Objective::Makespan,
-            value: mk as f64,
-            makespan: mk,
-            model: "island".into(),
-            schedule: vec![],
+    fn solve(mk: u64) -> CachedSolve {
+        CachedSolve {
+            solution: Arc::new(Solution {
+                objective: Objective::Makespan,
+                value: mk as f64,
+                makespan: mk,
+                model: "island".into(),
+                schedule: vec![],
+            }),
+            budget_ms: 1_000,
+            deadline_bound: false,
         }
     }
 
@@ -119,8 +202,8 @@ mod tests {
     fn get_returns_inserted_solution() {
         let mut c = SolutionCache::new(4);
         assert!(c.get(&key(1)).is_none());
-        c.insert(key(1), sol(55));
-        assert_eq!(c.get(&key(1)).unwrap().makespan, 55);
+        c.insert(key(1), solve(55));
+        assert_eq!(c.get(&key(1)).unwrap().solution.makespan, 55);
         // Different seed => different key.
         let other = CacheKey { seed: 43, ..key(1) };
         assert!(c.get(&other).is_none());
@@ -129,11 +212,11 @@ mod tests {
     #[test]
     fn evicts_least_recently_used() {
         let mut c = SolutionCache::new(2);
-        c.insert(key(1), sol(1));
-        c.insert(key(2), sol(2));
+        c.insert(key(1), solve(1));
+        c.insert(key(2), solve(2));
         // Touch 1 so 2 becomes the LRU.
         assert!(c.get(&key(1)).is_some());
-        c.insert(key(3), sol(3));
+        c.insert(key(3), solve(3));
         assert_eq!(c.len(), 2);
         assert!(c.get(&key(2)).is_none(), "LRU entry should be evicted");
         assert!(c.get(&key(1)).is_some());
@@ -143,9 +226,120 @@ mod tests {
     #[test]
     fn replacing_does_not_grow() {
         let mut c = SolutionCache::new(2);
-        c.insert(key(1), sol(1));
-        c.insert(key(1), sol(10));
+        c.insert(key(1), solve(1));
+        c.insert(key(1), solve(10));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&key(1)).unwrap().makespan, 10);
+        assert_eq!(c.get(&key(1)).unwrap().solution.makespan, 10);
+    }
+
+    #[test]
+    fn insert_best_never_downgrades_a_concurrent_entry() {
+        let mut c = SolutionCache::new(4);
+        // A long-budget solve lands first...
+        c.insert(
+            key(1),
+            CachedSolve {
+                budget_ms: 400,
+                deadline_bound: true,
+                ..solve(55)
+            },
+        );
+        // ...then a slower short-budget solve of the same key finishes
+        // with a worse value: solution and metadata must survive.
+        let merged = c.insert_best(
+            key(1),
+            CachedSolve {
+                budget_ms: 60,
+                deadline_bound: true,
+                ..solve(60)
+            },
+        );
+        assert_eq!(merged.solution.makespan, 55);
+        assert_eq!(merged.budget_ms, 400);
+        let e = c.get(&key(1)).unwrap();
+        assert_eq!(e.solution.makespan, 55);
+        assert_eq!(e.budget_ms, 400);
+        assert!(e.deadline_bound);
+    }
+
+    #[test]
+    fn insert_best_takes_a_strictly_better_solution_and_widens_budget() {
+        let mut c = SolutionCache::new(4);
+        c.insert(
+            key(1),
+            CachedSolve {
+                budget_ms: 60,
+                deadline_bound: true,
+                ..solve(60)
+            },
+        );
+        let merged = c.insert_best(
+            key(1),
+            CachedSolve {
+                budget_ms: 400,
+                deadline_bound: true,
+                ..solve(55)
+            },
+        );
+        assert_eq!(merged.solution.makespan, 55);
+        assert_eq!(merged.budget_ms, 400);
+        assert!(merged.deadline_bound);
+        // One complete (cap-bound) race proves budget-independence.
+        let merged = c.insert_best(
+            key(1),
+            CachedSolve {
+                budget_ms: 400,
+                deadline_bound: false,
+                ..solve(55)
+            },
+        );
+        assert!(!merged.deadline_bound);
+        assert!(merged.replayable_for(u64::MAX));
+        // ...and a later clock-cut solve at a larger budget cannot
+        // un-prove it: the flag is ANDed, never overwritten.
+        let merged = c.insert_best(
+            key(1),
+            CachedSolve {
+                budget_ms: 800,
+                deadline_bound: true,
+                ..solve(57)
+            },
+        );
+        assert!(!merged.deadline_bound, "budget-independence is permanent");
+        assert_eq!(merged.budget_ms, 800);
+        assert_eq!(merged.solution.makespan, 55);
+        // Value ties keep the stored solution, so an already-published
+        // schedule stays the cached answer.
+        let tied = CachedSolve {
+            budget_ms: 400,
+            deadline_bound: false,
+            solution: Arc::new(Solution {
+                model: "master_slave".into(),
+                ..(*solve(55).solution).clone()
+            }),
+        };
+        let merged = c.insert_best(key(1), tied);
+        assert_eq!(merged.solution.model, "island");
+        // A fresh key inserts normally.
+        let merged = c.insert_best(key(2), solve(7));
+        assert_eq!(merged.solution.makespan, 7);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn replayable_only_within_the_stored_budget_when_deadline_bound() {
+        let complete = solve(55); // deadline_bound: false
+        assert!(complete.replayable_for(1));
+        assert!(complete.replayable_for(u64::MAX));
+        let bound = CachedSolve {
+            deadline_bound: true,
+            ..solve(60)
+        };
+        assert!(bound.replayable_for(500), "smaller budget: replay");
+        assert!(bound.replayable_for(1_000), "equal budget: replay");
+        assert!(
+            !bound.replayable_for(1_001),
+            "larger budget could improve a deadline-bound result"
+        );
     }
 }

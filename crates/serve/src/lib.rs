@@ -10,7 +10,12 @@
 //! plus cooperative best-so-far reporting. Results are memoised in an
 //! LRU **solution cache** keyed by the canonical instance hash
 //! (`shop::instance::hash`), objective and seed, so repeated traffic is
-//! served in microseconds with bit-identical responses.
+//! served in microseconds with responses that are bit-identical between
+//! budget upgrades. Each entry remembers the budget it was solved
+//! under: a request whose deadline outgrows a deadline-bound entry is
+//! re-raced (keeping the better solution) instead of being
+//! short-changed with a replay — after which identical requests replay
+//! the improved answer.
 //!
 //! The wire protocol is line-delimited JSON over TCP (hand-rolled
 //! [`json`] module — no external dependencies, consistent with the
@@ -27,7 +32,7 @@ pub mod protocol;
 pub mod server;
 pub mod solver;
 
-pub use cache::{CacheKey, SolutionCache};
+pub use cache::{CacheKey, CachedSolve, SolutionCache};
 pub use json::Json;
 pub use portfolio::{plan_lineup, BestSoFar, ModelKind};
 pub use protocol::{Family, InstanceSpec, Objective, Request, Solution, SolveRequest};

@@ -20,6 +20,10 @@
 //!  "telemetry":{"queue_wait_us":12,"solve_ms":104,"decode_count":48000,
 //!               "winning_model":"island","cache_hit":false}}
 //! ```
+//!
+//! `model` / `winning_model` are informational (see [`Solution`]):
+//! the deterministic part of a response is the schedule and its
+//! objective values, not which portfolio member produced them.
 
 use crate::json::{obj, Json};
 use pga::telemetry::RequestTelemetry;
@@ -207,7 +211,11 @@ pub struct Solution {
     pub objective: Objective,
     pub value: f64,
     pub makespan: u64,
-    /// Portfolio member that found it.
+    /// Portfolio member that found it. Informational only — when a race
+    /// exits early on a certified target, which member ends up holding
+    /// the best solution is timing-dependent, so `model` (and the
+    /// telemetry's `winning_model`) is not part of the deterministic
+    /// response contract; `schedule`, `value` and `makespan` are.
     pub model: String,
     pub schedule: Vec<ScheduledOp>,
 }

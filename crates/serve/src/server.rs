@@ -18,7 +18,7 @@
 //! acceptor stops accepting, workers finish the connection they hold
 //! and drain the queue, then exit.
 
-use crate::cache::{CacheKey, SolutionCache};
+use crate::cache::{CacheKey, CachedSolve, SolutionCache};
 use crate::json::obj;
 use crate::protocol::{encode_error, encode_solution, parse_request, Request, SolveRequest};
 use crate::solver::{solve, LoadedInstance};
@@ -68,6 +68,13 @@ impl Default for ServeConfig {
 
 /// Monotonic service counters (lock-free; read with
 /// [`Service::stats`]).
+///
+/// `cache_hits` counts responses answered from the memoised solution
+/// (including the rare validation-failure fallback); `cache_misses`
+/// counts lookups that could not be replayed directly. A fallback
+/// request increments both, so `cache_hits + cache_misses` can exceed
+/// the number of solve requests by the (error-counted) fallbacks —
+/// hit-rate consumers should divide by `requests` instead.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
     pub requests: AtomicU64,
@@ -452,22 +459,29 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
         objective: req.objective,
         seed: req.seed,
     };
-    // Fast path: memoised solution (lock held only for the lookup).
-    if let Some(hit) = shared.cache.lock().expect("cache poisoned").get(&key) {
-        shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-        let telemetry = RequestTelemetry {
-            queue_wait,
-            cache_hit: true,
-            ..Default::default()
-        };
-        return encode_solution(id, &hit, true, &telemetry);
-    }
-    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
-
     let deadline_ms = match req.deadline_ms {
         0 => shared.config.default_deadline_ms,
         d => d.min(shared.config.max_deadline_ms),
     };
+    // Fast path: a memoised solution that fully honours this request's
+    // budget (lock held only for the lookup). A deadline-bound entry
+    // whose stored budget is smaller than this request's falls through
+    // to a re-race below — replaying it would silently answer a
+    // long-deadline request with short-deadline quality.
+    let prev = shared.cache.lock().expect("cache poisoned").get(&key);
+    if let Some(hit) = &prev {
+        if hit.replayable_for(deadline_ms) {
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let telemetry = RequestTelemetry {
+                queue_wait,
+                cache_hit: true,
+                ..Default::default()
+            };
+            return encode_solution(id, &hit.solution, true, &telemetry);
+        }
+    }
+    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+
     let solve_started = Instant::now();
     let deadline = solve_started + Duration::from_millis(deadline_ms);
     let outcome = solve(
@@ -480,30 +494,62 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
     );
 
     // Never hand out an infeasible schedule: validate before replying
-    // (and before caching).
+    // (and before caching). If the fresh race misbehaves while a valid
+    // (outgrown) entry is in hand, degrade to replaying that entry
+    // rather than failing a request the cache can still answer.
     let schedule = Schedule::new(outcome.solution.schedule.clone());
     if let Err(e) = inst.validate(&schedule) {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        if let Some(prev) = prev {
+            // Served from the cache after all: count the hit so the
+            // counter stays consistent with the response's cache_hit
+            // flag (the error counter already records the anomaly).
+            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            let telemetry = RequestTelemetry {
+                queue_wait,
+                solve_time: solve_started.elapsed(),
+                cache_hit: true,
+                ..Default::default()
+            };
+            return encode_solution(id, &prev.solution, true, &telemetry);
+        }
         return encode_error(id, &format!("internal: produced {e}"));
     }
+
+    // An outgrown entry still holds the best solution known for the
+    // key: keep whichever of (snapshot, fresh) is better, preferring
+    // the stored one on ties so already-published schedules stay
+    // stable. The `prev` snapshot only covers the entry surviving an
+    // eviction during the solve; `insert_best` repeats the merge under
+    // the cache lock against whatever a concurrent solve of the same
+    // key may have landed mid-flight, so a slow short-deadline race can
+    // never downgrade a better entry, and the merged result is what
+    // this request answers with.
+    let solution = match prev {
+        Some(prev) if prev.solution.value <= outcome.solution.value => prev.solution,
+        _ => Arc::new(outcome.solution),
+    };
+    let merged = shared.cache.lock().expect("cache poisoned").insert_best(
+        key,
+        CachedSolve {
+            solution,
+            budget_ms: deadline_ms,
+            deadline_bound: outcome.deadline_bound,
+        },
+    );
 
     let telemetry = RequestTelemetry {
         queue_wait,
         solve_time: solve_started.elapsed(),
-        winning_model: Some(outcome.solution.model.clone()),
+        winning_model: Some(merged.solution.model.clone()),
         models: outcome.models,
         cache_hit: false,
         ..Default::default()
     }
     .with_decodes_from_models();
 
-    shared
-        .cache
-        .lock()
-        .expect("cache poisoned")
-        .insert(key, outcome.solution.clone());
     shared.stats.solved.fetch_add(1, Ordering::Relaxed);
-    encode_solution(id, &outcome.solution, false, &telemetry)
+    encode_solution(id, &merged.solution, false, &telemetry)
 }
 
 #[cfg(test)]
@@ -622,6 +668,54 @@ mod tests {
         if !resp.trim().is_empty() {
             assert!(resp.contains("request too large"), "got: {resp}");
         }
+        service.shutdown();
+    }
+
+    #[test]
+    fn longer_deadline_outgrows_a_deadline_bound_cache_entry() {
+        // gen_cap effectively unbounded and ft06's target (the makespan
+        // lower bound) unreachable: every race is cut by its deadline,
+        // so cached entries are deadline-bound.
+        let service = Service::bind(ServeConfig {
+            workers: 1,
+            gen_cap: u64::MAX,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let mk = |deadline_ms: u64| {
+            encode_request(&SolveRequest {
+                id: None,
+                instance: InstanceSpec::Named("ft06".into()),
+                objective: Objective::Makespan,
+                seed: 5,
+                deadline_ms,
+            })
+        };
+        let responses = send_lines(addr, &[mk(60), mk(400), mk(300)]);
+        let v: Vec<_> = responses
+            .iter()
+            .map(|r| crate::json::parse(r).unwrap())
+            .collect();
+        let cached = |i: usize| v[i].get("cached").unwrap().as_bool().unwrap();
+        let value = |i: usize| v[i].get("value").unwrap().as_f64().unwrap();
+        // Cold 60 ms solve, memoised as deadline-bound.
+        assert!(!cached(0));
+        // A 400 ms budget outgrows the entry: the service must re-race
+        // rather than replay 60 ms-quality, and never worsen the answer.
+        assert!(!cached(1), "larger budget must not replay a bound entry");
+        assert!(
+            value(1) <= value(0),
+            "upgrade must keep the better solution"
+        );
+        // A follow-up within the enlarged budget replays the entry.
+        assert!(cached(2));
+        assert_eq!(value(2), value(1));
+        let stats = service.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 2);
+        assert_eq!(stats.solved, 2);
+        assert_eq!(service.cache_len(), 1, "upgrade replaces, never duplicates");
         service.shutdown();
     }
 

@@ -146,6 +146,11 @@ fn objective_of(problem: &dyn Problem, schedule: &Schedule, objective: Objective
 pub struct SolveOutcome {
     pub solution: Solution,
     pub models: Vec<(String, RunTelemetry)>,
+    /// True when the deadline cut the race short before `gen_cap` or a
+    /// certified target: a rerun with a larger budget could do better
+    /// (see `portfolio::RaceResult::deadline_bound`). Drives the
+    /// cache's replay-vs-re-race policy.
+    pub deadline_bound: bool,
 }
 
 /// Races the portfolio on `inst` until `deadline` and returns the best
@@ -286,6 +291,7 @@ fn finish<G>(
             schedule: schedule.ops,
         },
         models: outcome.models,
+        deadline_bound: outcome.deadline_bound,
     }
 }
 
@@ -421,7 +427,28 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a.solution.schedule, b.solution.schedule);
+        // Model equality is safe to assert *here* because ft06's
+        // makespan lower bound sits below the optimum: the target is
+        // never certified, every racer runs to the cap, and the winner
+        // label is pinned. It is not part of the general contract.
         assert_eq!(a.solution.model, b.solution.model);
         assert_eq!(a.solution.makespan, b.solution.makespan);
+        assert!(!a.deadline_bound, "cap-bound solve is budget-independent");
+    }
+
+    #[test]
+    fn clock_cut_solve_reports_deadline_bound() {
+        let inst = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        // Uncapped generations, unreachable target, tiny deadline: the
+        // clock is the only stopping criterion that can fire.
+        let out = solve(
+            &inst,
+            Objective::Makespan,
+            42,
+            Instant::now() + Duration::from_millis(50),
+            u64::MAX,
+            2,
+        );
+        assert!(out.deadline_bound);
     }
 }
