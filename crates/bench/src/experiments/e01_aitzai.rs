@@ -1,4 +1,4 @@
-//! E01 — AitZai et al. [14][15]: master-slave GA for the *blocking* job
+//! E01 — AitZai et al. \[14\]\[15\]: master-slave GA for the *blocking* job
 //! shop (alternative-graph evaluation), CPU star network vs CUDA GPU.
 //!
 //! Paper outcome: with population 1056 and a fixed 300 s budget, the GPU

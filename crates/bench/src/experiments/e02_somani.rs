@@ -1,4 +1,4 @@
-//! E02 — Somani & Singh [16]: job-shop GA whose fitness phase topological
+//! E02 — Somani & Singh \[16\]: job-shop GA whose fitness phase topological
 //! sorts the selected disjunctive graph and runs a longest-path pass, with
 //! the evaluation kernels on a Tesla C2075 (448 cores).
 //!

@@ -1,4 +1,4 @@
-//! E03 — Mui et al. [17]: master-slave GA where the *slaves run the full
+//! E03 — Mui et al. \[17\]: master-slave GA where the *slaves run the full
 //! GA evolutionary operators* on GT-active schedules and the master keeps
 //! the global optimum; 6-computer CSS server system.
 //!

@@ -1,4 +1,4 @@
-//! E04 — Akhshabi et al. [18]: master-slave GA for the flow shop with a
+//! E04 — Akhshabi et al. \[18\]: master-slave GA for the flow shop with a
 //! master scheduler, an unassigned queue, and batched dispatch of fitness
 //! work to slave processors (cycle crossover, swap mutation).
 //!

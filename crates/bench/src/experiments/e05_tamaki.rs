@@ -1,4 +1,4 @@
-//! E05 — Tamaki [20]: the fine-grained (neighbourhood-model) GA for job
+//! E05 — Tamaki \[20\]: the fine-grained (neighbourhood-model) GA for job
 //! shops on a 16-Transputer MIMD machine.
 //!
 //! Paper outcomes: (a) the neighbourhood model suppresses premature

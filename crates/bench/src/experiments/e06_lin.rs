@@ -1,4 +1,4 @@
-//! E06 — Lin, Goodman & Punch [21]: island GAs (ring), a torus
+//! E06 — Lin, Goodman & Punch \[21\]: island GAs (ring), a torus
 //! fine-grained GA and two hybrid models on job-shop problems with
 //! THX-style operators.
 //!

@@ -1,4 +1,4 @@
-//! E07 — Huang, Huang & Lai [24]: fuzzy flow shop (fuzzy processing
+//! E07 — Huang, Huang & Lai \[24\]: fuzzy flow shop (fuzzy processing
 //! times and due dates, possibility/necessity objectives), random-key
 //! chromosomes with parameterized uniform crossover and the a%/b%/c%
 //! immigration split, CUDA island-per-block with *no migration*.

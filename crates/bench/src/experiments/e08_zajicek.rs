@@ -1,4 +1,4 @@
-//! E08 — Zajíček & Šucha [25]: homogeneous island GA for the flow shop
+//! E08 — Zajíček & Šucha \[25\]: homogeneous island GA for the flow shop
 //! executed *entirely on the GPU* (tournament selection, arithmetic
 //! crossover, Gaussian mutation on random keys) to eliminate CPU–GPU
 //! communication.

@@ -1,4 +1,4 @@
-//! E09 — Park, Choi & Kim [26]: hybrid GA for job shops with an
+//! E09 — Park, Choi & Kim \[26\]: hybrid GA for job shops with an
 //! operation-based representation; the parallel version splits the
 //! population into 2 or 4 subpopulations with *different operator
 //! settings per island* and synchronous ring migration.

@@ -1,4 +1,4 @@
-//! E10 — Asadzadeh & Zamanifar [27]: agent-based parallel GA for the job
+//! E10 — Asadzadeh & Zamanifar \[27\]: agent-based parallel GA for the job
 //! shop; eight processor agents form a virtual cube (each with three
 //! neighbours) and exchange migrants through a synchronisation agent.
 //!

@@ -1,4 +1,4 @@
-//! E11 — Gu, Gu & Gu [28]: stochastic job shop (expected-value model)
+//! E11 — Gu, Gu & Gu \[28\]: stochastic job shop (expected-value model)
 //! solved by a parallel *quantum* GA: islands of Q-bit individuals in a
 //! star-shaped topology with penetration migration (sharing the best
 //! observation) at the upper level.

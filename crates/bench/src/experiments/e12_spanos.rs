@@ -1,4 +1,4 @@
-//! E12 — Spanos et al. [29]: island GA for the job shop with elitist
+//! E12 — Spanos et al. \[29\]: island GA for the job shop with elitist
 //! selection, path-relinking crossover and swap mutation, where islands
 //! *merge* once their individuals stagnate (more than half the pairwise
 //! Hamming distances below a threshold), continuing until a single

@@ -1,4 +1,4 @@
-//! E13 — Bożejko & Wodecki [30][31]: island GA for the flow shop testing
+//! E13 — Bożejko & Wodecki \[30\]\[31\]: island GA for the flow shop testing
 //! three binary strategy axes — same vs different starting
 //! subpopulations, independent vs cooperative (migrating) islands, and
 //! same vs different genetic operators per island — with MSXF used to

@@ -1,4 +1,4 @@
-//! E15 — Harmanani et al. [33] (and Ghosn [34]): non-preemptive open
+//! E15 — Harmanani et al. \[33\] (and Ghosn \[34\]): non-preemptive open
 //! shop on a 5-machine Linux/MPI Beowulf cluster; hybrid island GA with
 //! two-level migration — neighbours share their best chromosomes every GN
 //! generations, and every LN ≫ GN generations all islands broadcast their

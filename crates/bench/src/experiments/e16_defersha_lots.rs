@@ -1,4 +1,4 @@
-//! E16 — Defersha & Chen [35]: coarse-grain parallel GA for a flexible
+//! E16 — Defersha & Chen \[35\]: coarse-grain parallel GA for a flexible
 //! flow shop with *lot streaming* (each job's batch split into unequal
 //! consistent sublots), k-way tournament selection, run on up to 48 cores
 //! with MPI; sweeps of migration topology (ring / mesh / fully connected)

@@ -1,4 +1,4 @@
-//! E17 — Defersha & Chen [36]: parallel GA for a flexible job shop with
+//! E17 — Defersha & Chen \[36\]: parallel GA for a flexible job shop with
 //! sequence-dependent (attached/detached) setup times, machine release
 //! dates and time lags; islands connected by a *randomly generated
 //! topology per communication epoch*.

@@ -1,4 +1,4 @@
-//! E18 — Belkadi, Gourgand & Benyettou [37]: island GA for the flexible
+//! E18 — Belkadi, Gourgand & Benyettou \[37\]: island GA for the flexible
 //! (hybrid) flow shop. Parameter study over: island topology (ring vs
 //! 2-D grid), replacement strategy (best vs random), subpopulation
 //! count/size at fixed total population, and migration interval.

@@ -1,4 +1,4 @@
-//! E19 — Rashidi, Jahandar & Zandieh [38]: flexible flow shop with
+//! E19 — Rashidi, Jahandar & Zandieh \[38\]: flexible flow shop with
 //! unrelated parallel machines, sequence-dependent setup times and
 //! processor blocking, minimising makespan *and* maximum tardiness. The
 //! two criteria are combined into single-objective islands with different

@@ -1,0 +1,164 @@
+//! G01 — generated-instance sweep: the `hpc` cost model's predicted
+//! solve cost vs the observed portfolio runtime, across sizes of all
+//! four generated families (`shop::gen`).
+//!
+//! The service's lineup planner prices candidate parallel models with
+//! *nominal* per-unit costs, so only the relative figures are
+//! meaningful; the shape under test is that the prediction scales the
+//! same way the real portfolio does — within every family, the sweep's
+//! largest instance must both be *predicted* and *observed* slower
+//! than its smallest.
+
+use crate::report::{fmt, Report};
+use serve::portfolio::price_lineup;
+use serve::{solve, Objective};
+use shop::gen::{Family, GenSpec};
+use std::time::{Duration, Instant};
+
+/// One sweep measurement (also the BENCH_generated.json row shape).
+#[derive(Debug, Clone)]
+pub struct SweepRow {
+    /// Canonical generated-instance name (`gen-...`).
+    pub name: String,
+    /// Family tag.
+    pub family: &'static str,
+    /// Total operation count of the instance.
+    pub total_ops: usize,
+    /// Cheapest candidate's predicted time (nominal units, seconds).
+    pub predicted_s: f64,
+    /// Observed wall time of a capped portfolio race.
+    pub observed_ms: f64,
+    /// Best makespan the race found.
+    pub makespan: u64,
+}
+
+/// Generation cap for the measured races: small enough that the sweep
+/// stays in seconds, large enough that runtime is dominated by
+/// decoding work (which is what the cost model prices).
+const SWEEP_GEN_CAP: u64 = 120;
+
+/// Racer threads per measured solve.
+const SWEEP_RACERS: usize = 2;
+
+/// The swept sizes: `(jobs, machines)` per family, small → large.
+fn sweep_sizes() -> Vec<(Family, [(usize, usize); 3])> {
+    vec![
+        (Family::Flow, [(6, 4), (12, 5), (20, 8)]),
+        (Family::Job, [(5, 4), (8, 6), (12, 8)]),
+        (Family::Open, [(4, 4), (7, 6), (10, 8)]),
+        (Family::Flexible, [(4, 3), (6, 5), (9, 6)]),
+    ]
+}
+
+/// Runs the sweep and returns the raw measurements.
+pub fn measure() -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for (family, sizes) in sweep_sizes() {
+        for (jobs, machines) in sizes {
+            let spec = GenSpec::new(family, jobs, machines, 42);
+            let generated = spec.build().expect("sweep specs are valid");
+            let inst = generated.instance;
+            let predicted_s = price_lineup(inst.total_ops(), SWEEP_RACERS)
+                .first()
+                .map(|(s, _)| *s)
+                .unwrap_or(f64::NAN);
+            let started = Instant::now();
+            let outcome = solve(
+                &inst,
+                Objective::Makespan,
+                7,
+                started + Duration::from_secs(60),
+                SWEEP_GEN_CAP,
+                SWEEP_RACERS,
+            );
+            let observed_ms = started.elapsed().as_secs_f64() * 1e3;
+            rows.push(SweepRow {
+                name: generated.name,
+                family: family.name(),
+                total_ops: inst.total_ops(),
+                predicted_s,
+                observed_ms,
+                makespan: outcome.solution.makespan,
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as a standard experiment report.
+pub fn run() -> Report {
+    report_from(&measure())
+}
+
+/// Builds the report for an already-measured sweep (lets the runner
+/// binary measure once and both print and persist the same rows).
+pub fn report_from(rows: &[SweepRow]) -> Report {
+    // Shape: within each family, the largest instance must be both
+    // predicted and observed slower than the smallest (monotone ends;
+    // the middle point is reported but not asserted, timing noise on
+    // millisecond-scale runs being what it is). Incomplete trailing
+    // chunks (callers passing a filtered row set) are skipped rather
+    // than asserted on.
+    let mut shape_holds = true;
+    for chunk in rows.chunks(3).filter(|c| c.len() == 3) {
+        let (first, last) = (&chunk[0], &chunk[2]);
+        shape_holds &= last.predicted_s > first.predicted_s;
+        shape_holds &= last.observed_ms > first.observed_ms;
+    }
+    Report {
+        id: "G01",
+        title: "generated sweep: cost-model prediction vs observed runtime",
+        paper_claim: "cost models rank bigger instances as proportionally more \
+                      expensive; the real portfolio scales the same way",
+        columns: vec![
+            "instance",
+            "family",
+            "ops",
+            "predicted (nominal s)",
+            "observed (ms)",
+            "makespan",
+        ],
+        rows: rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.family.to_string(),
+                    r.total_ops.to_string(),
+                    format!("{:.4}", r.predicted_s),
+                    fmt(r.observed_ms),
+                    r.makespan.to_string(),
+                ]
+            })
+            .collect(),
+        shape_holds,
+        notes: format!(
+            "seeded gen-* instances (shop::gen), gen_cap {SWEEP_GEN_CAP}, \
+             {SWEEP_RACERS} racers; predictions are nominal (uncalibrated) — \
+             compare scaling, not absolutes. g01_generated_sweep appends rows \
+             to BENCH_generated.json."
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_sizes_are_strictly_growing_in_ops() {
+        for (family, sizes) in sweep_sizes() {
+            let ops: Vec<usize> = sizes
+                .iter()
+                .map(|&(j, m)| {
+                    GenSpec::new(family, j, m, 42)
+                        .build()
+                        .unwrap()
+                        .instance
+                        .total_ops()
+                })
+                .collect();
+            assert!(ops.windows(2).all(|w| w[0] < w[1]), "{family:?}: {ops:?}");
+        }
+    }
+}

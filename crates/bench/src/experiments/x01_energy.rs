@@ -1,5 +1,5 @@
 //! X01 — extension: energy-aware scheduling (survey Section II "new
-//! integrated factors", Xu et al. [8] / Tang et al. [9]). Each stage of a
+//! integrated factors", Xu et al. \[8\] / Tang et al. \[9\]). Each stage of a
 //! flexible flow shop offers a *fast but power-hungry* and a *slow but
 //! frugal* machine (the classic speed-scaling trade-off); weighted
 //! bi-objective islands sweep energy vs makespan. The reproduced shape is

@@ -1,5 +1,5 @@
 //! X02 — extension: dynamic environment (survey Section II, Tang et al.
-//! [9] predictive-reactive rescheduling). A machine breaks down while a
+//! \[9\] predictive-reactive rescheduling). A machine breaks down while a
 //! schedule is executing; the reactive options are (a) right-shift repair
 //! (keep all sequencing) and (b) GA rescheduling of the unstarted suffix,
 //! warm-started from the old order. The reproduced shape: reactive

@@ -30,6 +30,7 @@ pub mod experiments {
     pub mod e18_belkadi;
     pub mod e19_rashidi;
     pub mod f01_matrix;
+    pub mod g01_generated;
     pub mod x01_energy;
     pub mod x02_dynamic;
 
@@ -58,6 +59,7 @@ pub mod experiments {
             e18_belkadi::run,
             e19_rashidi::run,
             f01_matrix::run,
+            g01_generated::run,
             a01_migration::run,
             a02_decoders::run,
             a03_regimes::run,

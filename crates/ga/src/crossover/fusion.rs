@@ -1,6 +1,6 @@
 //! Fitness-guided recombination: multi-step crossover fusion (MSXF) used
-//! by Bożejko & Wodecki [30] to blend the best individuals of different
-//! islands, and path relinking used by Spanos et al. [29].
+//! by Bożejko & Wodecki \[30\] to blend the best individuals of different
+//! islands, and path relinking used by Spanos et al. \[29\].
 //!
 //! Both operators walk from one parent towards the other through a
 //! neighbourhood structure, returning the best solution seen, so they need

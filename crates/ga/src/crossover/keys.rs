@@ -1,6 +1,6 @@
 //! Crossovers over random-key vectors (`Vec<f64>` in `[0, 1]`), the
-//! encoding Huang et al. [24] use for fuzzy flow shops and Zajíček &
-//! Šucha [25] for their all-on-GPU island GA.
+//! encoding Huang et al. \[24\] use for fuzzy flow shops and Zajíček &
+//! Šucha \[25\] for their all-on-GPU island GA.
 
 use rand::Rng;
 
@@ -52,7 +52,7 @@ pub fn parameterized_uniform(
 }
 
 /// Arithmetic crossover: convex combinations `λ·p1 + (1-λ)·p2` and the
-/// mirror, with a fresh `λ` per call (Zajíček [25]).
+/// mirror, with a fresh `λ` per call (Zajíček \[25\]).
 pub fn arithmetic(p1: &[f64], p2: &[f64], rng: &mut impl Rng) -> (Vec<f64>, Vec<f64>) {
     let lambda: f64 = rng.gen();
     let c1 = p1

@@ -4,14 +4,14 @@
 //!   (OX), linear order (LOX), cycle (CX), position-based.
 //! * [`rep`] — permutations with repetition (job-shop operation
 //!   sequences): job-order crossover and the time-horizon exchange (THX)
-//!   of Lin et al. [21].
+//!   of Lin et al. \[21\].
 //! * [`keys`] — real vectors (random keys): n-point, uniform,
-//!   parameterized uniform (Huang [24]), arithmetic (Zajíček [25]).
+//!   parameterized uniform (Huang \[24\]), arithmetic (Zajíček \[25\]).
 //! * [`fusion`] — fitness-guided recombination: multi-step crossover
-//!   fusion (Bożejko [30]) and path relinking (Spanos [29]).
+//!   fusion (Bożejko \[30\]) and path relinking (Spanos \[29\]).
 //!
 //! The enums here let experiment configs (heterogeneous islands of Park
-//! [26] / Bożejko [30]) name an operator per island.
+//! \[26\] / Bożejko \[30\]) name an operator per island.
 
 pub mod fusion;
 pub mod keys;
@@ -99,9 +99,9 @@ pub enum KeysCrossover {
     TwoPoint,
     Uniform,
     /// Biased uniform: take from the first parent with probability `p`
-    /// (Huang et al. [24] use p ≈ 0.7).
+    /// (Huang et al. \[24\] use p ≈ 0.7).
     ParamUniform(f64),
-    /// Convex combination with a random coefficient (Zajíček [25]).
+    /// Convex combination with a random coefficient (Zajíček \[25\]).
     Arithmetic,
 }
 

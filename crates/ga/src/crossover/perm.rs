@@ -53,7 +53,7 @@ pub fn order(p1: &[usize], p2: &[usize], rng: &mut impl Rng) -> Vec<usize> {
     child
 }
 
-/// Linear order crossover (LOX, Kokosiński [32]): like OX but filling
+/// Linear order crossover (LOX, Kokosiński \[32\]): like OX but filling
 /// left-to-right from the start instead of cyclically.
 pub fn linear_order(p1: &[usize], p2: &[usize], rng: &mut impl Rng) -> Vec<usize> {
     let n = p1.len();
@@ -76,7 +76,7 @@ pub fn linear_order(p1: &[usize], p2: &[usize], rng: &mut impl Rng) -> Vec<usize
     child
 }
 
-/// Cycle crossover (CX, Akhshabi [18], Gu [28]): children alternate the
+/// Cycle crossover (CX, Akhshabi \[18\], Gu \[28\]): children alternate the
 /// cycles of the two parents, so every gene comes from one parent *at the
 /// same position*.
 pub fn cycle(p1: &[usize], p2: &[usize]) -> (Vec<usize>, Vec<usize>) {

@@ -31,7 +31,7 @@ pub fn job_order(p1: &[usize], p2: &[usize], n_jobs: usize, rng: &mut impl Rng) 
     child
 }
 
-/// Time-horizon exchange (THX, Lin et al. [21]), sequence form: the child
+/// Time-horizon exchange (THX, Lin et al. \[21\]), sequence form: the child
 /// copies `p1` up to a horizon position (a fraction of the sequence — the
 /// "time horizon" of the partial schedule), then completes with the
 /// remaining multiset in `p2` order. Lin et al. designed THX so the child

@@ -1,5 +1,5 @@
-//! Dual-chromosome genome for flexible shops (Belkadi et al. [37],
-//! Defersha & Chen [35][36]): an *assignment* part (one gene per
+//! Dual-chromosome genome for flexible shops (Belkadi et al. \[37\],
+//! Defersha & Chen \[35\]\[36\]): an *assignment* part (one gene per
 //! operation choosing the eligible machine) and a *sequencing* part (a
 //! permutation with repetition of job ids). Crossover recombines the two
 //! parts independently; mutation picks a part to perturb.

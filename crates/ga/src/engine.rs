@@ -57,7 +57,7 @@ pub struct GaConfig {
     /// Individuals carried over unchanged ("elitist strategy").
     pub elites: usize,
     /// Fraction of each generation regenerated randomly — the `c%`
-    /// immigration of Huang et al. [24]. Usually 0.
+    /// immigration of Huang et al. \[24\]. Usually 0.
     pub immigration_rate: f64,
     pub selection: Selection,
     pub fitness: FitnessTransform,

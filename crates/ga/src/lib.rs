@@ -6,9 +6,9 @@
 //! tournament, rank, elitist-roulette), crossover and mutation families
 //! for permutation, repetition-permutation, random-key and dual-genome
 //! encodings, repair, elitism, the immigration scheme of Huang et al.
-//! [24], termination criteria, diversity statistics, hill-climbing local
-//! search with the Redirect step of Rashidi et al. [38], and the
-//! quantum-inspired machinery of Gu et al. [28].
+//! \[24\], termination criteria, diversity statistics, hill-climbing local
+//! search with the Redirect step of Rashidi et al. \[38\], and the
+//! quantum-inspired machinery of Gu et al. \[28\].
 //!
 //! The engine is generic over a genome type and an *evaluator*; batching
 //! evaluation behind [`Evaluator`] is what lets the `pga` crate drop in a

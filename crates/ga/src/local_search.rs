@@ -1,6 +1,6 @@
 //! Local search used as a GA add-on: first-improvement hill climbing over
 //! the swap and insertion neighbourhoods, plus the *Redirect* procedure of
-//! Rashidi et al. [38] (perturb-and-reclimb restarts that push a solution
+//! Rashidi et al. \[38\] (perturb-and-reclimb restarts that push a solution
 //! towards unexplored regions when the climb stalls).
 
 use crate::mutate::SeqMutation;

@@ -2,7 +2,7 @@
 //! work on neighbourhoods — shift mutation (insertion neighbourhood) and
 //! pairwise-interchange mutation (swap neighbourhood) — rather than on
 //! bits; random-key genomes additionally admit Gaussian perturbation
-//! (Zajíček [25]) and quantum genomes the Not-gate (Gu [28], in
+//! (Zajíček \[25\]) and quantum genomes the Not-gate (Gu \[28\], in
 //! [`crate::quantum`]).
 
 use rand::Rng;

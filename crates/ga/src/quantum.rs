@@ -1,4 +1,4 @@
-//! Quantum-inspired GA machinery (Gu, Gu & Gu [28]): Q-bit genomes,
+//! Quantum-inspired GA machinery (Gu, Gu & Gu \[28\]): Q-bit genomes,
 //! measurement ("observation") into random keys, the rotation gate that
 //! pulls the population towards the best observed solution, and the
 //! Not-gate mutation. Gu et al. organise these into an island model with

@@ -1,7 +1,7 @@
 //! Selection operators (survey Section III.A: "roulette wheel selection,
 //! stochastic universal sampling, tournament selection and so on", plus
-//! the elitist-roulette combination of Mui et al. [17] and the 2-element
-//! tournament of Kokosiński [32] as the `k = 2` case).
+//! the elitist-roulette combination of Mui et al. \[17\] and the 2-element
+//! tournament of Kokosiński \[32\] as the `k = 2` case).
 
 use rand::Rng;
 
@@ -19,7 +19,7 @@ pub enum Selection {
     /// Linear-rank selection (pressure in `[1, 2]` encoded as 10·s; kept
     /// integral so the enum stays `Copy`+`Eq`-friendly).
     LinearRank,
-    /// Mui et al. [17]'s combination: with probability 1/4 pick the best
+    /// Mui et al. \[17\]'s combination: with probability 1/4 pick the best
     /// individual outright (elitist), otherwise spin the roulette wheel.
     ElitistRoulette,
 }

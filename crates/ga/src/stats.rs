@@ -1,7 +1,7 @@
 //! Population diversity and convergence telemetry.
 //!
-//! Diversity is the quantity the fine-grained model of Tamaki [20] is
-//! designed to preserve and the stagnation trigger of Spanos et al. [29]
+//! Diversity is the quantity the fine-grained model of Tamaki \[20\] is
+//! designed to preserve and the stagnation trigger of Spanos et al. \[29\]
 //! is defined over (Hamming distance of the majority of individuals), so
 //! the experiment harnesses track it every generation.
 
@@ -39,7 +39,7 @@ pub fn mean_hamming(population: &[Vec<usize>]) -> f64 {
 }
 
 /// Fraction of individual pairs closer than `threshold` (normalised
-/// Hamming) — the stagnation measure of Spanos et al. [29]: an island
+/// Hamming) — the stagnation measure of Spanos et al. \[29\]: an island
 /// stagnates when more than half its pairs fall below the threshold.
 pub fn stagnation_fraction(population: &[Vec<usize>], threshold: f64) -> f64 {
     let n = population.len();

@@ -7,8 +7,9 @@
 //!
 //! Clock handling: a whole criterion tree is evaluated against *one*
 //! clock snapshot. [`Termination::should_stop`] reads `Instant::now()`
-//! exactly once and hands it down to every nested [`Deadline`]
-//! (`Termination::Deadline`) check via [`Termination::should_stop_at`],
+//! exactly once and hands it down to every nested
+//! [`Deadline`](Termination::Deadline) check via
+//! [`Termination::should_stop_at`],
 //! so two deadlines in one combinator can never disagree about what
 //! time it is — and tests can drive the clock by hand instead of
 //! sleeping.

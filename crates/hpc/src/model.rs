@@ -115,7 +115,7 @@ pub fn speedup(baseline_s: f64, parallel_s: f64) -> f64 {
 }
 
 /// Solutions explored under a fixed wall-clock budget — AitZai et al.
-/// [14] report "explored solutions in 300 s" rather than time; this
+/// \[14\] report "explored solutions in 300 s" rather than time; this
 /// inverts the cost model.
 pub fn evals_within_budget(budget_s: f64, shape: &RunShape, time_of_run: f64) -> f64 {
     if time_of_run <= 0.0 {

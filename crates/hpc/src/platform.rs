@@ -51,8 +51,8 @@ impl Platform {
         }
     }
 
-    /// An Ethernet/MPI cluster (Beowulf of Harmanani [33], the star
-    /// network of AitZai [14], the 48-core farm of Defersha [35]).
+    /// An Ethernet/MPI cluster (Beowulf of Harmanani \[33\], the star
+    /// network of AitZai \[14\], the 48-core farm of Defersha \[35\]).
     pub fn mpi_cluster(nodes: usize) -> Self {
         Platform {
             name: "mpi-cluster",
@@ -68,7 +68,7 @@ impl Platform {
     /// A CUDA GPU with `cores` scalar cores, each `speed` times the host
     /// core; kernel launches cost ~10 µs; PCIe transfers at ~8 GB/s.
     /// Models the Tesla C2075 (448 cores) / C1060 / GTX 285 class devices
-    /// of [14][16][24][25].
+    /// of \[14\]\[16\]\[24\]\[25\].
     pub fn cuda_gpu(cores: usize, speed: f64) -> Self {
         Platform {
             name: "cuda-gpu",
@@ -81,7 +81,7 @@ impl Platform {
         }
     }
 
-    /// The all-on-GPU variant of Zajíček & Šucha [25]: evolution *and*
+    /// The all-on-GPU variant of Zajíček & Šucha \[25\]: evolution *and*
     /// evaluation stay on the device, so per-generation host traffic
     /// disappears.
     pub fn cuda_gpu_resident(cores: usize, speed: f64) -> Self {
@@ -92,7 +92,7 @@ impl Platform {
         }
     }
 
-    /// A Transputer-style MIMD array (Tamaki [20]): modest core count,
+    /// A Transputer-style MIMD array (Tamaki \[20\]): modest core count,
     /// no shared memory, 10 Mbit/s serial links (T800 class).
     pub fn transputer(nodes: usize) -> Self {
         Platform {

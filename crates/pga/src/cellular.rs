@@ -1,5 +1,5 @@
 //! Fine-grained (cellular / neighbourhood / diffusion / massively
-//! parallel) GA — survey Table IV and Tamaki [20].
+//! parallel) GA — survey Table IV and Tamaki \[20\].
 //!
 //! One individual lives on each cell of a 2-D torus; selection and mating
 //! are restricted to a cell's neighbourhood, and overlapping

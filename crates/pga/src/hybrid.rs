@@ -1,4 +1,4 @@
-//! Hybrid parallel models (Lin, Goodman & Punch [21]):
+//! Hybrid parallel models (Lin, Goodman & Punch \[21\]):
 //!
 //! 1. [`IslandsOfCellular`] — an island GA whose subpopulations are
 //!    *cellular grids* (a ring of toruses): migration on the ring is much

@@ -3,13 +3,14 @@
 //! through a migration operator at fixed intervals.
 //!
 //! Supports everything the surveyed island papers vary:
-//! * any [`Topology`] and [`MigrationPolicy`], interval and rate;
+//! * any [`Topology`] and [`MigrationPolicy`](crate::migration::MigrationPolicy),
+//!   interval and rate;
 //! * heterogeneous islands — per-island GA configs and operator toolkits
-//!   (Park et al. [26], Bożejko & Wodecki [30]);
+//!   (Park et al. \[26\], Bożejko & Wodecki \[30\]);
 //! * per-island evaluators — the weighted bi-criteria islands of Rashidi
-//!   et al. [38];
-//! * a second, rarer broadcast level (GN ≪ LN, Harmanani et al. [33]);
-//! * stagnation-triggered island merging (Spanos et al. [29]).
+//!   et al. \[38\];
+//! * a second, rarer broadcast level (GN ≪ LN, Harmanani et al. \[33\]);
+//! * stagnation-triggered island merging (Spanos et al. \[29\]).
 
 use crate::migration::{emigrant_indices, replacement_indices, MigrationConfig};
 use crate::telemetry::RunTelemetry;
@@ -26,12 +27,12 @@ use rayon::prelude::*;
 pub struct IslandConfig {
     pub migration: MigrationConfig,
     /// Optional rare broadcast level: every `LN` generations all islands
-    /// broadcast their best to all others (Harmanani [33]; pair with a
+    /// broadcast their best to all others (Harmanani \[33\]; pair with a
     /// small `migration.interval` = GN).
     pub broadcast_interval: Option<u64>,
     /// Merge an island into its ring successor when more than
     /// `merge_majority` of its individual pairs are closer than
-    /// `merge_distance` (normalised Hamming) — Spanos et al. [29].
+    /// `merge_distance` (normalised Hamming) — Spanos et al. \[29\].
     pub merge_on_stagnation: Option<MergeRule>,
 }
 

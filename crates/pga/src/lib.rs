@@ -4,17 +4,17 @@
 //!
 //! * [`master_slave`] — Table III: one panmictic population, fitness
 //!   evaluation fanned out to workers (rayon), plus the batched-queue
-//!   variant of Akhshabi [18] and the "slaves run whole GAs" variant of
-//!   Mui et al. [17].
+//!   variant of Akhshabi \[18\] and the "slaves run whole GAs" variant of
+//!   Mui et al. \[17\].
 //! * [`cellular`] — Table IV: the fine-grained / neighbourhood /
-//!   diffusion model of Tamaki [20] on a 2-D torus.
+//!   diffusion model of Tamaki \[20\] on a 2-D torus.
 //! * [`island`] — Table V: coarse-grained subpopulations with migration;
-//!   heterogeneous islands, stagnation-triggered merging (Spanos [29])
-//!   and weighted multi-objective islands (Rashidi [38]).
+//!   heterogeneous islands, stagnation-triggered merging (Spanos \[29\])
+//!   and weighted multi-objective islands (Rashidi \[38\]).
 //! * [`topology`] / [`migration`] — the island interconnects (ring, grid,
 //!   torus, hypercube, star, fully connected, broadcast, random-epoch,
 //!   two-level) and replacement policies the surveyed papers sweep.
-//! * [`hybrid`] — Lin et al. [21]'s two hybrid models (islands of
+//! * [`hybrid`] — Lin et al. \[21\]'s two hybrid models (islands of
 //!   cellular grids; island sets wired in a cellular-style topology).
 //!
 //! Determinism: every model takes a single `u64` seed and derives

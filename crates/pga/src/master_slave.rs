@@ -9,11 +9,11 @@
 //!
 //! Three variants:
 //! * [`RayonEvaluator`] — drop-in parallel evaluator (shared-memory
-//!   slaves, the GPU-style fan-out of AitZai [14] / Somani [16]);
+//!   slaves, the GPU-style fan-out of AitZai \[14\] / Somani \[16\]);
 //! * [`BatchedEvaluator`] — the master-scheduler/unassigned-queue model
-//!   of Akhshabi et al. [18]: individuals are dispatched in fixed-size
+//!   of Akhshabi et al. \[18\]: individuals are dispatched in fixed-size
 //!   batches, and batch counts are recorded for the cost model;
-//! * [`DistributedSlavesGa`] — Mui et al. [17]: each slave runs the *full*
+//! * [`DistributedSlavesGa`] — Mui et al. \[17\]: each slave runs the *full*
 //!   GA on its own stream and the master keeps the global optimum.
 
 use ga::engine::{Engine, GaConfig, Individual, Toolkit};
@@ -111,7 +111,7 @@ impl<G: Sync, E: Evaluator<G>> Evaluator<G> for BatchedEvaluator<E> {
     }
 }
 
-/// Mui et al. [17]: the slaves run the complete GA (selection, crossover,
+/// Mui et al. \[17\]: the slaves run the complete GA (selection, crossover,
 /// mutation *and* evaluation) on independent populations; the master only
 /// gathers their best results and keeps the global optimum. Unlike the
 /// island model there is no migration — slaves never communicate.

@@ -1,7 +1,7 @@
 //! Migration operators between islands: the three replacement policies
-//! Defersha & Chen [35] sweep (random-replace-random, best-replace-random,
+//! Defersha & Chen \[35\] sweep (random-replace-random, best-replace-random,
 //! best-replace-worst), migration interval and rate, and the two-level
-//! GN ≪ LN scheme of Harmanani et al. [33] (frequent neighbour exchange,
+//! GN ≪ LN scheme of Harmanani et al. \[33\] (frequent neighbour exchange,
 //! rare broadcast).
 
 use crate::topology::Topology;

@@ -1,8 +1,8 @@
 //! Island interconnection topologies. The survey reports: ring is the
-//! most frequent; Defersha & Chen [35] sweep ring / mesh / fully
-//! connected; [36] uses random per-epoch routes; Asadzadeh [27] a virtual
-//! (hyper)cube; Gu [28] a star; Kokosiński [32] broadcast-to-all;
-//! Belkadi [37] ring and 2-D grid.
+//! most frequent; Defersha & Chen \[35\] sweep ring / mesh / fully
+//! connected; \[36\] uses random per-epoch routes; Asadzadeh \[27\] a virtual
+//! (hyper)cube; Gu \[28\] a star; Kokosiński \[32\] broadcast-to-all;
+//! Belkadi \[37\] ring and 2-D grid.
 
 use ga::rng::stream_rng;
 use rand::seq::SliceRandom;
@@ -25,7 +25,7 @@ pub enum Topology {
     /// Every island sends to every other.
     FullyConnected,
     /// Random routes, re-drawn each epoch from the given seed
-    /// (Defersha & Chen [36]).
+    /// (Defersha & Chen \[36\]).
     RandomEpoch { seed: u64 },
 }
 

@@ -17,6 +17,15 @@
 //! re-race itself produces an internally invalid schedule, the server
 //! degrades to replaying the stored entry rather than failing the
 //! request (the anomaly is recorded in the `errors` counter).
+//!
+//! Budgets are **wall-clock claims, not CPU claims**: a race that ran
+//! while other requests (or other items of the same batch) shared the
+//! machine records the wall-clock it was allotted, even though it got
+//! a fraction of the cores. Replay equivalence is therefore
+//! "same wall-clock budget under comparable load", the same contract
+//! concurrent single-connection solves have always had; a service
+//! needing CPU-fair budgets should bound concurrency via
+//! `ServeConfig::workers`/`racers`.
 
 use crate::protocol::{Objective, Solution};
 use std::collections::HashMap;
@@ -27,7 +36,9 @@ use std::sync::Arc;
 pub struct CacheKey {
     /// `CanonicalHash::canonical_hash` of the parsed instance.
     pub instance: u64,
+    /// The objective the solve minimised.
     pub objective: Objective,
+    /// The portfolio root seed the solve used.
     pub seed: u64,
 }
 
@@ -38,6 +49,7 @@ pub struct CacheKey {
 /// cache mutex is held.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedSolve {
+    /// The memoised solution (shared, so replays copy a pointer).
     pub solution: Arc<Solution>,
     /// Effective wall-clock budget (ms) of the race that produced — or
     /// last re-confirmed — `solution`.
@@ -69,6 +81,33 @@ struct Entry {
 /// eviction scans for the minimum, which is O(capacity) but the
 /// capacity is small (hundreds) and eviction is off the cache-hit fast
 /// path.
+///
+/// ```
+/// use serve::cache::{CacheKey, CachedSolve, SolutionCache};
+/// use serve::protocol::{Objective, Solution};
+/// use std::sync::Arc;
+///
+/// let mut cache = SolutionCache::new(2);
+/// let key = |instance| CacheKey { instance, objective: Objective::Makespan, seed: 42 };
+/// let entry = |makespan: u64| CachedSolve {
+///     solution: Arc::new(Solution {
+///         objective: Objective::Makespan,
+///         value: makespan as f64,
+///         makespan,
+///         model: "island".into(),
+///         schedule: vec![],
+///     }),
+///     budget_ms: 1_000,
+///     deadline_bound: false, // cap-bound: replayable for any deadline
+/// };
+/// cache.insert(key(1), entry(55));
+/// cache.insert(key(2), entry(60));
+/// assert_eq!(cache.get(&key(1)).unwrap().solution.makespan, 55);
+/// // Over capacity: the least-recently-used entry (key 2) is evicted.
+/// cache.insert(key(3), entry(70));
+/// assert!(cache.get(&key(2)).is_none());
+/// assert_eq!(cache.len(), 2);
+/// ```
 pub struct SolutionCache {
     map: HashMap<CacheKey, Entry>,
     capacity: usize,
@@ -85,6 +124,7 @@ impl std::fmt::Debug for SolutionCache {
 }
 
 impl SolutionCache {
+    /// An empty cache holding at most `capacity` entries (>= 1).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "cache capacity must be at least 1");
         SolutionCache {
@@ -94,10 +134,12 @@ impl SolutionCache {
         }
     }
 
+    /// Entries currently memoised.
     pub fn len(&self) -> usize {
         self.map.len()
     }
 
+    /// Whether the cache holds no entry.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
     }
@@ -230,6 +272,32 @@ mod tests {
         c.insert(key(1), solve(10));
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&key(1)).unwrap().solution.makespan, 10);
+    }
+
+    #[test]
+    fn batch_overflow_preserves_lru_order() {
+        // A batch inserting more entries than capacity (via the same
+        // insert_best path the server uses) must keep exactly the most
+        // recently inserted entries, in recency order.
+        let mut c = SolutionCache::new(3);
+        for i in 0..8 {
+            c.insert_best(key(i), solve(i));
+        }
+        assert_eq!(c.len(), 3);
+        for evicted in 0..5 {
+            assert!(c.get(&key(evicted)).is_none(), "entry {evicted}");
+        }
+        for survivor in 5..8 {
+            assert!(c.get(&key(survivor)).is_some(), "entry {survivor}");
+        }
+        // Interleaved hits refresh recency: touch 5, insert two more —
+        // 6 and 7 go, 5 stays.
+        assert!(c.get(&key(5)).is_some());
+        c.insert_best(key(8), solve(8));
+        c.insert_best(key(9), solve(9));
+        assert!(c.get(&key(5)).is_some(), "touched entry must survive");
+        assert!(c.get(&key(6)).is_none());
+        assert!(c.get(&key(7)).is_none());
     }
 
     #[test]

@@ -13,10 +13,15 @@ use std::fmt;
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Json {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// Any number (integers are exact up to 2^53 - 1).
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Json>),
     /// Object as an insertion-ordered key/value list (duplicate keys are
     /// rejected by the parser).
@@ -26,7 +31,9 @@ pub enum Json {
 /// Parse failure with a byte offset into the input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
+    /// Byte offset of the failure in the input line.
     pub offset: usize,
+    /// What went wrong there.
     pub message: String,
 }
 
@@ -47,6 +54,7 @@ impl Json {
         }
     }
 
+    /// String value, else `None`.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Json::Str(s) => Some(s),
@@ -54,6 +62,7 @@ impl Json {
         }
     }
 
+    /// Numeric value, else `None`.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
@@ -71,6 +80,7 @@ impl Json {
         }
     }
 
+    /// Boolean value, else `None`.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Json::Bool(b) => Some(*b),
@@ -78,6 +88,7 @@ impl Json {
         }
     }
 
+    /// Array items, else `None`.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
             Json::Arr(a) => Some(a),

@@ -17,13 +17,24 @@
 //! short-changed with a replay — after which identical requests replay
 //! the improved answer.
 //!
+//! Beyond single solves, the service is a **workload engine**: a
+//! `batch` request solves up to 1024 items under one shared deadline,
+//! fanned out across the worker pool with per-item telemetry and full
+//! cache integration, and a `generate` request mints a reproducible
+//! instance from `{family, dims, seed}` via the `shop::gen`
+//! generator subsystem — generated instances are addressable by
+//! canonical `gen-*` names anywhere an instance name is accepted.
+//!
 //! The wire protocol is line-delimited JSON over TCP (hand-rolled
 //! [`json`] module — no external dependencies, consistent with the
 //! workspace's offline-shim policy); see [`protocol`] for the request
-//! and response shapes, and `pga-shop-serve --help` for the bundled
-//! binary. A copy-pasteable transcript lives in the README's "Serving"
-//! section; DESIGN.md §5 documents the protocol, portfolio policy and
-//! cache-key canonicalisation.
+//! and response shapes, `docs/PROTOCOL.md` for the complete wire
+//! reference with copy-pasteable transcripts, and `pga-shop-serve
+//! --help` for the bundled binary. DESIGN.md §5 documents the
+//! protocol, portfolio policy and cache-key canonicalisation; §6 the
+//! generator subsystem.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod json;
@@ -34,7 +45,10 @@ pub mod solver;
 
 pub use cache::{CacheKey, CachedSolve, SolutionCache};
 pub use json::Json;
-pub use portfolio::{plan_lineup, BestSoFar, ModelKind};
-pub use protocol::{Family, InstanceSpec, Objective, Request, Solution, SolveRequest};
+pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind};
+pub use protocol::{
+    BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec, Objective,
+    Request, Solution, SolveRequest, MAX_BATCH_ITEMS,
+};
 pub use server::{ServeConfig, Service, StatsSnapshot};
-pub use solver::{solve, LoadedInstance, SolveOutcome};
+pub use solver::{load_instance, solve, LoadedInstance, SolveOutcome};

@@ -30,14 +30,28 @@ use std::time::Instant;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ModelKind {
     /// Panmictic GA with fanned-out evaluation (`pop` individuals).
-    MasterSlave { pop: usize },
+    MasterSlave {
+        /// Population size.
+        pop: usize,
+    },
     /// Coarse-grained islands on a ring.
-    Island { islands: usize, island_pop: usize },
+    Island {
+        /// Island count.
+        islands: usize,
+        /// Per-island population size.
+        island_pop: usize,
+    },
     /// Fine-grained torus.
-    Cellular { rows: usize, cols: usize },
+    Cellular {
+        /// Torus rows.
+        rows: usize,
+        /// Torus columns.
+        cols: usize,
+    },
 }
 
 impl ModelKind {
+    /// Stable wire/telemetry label of the model.
     pub fn name(&self) -> &'static str {
         match self {
             ModelKind::MasterSlave { .. } => "master_slave",
@@ -73,13 +87,14 @@ impl BestSoFar {
     }
 }
 
-/// Picks the starting lineup for an instance with `total_ops` operations
-/// given `threads` racer threads: candidate configurations of all three
-/// models are priced with the `hpc` cost models on a
-/// `Platform::multicore` of the same width and the cheapest `threads`
-/// (at most 3) race. Pure function of its arguments — the lineup is
-/// part of the service's determinism contract.
-pub fn plan_lineup(total_ops: usize, threads: usize) -> Vec<ModelKind> {
+/// Prices candidate configurations of all three models for an instance
+/// with `total_ops` operations on a multicore platform of `threads`
+/// width, returning them ranked cheapest-first as `(predicted seconds,
+/// model)`. The predictions use *nominal* per-unit host costs (the
+/// ranking, not the absolute figure, is what [`plan_lineup`] consumes);
+/// the generated-sweep bench (`g01_generated_sweep`) records them next
+/// to observed runtimes to track how the model scales with size.
+pub fn price_lineup(total_ops: usize, threads: usize) -> Vec<(f64, ModelKind)> {
     let threads = threads.clamp(1, 3);
     // Population scales with instance size, bounded for latency.
     let pop = (2 * total_ops).clamp(32, 128);
@@ -119,12 +134,33 @@ pub fn plan_lineup(total_ops: usize, threads: usize) -> Vec<ModelKind> {
     ];
     let mut ranked: Vec<(f64, ModelKind)> = candidates.to_vec();
     ranked.sort_by(|a, b| a.0.total_cmp(&b.0));
-    ranked.into_iter().take(threads).map(|(_, m)| m).collect()
+    ranked.truncate(threads);
+    ranked
+}
+
+/// Picks the starting lineup for an instance with `total_ops` operations
+/// given `threads` racer threads: the [`price_lineup`] ranking's
+/// cheapest `threads` (at most 3) race. Pure function of its arguments
+/// — the lineup is part of the service's determinism contract.
+///
+/// ```
+/// use serve::portfolio::plan_lineup;
+///
+/// let lineup = plan_lineup(36, 3); // ft06-sized instance, 3 threads
+/// assert_eq!(lineup.len(), 3);
+/// assert_eq!(lineup, plan_lineup(36, 3)); // pure function
+/// ```
+pub fn plan_lineup(total_ops: usize, threads: usize) -> Vec<ModelKind> {
+    price_lineup(total_ops, threads)
+        .into_iter()
+        .map(|(_, m)| m)
+        .collect()
 }
 
 /// Outcome of one race.
 #[derive(Debug, Clone)]
 pub struct RaceResult<G> {
+    /// Best individual found by any member.
     pub best: Individual<G>,
     /// Name of the member that held the returned solution.
     /// Informational only: whenever the race exits early on a certified
@@ -154,6 +190,41 @@ pub struct RaceResult<G> {
 /// returned genome) is only guaranteed reproducible for races where
 /// every member runs to `gen_cap`. The service's cache pins whichever
 /// solution completed first.
+///
+/// ```
+/// use serve::portfolio::{race, ModelKind};
+/// use ga::engine::Toolkit;
+/// use ga::crossover::PermCrossover;
+/// use ga::mutate::SeqMutation;
+/// use rand::seq::SliceRandom;
+/// use std::time::{Duration, Instant};
+///
+/// // Minimise total displacement of a permutation (optimum: identity).
+/// let eval = |p: &Vec<usize>| {
+///     p.iter().enumerate().map(|(i, &v)| (i as f64 - v as f64).abs()).sum::<f64>()
+/// };
+/// let toolkit = || Toolkit::<Vec<usize>> {
+///     init: Box::new(|rng| {
+///         let mut p: Vec<usize> = (0..6).collect();
+///         p.shuffle(rng);
+///         p
+///     }),
+///     crossover: Box::new(|a, b, rng| PermCrossover::Order.apply(a, b, rng)),
+///     mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
+///     seq_view: None,
+/// };
+/// let outcome = race(
+///     &[ModelKind::MasterSlave { pop: 16 }],
+///     &toolkit,
+///     &eval,
+///     7,                                        // seed
+///     Instant::now() + Duration::from_secs(10), // deadline
+///     300,                                      // generation cap
+///     0.0,                                      // certified-optimum target
+/// );
+/// assert_eq!(outcome.best.cost, 0.0);
+/// assert_eq!(outcome.best.genome, (0..6).collect::<Vec<usize>>());
+/// ```
 pub fn race<G, TF, E>(
     lineup: &[ModelKind],
     toolkit_factory: &TF,

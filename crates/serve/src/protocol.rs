@@ -27,37 +27,10 @@
 
 use crate::json::{obj, Json};
 use pga::telemetry::RequestTelemetry;
+use shop::gen::GenSpec;
 use shop::schedule::ScheduledOp;
 
-/// Shop family tag for inline instances.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub enum Family {
-    Flow,
-    Job,
-    Open,
-    Flexible,
-}
-
-impl Family {
-    pub fn name(&self) -> &'static str {
-        match self {
-            Family::Flow => "flow",
-            Family::Job => "job",
-            Family::Open => "open",
-            Family::Flexible => "flexible",
-        }
-    }
-
-    pub fn from_name(s: &str) -> Option<Self> {
-        match s {
-            "flow" => Some(Family::Flow),
-            "job" => Some(Family::Job),
-            "open" => Some(Family::Open),
-            "flexible" | "flex" => Some(Family::Flexible),
-            _ => None,
-        }
-    }
-}
+pub use shop::gen::Family;
 
 /// Objective the service minimises.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -70,6 +43,7 @@ pub enum Objective {
 }
 
 impl Objective {
+    /// Stable wire label (`makespan` | `total_completion`).
     pub fn name(&self) -> &'static str {
         match self {
             Objective::Makespan => "makespan",
@@ -77,6 +51,7 @@ impl Objective {
         }
     }
 
+    /// Parses a wire label back into the objective.
     pub fn from_name(s: &str) -> Option<Self> {
         match s {
             "makespan" => Some(Objective::Makespan),
@@ -87,13 +62,19 @@ impl Objective {
 }
 
 /// How a request names its problem instance.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum InstanceSpec {
     /// One of the embedded classics (`ft06`, `ft10`, `ft20`, `la01`,
-    /// `flow05`, `open_latin3`, `flex03`).
+    /// `flow05`, `open_latin3`, `flex03`) or a canonical `gen-*`
+    /// generated name (`shop::gen::GenSpec::from_name`).
     Named(String),
     /// Inline text in the family's `shop::instance::parse` format.
-    Inline { family: Family, text: String },
+    Inline {
+        /// Which family's text format `text` is in.
+        family: Family,
+        /// The instance text.
+        text: String,
+    },
 }
 
 /// A solve request.
@@ -101,7 +82,9 @@ pub enum InstanceSpec {
 pub struct SolveRequest {
     /// Echoed verbatim in the response (optional).
     pub id: Option<String>,
+    /// The instance to solve.
     pub instance: InstanceSpec,
+    /// Criterion to minimise.
     pub objective: Objective,
     /// Root seed of the whole portfolio (deterministic racing).
     pub seed: u64,
@@ -109,11 +92,85 @@ pub struct SolveRequest {
     pub deadline_ms: u64,
 }
 
+/// A `generate` request: mint a reproducible instance from a
+/// [`GenSpec`] (family, dims, seed, knobs) and optionally solve it in
+/// the same round trip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerateRequest {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    /// What to generate. The response names the instance with
+    /// `spec.name()` (a `gen-*` name later solve requests can use).
+    pub spec: GenSpec,
+    /// When true, the server also races the portfolio on the minted
+    /// instance and attaches a full solve response as `solution`.
+    pub solve: bool,
+    /// Objective for the optional solve.
+    pub objective: Objective,
+    /// Portfolio seed for the optional solve.
+    pub seed: u64,
+    /// Wall-clock budget for the optional solve (0 = server default).
+    pub deadline_ms: u64,
+}
+
+/// Where one batch item's instance comes from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum BatchSource {
+    /// A named or inline instance, as in a plain solve request.
+    Instance(InstanceSpec),
+    /// An instance the server mints on the fly from a generator spec.
+    Generate(GenSpec),
+}
+
+/// One item of a batch request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchItem {
+    /// Echoed in the item's response entry (optional; every entry also
+    /// carries its zero-based `index`).
+    pub id: Option<String>,
+    /// The item's instance.
+    pub source: BatchSource,
+    /// Per-item portfolio seed; `None` inherits the batch seed.
+    pub seed: Option<u64>,
+    /// Per-item objective; `None` inherits the batch objective.
+    pub objective: Option<Objective>,
+}
+
+/// A `batch` request: solve every item under **one** shared wall-clock
+/// deadline. Items fan out across the server's worker pool; each item
+/// gets the full per-request treatment (cache lookup, portfolio race,
+/// validation, telemetry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRequest {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    /// The work items (1 ..= [`MAX_BATCH_ITEMS`]).
+    pub items: Vec<BatchItem>,
+    /// Default objective for items that carry none.
+    pub objective: Objective,
+    /// Default portfolio seed for items that carry none.
+    pub seed: u64,
+    /// Shared wall-clock budget for the whole batch in milliseconds
+    /// (0 = server default).
+    pub deadline_ms: u64,
+}
+
+/// Upper bound on `items` in one batch request.
+pub const MAX_BATCH_ITEMS: usize = 1024;
+
 /// Any protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Solve one instance (the default, `cmd`-less request shape).
     Solve(Box<SolveRequest>),
+    /// Solve many instances under one deadline (`{"cmd":"batch",...}`).
+    Batch(Box<BatchRequest>),
+    /// Mint (and optionally solve) a generated instance
+    /// (`{"cmd":"generate",...}`).
+    Generate(Box<GenerateRequest>),
+    /// Service counters (`{"cmd":"stats"}`).
     Stats,
+    /// Graceful shutdown (`{"cmd":"shutdown"}`).
     Shutdown,
 }
 
@@ -134,6 +191,182 @@ fn bad(msg: impl Into<String>) -> ProtocolError {
     ProtocolError(msg.into())
 }
 
+/// Optional u64 field with a default.
+fn u64_field(v: &Json, key: &str, default: u64) -> Result<u64, ProtocolError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(x) => x
+            .as_u64()
+            .ok_or_else(|| bad(format!("{key} must be a u64"))),
+    }
+}
+
+/// Optional objective field (`None` on the wire = `None` here).
+fn objective_field(v: &Json) -> Result<Option<Objective>, ProtocolError> {
+    match v.get("objective") {
+        None => Ok(None),
+        Some(o) => o
+            .as_str()
+            .and_then(Objective::from_name)
+            .map(Some)
+            .ok_or_else(|| bad("unknown objective")),
+    }
+}
+
+fn id_field(v: &Json) -> Option<String> {
+    v.get("id").and_then(Json::as_str).map(str::to_string)
+}
+
+/// Parses an instance spec object (`{"name":...}` or
+/// `{"kind":...,"data":...}`).
+fn instance_spec_from_json(inst: &Json) -> Result<InstanceSpec, ProtocolError> {
+    if let Some(name) = inst.get("name").and_then(Json::as_str) {
+        return Ok(InstanceSpec::Named(name.to_string()));
+    }
+    let family = inst
+        .get("kind")
+        .and_then(Json::as_str)
+        .and_then(Family::from_name)
+        .ok_or_else(|| bad("instance needs a name or a valid kind"))?;
+    let text = inst
+        .get("data")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("inline instance needs data"))?
+        .to_string();
+    Ok(InstanceSpec::Inline { family, text })
+}
+
+/// Parses a generator spec object: `family`, `jobs`, `machines`,
+/// `seed` plus the optional knobs `min_time`, `max_time`,
+/// `ops_per_job`, `density_pct`. Range checking happens server-side
+/// via `GenSpec::check` so the client gets a descriptive error line.
+pub fn gen_spec_from_json(v: &Json) -> Result<GenSpec, ProtocolError> {
+    let family = v
+        .get("family")
+        .and_then(Json::as_str)
+        .and_then(Family::from_name)
+        .ok_or_else(|| bad("generator spec needs a valid family"))?;
+    let jobs = v
+        .get("jobs")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("generator spec needs jobs"))? as usize;
+    let machines = v
+        .get("machines")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| bad("generator spec needs machines"))? as usize;
+    let seed = u64_field(v, "seed", 0)?;
+    let mut spec = GenSpec::new(family, jobs, machines, seed);
+    spec.min_time = u64_field(v, "min_time", spec.min_time)?;
+    spec.max_time = u64_field(v, "max_time", spec.max_time)?;
+    if let Some(ops) = v.get("ops_per_job") {
+        spec.ops_per_job = Some(
+            ops.as_u64()
+                .ok_or_else(|| bad("ops_per_job must be a u64"))? as usize,
+        );
+    }
+    if let Some(d) = v.get("density_pct") {
+        let d = d
+            .as_u64()
+            .filter(|&d| d <= 100)
+            .ok_or_else(|| bad("density_pct must be in 1..=100"))?;
+        spec.density_pct = d as u8;
+    }
+    Ok(spec)
+}
+
+/// Encodes a generator spec (client side); omits default-valued knobs.
+pub fn gen_spec_to_json(spec: &GenSpec) -> Json {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("family".into(), spec.family.name().into()),
+        ("jobs".into(), (spec.jobs as u64).into()),
+        ("machines".into(), (spec.machines as u64).into()),
+        ("seed".into(), spec.seed.into()),
+    ];
+    if (spec.min_time, spec.max_time) != shop::gen::DEFAULT_TIME_RANGE {
+        fields.push(("min_time".into(), spec.min_time.into()));
+        fields.push(("max_time".into(), spec.max_time.into()));
+    }
+    if let Some(ops) = spec.ops_per_job {
+        fields.push(("ops_per_job".into(), (ops as u64).into()));
+    }
+    if spec.density_pct != shop::gen::DEFAULT_DENSITY_PCT {
+        fields.push(("density_pct".into(), (spec.density_pct as u64).into()));
+    }
+    Json::Obj(fields)
+}
+
+fn parse_generate(v: &Json) -> Result<Request, ProtocolError> {
+    let spec_v = v
+        .get("spec")
+        .ok_or_else(|| bad("generate needs a spec object"))?;
+    let spec = gen_spec_from_json(spec_v)?;
+    let solve = match v.get("solve") {
+        None => false,
+        Some(s) => s.as_bool().ok_or_else(|| bad("solve must be a bool"))?,
+    };
+    Ok(Request::Generate(Box::new(GenerateRequest {
+        id: id_field(v),
+        spec,
+        solve,
+        objective: objective_field(v)?.unwrap_or_default(),
+        seed: u64_field(v, "seed", 0)?,
+        deadline_ms: u64_field(v, "deadline_ms", 0)?,
+    })))
+}
+
+fn parse_batch(v: &Json) -> Result<Request, ProtocolError> {
+    let items_v = v
+        .get("items")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad("batch needs an items array"))?;
+    if items_v.is_empty() {
+        return Err(bad("batch needs at least one item"));
+    }
+    if items_v.len() > MAX_BATCH_ITEMS {
+        return Err(bad(format!(
+            "batch is capped at {MAX_BATCH_ITEMS} items, got {}",
+            items_v.len()
+        )));
+    }
+    let mut items = Vec::with_capacity(items_v.len());
+    for (i, item_v) in items_v.iter().enumerate() {
+        let item_err = |e: ProtocolError| bad(format!("item {i}: {}", e.0));
+        let source = match (item_v.get("instance"), item_v.get("generate")) {
+            (Some(inst), None) => {
+                BatchSource::Instance(instance_spec_from_json(inst).map_err(item_err)?)
+            }
+            (None, Some(spec)) => {
+                BatchSource::Generate(gen_spec_from_json(spec).map_err(item_err)?)
+            }
+            _ => {
+                return Err(bad(format!(
+                    "item {i}: needs exactly one of instance / generate"
+                )))
+            }
+        };
+        let seed = match item_v.get("seed") {
+            None => None,
+            Some(s) => Some(
+                s.as_u64()
+                    .ok_or_else(|| bad(format!("item {i}: seed must be a u64")))?,
+            ),
+        };
+        items.push(BatchItem {
+            id: id_field(item_v),
+            source,
+            seed,
+            objective: objective_field(item_v).map_err(item_err)?,
+        });
+    }
+    Ok(Request::Batch(Box::new(BatchRequest {
+        id: id_field(v),
+        items,
+        objective: objective_field(v)?.unwrap_or_default(),
+        seed: u64_field(v, "seed", 0)?,
+        deadline_ms: u64_field(v, "deadline_ms", 0)?,
+    })))
+}
+
 /// Decodes one request line.
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let v = crate::json::parse(line).map_err(|e| bad(e.to_string()))?;
@@ -141,64 +374,93 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         return match cmd {
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
+            "generate" => parse_generate(&v),
+            "batch" => parse_batch(&v),
             other => Err(bad(format!("unknown cmd {other:?}"))),
         };
     }
-    let inst = v.get("instance").ok_or_else(|| bad("missing instance"))?;
-    let instance = if let Some(name) = inst.get("name").and_then(Json::as_str) {
-        InstanceSpec::Named(name.to_string())
-    } else {
-        let family = inst
-            .get("kind")
-            .and_then(Json::as_str)
-            .and_then(Family::from_name)
-            .ok_or_else(|| bad("instance needs a name or a valid kind"))?;
-        let text = inst
-            .get("data")
-            .and_then(Json::as_str)
-            .ok_or_else(|| bad("inline instance needs data"))?
-            .to_string();
-        InstanceSpec::Inline { family, text }
-    };
-    let objective = match v.get("objective") {
-        None => Objective::default(),
-        Some(o) => o
-            .as_str()
-            .and_then(Objective::from_name)
-            .ok_or_else(|| bad("unknown objective"))?,
-    };
-    let seed = match v.get("seed") {
-        None => 0,
-        Some(s) => s.as_u64().ok_or_else(|| bad("seed must be a u64"))?,
-    };
-    let deadline_ms = match v.get("deadline_ms") {
-        None => 0, // 0 = use the server default
-        Some(d) => d.as_u64().ok_or_else(|| bad("deadline_ms must be a u64"))?,
-    };
-    let id = v.get("id").and_then(Json::as_str).map(str::to_string);
+    let instance =
+        instance_spec_from_json(v.get("instance").ok_or_else(|| bad("missing instance"))?)?;
     Ok(Request::Solve(Box::new(SolveRequest {
-        id,
+        id: id_field(&v),
         instance,
-        objective,
-        seed,
-        deadline_ms,
+        objective: objective_field(&v)?.unwrap_or_default(),
+        seed: u64_field(&v, "seed", 0)?,
+        deadline_ms: u64_field(&v, "deadline_ms", 0)?,
     })))
 }
 
-/// Encodes a solve request (client side).
-pub fn encode_request(req: &SolveRequest) -> String {
-    let instance = match &req.instance {
+fn instance_spec_to_json(spec: &InstanceSpec) -> Json {
+    match spec {
         InstanceSpec::Named(name) => obj([("name", name.as_str().into())]),
         InstanceSpec::Inline { family, text } => obj([
             ("kind", family.name().into()),
             ("data", text.as_str().into()),
         ]),
-    };
+    }
+}
+
+/// Encodes a solve request (client side).
+pub fn encode_request(req: &SolveRequest) -> String {
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = &req.id {
         fields.push(("id".into(), id.as_str().into()));
     }
-    fields.push(("instance".into(), instance));
+    fields.push(("instance".into(), instance_spec_to_json(&req.instance)));
+    fields.push(("objective".into(), req.objective.name().into()));
+    fields.push(("seed".into(), req.seed.into()));
+    fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    Json::Obj(fields).encode()
+}
+
+/// Encodes a generate request (client side).
+pub fn encode_generate_request(req: &GenerateRequest) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &req.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("cmd".into(), "generate".into()));
+    fields.push(("spec".into(), gen_spec_to_json(&req.spec)));
+    if req.solve {
+        fields.push(("solve".into(), true.into()));
+        fields.push(("objective".into(), req.objective.name().into()));
+        fields.push(("seed".into(), req.seed.into()));
+        fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    }
+    Json::Obj(fields).encode()
+}
+
+/// Encodes a batch request (client side).
+pub fn encode_batch_request(req: &BatchRequest) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &req.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("cmd".into(), "batch".into()));
+    let items: Vec<Json> = req
+        .items
+        .iter()
+        .map(|item| {
+            let mut f: Vec<(String, Json)> = Vec::new();
+            if let Some(id) = &item.id {
+                f.push(("id".into(), id.as_str().into()));
+            }
+            match &item.source {
+                BatchSource::Instance(spec) => {
+                    f.push(("instance".into(), instance_spec_to_json(spec)))
+                }
+                BatchSource::Generate(spec) => f.push(("generate".into(), gen_spec_to_json(spec))),
+            }
+            if let Some(seed) = item.seed {
+                f.push(("seed".into(), seed.into()));
+            }
+            if let Some(objective) = item.objective {
+                f.push(("objective".into(), objective.name().into()));
+            }
+            Json::Obj(f)
+        })
+        .collect();
+    fields.push(("items".into(), Json::Arr(items)));
     fields.push(("objective".into(), req.objective.name().into()));
     fields.push(("seed".into(), req.seed.into()));
     fields.push(("deadline_ms".into(), req.deadline_ms.into()));
@@ -208,8 +470,11 @@ pub fn encode_request(req: &SolveRequest) -> String {
 /// The solution part of a solve response (what the cache stores).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
+    /// The criterion that was minimised.
     pub objective: Objective,
+    /// Objective value of `schedule` under `objective`.
     pub value: f64,
+    /// Makespan of `schedule` (equals `value` for `Makespan`).
     pub makespan: u64,
     /// Portfolio member that found it. Informational only — when a race
     /// exits early on a certified target, which member ends up holding
@@ -217,6 +482,7 @@ pub struct Solution {
     /// telemetry's `winning_model`) is not part of the deterministic
     /// response contract; `schedule`, `value` and `makespan` are.
     pub model: String,
+    /// The schedule itself, as `[job, op, machine, start, end]` rows.
     pub schedule: Vec<ScheduledOp>,
 }
 
@@ -274,13 +540,14 @@ fn telemetry_to_json(t: &RequestTelemetry) -> Json {
     ])
 }
 
-/// Encodes a successful solve response line.
-pub fn encode_solution(
+/// Builds a successful solve response body (also used verbatim as a
+/// batch item entry and a generate response's `solution` field).
+pub fn solution_json(
     id: Option<&str>,
     sol: &Solution,
     cached: bool,
     telemetry: &RequestTelemetry,
-) -> String {
+) -> Json {
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), id.into()));
@@ -293,18 +560,33 @@ pub fn encode_solution(
     fields.push(("cached".into(), cached.into()));
     fields.push(("schedule".into(), schedule_to_json(&sol.schedule)));
     fields.push(("telemetry".into(), telemetry_to_json(telemetry)));
-    Json::Obj(fields).encode()
+    Json::Obj(fields)
 }
 
-/// Encodes an error response line.
-pub fn encode_error(id: Option<&str>, message: &str) -> String {
+/// Encodes a successful solve response line.
+pub fn encode_solution(
+    id: Option<&str>,
+    sol: &Solution,
+    cached: bool,
+    telemetry: &RequestTelemetry,
+) -> String {
+    solution_json(id, sol, cached, telemetry).encode()
+}
+
+/// Builds an error response body (also used as a batch item entry).
+pub fn error_json(id: Option<&str>, message: &str) -> Json {
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), id.into()));
     }
     fields.push(("status".into(), "error".into()));
     fields.push(("error".into(), message.into()));
-    Json::Obj(fields).encode()
+    Json::Obj(fields)
+}
+
+/// Encodes an error response line.
+pub fn encode_error(id: Option<&str>, message: &str) -> String {
+    error_json(id, message).encode()
 }
 
 #[cfg(test)]
@@ -343,6 +625,103 @@ mod tests {
             panic!("expected solve");
         };
         assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn generate_request_roundtrips() {
+        let req = GenerateRequest {
+            id: Some("g1".into()),
+            spec: GenSpec::new(Family::Flexible, 6, 4, 9)
+                .with_ops_per_job(3)
+                .with_density_pct(75),
+            solve: true,
+            objective: Objective::Makespan,
+            seed: 42,
+            deadline_ms: 500,
+        };
+        let Request::Generate(back) = parse_request(&encode_generate_request(&req)).unwrap() else {
+            panic!("expected generate");
+        };
+        assert_eq!(*back, req);
+        // Solve-less variant: solve fields default.
+        let bare = GenerateRequest {
+            solve: false,
+            ..req.clone()
+        };
+        let Request::Generate(back) = parse_request(&encode_generate_request(&bare)).unwrap()
+        else {
+            panic!("expected generate");
+        };
+        assert!(!back.solve);
+        assert_eq!(back.spec, req.spec);
+        assert_eq!(back.seed, 0, "solve seed omitted => default");
+    }
+
+    #[test]
+    fn batch_request_roundtrips() {
+        let req = BatchRequest {
+            id: Some("b1".into()),
+            items: vec![
+                BatchItem {
+                    id: Some("i0".into()),
+                    source: BatchSource::Instance(InstanceSpec::Named("ft06".into())),
+                    seed: Some(7),
+                    objective: Some(Objective::TotalCompletion),
+                },
+                BatchItem {
+                    id: None,
+                    source: BatchSource::Generate(GenSpec::new(Family::Flow, 8, 4, 3)),
+                    seed: None,
+                    objective: None,
+                },
+                BatchItem {
+                    id: None,
+                    source: BatchSource::Instance(InstanceSpec::Inline {
+                        family: Family::Open,
+                        text: "2 2\n1 2\n3 4\n".into(),
+                    }),
+                    seed: None,
+                    objective: None,
+                },
+            ],
+            objective: Objective::Makespan,
+            seed: 42,
+            deadline_ms: 4_000,
+        };
+        let Request::Batch(back) = parse_request(&encode_batch_request(&req)).unwrap() else {
+            panic!("expected batch");
+        };
+        assert_eq!(*back, req);
+    }
+
+    #[test]
+    fn batch_parse_errors() {
+        assert!(parse_request(r#"{"cmd":"batch"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"batch","items":[]}"#).is_err());
+        // An item with both sources (or neither) is rejected.
+        assert!(parse_request(
+            r#"{"cmd":"batch","items":[{"instance":{"name":"ft06"},"generate":{"family":"job","jobs":2,"machines":2}}]}"#
+        )
+        .is_err());
+        assert!(parse_request(r#"{"cmd":"batch","items":[{}]}"#).is_err());
+        // Bad nested spec is flagged with its index.
+        let err = parse_request(r#"{"cmd":"batch","items":[{"generate":{"family":"nope"}}]}"#)
+            .unwrap_err();
+        assert!(err.0.contains("item 0"), "{err}");
+    }
+
+    #[test]
+    fn generate_parse_errors() {
+        assert!(parse_request(r#"{"cmd":"generate"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"generate","spec":{"family":"job"}}"#).is_err());
+        assert!(parse_request(
+            r#"{"cmd":"generate","spec":{"family":"job","jobs":2,"machines":2},"solve":3}"#
+        )
+        .is_err());
+        assert!(parse_request(
+            r#"{"cmd":"generate","spec":{"family":"job","jobs":2,"machines":2,"density_pct":200}}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -19,15 +19,18 @@
 //! and drain the queue, then exit.
 
 use crate::cache::{CacheKey, CachedSolve, SolutionCache};
-use crate::json::obj;
-use crate::protocol::{encode_error, encode_solution, parse_request, Request, SolveRequest};
-use crate::solver::{solve, LoadedInstance};
+use crate::json::{obj, Json};
+use crate::protocol::{
+    encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest, BatchSource,
+    GenerateRequest, Objective, Request, SolveRequest,
+};
+use crate::solver::{load_instance, solve, LoadedInstance};
 use pga::telemetry::RequestTelemetry;
 use shop::schedule::Schedule;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -36,7 +39,12 @@ use std::time::{Duration, Instant};
 pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
-    /// Worker threads (concurrent connections being served).
+    /// Worker threads (concurrent connections being served). Also the
+    /// fan-out width of a batch request's item lanes — each racing
+    /// item additionally spawns up to `racers` threads, so worst-case
+    /// compute threads scale with `workers * workers * racers` under
+    /// concurrent batch load; size accordingly (or shrink `racers`)
+    /// on small hosts.
     pub workers: usize,
     /// LRU solution-cache capacity (entries).
     pub cache_capacity: usize,
@@ -77,22 +85,35 @@ impl Default for ServeConfig {
 /// hit-rate consumers should divide by `requests` instead.
 #[derive(Debug, Default)]
 pub struct ServiceStats {
+    /// Request lines received (any kind, including malformed).
     pub requests: AtomicU64,
+    /// Portfolio races run to completion (batch items included;
+    /// cache replays excluded).
     pub solved: AtomicU64,
+    /// Responses answered from the memoised solution.
     pub cache_hits: AtomicU64,
+    /// Cache lookups that could not be replayed directly.
     pub cache_misses: AtomicU64,
+    /// Protocol, load and internal-validation failures.
     pub errors: AtomicU64,
+    /// Summed connection queue wait, in microseconds.
     pub queue_wait_us: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {
+    /// Request lines received (any kind, including malformed).
     pub requests: u64,
+    /// Portfolio races run to completion.
     pub solved: u64,
+    /// Responses answered from the memoised solution.
     pub cache_hits: u64,
+    /// Cache lookups that could not be replayed directly.
     pub cache_misses: u64,
+    /// Protocol, load and internal-validation failures.
     pub errors: u64,
+    /// Summed connection queue wait, in microseconds.
     pub queue_wait_us: u64,
 }
 
@@ -442,52 +463,65 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
             (body.encode(), true)
         }
         Ok(Request::Solve(req)) => (handle_solve(&req, queue_wait, shared), false),
+        Ok(Request::Generate(req)) => (handle_generate(&req, queue_wait, shared), false),
+        Ok(Request::Batch(req)) => (handle_batch(&req, queue_wait, shared), false),
     }
 }
 
-fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
-    let id = req.id.as_deref();
-    let inst = match LoadedInstance::load(&req.instance) {
-        Ok(inst) => inst,
-        Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return encode_error(id, &e.to_string());
-        }
-    };
+/// Clamps a request's deadline to the service policy (0 = default).
+fn effective_deadline_ms(requested: u64, config: &ServeConfig) -> u64 {
+    match requested {
+        0 => config.default_deadline_ms,
+        d => d.min(config.max_deadline_ms),
+    }
+}
+
+/// The shared solve core: answer `(inst, objective, seed)` under the
+/// absolute `deadline`, with full cache integration. `budget_ms` is the
+/// wall-clock budget this caller can actually spend (for a plain solve
+/// that equals the effective deadline; for a batch item it is the
+/// *remaining* batch budget, so cache entries never claim more budget
+/// than the race really had). Returns a solve-shaped response body.
+fn solve_cached(
+    id: Option<&str>,
+    inst: &LoadedInstance,
+    objective: Objective,
+    seed: u64,
+    deadline: Instant,
+    budget_ms: u64,
+    queue_wait: Duration,
+    shared: &Shared,
+) -> Json {
     let key = CacheKey {
         instance: inst.canonical_hash(),
-        objective: req.objective,
-        seed: req.seed,
-    };
-    let deadline_ms = match req.deadline_ms {
-        0 => shared.config.default_deadline_ms,
-        d => d.min(shared.config.max_deadline_ms),
+        objective,
+        seed,
     };
     // Fast path: a memoised solution that fully honours this request's
-    // budget (lock held only for the lookup). A deadline-bound entry
-    // whose stored budget is smaller than this request's falls through
-    // to a re-race below — replaying it would silently answer a
-    // long-deadline request with short-deadline quality.
+    // budget (lock held only for the lookup; no racer threads spent).
+    // A deadline-bound entry whose stored budget is smaller than this
+    // request's falls through to a re-race below — replaying it would
+    // silently answer a long-deadline request with short-deadline
+    // quality.
     let prev = shared.cache.lock().expect("cache poisoned").get(&key);
     if let Some(hit) = &prev {
-        if hit.replayable_for(deadline_ms) {
+        if hit.replayable_for(budget_ms) {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
             let telemetry = RequestTelemetry {
                 queue_wait,
                 cache_hit: true,
                 ..Default::default()
             };
-            return encode_solution(id, &hit.solution, true, &telemetry);
+            return solution_json(id, &hit.solution, true, &telemetry);
         }
     }
     shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     let solve_started = Instant::now();
-    let deadline = solve_started + Duration::from_millis(deadline_ms);
     let outcome = solve(
-        &inst,
-        req.objective,
-        req.seed,
+        inst,
+        objective,
+        seed,
         deadline,
         shared.config.gen_cap,
         shared.config.racers,
@@ -511,9 +545,9 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
                 cache_hit: true,
                 ..Default::default()
             };
-            return encode_solution(id, &prev.solution, true, &telemetry);
+            return solution_json(id, &prev.solution, true, &telemetry);
         }
-        return encode_error(id, &format!("internal: produced {e}"));
+        return error_json(id, &format!("internal: produced {e}"));
     }
 
     // An outgrown entry still holds the best solution known for the
@@ -533,7 +567,7 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
         key,
         CachedSolve {
             solution,
-            budget_ms: deadline_ms,
+            budget_ms,
             deadline_bound: outcome.deadline_bound,
         },
     );
@@ -549,7 +583,243 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
     .with_decodes_from_models();
 
     shared.stats.solved.fetch_add(1, Ordering::Relaxed);
-    encode_solution(id, &merged.solution, false, &telemetry)
+    solution_json(id, &merged.solution, false, &telemetry)
+}
+
+fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let inst = match load_instance(&req.instance) {
+        Ok(inst) => inst,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return encode_error(id, &e.to_string());
+        }
+    };
+    let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    solve_cached(
+        id,
+        &inst,
+        req.objective,
+        req.seed,
+        deadline,
+        deadline_ms,
+        queue_wait,
+        shared,
+    )
+    .encode()
+}
+
+fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let generated = match req.spec.build() {
+        Ok(g) => g,
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return encode_error(id, &e.to_string());
+        }
+    };
+    let inst = generated.instance;
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("name".into(), generated.name.as_str().into()));
+    fields.push(("family".into(), inst.family().name().into()));
+    fields.push(("jobs".into(), (inst.problem().n_jobs() as u64).into()));
+    fields.push((
+        "machines".into(),
+        (inst.problem().n_machines() as u64).into(),
+    ));
+    fields.push(("total_ops".into(), (inst.total_ops() as u64).into()));
+    // The canonical hash exceeds 2^53 in general, so it travels as a
+    // hex string, never as a JSON number.
+    fields.push((
+        "hash".into(),
+        format!("{:#018x}", inst.canonical_hash()).into(),
+    ));
+    fields.push(("instance".into(), inst.text().into()));
+    if req.solve {
+        let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
+        let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+        let body = solve_cached(
+            None,
+            &inst,
+            req.objective,
+            req.seed,
+            deadline,
+            deadline_ms,
+            queue_wait,
+            shared,
+        );
+        fields.push(("solution".into(), body));
+    }
+    Json::Obj(fields).encode()
+}
+
+/// Materialises a batch item's instance (named, inline or generated).
+fn resolve_batch_source(source: &BatchSource) -> Result<LoadedInstance, String> {
+    match source {
+        BatchSource::Instance(spec) => load_instance(spec).map_err(|e| e.to_string()),
+        BatchSource::Generate(spec) => spec.build().map(|g| g.instance).map_err(|e| e.to_string()),
+    }
+}
+
+/// Solves one batch item (instance already materialised by its group)
+/// against the batch's shared absolute deadline.
+fn solve_batch_item(
+    item: &BatchItem,
+    index: usize,
+    batch: &BatchRequest,
+    inst: &LoadedInstance,
+    deadline: Instant,
+    shared: &Shared,
+) -> Json {
+    let id = item.id.as_deref();
+    let objective = item.objective.unwrap_or(batch.objective);
+    let seed = item.seed.unwrap_or(batch.seed);
+    // The honest per-item budget is whatever batch wall-clock is left
+    // when this item starts — that (not the whole batch budget) is
+    // what a cache entry may claim was spent on it. An exhausted
+    // budget still answers: the race degrades to its first evaluated
+    // generation (anytime semantics), and cache replays stay free.
+    let remaining_ms = deadline
+        .saturating_duration_since(Instant::now())
+        .as_millis() as u64;
+    with_index(
+        solve_cached(
+            id,
+            inst,
+            objective,
+            seed,
+            deadline,
+            remaining_ms,
+            Duration::ZERO,
+            shared,
+        ),
+        index,
+    )
+}
+
+/// Prepends the item's zero-based `index` to a batch entry body.
+fn with_index(body: Json, index: usize) -> Json {
+    match body {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("index".into(), (index as u64).into()));
+            Json::Obj(fields)
+        }
+        other => other,
+    }
+}
+
+fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let started = Instant::now();
+    let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
+    let deadline = started + Duration::from_millis(deadline_ms);
+    let n = req.items.len();
+    // Identical items (same source, seed, objective) would all miss a
+    // cold cache at the same instant and race the portfolio in
+    // duplicate, stealing wall-clock from the rest of the batch.
+    // Group them so a group's first item races and the later ones
+    // replay the entry it lands (their remaining budget can only be
+    // smaller, so the replay rule always accepts), and the shared
+    // instance is materialised once per group rather than per item.
+    // Grouping keys on the request *spec*; differently-spelled
+    // duplicates still race separately and reconcile through
+    // `insert_best`.
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut group_of: std::collections::HashMap<(&BatchSource, u64, Objective), usize> =
+        std::collections::HashMap::new();
+    for (i, item) in req.items.iter().enumerate() {
+        let key = (
+            &item.source,
+            item.seed.unwrap_or(req.seed),
+            item.objective.unwrap_or(req.objective),
+        );
+        match group_of.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(groups.len());
+                groups.push(vec![i]);
+            }
+        }
+    }
+    // Fan the groups out across scoped threads, reusing the service's
+    // configured worker width as the parallelism knob. Groups are
+    // pulled from a shared counter so early finishers keep the lanes
+    // busy; results land in their slot, preserving request order on
+    // the wire.
+    let fanout = shared.config.workers.clamp(1, groups.len());
+    let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..fanout {
+            scope.spawn(|| loop {
+                let g = next.fetch_add(1, Ordering::SeqCst);
+                let Some(group) = groups.get(g) else { break };
+                // Sources are identical within a group by construction.
+                match resolve_batch_source(&req.items[group[0]].source) {
+                    Err(e) => {
+                        shared
+                            .stats
+                            .errors
+                            .fetch_add(group.len() as u64, Ordering::Relaxed);
+                        for &i in group {
+                            let id = req.items[i].id.as_deref();
+                            *slots[i].lock().expect("slot poisoned") =
+                                Some(with_index(error_json(id, &e), i));
+                        }
+                    }
+                    Ok(inst) => {
+                        for &i in group {
+                            let body =
+                                solve_batch_item(&req.items[i], i, req, &inst, deadline, shared);
+                            *slots[i].lock().expect("slot poisoned") = Some(body);
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let items: Vec<Json> = slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot poisoned")
+                .expect("every item answered")
+        })
+        .collect();
+    let ok = items
+        .iter()
+        .filter(|b| b.get("status").and_then(Json::as_str) == Some("ok"))
+        .count();
+    let hits = items
+        .iter()
+        .filter(|b| b.get("cached").and_then(Json::as_bool) == Some(true))
+        .count();
+
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("count".into(), (n as u64).into()));
+    fields.push(("ok".into(), (ok as u64).into()));
+    fields.push(("items".into(), Json::Arr(items)));
+    fields.push((
+        "telemetry".into(),
+        obj([
+            ("queue_wait_us", (queue_wait.as_micros() as u64).into()),
+            ("batch_ms", (started.elapsed().as_millis() as u64).into()),
+            ("deadline_ms", deadline_ms.into()),
+            ("fanout", (fanout as u64).into()),
+            ("cache_hits", (hits as u64).into()),
+            ("errors", ((n - ok) as u64).into()),
+        ]),
+    ));
+    Json::Obj(fields).encode()
 }
 
 #[cfg(test)]
@@ -716,6 +986,251 @@ mod tests {
         assert_eq!(stats.cache_misses, 2);
         assert_eq!(stats.solved, 2);
         assert_eq!(service.cache_len(), 1, "upgrade replaces, never duplicates");
+        service.shutdown();
+    }
+
+    #[test]
+    fn generate_request_mints_reproducibly_and_solves_into_the_shared_cache() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let spec = r#"{"family":"job","jobs":4,"machines":3,"seed":11}"#;
+        let responses = send_lines(
+            addr,
+            &[
+                format!(r#"{{"id":"g0","cmd":"generate","spec":{spec}}}"#),
+                format!(
+                    r#"{{"id":"g1","cmd":"generate","spec":{spec},"solve":true,"seed":5,"deadline_ms":2000}}"#
+                ),
+                // The minted name is directly solvable; same canonical
+                // hash + seed => answered from the cache entry the
+                // generate+solve just created.
+                r#"{"id":"s","instance":{"name":"gen-job-4x3-s11"},"seed":5,"deadline_ms":2000}"#
+                    .to_string(),
+            ],
+        );
+        let bare = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(bare.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(bare.get("name").unwrap().as_str(), Some("gen-job-4x3-s11"));
+        assert_eq!(bare.get("family").unwrap().as_str(), Some("job"));
+        assert_eq!(bare.get("total_ops").unwrap().as_u64(), Some(12));
+        assert!(bare.get("solution").is_none(), "solve not requested");
+        // The instance text round-trips to the advertised hash.
+        let text = bare.get("instance").unwrap().as_str().unwrap();
+        let parsed = shop::gen::AnyInstance::parse(shop::gen::Family::Job, text).unwrap();
+        let hash = bare.get("hash").unwrap().as_str().unwrap().to_string();
+        assert_eq!(hash, format!("{:#018x}", parsed.canonical_hash()));
+
+        let solved = crate::json::parse(&responses[1]).unwrap();
+        let solution = solved.get("solution").expect("solution attached");
+        assert_eq!(solution.get("status").unwrap().as_str(), Some("ok"));
+        assert!(solution.get("makespan").unwrap().as_u64().unwrap() > 0);
+
+        let named = crate::json::parse(&responses[2]).unwrap();
+        assert_eq!(named.get("cached").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            named.get("schedule").unwrap().encode(),
+            solution.get("schedule").unwrap().encode(),
+            "named gen-* solve must replay the generate+solve entry"
+        );
+
+        // Bad spec => protocol-level error line, not a dropped request.
+        let err = send_lines(
+            addr,
+            &[r#"{"cmd":"generate","spec":{"family":"job","jobs":0,"machines":3}}"#.to_string()],
+        );
+        let err_v = crate::json::parse(&err[0]).unwrap();
+        assert_eq!(err_v.get("status").unwrap().as_str(), Some("error"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn batch_cache_hits_do_not_consume_racer_threads() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        // Prime the cache with one cold solve.
+        let prime = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 3,
+            deadline_ms: 2_000,
+        });
+        // A batch of 8 copies of the primed key: every item must replay
+        // the entry, and no new portfolio race may start.
+        let items: Vec<String> = (0..8)
+            .map(|_| r#"{"instance":{"name":"flow05"}}"#.to_string())
+            .collect();
+        let batch = format!(
+            r#"{{"id":"b","cmd":"batch","items":[{}],"seed":3,"deadline_ms":2000}}"#,
+            items.join(",")
+        );
+        let responses = send_lines(addr, &[prime, batch]);
+        let v = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(8));
+        assert_eq!(v.get("ok").unwrap().as_u64(), Some(8));
+        let entries = v.get("items").unwrap().as_arr().unwrap();
+        assert_eq!(entries.len(), 8);
+        for (i, e) in entries.iter().enumerate() {
+            assert_eq!(e.get("index").unwrap().as_u64(), Some(i as u64));
+            assert_eq!(e.get("cached").unwrap().as_bool(), Some(true), "item {i}");
+        }
+        let t = v.get("telemetry").unwrap();
+        assert_eq!(t.get("cache_hits").unwrap().as_u64(), Some(8));
+        assert_eq!(t.get("errors").unwrap().as_u64(), Some(0));
+        let stats = service.stats();
+        assert_eq!(stats.solved, 1, "cache hits must not race the portfolio");
+        assert_eq!(stats.cache_hits, 8);
+        service.shutdown();
+    }
+
+    #[test]
+    fn batch_evicts_lru_when_overflowing_the_cache() {
+        // Capacity 3, one worker (sequential item order, so eviction
+        // order is deterministic), batch of 5 distinct generated
+        // instances: the cache must end at capacity holding exactly
+        // the three *most recently inserted* entries (seeds 2, 3, 4),
+        // and every item must still be answered.
+        let service = Service::bind(ServeConfig {
+            cache_capacity: 3,
+            workers: 1,
+            gen_cap: 60,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let items: Vec<String> = (0..5)
+            .map(|s| {
+                format!(r#"{{"generate":{{"family":"flow","jobs":3,"machines":2,"seed":{s}}}}}"#)
+            })
+            .collect();
+        let batch = format!(
+            r#"{{"cmd":"batch","items":[{}],"deadline_ms":2000}}"#,
+            items.join(",")
+        );
+        let responses = send_lines(addr, &[batch]);
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_u64(), Some(5));
+        assert_eq!(service.cache_len(), 3, "cache must stay at capacity");
+        assert_eq!(service.stats().solved, 5);
+
+        // LRU order preserved under batch load: the last three inserts
+        // survive (replay), the first two were evicted (re-solve).
+        let probe = |seed: u64| format!(r#"{{"instance":{{"name":"gen-flow-3x2-s{seed}"}}}}"#);
+        let responses = send_lines(addr, &[probe(2), probe(3), probe(4), probe(0)]);
+        let cached = |i: usize| {
+            crate::json::parse(&responses[i])
+                .unwrap()
+                .get("cached")
+                .unwrap()
+                .as_bool()
+                .unwrap()
+        };
+        assert!(cached(0), "seed 2 must have survived the batch");
+        assert!(cached(1), "seed 3 must have survived the batch");
+        assert!(cached(2), "seed 4 must have survived the batch");
+        assert!(!cached(3), "seed 0 must have been evicted as LRU");
+        assert_eq!(service.cache_len(), 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn duplicate_batch_items_race_once_and_replay() {
+        // A cold batch listing the same spec three times (mixed with a
+        // distinct item) must race each unique key once: duplicates
+        // serialize behind their first occurrence and replay its entry.
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let batch = concat!(
+            r#"{"cmd":"batch","items":["#,
+            r#"{"generate":{"family":"job","jobs":4,"machines":3,"seed":1}},"#,
+            r#"{"generate":{"family":"job","jobs":4,"machines":3,"seed":1}},"#,
+            r#"{"instance":{"name":"gen-job-4x3-s1"}},"#,
+            r#"{"generate":{"family":"job","jobs":4,"machines":3,"seed":2}}"#,
+            r#"],"seed":7,"deadline_ms":2000}"#
+        );
+        let responses = send_lines(addr, &[batch.to_string()]);
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("ok").unwrap().as_u64(), Some(4));
+        let entries = v.get("items").unwrap().as_arr().unwrap();
+        let cached = |i: usize| entries[i].get("cached").unwrap().as_bool().unwrap();
+        assert!(!cached(0), "first occurrence races");
+        assert!(cached(1), "duplicate generate spec replays");
+        assert!(!cached(3), "distinct seed is its own race");
+        // Item 2 names the same instance via the gen-* grammar: it is a
+        // different spelling, so it may race separately — but the cache
+        // key is the canonical hash, so at most one extra race runs and
+        // the answers agree.
+        assert_eq!(
+            entries[1].get("makespan").unwrap().as_u64(),
+            entries[0].get("makespan").unwrap().as_u64()
+        );
+        let stats = service.stats();
+        assert!(
+            stats.solved <= 3,
+            "4 items, 2 unique specs of one key + 1 distinct: at most 3 races, got {}",
+            stats.solved
+        );
+        assert!(stats.cache_hits >= 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn bad_gen_name_parameters_get_the_generator_error() {
+        // A name in the gen-* grammar with an invalid parameter space
+        // must surface GenSpec::check's message, not "unknown named
+        // instance".
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"instance":{"name":"gen-job-20000x3-s1"}}"#.to_string(),
+                r#"{"instance":{"name":"gen-flow-5x3-s1-t9x2"}}"#.to_string(),
+                r#"{"instance":{"name":"gen-job-6x6"}}"#.to_string(), // bad grammar
+            ],
+        );
+        let err = |i: usize| {
+            crate::json::parse(&responses[i])
+                .unwrap()
+                .get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .to_string()
+        };
+        assert!(err(0).contains("capped"), "{}", err(0));
+        assert!(err(1).contains("min_time"), "{}", err(1));
+        assert!(err(2).contains("unknown named instance"), "{}", err(2));
+        assert_eq!(service.stats().errors, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn batch_reports_per_item_errors_without_failing_the_batch() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let batch = concat!(
+            r#"{"cmd":"batch","items":["#,
+            r#"{"instance":{"name":"nope"}},"#,
+            r#"{"generate":{"family":"job","jobs":0,"machines":2}},"#,
+            r#"{"instance":{"name":"flow05"}}"#,
+            r#"],"deadline_ms":2000}"#
+        );
+        let responses = send_lines(addr, &[batch.to_string()]);
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(v.get("count").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("ok").unwrap().as_u64(), Some(1));
+        let entries = v.get("items").unwrap().as_arr().unwrap();
+        assert_eq!(entries[0].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(entries[1].get("status").unwrap().as_str(), Some("error"));
+        assert_eq!(entries[2].get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            v.get("telemetry").unwrap().get("errors").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(service.stats().errors, 2);
         service.shutdown();
     }
 

@@ -1,10 +1,14 @@
 //! Glue between the wire protocol and the GA stack: load an instance
-//! (named classic or inline text), build the family's toolkit/decoder
-//! pair, race the portfolio, and decode the winning genome into a
-//! validated schedule.
+//! (named classic, `gen-*` generated name, or inline text), build the
+//! family's toolkit/decoder pair, race the portfolio, and decode the
+//! winning genome into a validated schedule.
+//!
+//! The family-generic instance type is [`shop::gen::AnyInstance`];
+//! this module only adds the protocol-level resolution
+//! ([`load_instance`]) and the racing glue ([`solve`]).
 
 use crate::portfolio::{plan_lineup, race, RaceResult};
-use crate::protocol::{Family, InstanceSpec, Objective, Solution};
+use crate::protocol::{InstanceSpec, Objective, Solution};
 use ga::dual::DualGenome;
 use ga::engine::Toolkit;
 use pga::telemetry::RunTelemetry;
@@ -12,22 +16,16 @@ use shop::decoder::flexible::FlexDecoder;
 use shop::decoder::flow::FlowDecoder;
 use shop::decoder::job::JobDecoder;
 use shop::decoder::open::OpenDecoder;
-use shop::instance::classic;
-use shop::instance::parse;
-use shop::instance::CanonicalHash;
-use shop::instance::{FlexibleInstance, FlowShopInstance, JobShopInstance, OpenShopInstance};
+use shop::gen::AnyInstance;
 use shop::schedule::Schedule;
-use shop::{Problem, ShopError};
+use shop::Problem;
 use std::time::Instant;
 
-/// A parsed problem instance of any family.
-#[derive(Debug, Clone, PartialEq)]
-pub enum LoadedInstance {
-    Flow(FlowShopInstance),
-    Job(JobShopInstance),
-    Open(OpenShopInstance),
-    Flexible(FlexibleInstance),
-}
+/// The parsed problem instance a request resolves to. Kept as an alias
+/// of [`shop::gen::AnyInstance`] — the family-generic operations
+/// (hashing, validation, text round-trips) live in `shop::gen` so
+/// every layer shares one definition.
+pub type LoadedInstance = AnyInstance;
 
 /// Error loading an instance from a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,91 +39,24 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
-impl LoadedInstance {
-    /// Resolves a request's instance spec. Named classics cover the
-    /// embedded benchmarks of all four families.
-    pub fn load(spec: &InstanceSpec) -> Result<Self, LoadError> {
-        match spec {
-            InstanceSpec::Named(name) => match name.as_str() {
-                "ft06" => Ok(LoadedInstance::Job(classic::ft06().instance)),
-                "ft10" => Ok(LoadedInstance::Job(classic::ft10().instance)),
-                "ft20" => Ok(LoadedInstance::Job(classic::ft20().instance)),
-                "la01" => Ok(LoadedInstance::Job(classic::la01().instance)),
-                "flow05" => Ok(LoadedInstance::Flow(classic::flow05().0)),
-                "open_latin3" => Ok(LoadedInstance::Open(classic::open_latin3().0)),
-                "flex03" => Ok(LoadedInstance::Flexible(classic::flex03())),
-                other => Err(LoadError(format!("unknown named instance {other:?}"))),
-            },
-            InstanceSpec::Inline { family, text } => {
-                let parse_err = |e: ShopError| LoadError(e.to_string());
-                match family {
-                    Family::Flow => parse::parse_flow_shop(text)
-                        .map(LoadedInstance::Flow)
-                        .map_err(parse_err),
-                    Family::Job => parse::parse_job_shop(text)
-                        .map(LoadedInstance::Job)
-                        .map_err(parse_err),
-                    Family::Open => parse::parse_open_shop(text)
-                        .map(LoadedInstance::Open)
-                        .map_err(parse_err),
-                    Family::Flexible => parse::parse_flexible(text)
-                        .map(LoadedInstance::Flexible)
-                        .map_err(parse_err),
-                }
-            }
-        }
-    }
-
-    pub fn family(&self) -> Family {
-        match self {
-            LoadedInstance::Flow(_) => Family::Flow,
-            LoadedInstance::Job(_) => Family::Job,
-            LoadedInstance::Open(_) => Family::Open,
-            LoadedInstance::Flexible(_) => Family::Flexible,
-        }
-    }
-
-    fn problem(&self) -> &dyn Problem {
-        match self {
-            LoadedInstance::Flow(i) => i,
-            LoadedInstance::Job(i) => i,
-            LoadedInstance::Open(i) => i,
-            LoadedInstance::Flexible(i) => i,
-        }
-    }
-
-    /// Canonical content hash — the cache-key component.
-    pub fn canonical_hash(&self) -> u64 {
-        match self {
-            LoadedInstance::Flow(i) => i.canonical_hash(),
-            LoadedInstance::Job(i) => i.canonical_hash(),
-            LoadedInstance::Open(i) => i.canonical_hash(),
-            LoadedInstance::Flexible(i) => i.canonical_hash(),
-        }
-    }
-
-    pub fn total_ops(&self) -> usize {
-        self.problem().total_ops()
-    }
-
-    /// Validates a schedule against the instance's Table I conditions.
-    pub fn validate(&self, schedule: &Schedule) -> Result<(), ShopError> {
-        match self {
-            LoadedInstance::Flow(i) => schedule.validate_flow(i),
-            LoadedInstance::Job(i) => schedule.validate_job(i),
-            LoadedInstance::Open(i) => schedule.validate_open(i),
-            LoadedInstance::Flexible(i) => schedule.validate_flexible(i),
-        }
-    }
-
-    /// A makespan value no feasible schedule can beat — the early-exit
-    /// target when minimising makespan.
-    fn makespan_lower_bound(&self) -> u64 {
-        match self {
-            LoadedInstance::Flow(i) => i.makespan_lower_bound(),
-            LoadedInstance::Job(i) => i.makespan_lower_bound(),
-            LoadedInstance::Open(i) => i.makespan_lower_bound(),
-            LoadedInstance::Flexible(i) => i.makespan_lower_bound(),
+/// Resolves a request's instance spec. Named instances cover the
+/// embedded classics of all four families plus canonical `gen-*`
+/// generated names (`shop::gen::GenSpec::from_name`); inline text uses
+/// the `shop::instance::parse` formats.
+pub fn load_instance(spec: &InstanceSpec) -> Result<AnyInstance, LoadError> {
+    match spec {
+        InstanceSpec::Named(name) => match AnyInstance::resolve_named(name) {
+            // A name in the gen-* grammar gets the generator's own
+            // error on a bad parameter space ("jobs >= 1", dim caps)
+            // instead of being misreported as an unknown name.
+            Some(resolved) => resolved.map_err(|e| LoadError(e.to_string())),
+            None => Err(LoadError(format!(
+                "unknown named instance {name:?} (classics: ft06, ft10, ft20, la01, \
+                 flow05, open_latin3, flex03; or a gen-<family>-<jobs>x<machines>-s<seed> name)"
+            ))),
+        },
+        InstanceSpec::Inline { family, text } => {
+            AnyInstance::parse(*family, text).map_err(|e| LoadError(e.to_string()))
         }
     }
 }
@@ -144,7 +75,9 @@ fn objective_of(problem: &dyn Problem, schedule: &Schedule, objective: Objective
 /// Everything a solved request reports back.
 #[derive(Debug, Clone)]
 pub struct SolveOutcome {
+    /// The best validated-decodable solution of the race.
     pub solution: Solution,
+    /// Per-member structural telemetry, in lineup order.
     pub models: Vec<(String, RunTelemetry)>,
     /// True when the deadline cut the race short before `gen_cap` or a
     /// certified target: a rerun with a larger budget could do better
@@ -348,6 +281,7 @@ fn dual_toolkit(ops_per_job: Vec<usize>, max_choices: usize, n_jobs: usize) -> T
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::Family;
     use std::time::Duration;
 
     fn deadline() -> Instant {
@@ -356,17 +290,17 @@ mod tests {
 
     #[test]
     fn loads_named_and_inline_instances() {
-        let ft = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let ft = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
         assert_eq!(ft.family(), Family::Job);
         assert_eq!(ft.total_ops(), 36);
-        let inline = LoadedInstance::load(&InstanceSpec::Inline {
+        let inline = load_instance(&InstanceSpec::Inline {
             family: Family::Flow,
             text: "2 2\n3 4\n5 1\n".into(),
         })
         .unwrap();
         assert_eq!(inline.family(), Family::Flow);
-        assert!(LoadedInstance::load(&InstanceSpec::Named("nope".into())).is_err());
-        assert!(LoadedInstance::load(&InstanceSpec::Inline {
+        assert!(load_instance(&InstanceSpec::Named("nope".into())).is_err());
+        assert!(load_instance(&InstanceSpec::Inline {
             family: Family::Job,
             text: "bogus".into(),
         })
@@ -375,11 +309,11 @@ mod tests {
 
     #[test]
     fn named_and_inline_ft06_share_a_cache_hash() {
-        let named = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let named = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
         let LoadedInstance::Job(inst) = &named else {
             panic!("ft06 is a job shop");
         };
-        let inline = LoadedInstance::load(&InstanceSpec::Inline {
+        let inline = load_instance(&InstanceSpec::Inline {
             family: Family::Job,
             text: format!("{inst}"),
         })
@@ -395,7 +329,7 @@ mod tests {
             (InstanceSpec::Named("open_latin3".into()), 60),
             (InstanceSpec::Named("flex03".into()), 60),
         ] {
-            let inst = LoadedInstance::load(&spec).unwrap();
+            let inst = load_instance(&spec).unwrap();
             let out = solve(&inst, Objective::Makespan, 1, deadline(), cap, 2);
             let schedule = Schedule::new(out.solution.schedule.clone());
             assert!(
@@ -409,7 +343,7 @@ mod tests {
 
     #[test]
     fn total_completion_objective_is_consistent() {
-        let inst = LoadedInstance::load(&InstanceSpec::Named("flow05".into())).unwrap();
+        let inst = load_instance(&InstanceSpec::Named("flow05".into())).unwrap();
         let out = solve(&inst, Objective::TotalCompletion, 3, deadline(), 40, 1);
         let schedule = Schedule::new(out.solution.schedule.clone());
         let LoadedInstance::Flow(flow) = &inst else {
@@ -422,7 +356,7 @@ mod tests {
 
     #[test]
     fn solve_is_deterministic_when_caps_bind() {
-        let inst = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let inst = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
         let run = || solve(&inst, Objective::Makespan, 42, deadline(), 150, 3);
         let a = run();
         let b = run();
@@ -438,7 +372,7 @@ mod tests {
 
     #[test]
     fn clock_cut_solve_reports_deadline_bound() {
-        let inst = LoadedInstance::load(&InstanceSpec::Named("ft06".into())).unwrap();
+        let inst = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
         // Uncapped generations, unreachable target, tiny deadline: the
         // clock is the only stopping criterion that can fire.
         let out = solve(

@@ -1,5 +1,5 @@
 //! Flexible-shop decoding from the dual-chromosome genome of Belkadi
-//! et al. [37] and Defersha & Chen [35][36]: an *assignment* chromosome
+//! et al. \[37\] and Defersha & Chen \[35\]\[36\]: an *assignment* chromosome
 //! (which eligible machine runs each operation) plus a *sequencing*
 //! chromosome (permutation with repetition of job ids), decoded
 //! semi-actively with optional sequence-dependent setups, machine release
@@ -19,6 +19,7 @@ pub struct FlexDecoder<'a> {
 }
 
 impl<'a> FlexDecoder<'a> {
+    /// A decoder borrowing `inst` (no setups, no machine windows).
     pub fn new(inst: &'a FlexibleInstance) -> Self {
         let n = inst.n_jobs();
         let mut offsets = vec![0usize; n + 1];
@@ -33,7 +34,7 @@ impl<'a> FlexDecoder<'a> {
         }
     }
 
-    /// Enables sequence-dependent setup times (Defersha & Chen [36]).
+    /// Enables sequence-dependent setup times (Defersha & Chen \[36\]).
     pub fn with_setups(mut self, setups: &'a SetupMatrix) -> Self {
         assert_eq!(setups.n_jobs(), self.inst.n_jobs());
         assert_eq!(setups.n_machines(), self.inst.n_machines());

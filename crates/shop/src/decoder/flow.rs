@@ -17,6 +17,7 @@ pub struct FlowDecoder<'a> {
 }
 
 impl<'a> FlowDecoder<'a> {
+    /// A decoder borrowing `inst`.
     pub fn new(inst: &'a FlowShopInstance) -> Self {
         FlowDecoder { inst }
     }

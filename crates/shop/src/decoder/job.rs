@@ -1,7 +1,7 @@
 //! Job-shop decoding: the semi-active builder for direct operation-based
 //! encodings, the Giffler–Thompson (G&T) *active* schedule builder used by
-//! Mui et al. [17] and the hybrid GAs of Park et al. [26], and the
-//! indirect dispatching-rule decoder of Cheng et al. [12].
+//! Mui et al. \[17\] and the hybrid GAs of Park et al. \[26\], and the
+//! indirect dispatching-rule decoder of Cheng et al. \[12\].
 
 use super::DispatchRule;
 use crate::instance::JobShopInstance;
@@ -15,6 +15,7 @@ pub struct JobDecoder<'a> {
 }
 
 impl<'a> JobDecoder<'a> {
+    /// A decoder borrowing `inst`.
     pub fn new(inst: &'a JobShopInstance) -> Self {
         JobDecoder { inst }
     }
@@ -80,7 +81,7 @@ impl<'a> JobDecoder<'a> {
     /// the operation in a sequence chromosome).
     ///
     /// Active schedules are a complete, optimum-containing subset of the
-    /// feasible schedules, which is why GA designs like Mui et al. [17]
+    /// feasible schedules, which is why GA designs like Mui et al. \[17\]
     /// restrict their search to them.
     pub fn giffler_thompson(&self, priority: &dyn Fn(usize, usize) -> f64) -> Schedule {
         let n = self.inst.n_jobs();
@@ -217,7 +218,7 @@ impl<'a> JobDecoder<'a> {
         self.non_delay(&|j, s| keys[offsets[j] + s])
     }
 
-    /// Indirect decoding (Cheng et al. [12]): gene `k` selects the
+    /// Indirect decoding (Cheng et al. \[12\]): gene `k` selects the
     /// dispatching rule used at the `k`-th G&T decision point.
     pub fn dispatch_rules(&self, rules: &[DispatchRule]) -> Schedule {
         let n = self.inst.n_jobs();

@@ -14,7 +14,7 @@ pub mod job;
 pub mod open;
 
 /// Dispatching rules available to the indirect job-shop encoding
-/// (Cheng, Gen & Tsujimura's survey [12] taxonomy).
+/// (Cheng, Gen & Tsujimura's survey \[12\] taxonomy).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DispatchRule {
     /// Shortest processing time first.

@@ -1,6 +1,6 @@
 //! Open-shop decoding.
 //!
-//! Kokosiński & Studzienny [32] encode open-shop solutions as permutations
+//! Kokosiński & Studzienny \[32\] encode open-shop solutions as permutations
 //! with repetitions and decode them with two greedy heuristics, LPT-Task
 //! and LPT-Machine; both are implemented here alongside a plain
 //! operation-order decoder (the flow/job-shop style direct encoding, which
@@ -17,6 +17,7 @@ pub struct OpenDecoder<'a> {
 }
 
 impl<'a> OpenDecoder<'a> {
+    /// A decoder borrowing `inst`.
     pub fn new(inst: &'a OpenShopInstance) -> Self {
         OpenDecoder { inst }
     }

@@ -1,5 +1,5 @@
 //! Dynamic-environment scheduling — the second "new integrated factor"
-//! of the survey's Section II (Tang et al. [9] use a predictive-reactive
+//! of the survey's Section II (Tang et al. \[9\] use a predictive-reactive
 //! approach for dynamic flexible flow shops): machine breakdowns and job
 //! arrivals hit a running schedule, and the scheduler reacts either by
 //! *right-shift repair* (push affected operations later, keeping all
@@ -18,8 +18,11 @@ use crate::{Problem, Time};
 pub enum Event {
     /// Machine `machine` is down during `[from, from + duration)`.
     Breakdown {
+        /// The machine that goes down.
         machine: usize,
+        /// Start of the outage.
         from: Time,
+        /// Length of the outage.
         duration: Time,
     },
 }

@@ -1,6 +1,6 @@
 //! Energy-aware scheduling — the "new integrated factor" of the survey's
-//! Section II (Xu et al. [8] minimise peak power alongside production
-//! efficiency; Tang et al. [9] trade energy consumption against the
+//! Section II (Xu et al. \[8\] minimise peak power alongside production
+//! efficiency; Tang et al. \[9\] trade energy consumption against the
 //! makespan in dynamic flexible flow shops).
 //!
 //! Machines have a processing power draw and an idle power draw; a
@@ -22,6 +22,7 @@ pub struct MachinePower {
 }
 
 impl MachinePower {
+    /// A profile drawing `processing` busy and `idle` (<= processing) idle.
     pub fn new(processing: f64, idle: f64) -> Self {
         assert!(processing >= 0.0 && idle >= 0.0 && idle <= processing);
         MachinePower { processing, idle }
@@ -31,6 +32,7 @@ impl MachinePower {
 /// Power profile of the whole shop.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PowerProfile {
+    /// Per-machine draw profiles, indexed by machine.
     pub machines: Vec<MachinePower>,
 }
 
@@ -42,6 +44,7 @@ impl PowerProfile {
         }
     }
 
+    /// Number of machines the profile covers.
     pub fn n_machines(&self) -> usize {
         self.machines.len()
     }
@@ -66,7 +69,7 @@ impl PowerProfile {
     }
 
     /// Peak instantaneous power draw over the schedule (the quantity Xu
-    /// et al. [8] bound). Computed exactly by sweeping operation start /
+    /// et al. \[8\] bound). Computed exactly by sweeping operation start /
     /// end events.
     pub fn peak_power(&self, schedule: &Schedule) -> f64 {
         // Events: at op start, machine switches idle -> processing (or
@@ -116,7 +119,7 @@ impl PowerProfile {
         peak
     }
 
-    /// The Tang et al. [9] style bi-objective scalarisation:
+    /// The Tang et al. \[9\] style bi-objective scalarisation:
     /// `w * makespan + (1 - w) * energy / energy_scale`.
     pub fn energy_makespan_cost(&self, schedule: &Schedule, w: f64, energy_scale: f64) -> f64 {
         assert!((0.0..=1.0).contains(&w) && energy_scale > 0.0);

@@ -1,5 +1,5 @@
 //! Triangular fuzzy arithmetic for the fuzzy flow-shop model of Huang,
-//! Huang & Lai [24]: fuzzy processing times and fuzzy due dates, with the
+//! Huang & Lai \[24\]: fuzzy processing times and fuzzy due dates, with the
 //! possibility and necessity measures used as optimisation criteria
 //! (maximise agreement between fuzzy completion times and fuzzy due
 //! dates).
@@ -11,12 +11,16 @@ use crate::{Problem, Time};
 /// `b` (membership 1 at `b`, linear flanks).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriFuzzy {
+    /// Left end of the support.
     pub a: f64,
+    /// Peak (membership 1).
     pub b: f64,
+    /// Right end of the support.
     pub c: f64,
 }
 
 impl TriFuzzy {
+    /// A triangular number; panics unless `a <= b <= c`.
     pub fn new(a: f64, b: f64, c: f64) -> Self {
         assert!(a <= b && b <= c, "triangular numbers need a <= b <= c");
         TriFuzzy { a, b, c }
@@ -77,7 +81,7 @@ impl TriFuzzy {
     }
 
     /// Necessity measure `Nec(self <= other) = 1 - Pos(self > other)`:
-    /// the pessimistic agreement index of Huang et al. [24].
+    /// the pessimistic agreement index of Huang et al. \[24\].
     pub fn necessity_le(self, other: TriFuzzy) -> f64 {
         // Pos(X > Y) for triangular X, Y: 1 when b_X >= b_Y, else the
         // intersection height of the right flank of X with the left flank
@@ -136,10 +140,12 @@ impl FuzzyFlowShop {
         FuzzyFlowShop { proc, due }
     }
 
+    /// Number of jobs.
     pub fn n_jobs(&self) -> usize {
         self.proc.len()
     }
 
+    /// Number of machines.
     pub fn n_machines(&self) -> usize {
         self.proc.first().map_or(0, |r| r.len())
     }
@@ -162,7 +168,7 @@ impl FuzzyFlowShop {
         completion
     }
 
-    /// The Huang et al. [24] bi-measure objective: the average over jobs
+    /// The Huang et al. \[24\] bi-measure objective: the average over jobs
     /// of `lambda * possibility + (1 - lambda) * necessity` of meeting the
     /// fuzzy due date. Higher is better; callers minimise `1 - value`.
     pub fn agreement(&self, perm: &[usize], lambda: f64) -> f64 {

@@ -1,15 +1,15 @@
 //! Disjunctive / alternative graph machinery for job shops.
 //!
-//! AitZai et al. [14][15] model the *blocking* job shop (no intermediate
+//! AitZai et al. \[14\]\[15\] model the *blocking* job shop (no intermediate
 //! buffers — the survey's Table I condition 5 dropped) with an alternative
-//! graph; Somani & Singh [16] compute makespans by topological sorting the
+//! graph; Somani & Singh \[16\] compute makespans by topological sorting the
 //! selected graph and running a longest-path pass. Both are implemented
 //! here:
 //!
 //! * [`DisjunctiveGraph::from_machine_orders`] builds the arc set for a
 //!   complete selection (fixed op order on each machine), classically or
 //!   with blocking (alternative) arcs;
-//! * [`DisjunctiveGraph::topological_order`] is the Kahn toposort of [16];
+//! * [`DisjunctiveGraph::topological_order`] is the Kahn toposort of \[16\];
 //! * [`DisjunctiveGraph::longest_path_schedule`] turns the selection into
 //!   start times (the longest-path/"critical path" evaluation), detecting
 //!   infeasible (cyclic) selections.
@@ -101,6 +101,7 @@ impl<'a> DisjunctiveGraph<'a> {
         self.adj.len()
     }
 
+    /// Whether the graph has no operation nodes.
     pub fn is_empty(&self) -> bool {
         self.adj.is_empty()
     }
@@ -132,7 +133,7 @@ impl<'a> DisjunctiveGraph<'a> {
         Ok(order)
     }
 
-    /// Longest-path evaluation (Somani & Singh [16]): earliest start times
+    /// Longest-path evaluation (Somani & Singh \[16\]): earliest start times
     /// honouring every arc, then the schedule they induce. Fails on
     /// cyclic selections.
     pub fn longest_path_schedule(&self) -> ShopResult<Schedule> {

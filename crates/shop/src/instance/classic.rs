@@ -1,6 +1,6 @@
 //! Classic benchmark instances embedded in the crate.
 //!
-//! Park et al. [26] evaluate on the MT (Fisher–Thompson), ORB and ABZ
+//! Park et al. \[26\] evaluate on the MT (Fisher–Thompson), ORB and ABZ
 //! families. We embed the Fisher–Thompson instances FT06 / FT10 / FT20 and
 //! LA01 (transcribed from the OR-Library `jobshop1.txt` collection) and
 //! provide seeded same-shape stand-ins for the ORB and ABZ families whose
@@ -17,7 +17,9 @@ use super::Op;
 
 /// A named benchmark instance with its best-known makespan.
 pub struct Benchmark {
+    /// Conventional benchmark name (e.g. `ft06`).
     pub name: &'static str,
+    /// The instance data.
     pub instance: JobShopInstance,
     /// Best-known (optimal where proven) makespan, for reporting.
     pub best_known: u64,

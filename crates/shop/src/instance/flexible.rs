@@ -1,10 +1,10 @@
 //! Flexible shop instances: at least one stage offers a *choice* of
 //! parallel machines (survey Section II). Covers both the flexible flow
 //! shop (every job passes the stages in the same order; each stage is a
-//! bank of parallel machines, possibly unrelated — Belkadi [37],
-//! Rashidi [38]) and the flexible job shop (per-job routes with eligible
-//! machine sets — Defersha & Chen [36]), plus the lot-streaming extension
-//! of Defersha & Chen [35] where each job's batch is split into unequal
+//! bank of parallel machines, possibly unrelated — Belkadi \[37\],
+//! Rashidi \[38\]) and the flexible job shop (per-job routes with eligible
+//! machine sets — Defersha & Chen \[36\]), plus the lot-streaming extension
+//! of Defersha & Chen \[35\] where each job's batch is split into unequal
 //! consistent sublots.
 
 use super::JobMeta;
@@ -208,7 +208,7 @@ impl Problem for FlexibleInstance {
     }
 }
 
-/// Lot-streaming configuration (Defersha & Chen [35]): each job is a batch
+/// Lot-streaming configuration (Defersha & Chen \[35\]): each job is a batch
 /// of identical items split into a fixed number of *unequal consistent
 /// sublots* that flow through the job's route independently.
 #[derive(Debug, Clone, PartialEq)]

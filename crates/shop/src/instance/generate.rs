@@ -17,10 +17,15 @@ use rand_chacha::ChaCha8Rng;
 /// and the processing-time range (defaults to Taillard's `U[1,99]`).
 #[derive(Debug, Clone)]
 pub struct GenConfig {
+    /// Number of jobs `n`.
     pub n_jobs: usize,
+    /// Number of machines `m`.
     pub n_machines: usize,
+    /// Seed of the `ChaCha8Rng` all sampling flows from.
     pub seed: u64,
+    /// Minimum processing time (>= 1).
     pub min_time: Time,
+    /// Maximum processing time (>= `min_time`).
     pub max_time: Time,
 }
 
@@ -100,8 +105,8 @@ pub fn open_shop_uniform(cfg: &GenConfig) -> OpenShopInstance {
 
 /// Flexible flow shop with `machines_per_stage[s]` unrelated parallel
 /// machines on stage `s`. Per-machine times are drawn independently
-/// (unrelated machines, as in Rashidi [38]); pass `related = true` to use
-/// one time per (job, stage) on all machines of the stage (Belkadi [37]).
+/// (unrelated machines, as in Rashidi \[38\]); pass `related = true` to use
+/// one time per (job, stage) on all machines of the stage (Belkadi \[37\]).
 pub fn flexible_flow_shop(
     cfg: &GenConfig,
     machines_per_stage: &[usize],
@@ -133,7 +138,7 @@ pub fn flexible_flow_shop(
     FlexibleInstance::flexible_flow(&stage_machines, &proc).expect("valid by construction")
 }
 
-/// Flexible job shop (Defersha & Chen [36] shape): each job has
+/// Flexible job shop (Defersha & Chen \[36\] shape): each job has
 /// `ops_per_job` operations; each operation is eligible on a random subset
 /// of machines (between 1 and `max_eligible`), with unrelated times.
 pub fn flexible_job_shop(
@@ -198,7 +203,7 @@ pub fn due_date_meta(
 }
 
 /// Sequence-dependent setup-time matrix with setups uniform in
-/// `[min_setup, max_setup]` (Defersha & Chen [36], Rashidi [38]).
+/// `[min_setup, max_setup]` (Defersha & Chen \[36\], Rashidi \[38\]).
 pub fn sdst_matrix(
     n_jobs: usize,
     n_machines: usize,

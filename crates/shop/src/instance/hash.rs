@@ -26,6 +26,7 @@ impl Default for Fnv1a {
 }
 
 impl Fnv1a {
+    /// Feeds raw bytes into the digest.
     pub fn write_bytes(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u64;
@@ -33,15 +34,18 @@ impl Fnv1a {
         }
     }
 
+    /// Feeds a `u64` as little-endian fixed-width bytes.
     pub fn write_u64(&mut self, v: u64) {
         self.write_bytes(&v.to_le_bytes());
     }
 
+    /// Feeds an `f64` by bit pattern (format independent).
     pub fn write_f64(&mut self, v: f64) {
         // Bit pattern, so the hash never depends on float formatting.
         self.write_u64(v.to_bits());
     }
 
+    /// The current digest value.
     pub fn finish(&self) -> u64 {
         self.0
     }

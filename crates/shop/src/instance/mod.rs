@@ -42,8 +42,11 @@ impl Op {
 /// due time `D_j` and weight `w_j`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobMeta {
+    /// Release time `R_j` per job.
     pub release: Vec<Time>,
+    /// Due time `D_j` per job.
     pub due: Vec<Time>,
+    /// Weight `w_j` per job.
     pub weight: Vec<f64>,
 }
 

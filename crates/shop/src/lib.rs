@@ -29,10 +29,13 @@
 //! assert!(sched.validate_flow(&inst).is_ok());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod decoder;
 pub mod dynamic;
 pub mod energy;
 pub mod fuzzy;
+pub mod gen;
 pub mod graph;
 pub mod instance;
 pub mod objective;

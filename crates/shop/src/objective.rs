@@ -2,7 +2,7 @@
 //! weighted completion time `Σ w_j C_j`, total weighted tardiness
 //! `Σ w_j T_j`, weighted unit penalty `Σ w_j U_j`, arbitrary weighted
 //! combinations, and Pareto utilities for the multi-objective islands of
-//! Rashidi et al. [38].
+//! Rashidi et al. \[38\].
 
 use crate::schedule::Schedule;
 use crate::{Problem, Time};
@@ -18,15 +18,18 @@ pub enum Criterion {
     WeightedTardiness,
     /// Minimise `Σ w_j U_j` with `U_j = 1` iff `C_j > D_j`.
     WeightedUnitPenalty,
-    /// Minimise the maximum tardiness `max_j T_j` (used by Rashidi [38]).
+    /// Minimise the maximum tardiness `max_j T_j` (used by Rashidi \[38\]).
     MaxTardiness,
 }
 
 /// Per-job derived quantities for a given schedule.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcomes {
+    /// Completion time `C_j` per job.
     pub completion: Vec<Time>,
+    /// Tardiness `max(0, C_j - D_j)` per job.
     pub tardiness: Vec<Time>,
+    /// 1 when the job is tardy, else 0.
     pub unit_penalty: Vec<u32>,
 }
 
@@ -56,7 +59,7 @@ pub fn evaluate(problem: &dyn Problem, schedule: &Schedule, criterion: Criterion
 
 /// Evaluates a criterion from precomputed [`JobOutcomes`] (avoids
 /// recomputing when several criteria are needed, as in the weighted
-/// bi-criteria islands of Rashidi [38]).
+/// bi-criteria islands of Rashidi \[38\]).
 pub fn evaluate_outcomes(problem: &dyn Problem, out: &JobOutcomes, criterion: Criterion) -> f64 {
     match criterion {
         Criterion::Makespan => out.completion.iter().copied().max().unwrap_or(0) as f64,
@@ -86,16 +89,18 @@ pub fn evaluate_outcomes(problem: &dyn Problem, out: &JobOutcomes, criterion: Cr
 /// `w1 * Cmax + w2 * Tmax` single-objective transformation.
 #[derive(Debug, Clone)]
 pub struct WeightedObjective {
+    /// The weighted `(criterion, weight)` terms, summed.
     pub terms: Vec<(Criterion, f64)>,
 }
 
 impl WeightedObjective {
+    /// A weighted sum of criteria; panics on an empty term list.
     pub fn new(terms: Vec<(Criterion, f64)>) -> Self {
         assert!(!terms.is_empty(), "need at least one criterion");
         WeightedObjective { terms }
     }
 
-    /// The Rashidi [38] bi-criteria pair `(Cmax, Tmax)` with weights
+    /// The Rashidi \[38\] bi-criteria pair `(Cmax, Tmax)` with weights
     /// `(w, 1 - w)`.
     pub fn rashidi(w: f64) -> Self {
         assert!((0.0..=1.0).contains(&w));
@@ -105,6 +110,7 @@ impl WeightedObjective {
         ])
     }
 
+    /// The weighted objective value of `schedule`.
     pub fn evaluate(&self, problem: &dyn Problem, schedule: &Schedule) -> f64 {
         let out = job_outcomes(problem, schedule);
         self.terms

@@ -17,22 +17,28 @@ use crate::{Problem, ShopError, ShopResult, Time};
 /// One scheduled operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScheduledOp {
+    /// Job index.
     pub job: usize,
     /// Stage index within the job (route position for flow/job shops,
     /// machine index position for open shops).
     pub op: usize,
+    /// Machine the operation runs on.
     pub machine: usize,
+    /// Start time.
     pub start: Time,
+    /// End time (`start` + processing time).
     pub end: Time,
 }
 
 /// A complete schedule: one entry per operation of the instance.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Schedule {
+    /// The scheduled operations, in any order.
     pub ops: Vec<ScheduledOp>,
 }
 
 impl Schedule {
+    /// A schedule from its operation list.
     pub fn new(ops: Vec<ScheduledOp>) -> Self {
         Schedule { ops }
     }

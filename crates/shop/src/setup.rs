@@ -1,6 +1,6 @@
 //! Sequence-dependent setup times (SDST), machine release dates and time
 //! lags — the "new integrated factors" extensions used by Defersha & Chen
-//! [36] and Rashidi et al. [38].
+//! \[36\] and Rashidi et al. \[38\].
 
 use crate::Time;
 
@@ -65,10 +65,12 @@ impl SetupMatrix {
         self.data[machine][row][to] = value;
     }
 
+    /// Number of jobs the matrix covers.
     pub fn n_jobs(&self) -> usize {
         self.n_jobs
     }
 
+    /// Number of machines the matrix covers.
     pub fn n_machines(&self) -> usize {
         self.n_machines
     }
@@ -87,7 +89,7 @@ impl SetupMatrix {
 
 /// Whether a setup can run while the previous job is still on the machine
 /// ("detached", i.e. anticipatory) or only after the job arrives
-/// ("attached"). Defersha & Chen [36] model both.
+/// ("attached"). Defersha & Chen \[36\] model both.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SetupKind {
     /// Setup requires the incoming job to be present: it starts at
@@ -99,7 +101,7 @@ pub enum SetupKind {
     Detached,
 }
 
-/// Extra machine-side constraints of the Defersha & Chen [36] model.
+/// Extra machine-side constraints of the Defersha & Chen \[36\] model.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MachineConstraints {
     /// `release[m]` = earliest time machine `m` is available.
@@ -107,6 +109,7 @@ pub struct MachineConstraints {
     /// Minimum time lag inserted between consecutive operations of the
     /// same job (transfer/cooling lag); 0 = none.
     pub job_lag: Time,
+    /// How setups are attached to operations.
     pub setup_kind: SetupKind,
 }
 

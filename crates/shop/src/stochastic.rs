@@ -1,5 +1,5 @@
 //! Stochastic job shops with expected-value evaluation — the model class
-//! of Gu, Gu & Gu [28], who minimise the *expected* makespan of a job
+//! of Gu, Gu & Gu \[28\], who minimise the *expected* makespan of a job
 //! shop whose processing times are random variables, via a stochastic
 //! expected value model evaluated by sampling.
 
@@ -76,6 +76,7 @@ impl StochasticJobShop {
         StochasticJobShop { routes }
     }
 
+    /// Number of jobs.
     pub fn n_jobs(&self) -> usize {
         self.routes.len()
     }

@@ -1,0 +1,103 @@
+//! End-to-end generated-workload demo, fully in-process: bind the
+//! anytime solver service on an ephemeral port, send one `batch`
+//! request covering all four shop families with server-minted
+//! instances, and print a per-item summary — then repeat the batch to
+//! show the solution cache answering it without re-racing.
+//!
+//! ```text
+//! cargo run --release --example generated_batch
+//! ```
+
+use pga_shop::serve::json::{self, Json};
+use pga_shop::serve::protocol::{encode_batch_request, BatchItem, BatchRequest, BatchSource};
+use pga_shop::serve::{Objective, ServeConfig, Service};
+use pga_shop::shop::gen::{Family, GenSpec};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+fn roundtrip(addr: std::net::SocketAddr, line: &str) -> String {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("timeout");
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{line}").expect("send");
+    writer.flush().expect("flush");
+    let mut response = String::new();
+    BufReader::new(stream).read_line(&mut response).expect("rx");
+    response.trim().to_string()
+}
+
+fn main() {
+    let service = Service::bind(ServeConfig {
+        workers: 3,
+        gen_cap: 200,
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = service.local_addr();
+    println!("service on {addr}");
+
+    // Two sizes per family, server-generated from fixed seeds.
+    let specs = [
+        GenSpec::new(Family::Flow, 10, 5, 1),
+        GenSpec::new(Family::Flow, 20, 5, 2),
+        GenSpec::new(Family::Job, 6, 6, 3),
+        GenSpec::new(Family::Job, 10, 5, 4),
+        GenSpec::new(Family::Open, 5, 5, 5),
+        GenSpec::new(Family::Open, 7, 7, 6),
+        GenSpec::new(Family::Flexible, 6, 4, 7),
+        GenSpec::new(Family::Flexible, 8, 5, 8).with_density_pct(75),
+    ];
+    let request = encode_batch_request(&BatchRequest {
+        id: Some("demo".into()),
+        items: specs
+            .iter()
+            .map(|&spec| BatchItem {
+                id: Some(spec.name()),
+                source: BatchSource::Generate(spec),
+                seed: None,
+                objective: None,
+            })
+            .collect(),
+        objective: Objective::Makespan,
+        seed: 42,
+        deadline_ms: 8_000,
+    });
+
+    for round in ["cold", "cached"] {
+        let started = Instant::now();
+        let response = roundtrip(addr, &request);
+        let ms = started.elapsed().as_millis();
+        let v = json::parse(&response).expect("response json");
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+        println!(
+            "\n{round} batch: {} items in {ms} ms (server fanout {})",
+            v.get("count").and_then(Json::as_u64).unwrap(),
+            v.get("telemetry")
+                .and_then(|t| t.get("fanout"))
+                .and_then(Json::as_u64)
+                .unwrap(),
+        );
+        println!(
+            "  {:<24} {:>9} {:>8} {:>7}",
+            "instance", "makespan", "model", "cached"
+        );
+        for item in v.get("items").and_then(Json::as_arr).unwrap() {
+            println!(
+                "  {:<24} {:>9} {:>8} {:>7}",
+                item.get("id").and_then(Json::as_str).unwrap_or("?"),
+                item.get("makespan").and_then(Json::as_u64).unwrap_or(0),
+                item.get("model").and_then(Json::as_str).unwrap_or("?"),
+                item.get("cached")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false)
+                    .to_string(),
+            );
+        }
+    }
+
+    service.shutdown();
+}

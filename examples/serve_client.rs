@@ -1,16 +1,28 @@
-//! Minimal client for the `pga-shop-serve` service: submits one solve
-//! request (a named classic or an inline instance file) and prints the
-//! response. Exits non-zero unless the service returned a feasible
-//! solution, so CI can use it as a smoke probe.
+//! Minimal client for the `pga-shop-serve` service: submits one
+//! request (a solve of a named or file instance, a batch of named
+//! instances, or a generate) and prints the response. Exits non-zero
+//! unless the service returned a solution, so CI can use it as a smoke
+//! probe.
 //!
 //! ```text
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
 //!     --instance ft06 --seed 42 --deadline-ms 2000
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --batch gen-job-6x6-s1,gen-job-6x6-s2,gen-flow-8x4-s1 --deadline-ms 4000
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --generate gen-flexible-6x4-s9 --solve
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --cmd shutdown
 //! ```
+//!
+//! Named instances are the embedded classics plus canonical `gen-*`
+//! generated names (see `shop::gen::GenSpec::from_name`).
 
 use pga_shop::serve::json;
-use pga_shop::serve::protocol::{encode_request, InstanceSpec, Objective, SolveRequest};
+use pga_shop::serve::protocol::{
+    encode_batch_request, encode_generate_request, encode_request, BatchItem, BatchRequest,
+    BatchSource, GenerateRequest, InstanceSpec, Objective, SolveRequest,
+};
+use pga_shop::shop::gen::GenSpec;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -18,7 +30,8 @@ use std::time::Duration;
 fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr HOST:PORT \
-         (--instance NAME | --file PATH --kind FAMILY) \
+         (--instance NAME | --file PATH --kind FAMILY \
+         | --batch NAME,NAME,... | --generate GEN-NAME [--solve]) \
          [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
          | --cmd stats|shutdown"
     );
@@ -30,6 +43,9 @@ fn main() {
     let mut instance = None;
     let mut file = None;
     let mut kind = None;
+    let mut batch = None;
+    let mut generate = None;
+    let mut solve_generated = false;
     let mut objective = Objective::Makespan;
     let mut seed = 0u64;
     let mut deadline_ms = 2_000u64;
@@ -42,6 +58,9 @@ fn main() {
             "--instance" => instance = Some(value()),
             "--file" => file = Some(value()),
             "--kind" => kind = Some(value()),
+            "--batch" => batch = Some(value()),
+            "--generate" => generate = Some(value()),
+            "--solve" => solve_generated = true,
             "--objective" => objective = Objective::from_name(&value()).unwrap_or_else(|| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
@@ -51,16 +70,16 @@ fn main() {
     }
     let Some(addr) = addr else { usage() };
 
-    let line = match (&cmd, &instance, &file) {
-        (Some(c), _, _) if c == "stats" || c == "shutdown" => format!("{{\"cmd\":\"{c}\"}}"),
-        (None, Some(name), None) => encode_request(&SolveRequest {
+    let line = match (&cmd, &instance, &file, &batch, &generate) {
+        (Some(c), ..) if c == "stats" || c == "shutdown" => format!("{{\"cmd\":\"{c}\"}}"),
+        (None, Some(name), None, None, None) => encode_request(&SolveRequest {
             id: Some("client".into()),
             instance: InstanceSpec::Named(name.clone()),
             objective,
             seed,
             deadline_ms,
         }),
-        (None, None, Some(path)) => {
+        (None, None, Some(path), None, None) => {
             let family = kind
                 .as_deref()
                 .and_then(pga_shop::serve::Family::from_name)
@@ -72,6 +91,36 @@ fn main() {
             encode_request(&SolveRequest {
                 id: Some("client".into()),
                 instance: InstanceSpec::Inline { family, text },
+                objective,
+                seed,
+                deadline_ms,
+            })
+        }
+        (None, None, None, Some(names), None) => encode_batch_request(&BatchRequest {
+            id: Some("client".into()),
+            items: names
+                .split(',')
+                .filter(|n| !n.is_empty())
+                .map(|n| BatchItem {
+                    id: Some(n.to_string()),
+                    source: BatchSource::Instance(InstanceSpec::Named(n.to_string())),
+                    seed: None,
+                    objective: None,
+                })
+                .collect(),
+            objective,
+            seed,
+            deadline_ms,
+        }),
+        (None, None, None, None, Some(gen_name)) => {
+            let spec = GenSpec::from_name(gen_name).unwrap_or_else(|| {
+                eprintln!("--generate expects a gen-<family>-<jobs>x<machines>-s<seed> name");
+                std::process::exit(2);
+            });
+            encode_generate_request(&GenerateRequest {
+                id: Some("client".into()),
+                spec,
+                solve: solve_generated,
                 objective,
                 seed,
                 deadline_ms,
@@ -112,11 +161,28 @@ fn main() {
         std::process::exit(1);
     });
     let ok = parsed.get("status").and_then(json::Json::as_str) == Some("ok");
-    let has_schedule = parsed
-        .get("schedule")
-        .and_then(json::Json::as_arr)
-        .is_some_and(|s| !s.is_empty());
-    if !(ok && has_schedule) {
+    let complete = if batch.is_some() {
+        // Every batch item answered ok.
+        parsed.get("ok").and_then(json::Json::as_u64)
+            == parsed.get("count").and_then(json::Json::as_u64)
+    } else if generate.is_some() {
+        let minted = parsed
+            .get("instance")
+            .and_then(json::Json::as_str)
+            .is_some();
+        let solved = parsed
+            .get("solution")
+            .and_then(|s| s.get("schedule"))
+            .and_then(json::Json::as_arr)
+            .is_some_and(|s| !s.is_empty());
+        minted && (!solve_generated || solved)
+    } else {
+        parsed
+            .get("schedule")
+            .and_then(json::Json::as_arr)
+            .is_some_and(|s| !s.is_empty())
+    };
+    if !(ok && complete) {
         eprintln!("service did not return a solution");
         std::process::exit(1);
     }

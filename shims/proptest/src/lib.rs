@@ -114,7 +114,7 @@ tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
 pub mod collection {
     use super::{ChaCha8Rng, Strategy};
 
-    /// Accepted sizes for [`vec`]: an exact length or a length range.
+    /// Accepted sizes for [`vec()`]: an exact length or a length range.
     pub trait SizeRange {
         fn pick(&self, rng: &mut ChaCha8Rng) -> usize;
     }

@@ -272,6 +272,42 @@ proptest! {
         prop_assert_ne!(inst.canonical_hash(), other.canonical_hash());
     }
 
+    // Generator determinism + round-trip (ISSUE 3 acceptance
+    // criterion): for every family and arbitrary dims/seed/knobs, the
+    // same spec builds bit-identical instances, the text writers and
+    // parsers round-trip them equal, and the canonical hash survives
+    // generate → write → parse. The canonical name is itself a
+    // complete recipe: resolving it re-builds the same instance.
+    #[test]
+    fn generated_instances_roundtrip_bit_identically(
+        family_idx in 0usize..4,
+        jobs in 1usize..12,
+        machines in 1usize..8,
+        seed in 0u64..u64::MAX,
+        min_time in 1u64..40,
+        width in 0u64..60,
+        density in 1u64..101,
+    ) {
+        use shop::gen::{AnyInstance, Family, GenSpec};
+        let family = [Family::Flow, Family::Job, Family::Open, Family::Flexible][family_idx];
+        let mut spec = GenSpec::new(family, jobs, machines, seed)
+            .with_times(min_time, min_time + width);
+        if family == Family::Flexible {
+            spec = spec.with_density_pct(density as u8);
+        }
+        // Determinism: same spec, same bits.
+        let a = spec.build().unwrap().instance;
+        let b = spec.build().unwrap().instance;
+        prop_assert_eq!(&a, &b);
+        // Text round-trip: generate → write → parse → equal + same hash.
+        let back = AnyInstance::parse(family, &a.text()).unwrap();
+        prop_assert_eq!(a.canonical_hash(), back.canonical_hash());
+        prop_assert_eq!(&a, &back);
+        // Name round-trip: the canonical name rebuilds the instance.
+        let via_name = AnyInstance::named(&spec.name()).unwrap();
+        prop_assert_eq!(a.canonical_hash(), via_name.canonical_hash());
+    }
+
     #[test]
     fn topology_destinations_are_valid(n in 2usize..17, epoch in 0u64..10) {
         use pga::topology::Topology;

@@ -7,9 +7,11 @@
 
 use pga_shop::serve::json::{self, Json};
 use pga_shop::serve::protocol::{
-    encode_request, schedule_from_json, InstanceSpec, Objective, SolveRequest,
+    encode_batch_request, encode_request, schedule_from_json, BatchItem, BatchRequest, BatchSource,
+    InstanceSpec, Objective, SolveRequest,
 };
 use pga_shop::serve::{ServeConfig, Service};
+use pga_shop::shop::gen::{Family, GenSpec};
 use pga_shop::shop::instance::classic::ft06;
 use pga_shop::shop::schedule::Schedule;
 use std::io::{BufRead, BufReader, Write};
@@ -107,6 +109,106 @@ fn ft06_served_twice_feasible_deterministic_and_cached() {
     assert_eq!(stats.solved, 1, "only one portfolio race must have run");
     assert_eq!(service.cache_len(), 1);
 
+    service.shutdown();
+}
+
+#[test]
+fn batch_of_generated_instances_solves_under_one_deadline() {
+    // ISSUE 3 acceptance criterion: a batch request of >= 8 generated
+    // instances completes under one shared deadline with a feasible,
+    // locally re-validated schedule and telemetry for every item.
+    let specs = [
+        GenSpec::new(Family::Job, 4, 3, 1),
+        GenSpec::new(Family::Job, 5, 4, 2),
+        GenSpec::new(Family::Flow, 6, 3, 3),
+        GenSpec::new(Family::Flow, 5, 5, 4),
+        GenSpec::new(Family::Open, 4, 4, 5),
+        GenSpec::new(Family::Open, 3, 5, 6),
+        GenSpec::new(Family::Flexible, 4, 3, 7),
+        GenSpec::new(Family::Flexible, 3, 4, 8).with_density_pct(75),
+        GenSpec::new(Family::Job, 3, 3, 9),
+    ];
+    let request = encode_batch_request(&BatchRequest {
+        id: Some("sweep".into()),
+        items: specs
+            .iter()
+            .map(|&spec| BatchItem {
+                id: Some(spec.name()),
+                source: BatchSource::Generate(spec),
+                seed: None,
+                objective: None,
+            })
+            .collect(),
+        objective: Objective::Makespan,
+        seed: 42,
+        deadline_ms: 10_000,
+    });
+
+    let service = Service::bind(ServeConfig {
+        workers: 3,
+        gen_cap: 100,
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let addr = service.local_addr();
+    let response = roundtrip(addr, &request);
+    let v = json::parse(&response).expect("batch response json");
+    assert_eq!(v.get("id").and_then(Json::as_str), Some("sweep"));
+    assert_eq!(v.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(v.get("count").and_then(Json::as_u64), Some(9));
+    assert_eq!(v.get("ok").and_then(Json::as_u64), Some(9));
+    let batch_t = v.get("telemetry").expect("batch telemetry");
+    assert!(batch_t.get("batch_ms").and_then(Json::as_u64).is_some());
+    assert!(batch_t.get("fanout").and_then(Json::as_u64).unwrap() >= 1);
+
+    let entries = v.get("items").and_then(Json::as_arr).expect("items");
+    assert_eq!(entries.len(), 9);
+    for (i, (entry, spec)) in entries.iter().zip(&specs).enumerate() {
+        assert_eq!(entry.get("index").and_then(Json::as_u64), Some(i as u64));
+        assert_eq!(
+            entry.get("id").and_then(Json::as_str),
+            Some(spec.name().as_str()),
+            "item {i}"
+        );
+        assert_eq!(
+            entry.get("status").and_then(Json::as_str),
+            Some("ok"),
+            "item {i}: {}",
+            entry.encode()
+        );
+        // Re-build the instance locally from the same spec (generation
+        // is deterministic) and validate the returned schedule against
+        // the family's Table I feasibility conditions.
+        let instance = spec.build().expect("spec builds").instance;
+        let ops = schedule_from_json(entry.get("schedule").expect("schedule"))
+            .unwrap_or_else(|e| panic!("item {i}: bad schedule: {e}"));
+        let schedule = Schedule::new(ops);
+        instance
+            .validate(&schedule)
+            .unwrap_or_else(|e| panic!("item {i} ({}): infeasible: {e}", spec.name()));
+        assert_eq!(
+            entry.get("makespan").and_then(Json::as_u64),
+            Some(schedule.makespan()),
+            "item {i}"
+        );
+        let t = entry.get("telemetry").expect("item telemetry");
+        assert!(t.get("solve_ms").and_then(Json::as_u64).is_some());
+        assert_eq!(t.get("cache_hit").and_then(Json::as_bool), Some(false));
+    }
+    assert_eq!(service.stats().solved, 9);
+
+    // The whole batch replays from the cache: small cap-bound races are
+    // budget-independent, so a repeat is answered without re-racing.
+    let again = json::parse(&roundtrip(addr, &request)).expect("json");
+    let entries = again.get("items").and_then(Json::as_arr).expect("items");
+    for (i, entry) in entries.iter().enumerate() {
+        assert_eq!(
+            entry.get("cached").and_then(Json::as_bool),
+            Some(true),
+            "repeat item {i}"
+        );
+    }
+    assert_eq!(service.stats().solved, 9, "repeat must not race again");
     service.shutdown();
 }
 
