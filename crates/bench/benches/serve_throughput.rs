@@ -1,7 +1,11 @@
 //! Serving-path micro-bench: requests/sec against an in-process
 //! `serve::Service` on `ft06`, cached (same cache key every request)
 //! vs. cold (fresh seed ⇒ cache miss ⇒ full portfolio race each
-//! request). Besides the criterion lines, the measured throughput is
+//! request), plus a **concurrent-client saturation sweep** (1/2/4/8
+//! connections of cold traffic against the persistent racer pool —
+//! the provisioning experiment behind the scheduler: racer threads
+//! stay bounded by the pool size while throughput tracks the
+//! hardware). Besides the criterion lines, the measurements are
 //! written to `BENCH_serve.json` in the working directory so the
 //! serving path has a tracked performance record (the file is
 //! gitignored; numbers are machine-local).
@@ -65,15 +69,61 @@ fn throughput(client: &mut Client, window: Duration, mut next_line: impl FnMut()
     done as f64 / started.elapsed().as_secs_f64()
 }
 
+/// Aggregate cold requests/sec with `clients` concurrent connections,
+/// each issuing cold solves (distinct seeds ⇒ cache misses ⇒ races)
+/// for `window`. `busy` responses are counted separately — under
+/// saturation they are the scheduler shedding load as designed, and
+/// they also return fast, so they must not inflate the ok-throughput.
+fn concurrent_cold_sweep(
+    addr: std::net::SocketAddr,
+    clients: usize,
+    window: Duration,
+    seed_base: u64,
+) -> (f64, u64) {
+    let ok = std::sync::atomic::AtomicU64::new(0);
+    let busy = std::sync::atomic::AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let ok = &ok;
+            let busy = &busy;
+            s.spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut seed = seed_base + 1_000_000 * c as u64;
+                while started.elapsed() < window {
+                    seed += 1;
+                    let response = client.roundtrip(&solve_line(seed));
+                    if response.contains("\"code\":\"busy\"") {
+                        busy.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    } else {
+                        assert!(response.contains("\"status\":\"ok\""), "bad response");
+                        ok.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    (
+        ok.load(std::sync::atomic::Ordering::Relaxed) as f64 / elapsed,
+        busy.load(std::sync::atomic::Ordering::Relaxed),
+    )
+}
+
 fn bench_serve(c: &mut Criterion) {
-    let service = Service::bind(ServeConfig {
+    let config = ServeConfig {
         // Small caps keep a cold ft06 race in the low milliseconds so
         // the bench finishes quickly; the cached path is cap-independent.
         gen_cap: 40,
         racers: 2,
+        // Enough workers that the concurrent sweep is limited by the
+        // racer pool (sized from host cores), not by connection slots.
+        workers: 8,
         ..ServeConfig::default()
-    })
-    .expect("bind");
+    }
+    .resolved();
+    let max_queue_depth = config.max_queue_depth;
+    let service = Service::bind(config).expect("bind");
     let addr = service.local_addr();
 
     // Warm the cache entry the "cached" benchmark hits.
@@ -97,12 +147,33 @@ fn bench_serve(c: &mut Criterion) {
     g.finish();
 
     // Throughput record for BENCH_serve.json.
-    let cached_rps = throughput(&mut client, Duration::from_millis(400), || solve_line(42));
+    let cached_rps = throughput(&mut client, Duration::from_millis(800), || solve_line(42));
     let mut seed = 10_000u64;
-    let cold_rps = throughput(&mut client, Duration::from_millis(400), || {
+    let cold_rps = throughput(&mut client, Duration::from_millis(800), || {
         seed += 1;
         solve_line(seed)
     });
+    // Concurrent-client saturation sweep: cold traffic from 1/2/4/8
+    // connections against the fixed racer pool. Before the persistent
+    // scheduler this fanned out `connections x racers` fresh threads;
+    // now racer threads are pinned at pool size and the sweep shows
+    // how aggregate cold throughput scales with offered load.
+    let sweep: Vec<serve::Json> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&clients| {
+            let (rps, busy) = concurrent_cold_sweep(
+                addr,
+                clients,
+                Duration::from_millis(1_500),
+                100_000 * (clients as u64 + 1),
+            );
+            obj([
+                ("clients", (clients as u64).into()),
+                ("cold_requests_per_sec", rps.into()),
+                ("busy_responses", busy.into()),
+            ])
+        })
+        .collect();
     let report = obj([
         ("bench", "serve_throughput".into()),
         ("instance", "ft06".into()),
@@ -110,6 +181,9 @@ fn bench_serve(c: &mut Criterion) {
         ("cached_requests_per_sec", cached_rps.into()),
         ("cold_requests_per_sec", cold_rps.into()),
         ("speedup_cached_over_cold", (cached_rps / cold_rps).into()),
+        ("racer_pool", (service.racer_pool_size() as u64).into()),
+        ("max_queue_depth", (max_queue_depth as u64).into()),
+        ("concurrent_cold_sweep", serve::Json::Arr(sweep)),
     ]);
     // Workspace root, so the record sits next to the other top-level
     // reports regardless of where cargo runs the bench from.

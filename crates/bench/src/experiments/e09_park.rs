@@ -22,8 +22,19 @@ use shop::decoder::job::JobDecoder;
 use shop::instance::classic;
 use shop::instance::JobShopInstance;
 
-const GENERATIONS: u64 = 200;
-const SEEDS: [u64; 3] = [11, 22, 33];
+/// Run length per configuration. The island advantage the paper
+/// reports is a *diversity* effect: at short horizons (≤ 200
+/// generations) the single 48-individual population has not stagnated
+/// yet and matches the islands, so the claim sits below the noise
+/// floor; by ~600 generations the panmictic run has converged while
+/// migration keeps the islands improving, which is the regime the
+/// paper's tables describe.
+const GENERATIONS: u64 = 600;
+
+/// Independent repetitions; best/average are taken over these, per the
+/// paper's protocol. Six seeds keep the per-instance averages stable
+/// enough that the verdict is about the algorithms, not the draw.
+const SEEDS: [u64; 6] = [11, 22, 33, 44, 55, 66];
 
 fn island_toolkit(inst: &JobShopInstance, i: usize) -> Toolkit<Vec<usize>> {
     // Different settings per subpopulation, as in the paper (different
@@ -143,10 +154,14 @@ pub fn run() -> Report {
         shape_holds: best_wins * 2 >= cases && avg_wins * 2 >= cases,
         notes: format!(
             "Best improved or tied on {best_wins}/{cases} instances, average on \
-             {avg_wins}/{cases}. Best/average over 3 independent runs per the paper's \
-             protocol; equal total population 48, {GENERATIONS} generations, \
-             survey-baseline profile (roulette wheel + Eq. 2 reciprocal fitness, bench::toolkits::survey_config). ft06/la01 are embedded OR-Library \
-             instances; orb-like / abz-like are the seeded 10x10 stand-ins of DESIGN.md 4."
+             {avg_wins}/{cases}. Best/average over {} independent runs per the paper's \
+             protocol; equal total population 48, {GENERATIONS} generations (long enough \
+             for the panmictic baseline to stagnate — the regime the paper's island \
+             advantage lives in), survey-baseline profile (roulette wheel + Eq. 2 \
+             reciprocal fitness, bench::toolkits::survey_config). ft06/la01 are embedded \
+             OR-Library instances; orb-like / abz-like are the seeded 10x10 stand-ins of \
+             DESIGN.md 4.",
+            SEEDS.len()
         ),
     }
 }

@@ -11,8 +11,10 @@
 
 use crate::report::{fmt, Report};
 use serve::portfolio::price_lineup;
+use serve::scheduler::RacerPool;
 use serve::{solve, Objective};
 use shop::gen::{Family, GenSpec};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// One sweep measurement (also the BENCH_generated.json row shape).
@@ -53,17 +55,20 @@ fn sweep_sizes() -> Vec<(Family, [(usize, usize); 3])> {
 /// Runs the sweep and returns the raw measurements.
 pub fn measure() -> Vec<SweepRow> {
     let mut rows = Vec::new();
+    // One persistent racer pool for the whole sweep, as in the service.
+    let pool = RacerPool::new(SWEEP_RACERS);
     for (family, sizes) in sweep_sizes() {
         for (jobs, machines) in sizes {
             let spec = GenSpec::new(family, jobs, machines, 42);
             let generated = spec.build().expect("sweep specs are valid");
-            let inst = generated.instance;
+            let inst = Arc::new(generated.instance);
             let predicted_s = price_lineup(inst.total_ops(), SWEEP_RACERS)
                 .first()
                 .map(|(s, _)| *s)
                 .unwrap_or(f64::NAN);
             let started = Instant::now();
             let outcome = solve(
+                &pool,
                 &inst,
                 Objective::Makespan,
                 7,

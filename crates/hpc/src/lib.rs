@@ -22,4 +22,4 @@ pub mod model;
 pub mod platform;
 
 pub use model::{cellular_time, island_time, master_slave_time, sequential_time, RunShape};
-pub use platform::Platform;
+pub use platform::{host_cores, Platform};

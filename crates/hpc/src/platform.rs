@@ -120,6 +120,23 @@ impl Platform {
     pub fn compute_s(&self, units: f64, unit_s: f64) -> f64 {
         units * unit_s / self.worker_speed
     }
+
+    /// The machine this process runs on, as a [`Platform::multicore`]
+    /// of [`host_cores`] width. This is what sizes long-lived worker
+    /// pools (e.g. the serve crate's racer pool).
+    pub fn host() -> Self {
+        Platform::multicore(host_cores())
+    }
+}
+
+/// CPU cores visible to this process (`available_parallelism`, 1 when
+/// the runtime cannot tell). Deterministic cost-model *predictions*
+/// never call this — it exists for runtime provisioning decisions, so
+/// pools scale with the hardware instead of with request volume.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 #[cfg(test)]

@@ -42,9 +42,15 @@ impl RunTelemetry {
 /// same [`RunTelemetry`] the cost models consume.
 #[derive(Debug, Clone, Default)]
 pub struct RequestTelemetry {
-    /// Time the request waited in the service queue before a worker
-    /// picked it up.
+    /// Time the request waited in the service's connection queue before
+    /// a worker picked it up.
     pub queue_wait: std::time::Duration,
+    /// Longest time any of the request's racer-pool tasks waited for a
+    /// racer thread (zero for cache hits, single-member lineups, and
+    /// races whose members all started immediately). Rising pool waits
+    /// under load are the server-side signal that the racer pool — not
+    /// the search itself — is the bottleneck.
+    pub pool_wait: std::time::Duration,
     /// Wall-clock time spent solving (zero for cache hits).
     pub solve_time: std::time::Duration,
     /// Chromosome decodes (= fitness evaluations) across all portfolio

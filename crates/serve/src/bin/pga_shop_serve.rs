@@ -3,7 +3,9 @@
 //! ```text
 //! pga-shop-serve [--addr HOST:PORT] [--port N] [--workers N] [--cache N]
 //!                [--default-deadline-ms N] [--max-deadline-ms N]
-//!                [--gen-cap N] [--racers N] [--port-file PATH]
+//!                [--gen-cap N] [--racers N] [--racer-pool N]
+//!                [--max-queue-depth N] [--cache-shards N]
+//!                [--port-file PATH]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (port 0 = ephemeral;
@@ -16,7 +18,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: pga-shop-serve [--addr HOST:PORT] [--port N] [--workers N] [--cache N] \
          [--default-deadline-ms N] [--max-deadline-ms N] [--gen-cap N] [--racers N] \
-         [--port-file PATH]"
+         [--racer-pool N (0 = host cores)] [--max-queue-depth N (0 = auto)] \
+         [--cache-shards N (0 = auto)] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -54,6 +57,17 @@ fn main() {
             }
             "--gen-cap" => config.gen_cap = value("--gen-cap").parse().unwrap_or_else(|_| usage()),
             "--racers" => config.racers = value("--racers").parse().unwrap_or_else(|_| usage()),
+            "--racer-pool" => {
+                config.racer_pool = value("--racer-pool").parse().unwrap_or_else(|_| usage())
+            }
+            "--max-queue-depth" => {
+                config.max_queue_depth = value("--max-queue-depth")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--cache-shards" => {
+                config.cache_shards = value("--cache-shards").parse().unwrap_or_else(|_| usage())
+            }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),
             other => {

@@ -25,7 +25,9 @@
 //! "same wall-clock budget under comparable load", the same contract
 //! concurrent single-connection solves have always had; a service
 //! needing CPU-fair budgets should bound concurrency via
-//! `ServeConfig::workers`/`racers`.
+//! `ServeConfig::workers` and size `ServeConfig::racer_pool` to the
+//! hardware (the admission limit `max_queue_depth` then sheds the
+//! excess as `busy` instead of letting races starve each other).
 
 use crate::protocol::{Objective, Solution};
 use std::collections::HashMap;
@@ -214,6 +216,90 @@ impl SolutionCache {
     }
 }
 
+/// A [`SolutionCache`] split into independently locked shards, selected
+/// by a prefix of the canonical instance hash. One global cache mutex
+/// would serialise every hit, miss-bookkeeping and merge through a
+/// single lock — measurable once the racer pool lets many requests
+/// make progress concurrently. Sharding keeps the `insert_best` merge
+/// semantics intact (a key always maps to the same shard, so
+/// concurrent solves of the same key still reconcile under one lock)
+/// while requests for *different* instances proceed in parallel.
+///
+/// Recency and eviction are **per shard**: the configured capacity is
+/// split evenly (ceiling division), and each shard runs its own LRU.
+/// A workload that hammers one shard can therefore evict earlier than
+/// a global LRU would — the classic sharding trade-off; configure one
+/// shard (`ServeConfig::cache_shards = 1`) to recover exact global LRU
+/// order.
+pub struct ShardedCache {
+    shards: Vec<std::sync::Mutex<SolutionCache>>,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl ShardedCache {
+    /// A cache of `capacity` total entries split over `shards`
+    /// independently locked LRU shards (both >= 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one cache shard");
+        assert!(capacity >= 1, "cache capacity must be at least 1");
+        let per_shard = capacity.div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| std::sync::Mutex::new(SolutionCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, key: &CacheKey) -> &std::sync::Mutex<SolutionCache> {
+        // Top byte of the canonical instance hash: FNV-1a mixes well,
+        // and keying the shard on the *instance* keeps every
+        // (objective, seed) variant of one instance behind one lock —
+        // which is also the lock the same-key merge contract needs.
+        let idx = (key.instance >> 56) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Looks up and touches an entry in its shard.
+    pub fn get(&self, key: &CacheKey) -> Option<CachedSolve> {
+        self.shard_of(key).lock().expect("cache poisoned").get(key)
+    }
+
+    /// Same-key merge insert in the key's shard; see
+    /// [`SolutionCache::insert_best`].
+    pub fn insert_best(&self, key: CacheKey, solve: CachedSolve) -> CachedSolve {
+        self.shard_of(&key)
+            .lock()
+            .expect("cache poisoned")
+            .insert_best(key, solve)
+    }
+
+    /// Entries currently memoised, summed over shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache poisoned").len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +478,72 @@ mod tests {
         let merged = c.insert_best(key(2), solve(7));
         assert_eq!(merged.solution.makespan, 7);
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn sharded_cache_splits_capacity_and_preserves_per_key_semantics() {
+        let c = ShardedCache::new(8, 4);
+        assert_eq!(c.shard_count(), 4);
+        assert!(c.is_empty());
+        // Keys with different top bytes land in different shards; the
+        // same key always lands in the same shard.
+        let spread = |i: u64| CacheKey {
+            instance: i << 56,
+            objective: Objective::Makespan,
+            seed: 42,
+        };
+        for i in 0..4 {
+            c.insert_best(spread(i), solve(i));
+        }
+        assert_eq!(c.len(), 4);
+        for i in 0..4 {
+            assert_eq!(c.get(&spread(i)).unwrap().solution.makespan, i);
+        }
+        assert!(c.get(&spread(7)).is_none());
+        // Merge semantics within a shard are SolutionCache's.
+        let merged = c.insert_best(
+            spread(0),
+            CachedSolve {
+                budget_ms: 2_000,
+                ..solve(99)
+            },
+        );
+        assert_eq!(merged.solution.makespan, 0, "worse value never downgrades");
+        assert_eq!(merged.budget_ms, 2_000, "budget still widens");
+    }
+
+    /// The satellite contract: concurrent same-key inserts through the
+    /// sharded front reconcile exactly like the single-lock cache —
+    /// the best value wins, the budget is the max, `deadline_bound`
+    /// is ANDed — because one key always resolves to one shard lock.
+    #[test]
+    fn sharded_insert_best_merges_under_concurrent_same_key_traffic() {
+        let c = std::sync::Arc::new(ShardedCache::new(16, 8));
+        let k = key(0xABCD_EF01_2345_6789);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for round in 0..50u64 {
+                        let mk = 40 + ((t * 53 + round * 17) % 30);
+                        c.insert_best(
+                            k,
+                            CachedSolve {
+                                budget_ms: 100 + t,
+                                deadline_bound: t != 3, // one thread proves completeness
+                                ..solve(mk)
+                            },
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 1, "one key, one entry, whatever the interleaving");
+        let merged = c.get(&k).unwrap();
+        // 40 is the minimum any thread could produce (t=0, round=0).
+        assert_eq!(merged.solution.makespan, 40);
+        assert_eq!(merged.budget_ms, 107, "max budget over all inserts");
+        assert!(!merged.deadline_bound, "one complete race proves the key");
     }
 
     #[test]

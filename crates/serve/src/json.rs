@@ -375,18 +375,34 @@ impl<'a> Parser<'a> {
                         b'r' => out.push('\r'),
                         b't' => out.push('\t'),
                         b'u' => {
-                            if self.pos + 4 > self.bytes.len() {
-                                return Err(self.err("truncated \\u escape"));
-                            }
-                            let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| self.err("bad \\u escape"))?;
-                            self.pos += 4;
-                            // Surrogates are rejected rather than paired:
-                            // the protocol never emits them.
-                            let c = char::from_u32(code)
-                                .ok_or_else(|| self.err("surrogate \\u escape"))?;
+                            let code = self.hex_escape()?;
+                            let c = match code {
+                                // High surrogate: legal JSON encodes a
+                                // supplementary-plane character (emoji,
+                                // etc.) as a \uD8xx\uDCxx pair — decode
+                                // the pair, reject anything else.
+                                0xD800..=0xDBFF => {
+                                    if self.peek() != Some(b'\\') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    if self.peek() != Some(b'u') {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    self.pos += 1;
+                                    let low = self.hex_escape()?;
+                                    if !(0xDC00..=0xDFFF).contains(&low) {
+                                        return Err(self.err("unpaired high surrogate"));
+                                    }
+                                    let combined =
+                                        0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                    char::from_u32(combined)
+                                        .ok_or_else(|| self.err("bad surrogate pair"))?
+                                }
+                                // A low surrogate must never come first.
+                                0xDC00..=0xDFFF => return Err(self.err("unpaired low surrogate")),
+                                c => char::from_u32(c).ok_or_else(|| self.err("bad \\u escape"))?,
+                            };
                             out.push(c);
                         }
                         _ => return Err(self.err("unknown escape")),
@@ -408,33 +424,62 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Consumes `\uXXXX`'s four hex digits (the `\u` itself already
+    /// consumed) and returns the code unit.
+    fn hex_escape(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    /// Consumes a run of ASCII digits, erroring (with the given
+    /// message) when there is none — each part of a JSON number
+    /// requires at least one digit.
+    fn digits(&mut self, what: &str) -> Result<(), JsonError> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.err(what));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
     fn number(&mut self) -> Result<Json, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
+        self.digits("number needs digits")?;
         if self.peek() == Some(b'.') {
             self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.digits("number needs digits after '.'")?;
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
+            self.digits("number needs digits in exponent")?;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("bad number"))
+        // The scanned range is all ASCII by construction, but a decode
+        // failure must surface as a parse error, never a panic — this
+        // parser faces untrusted sockets.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;
+        // An in-grammar literal like 1e999 overflows to infinity;
+        // accepting it would make `encode` emit "inf", which is not
+        // JSON — reject at the boundary instead.
+        if !v.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(v))
     }
 }
 
@@ -519,6 +564,49 @@ mod tests {
         assert!(parse(&ok).is_ok());
         let too_deep = format!("{}{}", "[".repeat(65), "]".repeat(65));
         assert!(parse(&too_deep).is_err());
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_unpaired_surrogates_error() {
+        // "😀" is U+1F600, encoded in JSON escapes as a UTF-16 pair.
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Mixed with surrounding text and other escapes.
+        let v = parse(r#""hi 😀\n""#).unwrap();
+        assert_eq!(v.as_str(), Some("hi 😀\n"));
+        // The literal (non-escaped) UTF-8 form parses too and the two
+        // spellings agree.
+        assert_eq!(parse("\"😀\"").unwrap().as_str(), Some("😀"));
+        // First/last code points of the supplementary planes.
+        assert_eq!(parse(r#""𐀀""#).unwrap().as_str(), Some("\u{10000}"));
+        assert_eq!(parse(r#""􏿿""#).unwrap().as_str(), Some("\u{10ffff}"));
+        // Unpaired / malformed surrogates are errors, not panics.
+        for bad in [
+            r#""\ud83d""#,       // lone high at end of string
+            r#""\ud83d rest""#,  // high followed by plain text
+            r#""\ud83d\n""#,     // high followed by another escape
+            r#""\ud83d\ud83d""#, // high followed by another high
+            r#""\ude00""#,       // lone low
+            r#""\ud83d\ude0""#,  // truncated low
+            r#""\ud83d\u""#,     // truncated low escape
+        ] {
+            assert!(parse(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_error_instead_of_panicking_or_overflowing() {
+        // Overflow to infinity is rejected (encode could not round-trip
+        // it as JSON).
+        assert!(parse("1e999").is_err());
+        assert!(parse("-1e999").is_err());
+        // Digit-less parts are rejected (real JSON grammar).
+        for bad in ["-", "1.", ".5", "1e", "1e+", "-.", "--1"] {
+            assert!(parse(bad).is_err(), "{bad} must be rejected");
+        }
+        // Large-but-representable magnitudes still parse.
+        assert!(parse("1e308").is_ok());
+        assert_eq!(parse("-7.25e2").unwrap().as_f64(), Some(-725.0));
     }
 
     #[test]

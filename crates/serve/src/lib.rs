@@ -7,7 +7,12 @@
 //! instance size by the `hpc` cost models) against a wall-clock
 //! **deadline**, and returns the best feasible schedule found —
 //! **anytime** behaviour via `ga::termination::Termination::Deadline`
-//! plus cooperative best-so-far reporting. Results are memoised in an
+//! plus cooperative best-so-far reporting. Races run on a
+//! **persistent racer pool** ([`scheduler`]) sized from the host's
+//! core count: compute threads are bounded by the hardware rather
+//! than by request volume, expired queued work is cancelled in O(1),
+//! and past the admission limit cold solves are shed with an explicit
+//! `busy` wire error while cached traffic keeps flowing. Results are memoised in an
 //! LRU **solution cache** keyed by the canonical instance hash
 //! (`shop::instance::hash`), objective and seed, so repeated traffic is
 //! served in microseconds with responses that are bit-identical between
@@ -40,15 +45,17 @@ pub mod cache;
 pub mod json;
 pub mod portfolio;
 pub mod protocol;
+pub mod scheduler;
 pub mod server;
 pub mod solver;
 
-pub use cache::{CacheKey, CachedSolve, SolutionCache};
+pub use cache::{CacheKey, CachedSolve, ShardedCache, SolutionCache};
 pub use json::Json;
 pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind};
 pub use protocol::{
     BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec, Objective,
     Request, Solution, SolveRequest, MAX_BATCH_ITEMS,
 };
+pub use scheduler::{CancelToken, RacerPool};
 pub use server::{ServeConfig, Service, StatsSnapshot};
 pub use solver::{load_instance, solve, LoadedInstance, SolveOutcome};

@@ -1,19 +1,31 @@
 //! Portfolio racing: pick a starting lineup of parallel-GA models for
 //! the instance size (ranked by the `hpc` cost models on a multicore
-//! platform), then race the models on real threads against a shared
-//! deadline. Every racer reports improvements into a shared best-so-far
-//! cell the moment they happen (cooperative anytime behaviour), and the
-//! service answers with the global best when the race ends.
+//! platform), then race the models against a shared deadline on the
+//! service's **persistent racer pool** (see [`crate::scheduler`]).
+//! Every racer reports improvements into a shared best-so-far cell the
+//! moment they happen (cooperative anytime behaviour), and the service
+//! answers with the global best when the race ends.
+//!
+//! A race does not own threads. The submitting thread runs the
+//! predicted-cheapest member *inline* — so a race always makes
+//! progress, even with the pool saturated — and submits the remaining
+//! members as cancellable tasks. Members that never get a pool slot
+//! before the deadline are skipped (the race is then reported as
+//! deadline-bound: more capacity could have done better); members
+//! running at the deadline stop within one cooperative chunk.
 //!
 //! Determinism: racer `i` derives its seed as `split_seed(seed, i)` over
 //! a lineup that is itself a pure function of `(instance size, thread
 //! budget)`, so each racer's trajectory is reproducible. The *race
 //! outcome* is deterministic when every racer runs to its generation
-//! cap; when the target is certified before the cap, rivals are cut
-//! short at a timing-dependent generation, so which member holds the
-//! best solution (the winner label) can vary run to run even though the
-//! certified cost cannot.
+//! cap — which, under the pool, additionally requires that every
+//! member got a slot before the deadline (always true when the pool is
+//! not saturated). When the target is certified before the cap, rivals
+//! are cut short at a timing-dependent generation, so which member
+//! holds the best solution (the winner label) can vary run to run even
+//! though the certified cost cannot.
 
+use crate::scheduler::{CancelToken, RacerPool, TaskRun};
 use ga::engine::{GaConfig, Individual, Toolkit};
 use ga::rng::split_seed;
 use ga::termination::Termination;
@@ -23,8 +35,8 @@ use hpc::Platform;
 use pga::telemetry::RunTelemetry;
 use pga::{CellularConfig, CellularGa, IslandConfig, IslandGa, MigrationConfig, RayonEvaluator};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// One portfolio member: a parallel model with its sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,7 +172,7 @@ pub fn plan_lineup(total_ops: usize, threads: usize) -> Vec<ModelKind> {
 /// Outcome of one race.
 #[derive(Debug, Clone)]
 pub struct RaceResult<G> {
-    /// Best individual found by any member.
+    /// Best individual found by any member that completed.
     pub best: Individual<G>,
     /// Name of the member that held the returned solution.
     /// Informational only: whenever the race exits early on a certified
@@ -168,20 +180,262 @@ pub struct RaceResult<G> {
     /// is not part of the deterministic contract (only cap-bound races
     /// pin it).
     pub winner: String,
-    /// Structural counters per member, in lineup order.
+    /// Structural counters per *completed* member, in lineup order.
+    /// Members cancelled before getting a pool slot are absent.
     pub models: Vec<(String, RunTelemetry)>,
-    /// True when the deadline — rather than `gen_cap` or a certified
-    /// `target` — limited the search: at least one racer was cut off by
-    /// the clock, so a rerun with a larger wall-clock budget could find
-    /// a better solution.
+    /// True when the wall-clock budget — rather than `gen_cap` or a
+    /// certified `target` — limited the search: at least one racer was
+    /// cut off by the clock *or never got a pool slot before the
+    /// deadline*, so a rerun with a larger budget (or an idler pool)
+    /// could find a better solution.
     pub deadline_bound: bool,
+    /// Longest time any of this race's pooled members waited for a
+    /// racer slot (zero when every member started immediately, and for
+    /// single-member lineups, which run entirely inline).
+    pub pool_wait: Duration,
 }
 
-/// Races `lineup` against `deadline`. Each member runs on its own OS
-/// thread with derived seed `split_seed(seed, index)` until the first of
-/// deadline / `gen_cap` generations / `target` cost fires, reporting
-/// every improvement into a [`BestSoFar`] cell — which the other racers
-/// poll between generation chunks, so the whole race ends (not just the
+/// A racer's stopping parameters, kept as parts (rather than one
+/// prebuilt [`Termination`]) so the chunked loop can also poll the
+/// shared best-so-far cell between chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct StopRule {
+    /// Absolute wall-clock deadline shared by the whole race.
+    pub deadline: Instant,
+    /// Per-racer generation cap (the determinism anchor).
+    pub gen_cap: u64,
+    /// Early-exit target cost (reaching it certifies optimality).
+    pub target: f64,
+}
+
+/// The type-erased per-member work unit `race_core` schedules: run
+/// `ModelKind` with the given derived seed under the stop rule,
+/// reporting improvements into the shared cell; return the member's
+/// best, its telemetry, and whether the deadline alone cut it short.
+pub(crate) type MemberRunner<G> = dyn Fn(ModelKind, u64, &StopRule, &BestSoFar) -> (Individual<G>, RunTelemetry, bool)
+    + Send
+    + Sync;
+
+/// One lineup slot's eventual payload.
+type RacerSlot<G> = Option<(Individual<G>, RunTelemetry, bool)>;
+
+/// Progress accounting for the members handed to the pool.
+struct Progress {
+    /// Submitted, not yet picked up (or skipped).
+    queued: usize,
+    /// Picked up and currently racing.
+    running: usize,
+}
+
+/// Everything a race shares between the submitting thread and its
+/// pooled member tasks. `Arc`-owned by each task, so the submitter can
+/// return at the deadline without waiting for queued stragglers — they
+/// complete (as skips) against this state later and free their slots.
+struct RaceState<G> {
+    best: BestSoFar,
+    results: Mutex<Vec<RacerSlot<G>>>,
+    progress: Mutex<Progress>,
+    done: Condvar,
+    /// Max pool-queue wait over this race's members, in µs.
+    pool_wait_us: AtomicU64,
+}
+
+impl<G> RaceState<G> {
+    fn new(members: usize) -> Self {
+        RaceState {
+            best: BestSoFar::default(),
+            results: Mutex::new((0..members).map(|_| None).collect()),
+            progress: Mutex::new(Progress {
+                queued: members - 1,
+                running: 0,
+            }),
+            done: Condvar::new(),
+            pool_wait_us: AtomicU64::new(0),
+        }
+    }
+
+    fn begin_run(&self) {
+        let mut p = self.progress.lock().expect("race progress poisoned");
+        p.queued -= 1;
+        p.running += 1;
+    }
+
+    fn finish_run(&self) {
+        let mut p = self.progress.lock().expect("race progress poisoned");
+        p.running -= 1;
+        drop(p);
+        self.done.notify_all();
+    }
+
+    fn skip_one(&self) {
+        let mut p = self.progress.lock().expect("race progress poisoned");
+        p.queued -= 1;
+        drop(p);
+        self.done.notify_all();
+    }
+
+    /// Blocks until every pooled member finished, or the race is over
+    /// early (target certified with nothing left running), or the
+    /// deadline passed with nothing left running. Cancels the race's
+    /// queued tasks on every early exit so they free their pool slots
+    /// in O(1) when popped.
+    fn wait_for_members(&self, deadline: Instant, target: f64, cancel: &CancelToken) {
+        let mut p = self.progress.lock().expect("race progress poisoned");
+        loop {
+            if p.queued == 0 && p.running == 0 {
+                return;
+            }
+            // Only queued members remain and the target is already
+            // certified: running them could not improve the answer.
+            if p.running == 0 && self.best.get() <= target {
+                cancel.cancel();
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                cancel.cancel();
+                if p.running == 0 {
+                    // Queued stragglers will be skipped at pop; their
+                    // slots are not worth waiting for.
+                    return;
+                }
+                // Running members notice the deadline within one
+                // cooperative chunk; collect their telemetry.
+                let (guard, _) = self
+                    .done
+                    .wait_timeout(p, Duration::from_millis(50))
+                    .expect("race progress poisoned");
+                p = guard;
+            } else {
+                let (guard, _) = self
+                    .done
+                    .wait_timeout(p, deadline - now)
+                    .expect("race progress poisoned");
+                p = guard;
+            }
+        }
+    }
+}
+
+/// The scheduling core shared by [`race`] and the solver glue: run
+/// `lineup[0]` inline on the calling thread and the rest as cancellable
+/// tasks on `pool`, then merge whatever completed.
+pub(crate) fn race_core<G: Send + 'static>(
+    pool: &RacerPool,
+    lineup: &[ModelKind],
+    runner: Arc<MemberRunner<G>>,
+    seed: u64,
+    deadline: Instant,
+    gen_cap: u64,
+    target: f64,
+) -> RaceResult<G> {
+    assert!(!lineup.is_empty(), "portfolio needs at least one member");
+    let stop = StopRule {
+        deadline,
+        gen_cap,
+        target,
+    };
+    let state: Arc<RaceState<G>> = Arc::new(RaceState::new(lineup.len()));
+    let cancel = Arc::new(CancelToken::default());
+
+    for (i, member) in lineup.iter().enumerate().skip(1) {
+        let state = Arc::clone(&state);
+        let runner = Arc::clone(&runner);
+        let member = *member;
+        pool.submit(
+            deadline,
+            Arc::clone(&cancel),
+            Box::new(move |run: TaskRun| {
+                // Record the queue wait for skipped members too: a
+                // member cancelled while queued is precisely the one
+                // that waited longest, and pool_wait is the documented
+                // saturation gauge — it must not read zero at peak
+                // contention.
+                state
+                    .pool_wait_us
+                    .fetch_max(run.queue_wait.as_micros() as u64, Ordering::Relaxed);
+                if run.skipped {
+                    state.skip_one();
+                    return;
+                }
+                state.begin_run();
+                // Drop guard: even a panicking member must not leave
+                // the race waiting on `running` forever.
+                struct FinishGuard<'a, G>(&'a RaceState<G>);
+                impl<G> Drop for FinishGuard<'_, G> {
+                    fn drop(&mut self) {
+                        self.0.finish_run();
+                    }
+                }
+                let _guard = FinishGuard(&state);
+                let out = runner(member, split_seed(seed, i as u64), &stop, &state.best);
+                state.results.lock().expect("results poisoned")[i] = Some(out);
+            }),
+        );
+    }
+
+    // The predicted-cheapest member races inline on this thread: even a
+    // fully saturated pool cannot starve a race of progress, and total
+    // racing threads stay bounded by pool size + serving workers.
+    let inline = runner(lineup[0], split_seed(seed, 0), &stop, &state.best);
+    state.results.lock().expect("results poisoned")[0] = Some(inline);
+    state.wait_for_members(deadline, target, &cancel);
+    // Idempotent; covers the all-members-finished path too, where any
+    // re-submitted key's stale queue entries no longer exist.
+    cancel.cancel();
+
+    let collected: Vec<RacerSlot<G>> = {
+        let mut slots = state.results.lock().expect("results poisoned");
+        slots.iter_mut().map(Option::take).collect()
+    };
+    let mut models = Vec::with_capacity(lineup.len());
+    let mut winner: Option<(usize, Individual<G>)> = None;
+    let mut any_timed_out = false;
+    let mut missing = 0usize;
+    for (i, slot) in collected.into_iter().enumerate() {
+        let Some((best, telemetry, timed_out)) = slot else {
+            // Cancelled before getting a pool slot: with more capacity
+            // (or wall-clock) this member would have raced.
+            missing += 1;
+            continue;
+        };
+        models.push((lineup[i].name().to_string(), telemetry));
+        any_timed_out |= timed_out;
+        let better = match &winner {
+            None => true,
+            // Strict improvement only: ties go to the earliest lineup
+            // member, which pins the winner when racer results are
+            // reproducible (cap-bound races); after a timing-dependent
+            // early exit it merely makes the pick a pure function of
+            // the collected results.
+            Some((_, cur)) => best.cost < cur.cost,
+        };
+        if better {
+            winner = Some((i, best));
+        }
+    }
+    let (idx, best) = winner.expect("the inline member always completes");
+    debug_assert!(best.cost >= state.best.get());
+    // A certified target is a proof of optimality, so extra wall-clock
+    // could not improve on it even if some rival was cut off mid-search
+    // or never started.
+    let deadline_bound = (any_timed_out || missing > 0) && best.cost > target;
+    RaceResult {
+        best,
+        winner: lineup[idx].name().to_string(),
+        models,
+        deadline_bound,
+        pool_wait: Duration::from_micros(state.pool_wait_us.load(Ordering::Relaxed)),
+    }
+}
+
+/// Races `lineup` against `deadline` on the given racer pool. Member 0
+/// (the predicted-cheapest) runs inline on the calling thread; the
+/// rest are submitted as cancellable pool tasks. Each member runs with
+/// derived seed `split_seed(seed, index)` until the first of deadline /
+/// `gen_cap` generations / `target` cost fires, reporting every
+/// improvement into a [`BestSoFar`] cell — which the other racers poll
+/// between generation chunks, so the whole race ends (not just the
 /// proving racer) as soon as anyone certifies the target. Returns the
 /// global best individual, the winning member and per-member telemetry.
 /// The racers' own trajectories are seed-deterministic; only *when* a
@@ -193,6 +447,7 @@ pub struct RaceResult<G> {
 ///
 /// ```
 /// use serve::portfolio::{race, ModelKind};
+/// use serve::scheduler::RacerPool;
 /// use ga::engine::Toolkit;
 /// use ga::crossover::PermCrossover;
 /// use ga::mutate::SeqMutation;
@@ -213,10 +468,12 @@ pub struct RaceResult<G> {
 ///     mutate: Box::new(|g, rng| SeqMutation::Swap.apply(g, rng)),
 ///     seq_view: None,
 /// };
+/// let pool = RacerPool::new(2);
 /// let outcome = race(
+///     &pool,
 ///     &[ModelKind::MasterSlave { pop: 16 }],
-///     &toolkit,
-///     &eval,
+///     toolkit,
+///     eval,
 ///     7,                                        // seed
 ///     Instant::now() + Duration::from_secs(10), // deadline
 ///     300,                                      // generation cap
@@ -225,84 +482,37 @@ pub struct RaceResult<G> {
 /// assert_eq!(outcome.best.cost, 0.0);
 /// assert_eq!(outcome.best.genome, (0..6).collect::<Vec<usize>>());
 /// ```
+#[allow(clippy::too_many_arguments)]
 pub fn race<G, TF, E>(
+    pool: &RacerPool,
     lineup: &[ModelKind],
-    toolkit_factory: &TF,
-    evaluator: &E,
+    toolkit_factory: TF,
+    evaluator: E,
     seed: u64,
     deadline: Instant,
     gen_cap: u64,
     target: f64,
 ) -> RaceResult<G>
 where
-    G: Clone + Send + Sync,
-    TF: Fn() -> Toolkit<G> + Sync,
-    E: Evaluator<G> + Sync,
+    G: Clone + Send + Sync + 'static,
+    TF: Fn() -> Toolkit<G> + Send + Sync + 'static,
+    E: Evaluator<G> + Send + Sync + 'static,
 {
-    assert!(!lineup.is_empty(), "portfolio needs at least one member");
-    type RacerSlot<G> = Option<(usize, Individual<G>, RunTelemetry, bool)>;
-    let shared = BestSoFar::default();
-    let results: Mutex<Vec<RacerSlot<G>>> = Mutex::new((0..lineup.len()).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for (i, member) in lineup.iter().enumerate() {
-            let shared = &shared;
-            let results = &results;
-            scope.spawn(move || {
-                let member_seed = split_seed(seed, i as u64);
-                let stop = StopRule {
-                    deadline,
-                    gen_cap,
-                    target,
-                };
-                let mut report = |ind: &Individual<G>| shared.report(ind.cost);
-                let (best, telemetry, timed_out) = run_member(
-                    *member,
-                    member_seed,
-                    toolkit_factory,
-                    evaluator,
-                    &stop,
-                    shared,
-                    &mut report,
-                );
-                results.lock().expect("results poisoned")[i] =
-                    Some((i, best, telemetry, timed_out));
-            });
-        }
-    });
-
-    let collected = results.into_inner().expect("results poisoned");
-    let mut models = Vec::with_capacity(lineup.len());
-    let mut winner: Option<(usize, Individual<G>)> = None;
-    let mut any_timed_out = false;
-    for slot in collected {
-        let (i, best, telemetry, timed_out) = slot.expect("racer thread completed");
-        models.push((lineup[i].name().to_string(), telemetry));
-        any_timed_out |= timed_out;
-        let better = match &winner {
-            None => true,
-            // Strict improvement only: ties go to the earliest lineup
-            // member, which pins the winner when racer results are
-            // reproducible (cap-bound races); after a timing-dependent
-            // early exit it merely makes the pick a pure function of
-            // the collected results.
-            Some((_, cur)) => best.cost < cur.cost,
-        };
-        if better {
-            winner = Some((i, best));
-        }
-    }
-    let (idx, best) = winner.expect("non-empty lineup");
-    debug_assert!(best.cost >= shared.get());
-    // A certified target is a proof of optimality, so extra wall-clock
-    // could not improve on it even if some rival was cut off mid-search.
-    let deadline_bound = any_timed_out && best.cost > target;
-    RaceResult {
-        best,
-        winner: lineup[idx].name().to_string(),
-        models,
-        deadline_bound,
-    }
+    let runner: Arc<MemberRunner<G>> = Arc::new(
+        move |member: ModelKind, member_seed: u64, stop: &StopRule, shared: &BestSoFar| {
+            let mut report = |ind: &Individual<G>| shared.report(ind.cost);
+            run_member(
+                member,
+                member_seed,
+                &toolkit_factory,
+                &evaluator,
+                stop,
+                shared,
+                &mut report,
+            )
+        },
+    );
+    race_core(pool, lineup, runner, seed, deadline, gen_cap, target)
 }
 
 /// Evaluator adapter forwarding to a borrowed evaluator (lets one
@@ -317,16 +527,6 @@ impl<G, E: Evaluator<G>> Evaluator<G> for ByRef<'_, E> {
     fn cost_batch(&self, genomes: &[G]) -> Vec<f64> {
         self.0.cost_batch(genomes)
     }
-}
-
-/// A racer's stopping parameters, kept as parts (rather than one
-/// prebuilt [`Termination`]) so the chunked loop can also poll the
-/// shared best-so-far cell between chunks.
-#[derive(Debug, Clone, Copy)]
-struct StopRule {
-    deadline: Instant,
-    gen_cap: u64,
-    target: f64,
 }
 
 /// Generations per chunk between cooperative checks of the shared
@@ -366,7 +566,10 @@ fn run_chunked<G>(
     }
 }
 
-fn run_member<G, TF, E>(
+/// Runs one portfolio member to completion under the stop rule. This is
+/// the unit of work a racer-pool task executes; the solver glue calls
+/// it from its family-specific [`MemberRunner`] closures.
+pub(crate) fn run_member<G, TF, E>(
     member: ModelKind,
     seed: u64,
     toolkit_factory: &TF,
@@ -467,6 +670,44 @@ mod tests {
         }
     }
 
+    /// Gate for a pool-occupying blocker task; opens on drop so a
+    /// failing assertion unwinds without deadlocking the pool join.
+    type Gate = Arc<(Mutex<bool>, Condvar)>;
+
+    struct OpenOnDrop(Gate);
+
+    impl Drop for OpenOnDrop {
+        fn drop(&mut self) {
+            *self.0 .0.lock().unwrap() = true;
+            self.0 .1.notify_all();
+        }
+    }
+
+    /// Parks the pool's (single) racer thread behind the returned gate.
+    fn occupy_pool(pool: &RacerPool) -> (Gate, OpenOnDrop) {
+        let gate: Gate = Arc::new((Mutex::new(false), Condvar::new()));
+        {
+            let gate = Arc::clone(&gate);
+            pool.submit(
+                Instant::now() + Duration::from_secs(30),
+                Arc::new(CancelToken::default()),
+                Box::new(move |_| {
+                    let mut open = gate.0.lock().unwrap();
+                    while !*open {
+                        open = gate.1.wait(open).unwrap();
+                    }
+                }),
+            );
+        }
+        let waited = Instant::now();
+        while pool.queue_depth() > 0 && waited.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.queue_depth(), 0, "blocker was not picked up");
+        let guard = OpenOnDrop(Arc::clone(&gate));
+        (gate, guard)
+    }
+
     #[test]
     fn lineup_is_deterministic_and_bounded() {
         let a = plan_lineup(36, 3);
@@ -493,13 +734,14 @@ mod tests {
 
     #[test]
     fn race_finds_optimum_and_is_seed_deterministic() {
-        let eval = |g: &Vec<usize>| displacement(g);
+        let pool = RacerPool::new(2);
         let lineup = plan_lineup(10, 3);
         let run = || {
             race(
+                &pool,
                 &lineup,
-                &|| toolkit(8),
-                &eval,
+                || toolkit(8),
+                |g: &Vec<usize>| displacement(g),
                 7,
                 Instant::now() + Duration::from_secs(20),
                 400,
@@ -528,7 +770,6 @@ mod tests {
                 r.winner
             );
         }
-        assert_eq!(a.models.len(), lineup.len());
         for (_, t) in &a.models {
             assert!(t.evaluations > 0);
         }
@@ -570,12 +811,13 @@ mod tests {
     fn cap_bound_race_is_not_deadline_bound() {
         // Unreachable target, distant deadline, small cap: every racer
         // runs to gen_cap, so the outcome is budget-independent.
-        let eval = |g: &Vec<usize>| 1.0 + displacement(g);
+        let pool = RacerPool::new(1);
         let lineup = [ModelKind::MasterSlave { pop: 16 }];
         let r = race(
+            &pool,
             &lineup,
-            &|| toolkit(12),
-            &eval,
+            || toolkit(12),
+            |g: &Vec<usize>| 1.0 + displacement(g),
             3,
             Instant::now() + Duration::from_secs(3600),
             30,
@@ -587,13 +829,14 @@ mod tests {
 
     #[test]
     fn race_respects_deadline_with_impossible_target() {
-        let eval = |g: &Vec<usize>| 1.0 + displacement(g);
+        let pool = RacerPool::new(1);
         let lineup = [ModelKind::MasterSlave { pop: 16 }];
         let started = Instant::now();
         let r = race(
+            &pool,
             &lineup,
-            &|| toolkit(30),
-            &eval,
+            || toolkit(30),
+            |g: &Vec<usize>| 1.0 + displacement(g),
             1,
             started + Duration::from_millis(120),
             u64::MAX,
@@ -608,5 +851,75 @@ mod tests {
             r.deadline_bound,
             "clock-cut race must report deadline_bound"
         );
+    }
+
+    /// A race whose pooled members never get a slot before the deadline
+    /// still answers (from the inline member) and honestly reports
+    /// itself deadline-bound; the stranded tasks free their pool slots
+    /// as skips instead of racing after the fact.
+    #[test]
+    fn saturated_pool_races_degrade_to_the_inline_member() {
+        let pool = RacerPool::new(1);
+        // Occupy the only racer slot for the whole test.
+        let (gate, _open_on_unwind) = occupy_pool(&pool);
+        let lineup = plan_lineup(10, 3);
+        assert_eq!(lineup.len(), 3);
+        let started = Instant::now();
+        let r = race(
+            &pool,
+            &lineup,
+            || toolkit(10),
+            |g: &Vec<usize>| 1.0 + displacement(g),
+            9,
+            started + Duration::from_millis(150),
+            u64::MAX, // unreachable cap
+            0.0,      // unreachable target
+        );
+        // The race ends near its deadline with only the inline member's
+        // result, reported as deadline-bound.
+        assert!(started.elapsed() < Duration::from_secs(10));
+        assert_eq!(r.models.len(), 1, "only the inline member completed");
+        assert!(r.deadline_bound);
+        assert!(r.best.cost >= 1.0);
+        // Release the blocker; the stranded tasks drain as skips.
+        *gate.0.lock().unwrap() = true;
+        gate.1.notify_all();
+        let waited = Instant::now();
+        while pool.queue_depth() > 0 && waited.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(pool.queue_depth(), 0, "cancelled members freed the queue");
+        let (_, _, skipped) = pool.stats();
+        assert_eq!(skipped, 2, "both pooled members were skipped, not run");
+    }
+
+    /// Early target certification cancels members still waiting for a
+    /// pool slot instead of letting them race pointlessly.
+    #[test]
+    fn certified_race_cancels_queued_members() {
+        let pool = RacerPool::new(1);
+        let (_gate, _open_on_unwind) = occupy_pool(&pool);
+        // Tiny problem with target 0: the inline member certifies the
+        // optimum almost immediately.
+        let lineup = plan_lineup(6, 2);
+        let started = Instant::now();
+        let r = race(
+            &pool,
+            &lineup,
+            || toolkit(4),
+            |g: &Vec<usize>| displacement(g),
+            7,
+            started + Duration::from_secs(30),
+            100_000,
+            0.0,
+        );
+        assert_eq!(r.best.cost, 0.0);
+        assert!(
+            started.elapsed() < Duration::from_secs(20),
+            "certification must not wait out the 30 s deadline"
+        );
+        assert!(!r.deadline_bound, "certified races are budget-independent");
+        // The gate guard opens on drop; the stranded member drains as
+        // a skip once the blocker exits.
     }
 }

@@ -191,13 +191,19 @@ fn bad(msg: impl Into<String>) -> ProtocolError {
     ProtocolError(msg.into())
 }
 
-/// Optional u64 field with a default.
+/// Optional u64 field with a default. `Json::as_u64` enforces the
+/// range/integrality check (non-negative exact integer ≤ 2^53 − 1);
+/// this wrapper turns a failure into a descriptive wire error naming
+/// the offending value, so `"deadline_ms": -5` is rejected loudly
+/// instead of ever being coerced.
 fn u64_field(v: &Json, key: &str, default: u64) -> Result<u64, ProtocolError> {
     match v.get(key) {
         None => Ok(default),
-        Some(x) => x
-            .as_u64()
-            .ok_or_else(|| bad(format!("{key} must be a u64"))),
+        Some(x) => x.as_u64().ok_or_else(|| {
+            bad(format!(
+                "{key} must be a non-negative integer <= 2^53-1, got {x}"
+            ))
+        }),
     }
 }
 
@@ -527,6 +533,7 @@ pub fn schedule_from_json(v: &Json) -> Result<Vec<ScheduledOp>, ProtocolError> {
 fn telemetry_to_json(t: &RequestTelemetry) -> Json {
     obj([
         ("queue_wait_us", (t.queue_wait.as_micros() as u64).into()),
+        ("pool_wait_us", (t.pool_wait.as_micros() as u64).into()),
         ("solve_ms", (t.solve_time.as_millis() as u64).into()),
         ("decode_count", t.decode_count.into()),
         (
@@ -581,6 +588,29 @@ pub fn error_json(id: Option<&str>, message: &str) -> Json {
     }
     fields.push(("status".into(), "error".into()));
     fields.push(("error".into(), message.into()));
+    Json::Obj(fields)
+}
+
+/// Builds the `busy` backpressure response: the racer-pool queue is
+/// past the service's admission limit, so a cold solve was refused
+/// *before* queueing work it could not start in time. Distinguished
+/// from generic errors by `"code":"busy"`; carries the queue depth
+/// observed at admission so clients can implement informed backoff.
+/// Cached requests are still answered while the service is busy —
+/// retrying an identical request after another client's solve lands
+/// can succeed without racing at all.
+pub fn busy_json(id: Option<&str>, queue_depth: u64, limit: u64) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "error".into()));
+    fields.push(("code".into(), "busy".into()));
+    fields.push((
+        "error".into(),
+        format!("server busy: {queue_depth} race tasks queued (admission limit {limit})").into(),
+    ));
+    fields.push(("queue_depth".into(), queue_depth.into()));
     Json::Obj(fields)
 }
 

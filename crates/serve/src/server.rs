@@ -12,18 +12,23 @@
 //! ```
 //!
 //! Each worker owns one connection at a time and answers its requests
-//! in order; a solve request races the portfolio on scoped threads (see
-//! [`crate::portfolio`]). Reads use a 100 ms timeout so idle keep-alive
-//! connections observe shutdown promptly. Shutdown is graceful: the
-//! acceptor stops accepting, workers finish the connection they hold
-//! and drain the queue, then exit.
+//! in order; a cold solve races the portfolio on the service's
+//! **persistent racer pool** (see [`crate::scheduler`]) — the worker
+//! runs the cheapest member inline and the pool runs the rest, so
+//! compute threads are bounded by `workers + racer_pool` regardless of
+//! in-flight requests, and a saturated pool triggers an explicit
+//! `busy` wire error instead of unbounded queueing. Reads use a 100 ms
+//! timeout so idle keep-alive connections observe shutdown promptly.
+//! Shutdown is graceful: the acceptor stops accepting, workers finish
+//! the connection they hold and drain the queue, then exit.
 
-use crate::cache::{CacheKey, CachedSolve, SolutionCache};
+use crate::cache::{CacheKey, CachedSolve, ShardedCache};
 use crate::json::{obj, Json};
 use crate::protocol::{
-    encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest, BatchSource,
-    GenerateRequest, Objective, Request, SolveRequest,
+    busy_json, encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest,
+    BatchSource, GenerateRequest, Objective, Request, SolveRequest,
 };
+use crate::scheduler::RacerPool;
 use crate::solver::{load_instance, solve, LoadedInstance};
 use pga::telemetry::RequestTelemetry;
 use shop::schedule::Schedule;
@@ -40,13 +45,15 @@ pub struct ServeConfig {
     /// Bind address; port 0 picks an ephemeral port.
     pub addr: String,
     /// Worker threads (concurrent connections being served). Also the
-    /// fan-out width of a batch request's item lanes — each racing
-    /// item additionally spawns up to `racers` threads, so worst-case
-    /// compute threads scale with `workers * workers * racers` under
-    /// concurrent batch load; size accordingly (or shrink `racers`)
-    /// on small hosts.
+    /// fan-out width of a batch request's item lanes. Workers do not
+    /// own racer threads any more: a race runs its first member on the
+    /// worker itself and the rest on the shared racer pool, so total
+    /// compute threads are bounded by `workers + racer_pool` however
+    /// many requests are in flight (the old `workers * racers` blow-up
+    /// is gone).
     pub workers: usize,
-    /// LRU solution-cache capacity (entries).
+    /// LRU solution-cache capacity (entries, split over
+    /// `cache_shards`).
     pub cache_capacity: usize,
     /// Deadline applied when a request carries none (`deadline_ms` 0).
     pub default_deadline_ms: u64,
@@ -56,8 +63,27 @@ pub struct ServeConfig {
     /// racer hits the cap before the deadline, a request's outcome is
     /// machine-independent.
     pub gen_cap: u64,
-    /// Racer threads per request (portfolio size, at most 3).
+    /// Portfolio width per request (racing models, at most 3). One
+    /// member runs inline on the serving worker; the remaining
+    /// `racers - 1` become racer-pool tasks.
     pub racers: usize,
+    /// Racer-pool size: the fixed number of persistent racer threads
+    /// shared by all connections. 0 (the default) sizes it from the
+    /// host's core count (`hpc::host_cores`) — the paper's
+    /// provisioning rule: parallel throughput is bounded by the
+    /// platform, so the pool tracks the hardware, not request volume.
+    pub racer_pool: usize,
+    /// Admission limit: when this many race tasks are already queued
+    /// (not yet started), new cold solves are refused with a `busy`
+    /// wire error instead of queueing work the pool cannot start in
+    /// time. Cache hits are still served while saturated. 0 (the
+    /// default) resolves to `16 * workers * racers`.
+    pub max_queue_depth: usize,
+    /// Solution-cache shard count (independently locked LRU shards
+    /// selected by instance-hash prefix). 0 (the default) resolves to
+    /// `min(8, cache_capacity)`. Use 1 to recover exact global LRU
+    /// eviction order.
+    pub cache_shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -70,7 +96,29 @@ impl Default for ServeConfig {
             max_deadline_ms: 30_000,
             gen_cap: 2_000,
             racers: 3,
+            racer_pool: 0,
+            max_queue_depth: 0,
+            cache_shards: 0,
         }
+    }
+}
+
+impl ServeConfig {
+    /// Resolves the auto (zero) knobs against the host: pool size from
+    /// core count, admission depth from serving width, shard count
+    /// from capacity. Called by [`Service::bind`]; public so tools can
+    /// display the effective configuration.
+    pub fn resolved(mut self) -> ServeConfig {
+        if self.racer_pool == 0 {
+            self.racer_pool = hpc::host_cores();
+        }
+        if self.max_queue_depth == 0 {
+            self.max_queue_depth = 16 * self.workers.max(1) * self.racers.max(1);
+        }
+        if self.cache_shards == 0 {
+            self.cache_shards = self.cache_capacity.clamp(1, 8);
+        }
+        self
     }
 }
 
@@ -96,8 +144,17 @@ pub struct ServiceStats {
     pub cache_misses: AtomicU64,
     /// Protocol, load and internal-validation failures.
     pub errors: AtomicU64,
+    /// Cold solves refused with the `busy` backpressure error because
+    /// the racer-pool queue was past the admission limit. Not counted
+    /// under `errors`: shedding load is the service working as
+    /// configured, not failing.
+    pub busy_rejections: AtomicU64,
     /// Summed connection queue wait, in microseconds.
     pub queue_wait_us: AtomicU64,
+    /// Summed racer-pool queue wait over solved requests, in
+    /// microseconds (each request contributes its longest member
+    /// wait).
+    pub pool_wait_us: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
@@ -113,8 +170,13 @@ pub struct StatsSnapshot {
     pub cache_misses: u64,
     /// Protocol, load and internal-validation failures.
     pub errors: u64,
+    /// Cold solves refused with the `busy` backpressure error.
+    pub busy_rejections: u64,
     /// Summed connection queue wait, in microseconds.
     pub queue_wait_us: u64,
+    /// Summed racer-pool queue wait over solved requests, in
+    /// microseconds.
+    pub pool_wait_us: u64,
 }
 
 impl ServiceStats {
@@ -125,7 +187,9 @@ impl ServiceStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
+            pool_wait_us: self.pool_wait_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -135,7 +199,11 @@ struct Shared {
     queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     ready: Condvar,
     shutdown: AtomicBool,
-    cache: Mutex<SolutionCache>,
+    cache: ShardedCache,
+    /// The persistent racer pool every race on this service shares
+    /// (see [`crate::scheduler`]): compute threads are bounded by its
+    /// size plus the worker count, independent of in-flight requests.
+    pool: RacerPool,
     stats: ServiceStats,
 }
 
@@ -159,14 +227,18 @@ impl std::fmt::Debug for Service {
 }
 
 impl Service {
-    /// Binds the listener and spawns the acceptor + worker pool.
+    /// Binds the listener and spawns the acceptor, the worker pool and
+    /// the persistent racer pool (auto knobs resolved via
+    /// [`ServeConfig::resolved`]).
     pub fn bind(config: ServeConfig) -> std::io::Result<Service> {
         assert!(config.workers >= 1, "need at least one worker");
+        let config = config.resolved();
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            cache: Mutex::new(SolutionCache::new(config.cache_capacity)),
+            cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
+            pool: RacerPool::new(config.racer_pool),
             config,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -209,9 +281,20 @@ impl Service {
         self.shared.stats.snapshot()
     }
 
-    /// Entries currently memoised.
+    /// Entries currently memoised (summed over cache shards).
     pub fn cache_len(&self) -> usize {
-        self.shared.cache.lock().expect("cache poisoned").len()
+        self.shared.cache.len()
+    }
+
+    /// Race tasks currently queued on the racer pool (the admission
+    /// gauge behind `busy` rejections).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.pool.queue_depth()
+    }
+
+    /// Racer-pool thread count after auto-sizing.
+    pub fn racer_pool_size(&self) -> usize {
+        self.shared.pool.size()
     }
 
     /// Requests shutdown and joins every thread (graceful: in-flight
@@ -442,7 +525,7 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         }
         Ok(Request::Stats) => {
             let s = shared.stats.snapshot();
-            let cache_len = shared.cache.lock().expect("cache poisoned").len() as u64;
+            let cache_len = shared.cache.len() as u64;
             let body = obj([
                 ("status", "ok".into()),
                 ("requests", s.requests.into()),
@@ -450,9 +533,17 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
                 ("cache_hits", s.cache_hits.into()),
                 ("cache_misses", s.cache_misses.into()),
                 ("errors", s.errors.into()),
+                ("busy_rejections", s.busy_rejections.into()),
                 ("queue_wait_us", s.queue_wait_us.into()),
+                ("pool_wait_us", s.pool_wait_us.into()),
                 ("cache_len", cache_len.into()),
                 ("workers", (shared.config.workers as u64).into()),
+                ("racer_pool", (shared.pool.size() as u64).into()),
+                ("queue_depth", (shared.pool.queue_depth() as u64).into()),
+                (
+                    "max_queue_depth",
+                    (shared.config.max_queue_depth as u64).into(),
+                ),
             ]);
             (body.encode(), false)
         }
@@ -484,7 +575,7 @@ fn effective_deadline_ms(requested: u64, config: &ServeConfig) -> u64 {
 /// than the race really had). Returns a solve-shaped response body.
 fn solve_cached(
     id: Option<&str>,
-    inst: &LoadedInstance,
+    inst: &Arc<LoadedInstance>,
     objective: Objective,
     seed: u64,
     deadline: Instant,
@@ -498,12 +589,12 @@ fn solve_cached(
         seed,
     };
     // Fast path: a memoised solution that fully honours this request's
-    // budget (lock held only for the lookup; no racer threads spent).
-    // A deadline-bound entry whose stored budget is smaller than this
-    // request's falls through to a re-race below — replaying it would
-    // silently answer a long-deadline request with short-deadline
-    // quality.
-    let prev = shared.cache.lock().expect("cache poisoned").get(&key);
+    // budget (only the key's cache shard is locked, for the lookup; no
+    // racer-pool work spent). A deadline-bound entry whose stored
+    // budget is smaller than this request's falls through to a re-race
+    // below — replaying it would silently answer a long-deadline
+    // request with short-deadline quality.
+    let prev = shared.cache.get(&key);
     if let Some(hit) = &prev {
         if hit.replayable_for(budget_ms) {
             shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
@@ -515,10 +606,23 @@ fn solve_cached(
             return solution_json(id, &hit.solution, true, &telemetry);
         }
     }
+    // Admission control (after the cache lookup, so a saturated
+    // service keeps answering cached traffic): a cold solve whose race
+    // tasks would join a queue already past the limit is refused
+    // immediately — an honest `busy` within the deadline beats a
+    // deadline-starved race. Shed requests count only as
+    // busy_rejections, not as cache misses, so the documented
+    // hits/misses-vs-solved relationship survives saturation.
+    let depth = shared.pool.queue_depth();
+    if depth >= shared.config.max_queue_depth {
+        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        return busy_json(id, depth as u64, shared.config.max_queue_depth as u64);
+    }
     shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
     let solve_started = Instant::now();
     let outcome = solve(
+        &shared.pool,
         inst,
         objective,
         seed,
@@ -563,7 +667,7 @@ fn solve_cached(
         Some(prev) if prev.solution.value <= outcome.solution.value => prev.solution,
         _ => Arc::new(outcome.solution),
     };
-    let merged = shared.cache.lock().expect("cache poisoned").insert_best(
+    let merged = shared.cache.insert_best(
         key,
         CachedSolve {
             solution,
@@ -572,8 +676,13 @@ fn solve_cached(
         },
     );
 
+    shared
+        .stats
+        .pool_wait_us
+        .fetch_add(outcome.pool_wait.as_micros() as u64, Ordering::Relaxed);
     let telemetry = RequestTelemetry {
         queue_wait,
+        pool_wait: outcome.pool_wait,
         solve_time: solve_started.elapsed(),
         winning_model: Some(merged.solution.model.clone()),
         models: outcome.models,
@@ -589,7 +698,7 @@ fn solve_cached(
 fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
     let id = req.id.as_deref();
     let inst = match load_instance(&req.instance) {
-        Ok(inst) => inst,
+        Ok(inst) => Arc::new(inst),
         Err(e) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
             return encode_error(id, &e.to_string());
@@ -619,7 +728,7 @@ fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared)
             return encode_error(id, &e.to_string());
         }
     };
-    let inst = generated.instance;
+    let inst = Arc::new(generated.instance);
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), id.into()));
@@ -659,10 +768,13 @@ fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared)
 }
 
 /// Materialises a batch item's instance (named, inline or generated).
-fn resolve_batch_source(source: &BatchSource) -> Result<LoadedInstance, String> {
+fn resolve_batch_source(source: &BatchSource) -> Result<Arc<LoadedInstance>, String> {
     match source {
-        BatchSource::Instance(spec) => load_instance(spec).map_err(|e| e.to_string()),
-        BatchSource::Generate(spec) => spec.build().map(|g| g.instance).map_err(|e| e.to_string()),
+        BatchSource::Instance(spec) => load_instance(spec).map(Arc::new).map_err(|e| e.to_string()),
+        BatchSource::Generate(spec) => spec
+            .build()
+            .map(|g| Arc::new(g.instance))
+            .map_err(|e| e.to_string()),
     }
 }
 
@@ -672,7 +784,7 @@ fn solve_batch_item(
     item: &BatchItem,
     index: usize,
     batch: &BatchRequest,
-    inst: &LoadedInstance,
+    inst: &Arc<LoadedInstance>,
     deadline: Instant,
     shared: &Shared,
 ) -> Json {
@@ -746,11 +858,14 @@ fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> St
             }
         }
     }
-    // Fan the groups out across scoped threads, reusing the service's
-    // configured worker width as the parallelism knob. Groups are
-    // pulled from a shared counter so early finishers keep the lanes
-    // busy; results land in their slot, preserving request order on
-    // the wire.
+    // Fan the groups out across scoped lane threads, reusing the
+    // service's configured worker width as the parallelism knob.
+    // Lanes are coordinators, not racers: each runs one portfolio
+    // member inline and leaves the rest to the shared racer pool, so
+    // compute threads stay bounded by `workers + racer_pool` even
+    // under concurrent batch load. Groups are pulled from a shared
+    // counter so early finishers keep the lanes busy; results land in
+    // their slot, preserving request order on the wire.
     let fanout = shared.config.workers.clamp(1, groups.len());
     let slots: Vec<Mutex<Option<Json>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -1087,12 +1202,14 @@ mod tests {
     #[test]
     fn batch_evicts_lru_when_overflowing_the_cache() {
         // Capacity 3, one worker (sequential item order, so eviction
-        // order is deterministic), batch of 5 distinct generated
-        // instances: the cache must end at capacity holding exactly
-        // the three *most recently inserted* entries (seeds 2, 3, 4),
-        // and every item must still be answered.
+        // order is deterministic), one cache shard (exact global LRU
+        // order — the property under test), batch of 5 distinct
+        // generated instances: the cache must end at capacity holding
+        // exactly the three *most recently inserted* entries (seeds 2,
+        // 3, 4), and every item must still be answered.
         let service = Service::bind(ServeConfig {
             cache_capacity: 3,
+            cache_shards: 1,
             workers: 1,
             gen_cap: 60,
             ..ServeConfig::default()
@@ -1231,6 +1348,136 @@ mod tests {
             Some(2)
         );
         assert_eq!(service.stats().errors, 2);
+        service.shutdown();
+    }
+
+    /// The backpressure contract end to end: a saturated racer pool
+    /// makes cold solves fail fast with `code:"busy"` (well within the
+    /// request deadline — no hang), while cached hits keep being
+    /// served, and the pool recovers once the load passes.
+    #[test]
+    fn saturated_pool_returns_busy_and_still_serves_cached_hits() {
+        let service = Service::bind(ServeConfig {
+            workers: 3,
+            racers: 3,
+            racer_pool: 1,
+            max_queue_depth: 1,
+            gen_cap: u64::MAX, // unreachable cap: races run to their deadline
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        // Prime a cache entry under a small budget while the pool is
+        // idle (2 s deadline, but ft06 races finish earlier only via
+        // deadline here, so the entry is deadline-bound with budget
+        // 800 ms — replayable for any request of budget <= 800 ms).
+        let prime = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 3,
+            deadline_ms: 800,
+        });
+        send_lines(addr, &[prime]);
+
+        // Saturate: a long cold race occupies the inline slot of one
+        // worker and parks its 2 remaining members on the pool (depth
+        // hits 1 as soon as the single racer thread picks one up).
+        let long = encode_request(&SolveRequest {
+            id: Some("long".into()),
+            instance: InstanceSpec::Named("ft06".into()),
+            objective: Objective::Makespan,
+            seed: 77,
+            deadline_ms: 2_500,
+        });
+        std::thread::scope(|s| {
+            let saturator = s.spawn(|| send_lines(addr, std::slice::from_ref(&long)));
+            // Give the long race time to be admitted and queue its
+            // members.
+            std::thread::sleep(Duration::from_millis(400));
+            assert!(service.queue_depth() >= 1, "pool must be saturated");
+
+            // A cold solve must now be refused fast with code busy.
+            let cold = encode_request(&SolveRequest {
+                id: Some("cold".into()),
+                instance: InstanceSpec::Named("la01".into()),
+                objective: Objective::Makespan,
+                seed: 5,
+                deadline_ms: 2_000,
+            });
+            let asked = Instant::now();
+            let resp = send_lines(addr, &[cold]);
+            let answered_in = asked.elapsed();
+            let v = crate::json::parse(&resp[0]).unwrap();
+            assert_eq!(v.get("status").unwrap().as_str(), Some("error"));
+            assert_eq!(v.get("code").unwrap().as_str(), Some("busy"));
+            assert!(v.get("queue_depth").unwrap().as_u64().unwrap() >= 1);
+            assert!(
+                answered_in < Duration::from_millis(1_000),
+                "busy must be immediate (took {answered_in:?}), not a hang"
+            );
+
+            // A cached hit (budget <= the primed 800 ms) is still
+            // answered while saturated.
+            let cached = encode_request(&SolveRequest {
+                id: Some("hit".into()),
+                instance: InstanceSpec::Named("flow05".into()),
+                objective: Objective::Makespan,
+                seed: 3,
+                deadline_ms: 500,
+            });
+            let hit = send_lines(addr, &[cached]);
+            let v = crate::json::parse(&hit[0]).unwrap();
+            assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+            assert_eq!(v.get("cached").unwrap().as_bool(), Some(true));
+
+            let responses = saturator.join().unwrap();
+            let v = crate::json::parse(&responses[0]).unwrap();
+            assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        });
+
+        let stats = service.stats();
+        assert_eq!(stats.busy_rejections, 1);
+        assert!(stats.cache_hits >= 1);
+        // Deadline cancellation freed the queued members: once the
+        // long race's deadline passed, its stranded tasks drain.
+        let waited = Instant::now();
+        while service.queue_depth() > 0 && waited.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert_eq!(service.queue_depth(), 0, "cancellation frees pool slots");
+        // And the recovered pool admits cold solves again.
+        let retry = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("la01".into()),
+            objective: Objective::Makespan,
+            seed: 5,
+            deadline_ms: 300,
+        });
+        let resp = send_lines(addr, &[retry]);
+        let v = crate::json::parse(&resp[0]).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn stats_report_pool_and_admission_configuration() {
+        let service = Service::bind(ServeConfig {
+            workers: 2,
+            racer_pool: 2,
+            max_queue_depth: 7,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        assert_eq!(service.racer_pool_size(), 2);
+        let addr = service.local_addr();
+        let responses = send_lines(addr, &[r#"{"cmd":"stats"}"#.to_string()]);
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("racer_pool").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("max_queue_depth").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
+        assert_eq!(v.get("busy_rejections").unwrap().as_u64(), Some(0));
+        assert!(v.get("pool_wait_us").unwrap().as_u64().is_some());
         service.shutdown();
     }
 

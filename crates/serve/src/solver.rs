@@ -1,16 +1,22 @@
 //! Glue between the wire protocol and the GA stack: load an instance
 //! (named classic, `gen-*` generated name, or inline text), build the
-//! family's toolkit/decoder pair, race the portfolio, and decode the
-//! winning genome into a validated schedule.
+//! family's toolkit/decoder pair, race the portfolio on the service's
+//! racer pool, and decode the winning genome into a validated schedule.
 //!
 //! The family-generic instance type is [`shop::gen::AnyInstance`];
 //! this module only adds the protocol-level resolution
-//! ([`load_instance`]) and the racing glue ([`solve`]).
+//! ([`load_instance`]) and the racing glue ([`solve`]). Because races
+//! run as tasks on a persistent pool (see [`crate::scheduler`]), the
+//! per-family evaluator closures own an `Arc` of the instance and
+//! construct their decoder inside the racer task — one decoder build
+//! per member run, nothing borrowed across threads.
 
-use crate::portfolio::{plan_lineup, race, RaceResult};
+use crate::portfolio::{plan_lineup, race_core, run_member, BestSoFar, MemberRunner, ModelKind};
+use crate::portfolio::{RaceResult, StopRule};
 use crate::protocol::{InstanceSpec, Objective, Solution};
+use crate::scheduler::RacerPool;
 use ga::dual::DualGenome;
-use ga::engine::Toolkit;
+use ga::engine::{Individual, Toolkit};
 use pga::telemetry::RunTelemetry;
 use shop::decoder::flexible::FlexDecoder;
 use shop::decoder::flow::FlowDecoder;
@@ -19,6 +25,7 @@ use shop::decoder::open::OpenDecoder;
 use shop::gen::AnyInstance;
 use shop::schedule::Schedule;
 use shop::Problem;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The parsed problem instance a request resolves to. Kept as an alias
@@ -77,22 +84,60 @@ fn objective_of(problem: &dyn Problem, schedule: &Schedule, objective: Objective
 pub struct SolveOutcome {
     /// The best validated-decodable solution of the race.
     pub solution: Solution,
-    /// Per-member structural telemetry, in lineup order.
+    /// Per-member structural telemetry, in lineup order (members the
+    /// pool cancelled before they started are absent).
     pub models: Vec<(String, RunTelemetry)>,
-    /// True when the deadline cut the race short before `gen_cap` or a
-    /// certified target: a rerun with a larger budget could do better
+    /// True when the wall-clock budget cut the race short before
+    /// `gen_cap` or a certified target — including members that never
+    /// got a pool slot: a rerun with a larger budget could do better
     /// (see `portfolio::RaceResult::deadline_bound`). Drives the
     /// cache's replay-vs-re-race policy.
     pub deadline_bound: bool,
+    /// Longest time any of the race's pooled members waited for a racer
+    /// slot (see `portfolio::RaceResult::pool_wait`).
+    pub pool_wait: std::time::Duration,
 }
 
-/// Races the portfolio on `inst` until `deadline` and returns the best
-/// schedule found, decoded and ready to validate. `threads` bounds the
-/// number of racing models, `gen_cap` bounds each racer's generations
-/// (the determinism anchor: when every racer hits its cap before the
-/// deadline, the outcome is machine-independent).
+/// Runs one member with a freshly constructed family toolkit/evaluator
+/// pair — the shared tail of the per-family [`MemberRunner`] closures
+/// below. Each of those closures owns an `Arc` of the instance (so the
+/// racer-pool task is `'static`), pins its family variant, builds the
+/// decoder **once for the member run** on its own stack, and lends the
+/// evaluator to this helper.
+fn run_member_with<G, TF, E>(
+    member: ModelKind,
+    member_seed: u64,
+    stop: &StopRule,
+    shared: &BestSoFar,
+    toolkit_factory: TF,
+    eval: E,
+) -> (Individual<G>, pga::telemetry::RunTelemetry, bool)
+where
+    G: Clone + Send + Sync,
+    TF: Fn() -> Toolkit<G> + Sync,
+    E: ga::Evaluator<G> + Sync,
+{
+    let mut report = |ind: &Individual<G>| shared.report(ind.cost);
+    run_member(
+        member,
+        member_seed,
+        &toolkit_factory,
+        &eval,
+        stop,
+        shared,
+        &mut report,
+    )
+}
+
+/// Races the portfolio on `inst` until `deadline` on `pool` and returns
+/// the best schedule found, decoded and ready to validate. `threads`
+/// bounds the number of racing models, `gen_cap` bounds each racer's
+/// generations (the determinism anchor: when every racer hits its cap
+/// before the deadline — which under the pool also requires every
+/// member got a slot in time — the outcome is machine-independent).
 pub fn solve(
-    inst: &LoadedInstance,
+    pool: &RacerPool,
+    inst: &Arc<LoadedInstance>,
     objective: Objective,
     seed: u64,
     deadline: Instant,
@@ -106,25 +151,26 @@ pub fn solve(
         Objective::Makespan => inst.makespan_lower_bound() as f64,
         Objective::TotalCompletion => 0.0,
     };
-    match inst {
+    match &**inst {
         LoadedInstance::Flow(flow) => {
-            let decoder = FlowDecoder::new(flow);
             let n_jobs = flow.n_jobs();
-            let eval = move |perm: &Vec<usize>| match objective {
-                Objective::Makespan => decoder.makespan(perm) as f64,
-                Objective::TotalCompletion => {
-                    objective_of(flow, &decoder.schedule(perm), objective)
-                }
-            };
-            let outcome = race(
-                &lineup,
-                &|| perm_toolkit(n_jobs),
-                &eval,
-                seed,
-                deadline,
-                gen_cap,
-                target,
-            );
+            let shared_inst = Arc::clone(inst);
+            let runner: Arc<MemberRunner<Vec<usize>>> =
+                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                    let LoadedInstance::Flow(flow) = &*shared_inst else {
+                        unreachable!("family pinned at dispatch")
+                    };
+                    let decoder = FlowDecoder::new(flow);
+                    let eval = |perm: &Vec<usize>| match objective {
+                        Objective::Makespan => decoder.makespan(perm) as f64,
+                        Objective::TotalCompletion => {
+                            objective_of(flow, &decoder.schedule(perm), objective)
+                        }
+                    };
+                    run_member_with(member, mseed, stop, shared, || perm_toolkit(n_jobs), eval)
+                });
+            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let decoder = FlowDecoder::new(flow);
             finish(
                 inst,
                 objective,
@@ -133,23 +179,32 @@ pub fn solve(
             )
         }
         LoadedInstance::Job(job) => {
-            let decoder = JobDecoder::new(job);
             let ops_per_job: Vec<usize> = (0..job.n_jobs()).map(|j| job.n_ops(j)).collect();
-            let eval = move |seq: &Vec<usize>| match objective {
-                Objective::Makespan => decoder.semi_active_makespan(seq) as f64,
-                Objective::TotalCompletion => {
-                    objective_of(job, &decoder.semi_active(seq), objective)
-                }
-            };
-            let outcome = race(
-                &lineup,
-                &|| opseq_toolkit(ops_per_job.clone()),
-                &eval,
-                seed,
-                deadline,
-                gen_cap,
-                target,
-            );
+            let shared_inst = Arc::clone(inst);
+            let runner: Arc<MemberRunner<Vec<usize>>> =
+                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                    let LoadedInstance::Job(job) = &*shared_inst else {
+                        unreachable!("family pinned at dispatch")
+                    };
+                    let decoder = JobDecoder::new(job);
+                    let eval = |seq: &Vec<usize>| match objective {
+                        Objective::Makespan => decoder.semi_active_makespan(seq) as f64,
+                        Objective::TotalCompletion => {
+                            objective_of(job, &decoder.semi_active(seq), objective)
+                        }
+                    };
+                    let ops_per_job = ops_per_job.clone();
+                    run_member_with(
+                        member,
+                        mseed,
+                        stop,
+                        shared,
+                        move || opseq_toolkit(ops_per_job.clone()),
+                        eval,
+                    )
+                });
+            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let decoder = JobDecoder::new(job);
             finish(
                 inst,
                 objective,
@@ -158,49 +213,58 @@ pub fn solve(
             )
         }
         LoadedInstance::Open(open) => {
-            let decoder = OpenDecoder::new(open);
             let (n, m) = (open.n_jobs(), open.n_machines());
             let to_order = move |perm: &[usize]| -> Vec<(usize, usize)> {
                 perm.iter().map(|&v| (v / m, v % m)).collect()
             };
-            let eval = move |perm: &Vec<usize>| {
-                objective_of(open, &decoder.by_op_order(&to_order(perm)), objective)
-            };
-            let outcome = race(
-                &lineup,
-                &|| perm_toolkit(n * m),
-                &eval,
-                seed,
-                deadline,
-                gen_cap,
-                target,
-            );
+            let shared_inst = Arc::clone(inst);
+            let runner: Arc<MemberRunner<Vec<usize>>> =
+                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                    let LoadedInstance::Open(open) = &*shared_inst else {
+                        unreachable!("family pinned at dispatch")
+                    };
+                    let decoder = OpenDecoder::new(open);
+                    let eval = |perm: &Vec<usize>| {
+                        objective_of(open, &decoder.by_op_order(&to_order(perm)), objective)
+                    };
+                    run_member_with(member, mseed, stop, shared, || perm_toolkit(n * m), eval)
+                });
+            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let decoder = OpenDecoder::new(open);
             let schedule = decoder.by_op_order(&to_order(&outcome.best.genome));
             finish(inst, objective, schedule, outcome)
         }
         LoadedInstance::Flexible(flex) => {
-            let decoder = FlexDecoder::new(flex);
             let ops_per_job: Vec<usize> = (0..flex.n_jobs()).map(|j| flex.n_ops(j)).collect();
             let max_choices = (0..flex.n_jobs())
                 .flat_map(|j| (0..flex.n_ops(j)).map(move |s| flex.op(j, s).choices.len()))
                 .max()
                 .unwrap_or(1);
-            let eval = move |g: &DualGenome| match objective {
-                Objective::Makespan => decoder.makespan(&g.assign, &g.seq) as f64,
-                Objective::TotalCompletion => {
-                    objective_of(flex, &decoder.decode(&g.assign, &g.seq), objective)
-                }
-            };
             let n_jobs = flex.n_jobs();
-            let outcome = race(
-                &lineup,
-                &|| dual_toolkit(ops_per_job.clone(), max_choices, n_jobs),
-                &eval,
-                seed,
-                deadline,
-                gen_cap,
-                target,
-            );
+            let shared_inst = Arc::clone(inst);
+            let runner: Arc<MemberRunner<DualGenome>> =
+                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                    let LoadedInstance::Flexible(flex) = &*shared_inst else {
+                        unreachable!("family pinned at dispatch")
+                    };
+                    let decoder = FlexDecoder::new(flex);
+                    let eval = |g: &DualGenome| match objective {
+                        Objective::Makespan => decoder.makespan(&g.assign, &g.seq) as f64,
+                        Objective::TotalCompletion => {
+                            objective_of(flex, &decoder.decode(&g.assign, &g.seq), objective)
+                        }
+                    };
+                    let ops_per_job = ops_per_job.clone();
+                    run_member_with(
+                        member,
+                        mseed,
+                        stop,
+                        shared,
+                        move || dual_toolkit(ops_per_job.clone(), max_choices, n_jobs),
+                        eval,
+                    )
+                });
+            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
             let schedule = FlexDecoder::new(flex)
                 .decode(&outcome.best.genome.assign, &outcome.best.genome.seq);
             finish(inst, objective, schedule, outcome)
@@ -225,6 +289,7 @@ fn finish<G>(
         },
         models: outcome.models,
         deadline_bound: outcome.deadline_bound,
+        pool_wait: outcome.pool_wait,
     }
 }
 
@@ -323,14 +388,15 @@ mod tests {
 
     #[test]
     fn solves_every_family_feasibly() {
+        let pool = RacerPool::new(2);
         for (spec, cap) in [
             (InstanceSpec::Named("flow05".into()), 60),
             (InstanceSpec::Named("ft06".into()), 60),
             (InstanceSpec::Named("open_latin3".into()), 60),
             (InstanceSpec::Named("flex03".into()), 60),
         ] {
-            let inst = load_instance(&spec).unwrap();
-            let out = solve(&inst, Objective::Makespan, 1, deadline(), cap, 2);
+            let inst = Arc::new(load_instance(&spec).unwrap());
+            let out = solve(&pool, &inst, Objective::Makespan, 1, deadline(), cap, 2);
             let schedule = Schedule::new(out.solution.schedule.clone());
             assert!(
                 inst.validate(&schedule).is_ok(),
@@ -343,10 +409,19 @@ mod tests {
 
     #[test]
     fn total_completion_objective_is_consistent() {
-        let inst = load_instance(&InstanceSpec::Named("flow05".into())).unwrap();
-        let out = solve(&inst, Objective::TotalCompletion, 3, deadline(), 40, 1);
+        let pool = RacerPool::new(1);
+        let inst = Arc::new(load_instance(&InstanceSpec::Named("flow05".into())).unwrap());
+        let out = solve(
+            &pool,
+            &inst,
+            Objective::TotalCompletion,
+            3,
+            deadline(),
+            40,
+            1,
+        );
         let schedule = Schedule::new(out.solution.schedule.clone());
-        let LoadedInstance::Flow(flow) = &inst else {
+        let LoadedInstance::Flow(flow) = &*inst else {
             panic!("flow05 is a flow shop");
         };
         let sum: u64 = schedule.completion_times(flow.n_jobs()).iter().sum();
@@ -356,8 +431,9 @@ mod tests {
 
     #[test]
     fn solve_is_deterministic_when_caps_bind() {
-        let inst = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
-        let run = || solve(&inst, Objective::Makespan, 42, deadline(), 150, 3);
+        let pool = RacerPool::new(3);
+        let inst = Arc::new(load_instance(&InstanceSpec::Named("ft06".into())).unwrap());
+        let run = || solve(&pool, &inst, Objective::Makespan, 42, deadline(), 150, 3);
         let a = run();
         let b = run();
         assert_eq!(a.solution.schedule, b.solution.schedule);
@@ -372,10 +448,12 @@ mod tests {
 
     #[test]
     fn clock_cut_solve_reports_deadline_bound() {
-        let inst = load_instance(&InstanceSpec::Named("ft06".into())).unwrap();
+        let pool = RacerPool::new(2);
+        let inst = Arc::new(load_instance(&InstanceSpec::Named("ft06".into())).unwrap());
         // Uncapped generations, unreachable target, tiny deadline: the
         // clock is the only stopping criterion that can fire.
         let out = solve(
+            &pool,
             &inst,
             Objective::Makespan,
             42,

@@ -1,0 +1,135 @@
+//! Property tests for the hand-rolled JSON layer's two hardened paths:
+//! numbers where the protocol expects `u64` (negative / fractional /
+//! overflowing inputs must yield descriptive wire errors, never silent
+//! coercion or a panic) and string escapes (arbitrary Unicode — astral
+//! planes included — must round-trip, in both the raw-UTF-8 and the
+//! `\uXXXX` surrogate-pair spellings; malformed escapes must error,
+//! never panic).
+
+use proptest::prelude::*;
+use serve::json::{parse, Json};
+use serve::protocol::parse_request;
+use serve::Request;
+
+/// An arbitrary Unicode scalar value, biased towards the interesting
+/// regions: ASCII, the escape-relevant controls, the BMP edges around
+/// the surrogate gap, and the astral planes (emoji live in plane 1).
+fn arb_char(pick: u32, raw: u32) -> char {
+    let c = match pick % 6 {
+        0 => raw % 0x80,                // ASCII incl. controls
+        1 => 0x20 + raw % 0x60,         // printable ASCII
+        2 => raw % 0xD800,              // low BMP
+        3 => 0xE000 + raw % 0x2000,     // BMP past the gap
+        4 => 0x1F300 + raw % 0x400,     // emoji blocks
+        _ => 0x10000 + raw % 0x10_0000, // anywhere astral-ish
+    };
+    char::from_u32(c).unwrap_or('\u{FFFD}')
+}
+
+/// Formats one char as JSON `\uXXXX` escapes (surrogate pair when
+/// astral) — the spelling the parser must decode.
+fn escaped(c: char) -> String {
+    let mut out = String::new();
+    for unit in c.encode_utf16(&mut [0u16; 2]) {
+        out.push_str(&format!("\\u{unit:04x}"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    // Any string of arbitrary scalar values survives encode → parse
+    // bit-identically (raw UTF-8 spelling).
+    #[test]
+    fn strings_roundtrip_raw(chars in prop::collection::vec((0u32..6, 0u32..0x11_0000), 0..24)) {
+        let s: String = chars.into_iter().map(|(p, r)| arb_char(p, r)).collect();
+        let v = Json::Str(s.clone());
+        let back = parse(&v.encode()).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    // The same strings survive when spelled entirely as \uXXXX escapes
+    // — astral characters as UTF-16 surrogate pairs, which is legal
+    // JSON the parser must accept (e.g. "😀").
+    #[test]
+    fn strings_roundtrip_surrogate_escaped(chars in prop::collection::vec((0u32..6, 0u32..0x11_0000), 0..16)) {
+        let s: String = chars.into_iter().map(|(p, r)| arb_char(p, r)).collect();
+        let spelled: String = s.chars().map(escaped).collect();
+        let line = format!("\"{spelled}\"");
+        let back = parse(&line).unwrap();
+        prop_assert_eq!(back.as_str(), Some(s.as_str()));
+    }
+
+    // A high surrogate not followed by a low surrogate is an error —
+    // and never a panic — wherever it sits in the string; a low
+    // surrogate must never come first.
+    #[test]
+    fn unpaired_surrogates_error(hi in 0xD800u32..0xDC00, tail in 0u32..3) {
+        let line = match tail {
+            0 => format!("\"\\u{hi:04x}\""),
+            1 => format!("\"\\u{hi:04x}x\""),
+            _ => format!("\"\\u{hi:04x}\\u0041\""),
+        };
+        prop_assert!(parse(&line).is_err());
+        let low_first = format!("\"\\u{:04x}\"", 0xDC00 + (hi - 0xD800));
+        prop_assert!(parse(&low_first).is_err());
+    }
+
+    // Negative numbers where the protocol expects a u64 yield a
+    // descriptive error naming the field — never a coerced value,
+    // never a panic.
+    #[test]
+    fn negative_u64_fields_are_wire_errors(n in 1i64..=i64::MAX, field in 0u32..2) {
+        let (key, line) = if field == 0 {
+            ("seed", format!(r#"{{"instance":{{"name":"ft06"}},"seed":-{n}}}"#))
+        } else {
+            ("deadline_ms", format!(r#"{{"instance":{{"name":"ft06"}},"deadline_ms":-{n}}}"#))
+        };
+        let err = parse_request(&line).unwrap_err();
+        prop_assert!(err.0.contains(key), "error must name the field: {}", err.0);
+        prop_assert!(err.0.contains("non-negative"), "got: {}", err.0);
+    }
+
+    // Fractional numbers where the protocol expects a u64 are wire
+    // errors too (integrality check).
+    #[test]
+    fn fractional_u64_fields_are_wire_errors(whole in 0u64..1_000_000, frac in 1u64..1000) {
+        let text = format!("{whole}.{frac:03}");
+        // e.g. 123.000 — an exact integer in disguise — is accepted,
+        // so only genuinely fractional values are asserted to fail.
+        if text.parse::<f64>().unwrap().fract() != 0.0 {
+            let line = format!(r#"{{"instance":{{"name":"ft06"}},"deadline_ms":{text}}}"#);
+            prop_assert!(parse_request(&line).is_err());
+        }
+    }
+
+    // In-range integers pass through exactly.
+    #[test]
+    fn exact_u64_fields_roundtrip(n in 0u64..9_007_199_254_740_992) {
+        let line = format!(r#"{{"instance":{{"name":"ft06"}},"seed":{n}}}"#);
+        let Ok(Request::Solve(req)) = parse_request(&line) else {
+            panic!("exact integer seed {n} must parse");
+        };
+        prop_assert_eq!(req.seed, n);
+    }
+
+    // Arbitrary byte soup never panics the parser (it may parse or
+    // error, but the worker thread survives) — the no-panic contract
+    // for untrusted sockets.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(0u32..256, 0..64)) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let text = String::from_utf8_lossy(&raw);
+        let _ = parse(&text);
+        let _ = parse_request(&text);
+    }
+
+    // Finite f64 values round-trip through the wire encoding.
+    #[test]
+    fn finite_numbers_roundtrip(mantissa in -1.0e15f64..1.0e15, shift in 0i32..30) {
+        let v = mantissa / f64::powi(10.0, shift);
+        let back = parse(&Json::Num(v).encode()).unwrap();
+        prop_assert_eq!(back.as_f64(), Some(v));
+    }
+}
