@@ -46,7 +46,7 @@ pub fn run() -> Report {
     };
 
     // (a) Right-shift repair.
-    let repaired = right_shift_repair(&inst, &schedule, event);
+    let repaired = right_shift_repair(&inst, &schedule, &event);
     repaired.validate_job(&inst).expect("repair stays feasible");
 
     // (b) Reactive GA rescheduling of the suffix, warm-started from the
@@ -55,9 +55,10 @@ pub fn run() -> Report {
     let frozen_cl = frozen.clone();
     let remaining_cl = remaining.clone();
     let inst_ref = &inst;
+    let event_cl = event.clone();
     let suffix_eval = move |perm: &Vec<usize>| {
         let order: Vec<(usize, usize)> = perm.iter().map(|&i| remaining_cl[i]).collect();
-        reschedule_suffix(inst_ref, &frozen_cl, &order, event).makespan() as f64
+        reschedule_suffix(inst_ref, &frozen_cl, &order, &event_cl).makespan() as f64
     };
     let k = remaining.len();
     let suffix_tk: Toolkit<Vec<usize>> = Toolkit {
@@ -91,7 +92,7 @@ pub fn run() -> Report {
 
     // Validity check of the reactive winner.
     let order: Vec<(usize, usize)> = rebest.genome.iter().map(|&i| remaining[i]).collect();
-    let resched = reschedule_suffix(&inst, &frozen, &order, event);
+    let resched = reschedule_suffix(&inst, &frozen, &order, &event);
     resched
         .validate_job(&inst)
         .expect("reschedule stays feasible");

@@ -33,6 +33,7 @@ pub mod experiments {
     pub mod g01_generated;
     pub mod x01_energy;
     pub mod x02_dynamic;
+    pub mod x03_session;
 
     use crate::report::Report;
 
@@ -65,6 +66,7 @@ pub mod experiments {
             a03_regimes::run,
             x01_energy::run,
             x02_dynamic::run,
+            x03_session::run,
         ]
     }
 }

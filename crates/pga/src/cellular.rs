@@ -306,6 +306,21 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_grid_places_the_incumbent_on_the_first_cells() {
+        // The warm-start counter runs across the grid's sequential
+        // construction order: cell 0 holds the incumbent verbatim, the
+        // clone cells follow, and the initial best can never be worse
+        // than the incumbent.
+        let eval = |g: &Vec<usize>| displacement(g);
+        let incumbent: Vec<usize> = (0..6).rev().collect();
+        let incumbent_cost = displacement(&incumbent);
+        let tk = toolkit(6).with_warm_start(vec![incumbent.clone()], 4);
+        let cga = CellularGa::new(CellularConfig::new(3, 4, 5), tk, &eval);
+        assert_eq!(cga.grid()[0].genome, incumbent);
+        assert!(cga.best().cost <= incumbent_cost);
+    }
+
+    #[test]
     fn torus_neighbourhoods_have_right_size() {
         let eval = |g: &Vec<usize>| displacement(g);
         let cga = CellularGa::new(CellularConfig::new(4, 5, 1), toolkit(6), &eval);

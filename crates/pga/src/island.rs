@@ -400,6 +400,32 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_islands_all_start_from_the_incumbent() {
+        // Each island's toolkit comes from the factory, so a factory
+        // returning a warm-started toolkit seeds *every* island with
+        // the incumbent — the global best starts at the incumbent's
+        // cost and every island's local best is at least as good.
+        let eval = |g: &Vec<usize>| displacement(g);
+        let incumbent: Vec<usize> = (0..10).rev().collect();
+        let incumbent_cost = displacement(&incumbent);
+        let ig = IslandGa::homogeneous(
+            base_cfg(2),
+            4,
+            &|_| toolkit(10).with_warm_start(vec![(0..10).rev().collect()], 3),
+            &eval,
+            IslandConfig::new(MigrationConfig::ring(5, 2)),
+        );
+        assert!(ig.best().cost <= incumbent_cost);
+        for i in 0..4 {
+            let island_best = ig.engines.get(i).map(|e| e.best().cost).expect("4 islands");
+            assert!(
+                island_best <= incumbent_cost,
+                "island {i} did not receive the incumbent"
+            );
+        }
+    }
+
+    #[test]
     fn islands_run_and_improve() {
         let eval = |g: &Vec<usize>| displacement(g);
         let mut ig = IslandGa::homogeneous(

@@ -191,6 +191,24 @@ mod tests {
     }
 
     #[test]
+    fn warm_started_master_slave_starts_at_the_incumbent() {
+        // The warm-start API threads through the master-slave model
+        // untouched: the parallel evaluator sees the seeded population
+        // and the initial best is the incumbent (here: the optimum).
+        let parallel = RayonEvaluator::new(|g: &Vec<usize>| displacement(g));
+        let cfg = GaConfig {
+            pop_size: 24,
+            seed: 7,
+            ..GaConfig::default()
+        };
+        let incumbent: Vec<usize> = (0..12).collect();
+        let tk = toolkit(12).with_warm_start(vec![incumbent.clone()], 6);
+        let engine = Engine::new(cfg, tk, &parallel);
+        assert_eq!(engine.best().cost, 0.0);
+        assert_eq!(engine.best().genome, incumbent);
+    }
+
+    #[test]
     fn parallel_evaluation_is_bit_identical_to_sequential() {
         // The survey's master-slave equivalence property.
         let sequential = |g: &Vec<usize>| displacement(g);

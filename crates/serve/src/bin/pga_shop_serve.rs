@@ -5,7 +5,8 @@
 //!                [--default-deadline-ms N] [--max-deadline-ms N]
 //!                [--gen-cap N] [--racers N] [--racer-pool N]
 //!                [--max-queue-depth N] [--cache-shards N]
-//!                [--port-file PATH]
+//!                [--session-ttl-ms N] [--max-sessions N]
+//!                [--event-deadline-ms N] [--port-file PATH]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (port 0 = ephemeral;
@@ -19,7 +20,8 @@ fn usage() -> ! {
         "usage: pga-shop-serve [--addr HOST:PORT] [--port N] [--workers N] [--cache N] \
          [--default-deadline-ms N] [--max-deadline-ms N] [--gen-cap N] [--racers N] \
          [--racer-pool N (0 = host cores)] [--max-queue-depth N (0 = auto)] \
-         [--cache-shards N (0 = auto)] [--port-file PATH]"
+         [--cache-shards N (0 = auto)] [--session-ttl-ms N] [--max-sessions N] \
+         [--event-deadline-ms N] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -67,6 +69,19 @@ fn main() {
             }
             "--cache-shards" => {
                 config.cache_shards = value("--cache-shards").parse().unwrap_or_else(|_| usage())
+            }
+            "--session-ttl-ms" => {
+                config.session_ttl_ms = value("--session-ttl-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-sessions" => {
+                config.max_sessions = value("--max-sessions").parse().unwrap_or_else(|_| usage())
+            }
+            "--event-deadline-ms" => {
+                config.default_event_deadline_ms = value("--event-deadline-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
             }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),

@@ -30,6 +30,18 @@
 //! generator subsystem — generated instances are addressable by
 //! canonical `gen-*` names anywhere an instance name is accepted.
 //!
+//! The service is also a **live scheduler**: a `session_open` request
+//! solves a job-shop instance and registers a stateful
+//! dynamic-rescheduling session ([`session`]) holding the instance,
+//! the incumbent schedule and a virtual clock; `session_event`
+//! requests then apply disruptions — machine breakdowns, job
+//! arrivals, processing-time revisions — each answered within a
+//! per-event deadline by racing instant *right-shift repair* against a
+//! *frozen-prefix GA re-solve* warm-started from the incumbent
+//! (`ga::engine::Toolkit::with_warm_start` + `shop::dynamic`), keeping
+//! whichever schedule is better. Sessions live in a TTL/LRU registry
+//! and surface gauges through `stats`.
+//!
 //! The wire protocol is line-delimited JSON over TCP (hand-rolled
 //! [`json`] module — no external dependencies, consistent with the
 //! workspace's offline-shim policy); see [`protocol`] for the request
@@ -47,6 +59,7 @@ pub mod portfolio;
 pub mod protocol;
 pub mod scheduler;
 pub mod server;
+pub mod session;
 pub mod solver;
 
 pub use cache::{CacheKey, CachedSolve, ShardedCache, SolutionCache};
@@ -54,8 +67,12 @@ pub use json::Json;
 pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind};
 pub use protocol::{
     BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec, Objective,
-    Request, Solution, SolveRequest, MAX_BATCH_ITEMS,
+    Request, SessionEventRequest, SessionOpenRequest, SessionRef, Solution, SolveRequest,
+    MAX_BATCH_ITEMS,
 };
 pub use scheduler::{CancelToken, RacerPool};
 pub use server::{ServeConfig, Service, StatsSnapshot};
+pub use session::{
+    EventOutcome, ResolveSkip, SessionConfig, SessionGauges, SessionRegistry, SessionState,
+};
 pub use solver::{load_instance, solve, LoadedInstance, SolveOutcome};

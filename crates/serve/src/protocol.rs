@@ -27,7 +27,9 @@
 
 use crate::json::{obj, Json};
 use pga::telemetry::RequestTelemetry;
+use shop::dynamic::Event;
 use shop::gen::GenSpec;
+use shop::instance::Op;
 use shop::schedule::ScheduledOp;
 
 pub use shop::gen::Family;
@@ -158,6 +160,58 @@ pub struct BatchRequest {
 /// Upper bound on `items` in one batch request.
 pub const MAX_BATCH_ITEMS: usize = 1024;
 
+/// A `session_open` request: solve a job-shop instance through the
+/// portfolio race and register a stateful dynamic-rescheduling session
+/// holding the instance, the incumbent schedule and a virtual clock
+/// (see `serve::session`). Only job-shop instances (the family the
+/// `shop::dynamic` machinery covers) can open sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionOpenRequest {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    /// The instance to solve and track (must resolve to a job shop).
+    pub instance: InstanceSpec,
+    /// Criterion the session minimises (initial solve and every event).
+    pub objective: Objective,
+    /// Root seed: the initial solve races with it, and event `k`
+    /// re-solves with `split_seed(seed, k)` — a session's whole
+    /// trajectory is a pure function of `(instance, seed, events)`
+    /// when generation caps bind.
+    pub seed: u64,
+    /// Wall-clock budget for the initial solve (0 = server default).
+    pub deadline_ms: u64,
+    /// Session idle time-to-live in milliseconds (0 = server default).
+    /// A session untouched for this long is evicted.
+    pub ttl_ms: u64,
+}
+
+/// A `session_event` request: apply one disruption to a session under a
+/// per-event deadline. The server answers with whichever of right-shift
+/// *repair* (instant) and the warm-started frozen-prefix GA *re-solve*
+/// is better, plus repair-vs-resolve telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionEventRequest {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    /// The session to disrupt (`session_open`'s `session` field).
+    pub session: String,
+    /// The disruption (breakdown / job arrival / revision).
+    pub event: Event,
+    /// Wall-clock budget for the repair-vs-resolve race
+    /// (0 = the server's per-event default).
+    pub deadline_ms: u64,
+}
+
+/// A `session_get` / `session_close` request: fetch a session's current
+/// incumbent, or end the session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionRef {
+    /// Echoed verbatim in the response (optional).
+    pub id: Option<String>,
+    /// The session addressed.
+    pub session: String,
+}
+
 /// Any protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -168,6 +222,17 @@ pub enum Request {
     /// Mint (and optionally solve) a generated instance
     /// (`{"cmd":"generate",...}`).
     Generate(Box<GenerateRequest>),
+    /// Open a dynamic-rescheduling session
+    /// (`{"cmd":"session_open",...}`).
+    SessionOpen(Box<SessionOpenRequest>),
+    /// Apply a disruption to a session
+    /// (`{"cmd":"session_event",...}`).
+    SessionEvent(Box<SessionEventRequest>),
+    /// Fetch a session's current incumbent
+    /// (`{"cmd":"session_get",...}`).
+    SessionGet(SessionRef),
+    /// Close a session (`{"cmd":"session_close",...}`).
+    SessionClose(SessionRef),
     /// Service counters (`{"cmd":"stats"}`).
     Stats,
     /// Graceful shutdown (`{"cmd":"shutdown"}`).
@@ -301,6 +366,191 @@ pub fn gen_spec_to_json(spec: &GenSpec) -> Json {
     Json::Obj(fields)
 }
 
+/// Parses a disruption-event object. Three shapes, discriminated by
+/// `type`:
+///
+/// ```text
+/// {"type":"breakdown","machine":2,"from":40,"duration":25}
+/// {"type":"job_arrival","at":40,"route":[[0,3],[2,5],[1,4]]}
+/// {"type":"revision","at":40,"job":1,"op":2,"duration":9}
+/// ```
+///
+/// Route rows are `[machine, duration]` pairs; durations must be
+/// positive (zero durations are rejected here rather than panicking in
+/// `shop::instance::Op::new`).
+pub fn event_from_json(v: &Json) -> Result<Event, ProtocolError> {
+    let kind = v
+        .get("type")
+        .and_then(Json::as_str)
+        .ok_or_else(|| bad("event needs a type (breakdown | job_arrival | revision)"))?;
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| bad(format!("event needs a u64 {key}")))
+    };
+    match kind {
+        "breakdown" => Ok(Event::Breakdown {
+            machine: field("machine")? as usize,
+            from: field("from")?,
+            duration: field("duration")?,
+        }),
+        "job_arrival" => {
+            let rows = v
+                .get("route")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("job_arrival needs a route array"))?;
+            let mut route = Vec::with_capacity(rows.len());
+            for row in rows {
+                let pair = row
+                    .as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| bad("route row must be [machine, duration]"))?;
+                let machine = pair[0]
+                    .as_u64()
+                    .ok_or_else(|| bad("route machine must be a u64"))?
+                    as usize;
+                let duration = pair[1]
+                    .as_u64()
+                    .filter(|&d| d > 0)
+                    .ok_or_else(|| bad("route duration must be a positive u64"))?;
+                route.push(Op::new(machine, duration));
+            }
+            Ok(Event::JobArrival {
+                at: field("at")?,
+                route,
+            })
+        }
+        "revision" => Ok(Event::Revision {
+            at: field("at")?,
+            job: field("job")? as usize,
+            op: field("op")? as usize,
+            duration: field("duration")?,
+        }),
+        other => Err(bad(format!("unknown event type {other:?}"))),
+    }
+}
+
+/// Encodes a disruption event (client side); inverse of
+/// [`event_from_json`].
+pub fn event_to_json(event: &Event) -> Json {
+    match event {
+        Event::Breakdown {
+            machine,
+            from,
+            duration,
+        } => obj([
+            ("type", "breakdown".into()),
+            ("machine", (*machine as u64).into()),
+            ("from", (*from).into()),
+            ("duration", (*duration).into()),
+        ]),
+        Event::JobArrival { at, route } => obj([
+            ("type", "job_arrival".into()),
+            ("at", (*at).into()),
+            (
+                "route",
+                Json::Arr(
+                    route
+                        .iter()
+                        .map(|op| Json::Arr(vec![(op.machine as u64).into(), op.duration.into()]))
+                        .collect(),
+                ),
+            ),
+        ]),
+        Event::Revision {
+            at,
+            job,
+            op,
+            duration,
+        } => obj([
+            ("type", "revision".into()),
+            ("at", (*at).into()),
+            ("job", (*job as u64).into()),
+            ("op", (*op as u64).into()),
+            ("duration", (*duration).into()),
+        ]),
+    }
+}
+
+fn parse_session_open(v: &Json) -> Result<Request, ProtocolError> {
+    let instance =
+        instance_spec_from_json(v.get("instance").ok_or_else(|| bad("missing instance"))?)?;
+    Ok(Request::SessionOpen(Box::new(SessionOpenRequest {
+        id: id_field(v),
+        instance,
+        objective: objective_field(v)?.unwrap_or_default(),
+        seed: u64_field(v, "seed", 0)?,
+        deadline_ms: u64_field(v, "deadline_ms", 0)?,
+        ttl_ms: u64_field(v, "ttl_ms", 0)?,
+    })))
+}
+
+fn session_field(v: &Json) -> Result<String, ProtocolError> {
+    v.get("session")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| bad("missing session"))
+}
+
+fn parse_session_event(v: &Json) -> Result<Request, ProtocolError> {
+    let event = event_from_json(v.get("event").ok_or_else(|| bad("missing event"))?)?;
+    Ok(Request::SessionEvent(Box::new(SessionEventRequest {
+        id: id_field(v),
+        session: session_field(v)?,
+        event,
+        deadline_ms: u64_field(v, "deadline_ms", 0)?,
+    })))
+}
+
+fn parse_session_ref(v: &Json) -> Result<SessionRef, ProtocolError> {
+    Ok(SessionRef {
+        id: id_field(v),
+        session: session_field(v)?,
+    })
+}
+
+/// Encodes a `session_open` request (client side).
+pub fn encode_session_open(req: &SessionOpenRequest) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &req.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("cmd".into(), "session_open".into()));
+    fields.push(("instance".into(), instance_spec_to_json(&req.instance)));
+    fields.push(("objective".into(), req.objective.name().into()));
+    fields.push(("seed".into(), req.seed.into()));
+    fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    if req.ttl_ms != 0 {
+        fields.push(("ttl_ms".into(), req.ttl_ms.into()));
+    }
+    Json::Obj(fields).encode()
+}
+
+/// Encodes a `session_event` request (client side).
+pub fn encode_session_event(req: &SessionEventRequest) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &req.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("cmd".into(), "session_event".into()));
+    fields.push(("session".into(), req.session.as_str().into()));
+    fields.push(("event".into(), event_to_json(&req.event)));
+    fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    Json::Obj(fields).encode()
+}
+
+/// Encodes a `session_get` or `session_close` request (client side);
+/// `cmd` must be one of those two strings.
+pub fn encode_session_ref(cmd: &str, r: &SessionRef) -> String {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = &r.id {
+        fields.push(("id".into(), id.as_str().into()));
+    }
+    fields.push(("cmd".into(), cmd.into()));
+    fields.push(("session".into(), r.session.as_str().into()));
+    Json::Obj(fields).encode()
+}
+
 fn parse_generate(v: &Json) -> Result<Request, ProtocolError> {
     let spec_v = v
         .get("spec")
@@ -382,6 +632,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             "shutdown" => Ok(Request::Shutdown),
             "generate" => parse_generate(&v),
             "batch" => parse_batch(&v),
+            "session_open" => parse_session_open(&v),
+            "session_event" => parse_session_event(&v),
+            "session_get" => parse_session_ref(&v).map(Request::SessionGet),
+            "session_close" => parse_session_ref(&v).map(Request::SessionClose),
             other => Err(bad(format!("unknown cmd {other:?}"))),
         };
     }
@@ -492,7 +746,7 @@ pub struct Solution {
     pub schedule: Vec<ScheduledOp>,
 }
 
-fn schedule_to_json(ops: &[ScheduledOp]) -> Json {
+pub(crate) fn schedule_to_json(ops: &[ScheduledOp]) -> Json {
     Json::Arr(
         ops.iter()
             .map(|o| {
@@ -752,6 +1006,92 @@ mod tests {
             r#"{"cmd":"generate","spec":{"family":"job","jobs":2,"machines":2,"density_pct":200}}"#
         )
         .is_err());
+    }
+
+    #[test]
+    fn session_requests_roundtrip() {
+        let open = SessionOpenRequest {
+            id: Some("o1".into()),
+            instance: InstanceSpec::Named("ft06".into()),
+            objective: Objective::Makespan,
+            seed: 42,
+            deadline_ms: 2_000,
+            ttl_ms: 30_000,
+        };
+        let Request::SessionOpen(back) = parse_request(&encode_session_open(&open)).unwrap() else {
+            panic!("expected session_open");
+        };
+        assert_eq!(*back, open);
+
+        for event in [
+            Event::Breakdown {
+                machine: 2,
+                from: 40,
+                duration: 25,
+            },
+            Event::JobArrival {
+                at: 40,
+                route: vec![Op::new(0, 3), Op::new(2, 5)],
+            },
+            Event::Revision {
+                at: 41,
+                job: 1,
+                op: 2,
+                duration: 9,
+            },
+        ] {
+            let req = SessionEventRequest {
+                id: None,
+                session: "sess-1".into(),
+                event,
+                deadline_ms: 150,
+            };
+            let Request::SessionEvent(back) = parse_request(&encode_session_event(&req)).unwrap()
+            else {
+                panic!("expected session_event");
+            };
+            assert_eq!(*back, req);
+        }
+
+        let r = SessionRef {
+            id: Some("g".into()),
+            session: "sess-9".into(),
+        };
+        assert_eq!(
+            parse_request(&encode_session_ref("session_get", &r)).unwrap(),
+            Request::SessionGet(r.clone())
+        );
+        assert_eq!(
+            parse_request(&encode_session_ref("session_close", &r)).unwrap(),
+            Request::SessionClose(r)
+        );
+    }
+
+    #[test]
+    fn session_parse_errors() {
+        // Missing pieces.
+        assert!(parse_request(r#"{"cmd":"session_open"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"session_event","session":"s"}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"session_event","event":{"type":"breakdown","machine":0,"from":1,"duration":1}}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"session_get"}"#).is_err());
+        // Bad event shapes.
+        let ev = |e: &str| {
+            parse_request(&format!(
+                r#"{{"cmd":"session_event","session":"s","event":{e}}}"#
+            ))
+        };
+        assert!(
+            ev(r#"{"machine":0,"from":1,"duration":1}"#).is_err(),
+            "no type"
+        );
+        assert!(ev(r#"{"type":"meteor"}"#).is_err());
+        assert!(ev(r#"{"type":"breakdown","machine":0,"from":-1,"duration":1}"#).is_err());
+        assert!(ev(r#"{"type":"job_arrival","at":0,"route":[[0]]}"#).is_err());
+        assert!(
+            ev(r#"{"type":"job_arrival","at":0,"route":[[0,0]]}"#).is_err(),
+            "zero route duration must be a wire error, not an Op::new panic"
+        );
+        assert!(ev(r#"{"type":"revision","at":0,"job":0,"op":0}"#).is_err());
     }
 
     #[test]

@@ -26,12 +26,15 @@ use crate::cache::{CacheKey, CachedSolve, ShardedCache};
 use crate::json::{obj, Json};
 use crate::protocol::{
     busy_json, encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest,
-    BatchSource, GenerateRequest, Objective, Request, SolveRequest,
+    BatchSource, GenerateRequest, Objective, Request, SessionEventRequest, SessionOpenRequest,
+    SessionRef, Solution, SolveRequest,
 };
 use crate::scheduler::RacerPool;
+use crate::session::{SessionConfig, SessionGauges, SessionRegistry, SessionState};
 use crate::solver::{load_instance, solve, LoadedInstance};
 use pga::telemetry::RequestTelemetry;
 use shop::schedule::Schedule;
+use shop::Problem;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -84,6 +87,20 @@ pub struct ServeConfig {
     /// `min(8, cache_capacity)`. Use 1 to recover exact global LRU
     /// eviction order.
     pub cache_shards: usize,
+    /// Default idle time-to-live for dynamic-rescheduling sessions, in
+    /// milliseconds: a session untouched for this long is evicted. A
+    /// `session_open` may request a different `ttl_ms`, clamped to ten
+    /// times this default.
+    pub session_ttl_ms: u64,
+    /// Maximum concurrently open sessions; opening past the cap evicts
+    /// the least-recently-used session.
+    pub max_sessions: usize,
+    /// Deadline applied to a `session_event` that carries none
+    /// (`deadline_ms` 0). Deliberately much tighter than
+    /// `default_deadline_ms`: an event answer gates a running factory,
+    /// and right-shift repair guarantees *some* feasible answer
+    /// whatever the budget.
+    pub default_event_deadline_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +116,9 @@ impl Default for ServeConfig {
             racer_pool: 0,
             max_queue_depth: 0,
             cache_shards: 0,
+            session_ttl_ms: 600_000,
+            max_sessions: 256,
+            default_event_deadline_ms: 200,
         }
     }
 }
@@ -155,6 +175,17 @@ pub struct ServiceStats {
     /// microseconds (each request contributes its longest member
     /// wait).
     pub pool_wait_us: AtomicU64,
+    /// Session disruption events applied (errors excluded).
+    pub session_events: AtomicU64,
+    /// Events where right-shift repair held the answer (the GA
+    /// re-solve lost the tie, was skipped, or was shed as busy).
+    pub session_repair_wins: AtomicU64,
+    /// Events where the warm-started re-solve strictly beat repair.
+    pub session_resolve_wins: AtomicU64,
+    /// Events whose re-solve was shed by admission control (answered
+    /// with repair alone). Like `busy_rejections`, not an error: the
+    /// repair answer is feasible and within the deadline.
+    pub session_resolve_busy: AtomicU64,
 }
 
 /// Point-in-time copy of the counters.
@@ -177,6 +208,14 @@ pub struct StatsSnapshot {
     /// Summed racer-pool queue wait over solved requests, in
     /// microseconds.
     pub pool_wait_us: u64,
+    /// Session disruption events applied.
+    pub session_events: u64,
+    /// Events answered by right-shift repair.
+    pub session_repair_wins: u64,
+    /// Events answered by the warm-started re-solve.
+    pub session_resolve_wins: u64,
+    /// Events whose re-solve was shed by admission control.
+    pub session_resolve_busy: u64,
 }
 
 impl ServiceStats {
@@ -190,6 +229,10 @@ impl ServiceStats {
             busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
             queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
             pool_wait_us: self.pool_wait_us.load(Ordering::Relaxed),
+            session_events: self.session_events.load(Ordering::Relaxed),
+            session_repair_wins: self.session_repair_wins.load(Ordering::Relaxed),
+            session_resolve_wins: self.session_resolve_wins.load(Ordering::Relaxed),
+            session_resolve_busy: self.session_resolve_busy.load(Ordering::Relaxed),
         }
     }
 }
@@ -204,6 +247,8 @@ struct Shared {
     /// (see [`crate::scheduler`]): compute threads are bounded by its
     /// size plus the worker count, independent of in-flight requests.
     pool: RacerPool,
+    /// Dynamic-rescheduling sessions (see [`crate::session`]).
+    sessions: SessionRegistry,
     stats: ServiceStats,
 }
 
@@ -239,6 +284,11 @@ impl Service {
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             pool: RacerPool::new(config.racer_pool),
+            sessions: SessionRegistry::new(SessionConfig {
+                default_ttl: Duration::from_millis(config.session_ttl_ms.max(1)),
+                max_ttl: Duration::from_millis(config.session_ttl_ms.max(1).saturating_mul(10)),
+                max_sessions: config.max_sessions.max(1),
+            }),
             config,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -295,6 +345,12 @@ impl Service {
     /// Racer-pool thread count after auto-sizing.
     pub fn racer_pool_size(&self) -> usize {
         self.shared.pool.size()
+    }
+
+    /// Session registry gauges (open / opened / closed / expired /
+    /// evicted).
+    pub fn session_gauges(&self) -> SessionGauges {
+        self.shared.sessions.gauges()
     }
 
     /// Requests shutdown and joins every thread (graceful: in-flight
@@ -525,6 +581,7 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         }
         Ok(Request::Stats) => {
             let s = shared.stats.snapshot();
+            let sg = shared.sessions.gauges();
             let cache_len = shared.cache.len() as u64;
             let body = obj([
                 ("status", "ok".into()),
@@ -544,6 +601,16 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
                     "max_queue_depth",
                     (shared.config.max_queue_depth as u64).into(),
                 ),
+                ("sessions_open", sg.open.into()),
+                ("sessions_opened", sg.opened.into()),
+                ("sessions_closed", sg.closed.into()),
+                ("sessions_expired", sg.expired.into()),
+                ("sessions_evicted", sg.evicted.into()),
+                ("session_events", s.session_events.into()),
+                ("session_repair_wins", s.session_repair_wins.into()),
+                ("session_resolve_wins", s.session_resolve_wins.into()),
+                ("session_resolve_busy", s.session_resolve_busy.into()),
+                ("max_sessions", (shared.config.max_sessions as u64).into()),
             ]);
             (body.encode(), false)
         }
@@ -556,6 +623,10 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         Ok(Request::Solve(req)) => (handle_solve(&req, queue_wait, shared), false),
         Ok(Request::Generate(req)) => (handle_generate(&req, queue_wait, shared), false),
         Ok(Request::Batch(req)) => (handle_batch(&req, queue_wait, shared), false),
+        Ok(Request::SessionOpen(req)) => (handle_session_open(&req, queue_wait, shared), false),
+        Ok(Request::SessionEvent(req)) => (handle_session_event(&req, shared), false),
+        Ok(Request::SessionGet(r)) => (handle_session_get(&r, shared), false),
+        Ok(Request::SessionClose(r)) => (handle_session_close(&r, shared), false),
     }
 }
 
@@ -567,14 +638,33 @@ fn effective_deadline_ms(requested: u64, config: &ServeConfig) -> u64 {
     }
 }
 
+/// What [`solve_core`] hands back on success: the (possibly memoised)
+/// solution plus the telemetry describing how it was obtained.
+struct CoreOutcome {
+    solution: Arc<Solution>,
+    cached: bool,
+    telemetry: RequestTelemetry,
+}
+
+/// Why [`solve_core`] could not answer.
+enum CoreFail {
+    /// Admission control refused the cold solve (racer queue past the
+    /// limit); carries the observed depth for the `busy` wire body.
+    Busy { depth: usize },
+    /// The race produced an internally invalid schedule and no cached
+    /// entry could cover for it.
+    Internal(String),
+}
+
 /// The shared solve core: answer `(inst, objective, seed)` under the
 /// absolute `deadline`, with full cache integration. `budget_ms` is the
 /// wall-clock budget this caller can actually spend (for a plain solve
 /// that equals the effective deadline; for a batch item it is the
 /// *remaining* batch budget, so cache entries never claim more budget
-/// than the race really had). Returns a solve-shaped response body.
-fn solve_cached(
-    id: Option<&str>,
+/// than the race really had). Shared by plain solves, generate+solve,
+/// batch items and `session_open` (which needs the [`Solution`] itself,
+/// not a wire body — hence the split from [`solve_cached`]).
+fn solve_core(
     inst: &Arc<LoadedInstance>,
     objective: Objective,
     seed: u64,
@@ -582,7 +672,7 @@ fn solve_cached(
     budget_ms: u64,
     queue_wait: Duration,
     shared: &Shared,
-) -> Json {
+) -> Result<CoreOutcome, CoreFail> {
     let key = CacheKey {
         instance: inst.canonical_hash(),
         objective,
@@ -603,7 +693,11 @@ fn solve_cached(
                 cache_hit: true,
                 ..Default::default()
             };
-            return solution_json(id, &hit.solution, true, &telemetry);
+            return Ok(CoreOutcome {
+                solution: Arc::clone(&hit.solution),
+                cached: true,
+                telemetry,
+            });
         }
     }
     // Admission control (after the cache lookup, so a saturated
@@ -616,7 +710,7 @@ fn solve_cached(
     let depth = shared.pool.queue_depth();
     if depth >= shared.config.max_queue_depth {
         shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-        return busy_json(id, depth as u64, shared.config.max_queue_depth as u64);
+        return Err(CoreFail::Busy { depth });
     }
     shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
 
@@ -649,9 +743,13 @@ fn solve_cached(
                 cache_hit: true,
                 ..Default::default()
             };
-            return solution_json(id, &prev.solution, true, &telemetry);
+            return Ok(CoreOutcome {
+                solution: prev.solution,
+                cached: true,
+                telemetry,
+            });
         }
-        return error_json(id, &format!("internal: produced {e}"));
+        return Err(CoreFail::Internal(format!("internal: produced {e}")));
     }
 
     // An outgrown entry still holds the best solution known for the
@@ -692,7 +790,254 @@ fn solve_cached(
     .with_decodes_from_models();
 
     shared.stats.solved.fetch_add(1, Ordering::Relaxed);
-    solution_json(id, &merged.solution, false, &telemetry)
+    Ok(CoreOutcome {
+        solution: merged.solution,
+        cached: false,
+        telemetry,
+    })
+}
+
+/// [`solve_core`] rendered as a solve-shaped response body.
+fn solve_cached(
+    id: Option<&str>,
+    inst: &Arc<LoadedInstance>,
+    objective: Objective,
+    seed: u64,
+    deadline: Instant,
+    budget_ms: u64,
+    queue_wait: Duration,
+    shared: &Shared,
+) -> Json {
+    match solve_core(
+        inst, objective, seed, deadline, budget_ms, queue_wait, shared,
+    ) {
+        Ok(out) => solution_json(id, &out.solution, out.cached, &out.telemetry),
+        Err(CoreFail::Busy { depth }) => {
+            busy_json(id, depth as u64, shared.config.max_queue_depth as u64)
+        }
+        Err(CoreFail::Internal(msg)) => error_json(id, &msg),
+    }
+}
+
+/// The `status:"error"` body for a session id that is not (or no
+/// longer) registered. `code:"unknown_session"` lets clients tell an
+/// expired session apart from a malformed request: the fix is to
+/// re-open, not to re-spell.
+fn unknown_session_json(id: Option<&str>, session: &str) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "error".into()));
+    fields.push(("code".into(), "unknown_session".into()));
+    fields.push((
+        "error".into(),
+        format!("unknown session {session:?} (never opened, closed, or expired)").into(),
+    ));
+    Json::Obj(fields)
+}
+
+/// Opens a dynamic-rescheduling session: resolve the instance (job
+/// shops only — the `shop::dynamic` machinery is the job-shop
+/// predictive-reactive stack), solve it through the shared cache-aware
+/// core, and register the session with the solution as its incumbent.
+fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let inst = match load_instance(&req.instance) {
+        Ok(inst) => Arc::new(inst),
+        Err(e) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return encode_error(id, &e.to_string());
+        }
+    };
+    let LoadedInstance::Job(job) = &*inst else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return encode_error(
+            id,
+            &format!(
+                "sessions require a job-shop instance, got family {:?}",
+                inst.family().name()
+            ),
+        );
+    };
+    let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    match solve_core(
+        &inst,
+        req.objective,
+        req.seed,
+        deadline,
+        deadline_ms,
+        queue_wait,
+        shared,
+    ) {
+        Err(CoreFail::Busy { depth }) => {
+            busy_json(id, depth as u64, shared.config.max_queue_depth as u64).encode()
+        }
+        Err(CoreFail::Internal(msg)) => error_json(id, &msg).encode(),
+        Ok(out) => {
+            let state = SessionState {
+                inst: job.clone(),
+                objective: req.objective,
+                seed: req.seed,
+                windows: Vec::new(),
+                now: 0,
+                incumbent: Arc::clone(&out.solution),
+                events: 0,
+            };
+            let session = shared.sessions.open(state, req.ttl_ms);
+            let body = solution_json(id, &out.solution, out.cached, &out.telemetry);
+            let Json::Obj(mut fields) = body else {
+                unreachable!("solution_json builds an object")
+            };
+            fields.push(("session".into(), session.as_str().into()));
+            fields.push(("now".into(), 0u64.into()));
+            fields.push(("events".into(), 0u64.into()));
+            Json::Obj(fields).encode()
+        }
+    }
+}
+
+/// Applies one disruption to a session: right-shift repair races the
+/// warm-started frozen-prefix re-solve under the event deadline (see
+/// `crate::session`); a racer queue past the admission limit sheds the
+/// re-solve leg so the event still answers — with repair — inside its
+/// deadline.
+fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
+    let id = req.id.as_deref();
+    let Some(entry) = shared.sessions.get(&req.session) else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return unknown_session_json(id, &req.session).encode();
+    };
+    let deadline_ms = match req.deadline_ms {
+        0 => shared.config.default_event_deadline_ms,
+        d => d.min(shared.config.max_deadline_ms),
+    };
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    // Admission control mirrors cold solves: shedding here skips only
+    // the GA leg — repair needs no pool and always answers.
+    let skip_resolve = shared.pool.queue_depth() >= shared.config.max_queue_depth;
+    let started = Instant::now();
+    let mut state = entry.lock().expect("session poisoned");
+    match crate::session::handle_event(
+        &shared.pool,
+        &mut state,
+        &req.event,
+        deadline,
+        shared.config.gen_cap,
+        shared.config.racers,
+        skip_resolve,
+    ) {
+        Err(msg) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            encode_error(id, &msg)
+        }
+        Ok(out) => {
+            shared.stats.session_events.fetch_add(1, Ordering::Relaxed);
+            let winners = match out.winner {
+                "resolve" => &shared.stats.session_resolve_wins,
+                _ => &shared.stats.session_repair_wins,
+            };
+            winners.fetch_add(1, Ordering::Relaxed);
+            match out.resolve_skipped {
+                Some(crate::session::ResolveSkip::Busy) => {
+                    shared
+                        .stats
+                        .session_resolve_busy
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                Some(crate::session::ResolveSkip::Infeasible) => {
+                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+            let mut fields: Vec<(String, Json)> = Vec::new();
+            if let Some(id) = id {
+                fields.push(("id".into(), id.into()));
+            }
+            fields.push(("status".into(), "ok".into()));
+            fields.push(("session".into(), req.session.as_str().into()));
+            fields.push(("now".into(), out.now.into()));
+            fields.push(("events".into(), state.events.into()));
+            fields.push(("winner".into(), out.winner.into()));
+            fields.push(("objective".into(), out.solution.objective.name().into()));
+            fields.push(("value".into(), out.solution.value.into()));
+            fields.push(("makespan".into(), out.solution.makespan.into()));
+            fields.push(("model".into(), out.solution.model.as_str().into()));
+            fields.push(("repair_value".into(), out.repair_value.into()));
+            fields.push((
+                "resolve_value".into(),
+                out.resolve_value.map(Json::from).unwrap_or(Json::Null),
+            ));
+            fields.push((
+                "resolve_skipped".into(),
+                out.resolve_skipped
+                    .map(|s| Json::from(s.name()))
+                    .unwrap_or(Json::Null),
+            ));
+            fields.push(("deadline_bound".into(), out.deadline_bound.into()));
+            fields.push((
+                "schedule".into(),
+                crate::protocol::schedule_to_json(&out.solution.schedule),
+            ));
+            fields.push((
+                "telemetry".into(),
+                obj([
+                    ("event_ms", (started.elapsed().as_millis() as u64).into()),
+                    ("deadline_ms", deadline_ms.into()),
+                    ("resolve_generations", out.resolve_generations.into()),
+                ]),
+            ));
+            Json::Obj(fields).encode()
+        }
+    }
+}
+
+/// Returns a session's current incumbent and clock.
+fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
+    let id = r.id.as_deref();
+    let Some(entry) = shared.sessions.get(&r.session) else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return unknown_session_json(id, &r.session).encode();
+    };
+    let state = entry.lock().expect("session poisoned");
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("session".into(), r.session.as_str().into()));
+    fields.push(("now".into(), state.now.into()));
+    fields.push(("events".into(), state.events.into()));
+    fields.push(("jobs".into(), (state.inst.n_jobs() as u64).into()));
+    fields.push(("machines".into(), (state.inst.n_machines() as u64).into()));
+    fields.push(("objective".into(), state.incumbent.objective.name().into()));
+    fields.push(("value".into(), state.incumbent.value.into()));
+    fields.push(("makespan".into(), state.incumbent.makespan.into()));
+    fields.push((
+        "schedule".into(),
+        crate::protocol::schedule_to_json(&state.incumbent.schedule),
+    ));
+    Json::Obj(fields).encode()
+}
+
+/// Closes a session and reports how many events it absorbed.
+fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
+    let id = r.id.as_deref();
+    let Some(entry) = shared.sessions.close(&r.session) else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return unknown_session_json(id, &r.session).encode();
+    };
+    let state = entry.lock().expect("session poisoned");
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("session".into(), r.session.as_str().into()));
+    fields.push(("closed".into(), true.into()));
+    fields.push(("events".into(), state.events.into()));
+    Json::Obj(fields).encode()
 }
 
 fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
@@ -1478,6 +1823,202 @@ mod tests {
         assert_eq!(v.get("queue_depth").unwrap().as_u64(), Some(0));
         assert_eq!(v.get("busy_rejections").unwrap().as_u64(), Some(0));
         assert!(v.get("pool_wait_us").unwrap().as_u64().is_some());
+        service.shutdown();
+    }
+
+    #[test]
+    fn session_lifecycle_over_tcp() {
+        let service = Service::bind(ServeConfig {
+            workers: 2,
+            gen_cap: 60,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                // Non-job families cannot open sessions.
+                r#"{"cmd":"session_open","instance":{"name":"flow05"},"deadline_ms":2000}"#
+                    .to_string(),
+                r#"{"id":"o","cmd":"session_open","instance":{"name":"ft06"},"seed":42,"deadline_ms":2000}"#
+                    .to_string(),
+            ],
+        );
+        let err = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        assert!(err
+            .get("error")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("job-shop"));
+        let opened = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(opened.get("status").unwrap().as_str(), Some("ok"));
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        assert_eq!(opened.get("now").unwrap().as_u64(), Some(0));
+        let mk = opened.get("makespan").unwrap().as_u64().unwrap();
+
+        // A breakdown event: answered ok, winner's value never worse
+        // than repair's, clock advanced, session mutated.
+        let from = mk / 4;
+        let responses = send_lines(
+            addr,
+            &[
+                format!(
+                    r#"{{"id":"e1","cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":2,"from":{from},"duration":{}}},"deadline_ms":1500}}"#,
+                    mk / 3
+                ),
+                format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#),
+                r#"{"cmd":"stats"}"#.to_string(),
+                format!(r#"{{"cmd":"session_close","session":"{sid}"}}"#),
+                format!(r#"{{"cmd":"session_close","session":"{sid}"}}"#),
+            ],
+        );
+        let event = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            event.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{event:?}"
+        );
+        assert_eq!(event.get("now").unwrap().as_u64(), Some(from));
+        assert_eq!(event.get("events").unwrap().as_u64(), Some(1));
+        let value = event.get("value").unwrap().as_f64().unwrap();
+        let repair = event.get("repair_value").unwrap().as_f64().unwrap();
+        assert!(
+            value <= repair,
+            "winner {value} must not lose to repair {repair}"
+        );
+        let winner = event.get("winner").unwrap().as_str().unwrap();
+        assert!(winner == "repair" || winner == "resolve");
+
+        // session_get replays the incumbent the event installed.
+        let got = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(got.get("value").unwrap().as_f64(), Some(value));
+        assert_eq!(
+            got.get("schedule").unwrap().encode(),
+            event.get("schedule").unwrap().encode()
+        );
+
+        let stats = crate::json::parse(&responses[2]).unwrap();
+        assert_eq!(stats.get("sessions_open").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("sessions_opened").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("session_events").unwrap().as_u64(), Some(1));
+        let wins = stats.get("session_repair_wins").unwrap().as_u64().unwrap()
+            + stats.get("session_resolve_wins").unwrap().as_u64().unwrap();
+        assert_eq!(wins, 1);
+
+        let closed = crate::json::parse(&responses[3]).unwrap();
+        assert_eq!(closed.get("closed").unwrap().as_bool(), Some(true));
+        assert_eq!(closed.get("events").unwrap().as_u64(), Some(1));
+        let gone = crate::json::parse(&responses[4]).unwrap();
+        assert_eq!(gone.get("code").unwrap().as_str(), Some("unknown_session"));
+        assert_eq!(service.session_gauges().open, 0, "registry drains on close");
+        service.shutdown();
+    }
+
+    #[test]
+    fn session_events_validate_against_the_session_clock() {
+        let service = Service::bind(ServeConfig {
+            workers: 1,
+            gen_cap: 40,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":1,"deadline_ms":1000}"#
+                    .to_string(),
+            ],
+        );
+        let sid = crate::json::parse(&responses[0])
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let event = |body: &str| {
+            format!(
+                r#"{{"cmd":"session_event","session":"{sid}","event":{body},"deadline_ms":400}}"#
+            )
+        };
+        let responses = send_lines(
+            addr,
+            &[
+                event(r#"{"type":"breakdown","machine":1,"from":30,"duration":10}"#),
+                // Clock at 30 now: an earlier event must be refused.
+                event(r#"{"type":"breakdown","machine":1,"from":10,"duration":5}"#),
+                // Unknown machine.
+                event(r#"{"type":"breakdown","machine":99,"from":40,"duration":5}"#),
+                // Revising an op that started before the event time.
+                event(r#"{"type":"revision","at":31,"job":0,"op":0,"duration":9}"#),
+                format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#),
+            ],
+        );
+        assert_eq!(
+            crate::json::parse(&responses[0])
+                .unwrap()
+                .get("status")
+                .unwrap()
+                .as_str(),
+            Some("ok")
+        );
+        for (i, why) in [
+            (1, "stale clock"),
+            (2, "unknown machine"),
+            (3, "started op"),
+        ] {
+            let v = crate::json::parse(&responses[i]).unwrap();
+            assert_eq!(v.get("status").unwrap().as_str(), Some("error"), "{why}");
+        }
+        // The failed events left the session at one applied event.
+        let got = crate::json::parse(&responses[4]).unwrap();
+        assert_eq!(got.get("events").unwrap().as_u64(), Some(1));
+        assert_eq!(got.get("now").unwrap().as_u64(), Some(30));
+        service.shutdown();
+    }
+
+    #[test]
+    fn sessions_expire_by_ttl_and_count_in_stats() {
+        let service = Service::bind(ServeConfig {
+            workers: 1,
+            gen_cap: 30,
+            session_ttl_ms: 80,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":2,"deadline_ms":1000}"#
+                    .to_string(),
+            ],
+        );
+        let sid = crate::json::parse(&responses[0])
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(service.session_gauges().open, 1);
+        std::thread::sleep(Duration::from_millis(200));
+        let responses = send_lines(
+            addr,
+            &[
+                format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#),
+                r#"{"cmd":"stats"}"#.to_string(),
+            ],
+        );
+        let v = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(v.get("code").unwrap().as_str(), Some("unknown_session"));
+        let stats = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(stats.get("sessions_open").unwrap().as_u64(), Some(0));
+        assert_eq!(stats.get("sessions_expired").unwrap().as_u64(), Some(1));
         service.shutdown();
     }
 

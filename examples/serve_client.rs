@@ -11,18 +11,36 @@
 //!     --batch gen-job-6x6-s1,gen-job-6x6-s2,gen-flow-8x4-s1 --deadline-ms 4000
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
 //!     --generate gen-flexible-6x4-s9 --solve
+//! # Dynamic-rescheduling sessions: open, disrupt, inspect, close.
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --session-open ft06 --seed 42 --deadline-ms 2000
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --session sess-1 --event breakdown:2:40:25 --deadline-ms 300
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --session sess-1 --event arrival:60:0x5,3x7,1x4
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --session sess-1 --event revision:80:1:2:9
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --get
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --close
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --cmd shutdown
 //! ```
+//!
+//! Event specs: `breakdown:MACHINE:FROM:DURATION`,
+//! `arrival:AT:m0xd0,m1xd1,...` (the new job's route), and
+//! `revision:AT:JOB:OP:DURATION`.
 //!
 //! Named instances are the embedded classics plus canonical `gen-*`
 //! generated names (see `shop::gen::GenSpec::from_name`).
 
 use pga_shop::serve::json;
 use pga_shop::serve::protocol::{
-    encode_batch_request, encode_generate_request, encode_request, BatchItem, BatchRequest,
-    BatchSource, GenerateRequest, InstanceSpec, Objective, SolveRequest,
+    encode_batch_request, encode_generate_request, encode_request, encode_session_event,
+    encode_session_open, encode_session_ref, BatchItem, BatchRequest, BatchSource, GenerateRequest,
+    InstanceSpec, Objective, SessionEventRequest, SessionOpenRequest, SessionRef, SolveRequest,
 };
+use pga_shop::shop::dynamic::Event;
 use pga_shop::shop::gen::GenSpec;
+use pga_shop::shop::instance::Op;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -31,11 +49,48 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr HOST:PORT \
          (--instance NAME | --file PATH --kind FAMILY \
-         | --batch NAME,NAME,... | --generate GEN-NAME [--solve]) \
+         | --batch NAME,NAME,... | --generate GEN-NAME [--solve] \
+         | --session-open NAME [--ttl-ms N] \
+         | --session SID (--event SPEC | --get | --close)) \
          [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
-         | --cmd stats|shutdown"
+         | --cmd stats|shutdown\n\
+         event SPEC: breakdown:M:FROM:DUR | arrival:AT:m0xd0,m1xd1,... \
+         | revision:AT:JOB:OP:DUR"
     );
     std::process::exit(2);
+}
+
+/// Parses an `--event` spec into a protocol event.
+fn parse_event_spec(spec: &str) -> Option<Event> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["breakdown", m, f, d] => Some(Event::Breakdown {
+            machine: m.parse().ok()?,
+            from: f.parse().ok()?,
+            duration: d.parse().ok()?,
+        }),
+        ["arrival", at, route] => {
+            let route: Option<Vec<Op>> = route
+                .split(',')
+                .map(|leg| {
+                    let (m, d) = leg.split_once('x')?;
+                    let d: u64 = d.parse().ok().filter(|&d| d > 0)?;
+                    Some(Op::new(m.parse().ok()?, d))
+                })
+                .collect();
+            Some(Event::JobArrival {
+                at: at.parse().ok()?,
+                route: route?,
+            })
+        }
+        ["revision", at, j, o, d] => Some(Event::Revision {
+            at: at.parse().ok()?,
+            job: j.parse().ok()?,
+            op: o.parse().ok()?,
+            duration: d.parse().ok()?,
+        }),
+        _ => None,
+    }
 }
 
 fn main() {
@@ -46,6 +101,12 @@ fn main() {
     let mut batch = None;
     let mut generate = None;
     let mut solve_generated = false;
+    let mut session_open = None;
+    let mut session = None;
+    let mut event = None;
+    let mut session_get = false;
+    let mut session_close = false;
+    let mut ttl_ms = 0u64;
     let mut objective = Objective::Makespan;
     let mut seed = 0u64;
     let mut deadline_ms = 2_000u64;
@@ -61,6 +122,12 @@ fn main() {
             "--batch" => batch = Some(value()),
             "--generate" => generate = Some(value()),
             "--solve" => solve_generated = true,
+            "--session-open" => session_open = Some(value()),
+            "--session" => session = Some(value()),
+            "--event" => event = Some(value()),
+            "--get" => session_get = true,
+            "--close" => session_close = true,
+            "--ttl-ms" => ttl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--objective" => objective = Objective::from_name(&value()).unwrap_or_else(|| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
@@ -70,7 +137,51 @@ fn main() {
     }
     let Some(addr) = addr else { usage() };
 
+    // Session requests are parsed before the non-session matrix so the
+    // shared flags (--seed, --deadline-ms, --objective) keep working.
+    let session_line = if let Some(name) = &session_open {
+        Some(encode_session_open(&SessionOpenRequest {
+            id: Some("client".into()),
+            instance: InstanceSpec::Named(name.clone()),
+            objective,
+            seed,
+            deadline_ms,
+            ttl_ms,
+        }))
+    } else if let Some(sid) = &session {
+        if let Some(spec) = &event {
+            let event = parse_event_spec(spec).unwrap_or_else(|| {
+                eprintln!("bad --event spec {spec:?}");
+                usage();
+            });
+            Some(encode_session_event(&SessionEventRequest {
+                id: Some("client".into()),
+                session: sid.clone(),
+                event,
+                deadline_ms,
+            }))
+        } else if session_get || session_close {
+            let cmd = if session_close {
+                "session_close"
+            } else {
+                "session_get"
+            };
+            Some(encode_session_ref(
+                cmd,
+                &SessionRef {
+                    id: Some("client".into()),
+                    session: sid.clone(),
+                },
+            ))
+        } else {
+            usage()
+        }
+    } else {
+        None
+    };
+
     let line = match (&cmd, &instance, &file, &batch, &generate) {
+        _ if session_line.is_some() => session_line.clone().expect("checked"),
         (Some(c), ..) if c == "stats" || c == "shutdown" => format!("{{\"cmd\":\"{c}\"}}"),
         (None, Some(name), None, None, None) => encode_request(&SolveRequest {
             id: Some("client".into()),
@@ -161,7 +272,29 @@ fn main() {
         std::process::exit(1);
     });
     let ok = parsed.get("status").and_then(json::Json::as_str) == Some("ok");
-    let complete = if batch.is_some() {
+    let complete = if session_open.is_some() {
+        parsed.get("session").and_then(json::Json::as_str).is_some()
+            && parsed
+                .get("schedule")
+                .and_then(json::Json::as_arr)
+                .is_some_and(|s| !s.is_empty())
+    } else if session.is_some() && event.is_some() {
+        // The winner must never lose to pure right-shift repair.
+        let value = parsed.get("value").and_then(json::Json::as_f64);
+        let repair = parsed.get("repair_value").and_then(json::Json::as_f64);
+        matches!((value, repair), (Some(v), Some(r)) if v <= r)
+            && parsed
+                .get("schedule")
+                .and_then(json::Json::as_arr)
+                .is_some_and(|s| !s.is_empty())
+    } else if session_close {
+        parsed.get("closed").and_then(json::Json::as_bool) == Some(true)
+    } else if session_get {
+        parsed
+            .get("schedule")
+            .and_then(json::Json::as_arr)
+            .is_some()
+    } else if batch.is_some() {
         // Every batch item answered ok.
         parsed.get("ok").and_then(json::Json::as_u64)
             == parsed.get("count").and_then(json::Json::as_u64)
