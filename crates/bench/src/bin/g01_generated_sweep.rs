@@ -31,8 +31,9 @@ fn main() {
             ("instance", row.name.as_str().into()),
             ("family", row.family.into()),
             ("total_ops", (row.total_ops as u64).into()),
-            ("predicted_nominal_s", row.predicted_s.into()),
+            ("predicted_s", row.predicted_s.into()),
             ("observed_ms", row.observed_ms.into()),
+            ("obs_over_pred", row.ratio.into()),
             ("makespan", row.makespan.into()),
         ]);
         writeln!(file, "{}", line.encode()).expect("append row");

@@ -140,7 +140,7 @@ fn resolve_race(
     };
     let outcome = race(
         pool,
-        &plan_lineup(k, STORM_RACERS),
+        &plan_lineup(Family::Job, k, STORM_RACERS),
         toolkit_factory,
         eval,
         seed,

@@ -10,6 +10,7 @@ pub mod experiments {
     pub mod a01_migration;
     pub mod a02_decoders;
     pub mod a03_regimes;
+    pub mod d01_decoder;
     pub mod e01_aitzai;
     pub mod e02_somani;
     pub mod e03_mui;
@@ -61,6 +62,7 @@ pub mod experiments {
             e19_rashidi::run,
             f01_matrix::run,
             g01_generated::run,
+            d01_decoder::run,
             a01_migration::run,
             a02_decoders::run,
             a03_regimes::run,

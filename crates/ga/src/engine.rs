@@ -69,6 +69,13 @@ impl<G: Clone + Send + Sync + 'static> Toolkit<G> {
     /// best-so-far tracking), the model's initial best cost is at most
     /// the best seed's cost.
     ///
+    /// Because construction fills population slots in order, an
+    /// evaluator sees the seeds first and their mutated clones
+    /// immediately after — see the evaluation-order contract on
+    /// [`Engine::new`], which is what lets incremental re-decoders
+    /// (`shop::decoder::table`) warm their caches on a seed and then
+    /// re-time only the mutated tail of each clone.
+    ///
     /// ```
     /// use ga::engine::{Engine, GaConfig, Toolkit};
     /// use rand::Rng;
@@ -240,6 +247,23 @@ pub struct Engine<'a, G> {
 
 impl<'a, G: Clone> Engine<'a, G> {
     /// Initialises and evaluates the starting population.
+    ///
+    /// **Evaluation-order contract**: genomes are handed to the
+    /// evaluator in population order — the initial population in slot
+    /// order here, and each generation's children in the order they
+    /// were bred (crossover pairs, then immigrants) in
+    /// [`step`](Self::step). `Evaluator::cost_batch` receives them as
+    /// one slice in that order, and the default implementation calls
+    /// `cost` sequentially over it. Stateful caching evaluators (the
+    /// incremental re-decoders in `shop::decoder::table`) rely on this:
+    /// combined with [`Toolkit::with_warm_start`] placing seeds before
+    /// their mutated clones, consecutive evaluations differ only past
+    /// the mutation point, so a cache primed by one genome accelerates
+    /// the next. Correctness never depends on the order — evaluators
+    /// must return the same cost for the same genome regardless — but
+    /// the performance of incremental evaluation does, so this order is
+    /// a contract, not an implementation detail (pinned by the
+    /// `evaluation_order_is_population_order` test).
     pub fn new(config: GaConfig, toolkit: Toolkit<G>, evaluator: &'a dyn Evaluator<G>) -> Self {
         assert!(config.pop_size >= 2, "population of at least 2 required");
         assert!(config.elites < config.pop_size);
@@ -618,6 +642,53 @@ mod tests {
         assert!(seen.len() >= 2, "expected at least one improvement");
         assert_eq!(*seen.last().unwrap(), best.cost);
         assert!(seen.windows(2).all(|w| w[1] < w[0]));
+    }
+
+    #[test]
+    fn evaluation_order_is_population_order() {
+        use std::sync::Mutex;
+
+        // Records every genome it is asked to cost, in call order.
+        struct Recording {
+            seen: Mutex<Vec<Vec<usize>>>,
+        }
+        impl Evaluator<Vec<usize>> for Recording {
+            fn cost(&self, g: &Vec<usize>) -> f64 {
+                self.seen.lock().unwrap().push(g.clone());
+                displacement(g)
+            }
+        }
+
+        let seed: Vec<usize> = (0..8).collect();
+        let toolkit = perm_toolkit(8).with_warm_start(vec![seed.clone()], 3);
+        let eval = Recording {
+            seen: Mutex::new(Vec::new()),
+        };
+        let cfg = GaConfig {
+            pop_size: 10,
+            seed: 5,
+            ..GaConfig::default()
+        };
+        let mut engine = Engine::new(cfg, toolkit, &eval);
+        let init_pop: Vec<Vec<usize>> = engine
+            .population()
+            .iter()
+            .map(|i| i.genome.clone())
+            .collect();
+        {
+            let seen = eval.seen.lock().unwrap();
+            // The contract Engine::new documents: initial genomes are
+            // evaluated in population-slot order, so the warm seed is
+            // costed first and its mutated clones immediately after.
+            assert_eq!(*seen, init_pop);
+            assert_eq!(seen[0], seed);
+        }
+        eval.seen.lock().unwrap().clear();
+        engine.step();
+        // Children are evaluated in breeding order: each differs from a
+        // recent genome by one crossover/mutation, which is what the
+        // incremental decoders exploit.
+        assert!(!eval.seen.lock().unwrap().is_empty());
     }
 
     #[test]

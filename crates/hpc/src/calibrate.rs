@@ -7,6 +7,42 @@
 
 use std::time::Instant;
 
+/// Nominal per-operation evaluation cost of a permutation **flow
+/// shop** (seconds per operation, as seen by one individual moving
+/// through the serving GA loop).
+///
+/// These four constants are the evaluation side of the cost model's
+/// `RunShape::eval_s`: evaluating one individual of an instance with
+/// `V` operations costs roughly `V * DECODE_OP_S_<family>`. They
+/// price the *whole* per-individual walk — the struct-of-arrays
+/// decode in `shop::decoder::table` plus that individual's share of
+/// operator work, cloning and population bookkeeping, which is why
+/// they sit well above the raw decode throughput the `d01_decoder`
+/// lane measures (the flat decode is now so fast that the GA's own
+/// machinery dominates an evaluation). They are *nominal* figures
+/// calibrated once against observed portfolio runtimes on generated
+/// instances (release build, commodity x86-64; the `g01` sweep
+/// re-checks predicted-vs-observed stays within 2x on the largest
+/// instance per family) and deliberately kept as fixed constants
+/// rather than runtime measurements, so model rankings and the serve
+/// lineup stay machine-independent. The *ratios* between families
+/// are what matter: a flow evaluation is a tight DP row sweep over a
+/// plain permutation, job/open evaluations add dispatch bookkeeping
+/// on longer operation-sequence genomes, and flexible evaluations
+/// carry the dual assignment + sequence genome through every
+/// operator.
+pub const DECODE_OP_S_FLOW: f64 = 22e-9;
+/// Nominal per-operation evaluation cost of a **job shop**
+/// (semi-active operation-sequence decode). See
+/// [`DECODE_OP_S_FLOW`].
+pub const DECODE_OP_S_JOB: f64 = 160e-9;
+/// Nominal per-operation evaluation cost of an **open shop** (dense
+/// op-id order decode). See [`DECODE_OP_S_FLOW`].
+pub const DECODE_OP_S_OPEN: f64 = 85e-9;
+/// Nominal per-operation evaluation cost of a **flexible job shop**
+/// (dual assignment + sequence decode). See [`DECODE_OP_S_FLOW`].
+pub const DECODE_OP_S_FLEXIBLE: f64 = 280e-9;
+
 /// Measures the mean wall time of `f` over `iters` calls (after one
 /// warm-up call). Returns seconds per call.
 pub fn measure_s(iters: u32, mut f: impl FnMut()) -> f64 {

@@ -34,6 +34,7 @@ use hpc::model::{cellular_time, island_time, master_slave_time, RunShape};
 use hpc::Platform;
 use pga::telemetry::RunTelemetry;
 use pga::{CellularConfig, CellularGa, IslandConfig, IslandGa, MigrationConfig, RayonEvaluator};
+use shop::gen::Family;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -99,24 +100,32 @@ impl BestSoFar {
     }
 }
 
-/// Prices candidate configurations of all three models for an instance
-/// with `total_ops` operations on a multicore platform of `threads`
-/// width, returning them ranked cheapest-first as `(predicted seconds,
-/// model)`. The predictions use *nominal* per-unit host costs (the
-/// ranking, not the absolute figure, is what [`plan_lineup`] consumes);
-/// the generated-sweep bench (`g01_generated_sweep`) records them next
-/// to observed runtimes to track how the model scales with size.
-pub fn price_lineup(total_ops: usize, threads: usize) -> Vec<(f64, ModelKind)> {
+/// Prices candidate configurations of all three models for a `family`
+/// instance with `total_ops` operations on a multicore platform of
+/// `threads` width, returning them ranked cheapest-first as
+/// `(predicted seconds, model)`. The per-evaluation cost uses the
+/// family's nominal decode cost from [`hpc::calibrate`] — a flexible
+/// decode costs several times a flow decode of the same operation
+/// count, and pricing all families with one shared constant left the
+/// generated-sweep predictions 3–10x off on the flexible/open
+/// families. The constants are still nominal (the ranking stays
+/// machine-independent); the generated-sweep bench
+/// (`g01_generated_sweep`) records predicted next to observed runtimes
+/// to track how the model scales with size.
+pub fn price_lineup(family: Family, total_ops: usize, threads: usize) -> Vec<(f64, ModelKind)> {
     let threads = threads.clamp(1, 3);
     // Population scales with instance size, bounded for latency.
     let pop = (2 * total_ops).clamp(32, 128);
-    // Nominal per-unit host costs: only the *relative* ranking matters,
-    // so these are fixed constants rather than calibrated measurements
-    // (calibration would make the lineup machine-dependent).
+    let decode_op_s = match family {
+        Family::Flow => hpc::calibrate::DECODE_OP_S_FLOW,
+        Family::Job => hpc::calibrate::DECODE_OP_S_JOB,
+        Family::Open => hpc::calibrate::DECODE_OP_S_OPEN,
+        Family::Flexible => hpc::calibrate::DECODE_OP_S_FLEXIBLE,
+    };
     let shape = RunShape {
         generations: 100,
         evals_per_gen: pop as u64,
-        eval_s: 40e-9 * total_ops as f64,
+        eval_s: decode_op_s * total_ops as f64,
         serial_gen_s: 150e-9 * pop as f64,
         genome_bytes: 8.0 * total_ops as f64,
     };
@@ -150,20 +159,22 @@ pub fn price_lineup(total_ops: usize, threads: usize) -> Vec<(f64, ModelKind)> {
     ranked
 }
 
-/// Picks the starting lineup for an instance with `total_ops` operations
-/// given `threads` racer threads: the [`price_lineup`] ranking's
-/// cheapest `threads` (at most 3) race. Pure function of its arguments
-/// — the lineup is part of the service's determinism contract.
+/// Picks the starting lineup for a `family` instance with `total_ops`
+/// operations given `threads` racer threads: the [`price_lineup`]
+/// ranking's cheapest `threads` (at most 3) race. Pure function of its
+/// arguments — the lineup is part of the service's determinism
+/// contract.
 ///
 /// ```
 /// use serve::portfolio::plan_lineup;
+/// use shop::gen::Family;
 ///
-/// let lineup = plan_lineup(36, 3); // ft06-sized instance, 3 threads
+/// let lineup = plan_lineup(Family::Job, 36, 3); // ft06-sized, 3 threads
 /// assert_eq!(lineup.len(), 3);
-/// assert_eq!(lineup, plan_lineup(36, 3)); // pure function
+/// assert_eq!(lineup, plan_lineup(Family::Job, 36, 3)); // pure function
 /// ```
-pub fn plan_lineup(total_ops: usize, threads: usize) -> Vec<ModelKind> {
-    price_lineup(total_ops, threads)
+pub fn plan_lineup(family: Family, total_ops: usize, threads: usize) -> Vec<ModelKind> {
+    price_lineup(family, total_ops, threads)
         .into_iter()
         .map(|(_, m)| m)
         .collect()
@@ -710,12 +721,12 @@ mod tests {
 
     #[test]
     fn lineup_is_deterministic_and_bounded() {
-        let a = plan_lineup(36, 3);
-        let b = plan_lineup(36, 3);
+        let a = plan_lineup(Family::Job, 36, 3);
+        let b = plan_lineup(Family::Job, 36, 3);
         assert_eq!(a, b);
         assert_eq!(a.len(), 3);
-        assert_eq!(plan_lineup(36, 1).len(), 1);
-        assert_eq!(plan_lineup(36, 16).len(), 3);
+        assert_eq!(plan_lineup(Family::Job, 36, 1).len(), 1);
+        assert_eq!(plan_lineup(Family::Job, 36, 16).len(), 3);
         // All three models appear exactly once.
         let names: std::collections::HashSet<&str> = a.iter().map(|m| m.name()).collect();
         assert_eq!(names.len(), 3);
@@ -735,7 +746,7 @@ mod tests {
     #[test]
     fn race_finds_optimum_and_is_seed_deterministic() {
         let pool = RacerPool::new(2);
-        let lineup = plan_lineup(10, 3);
+        let lineup = plan_lineup(Family::Job, 10, 3);
         let run = || {
             race(
                 &pool,
@@ -862,7 +873,7 @@ mod tests {
         let pool = RacerPool::new(1);
         // Occupy the only racer slot for the whole test.
         let (gate, _open_on_unwind) = occupy_pool(&pool);
-        let lineup = plan_lineup(10, 3);
+        let lineup = plan_lineup(Family::Job, 10, 3);
         assert_eq!(lineup.len(), 3);
         let started = Instant::now();
         let r = race(
@@ -901,7 +912,7 @@ mod tests {
         let (_gate, _open_on_unwind) = occupy_pool(&pool);
         // Tiny problem with target 0: the inline member certifies the
         // optimum almost immediately.
-        let lineup = plan_lineup(6, 2);
+        let lineup = plan_lineup(Family::Job, 6, 2);
         let started = Instant::now();
         let r = race(
             &pool,

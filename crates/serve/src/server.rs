@@ -883,6 +883,9 @@ fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &
                 windows: Vec::new(),
                 now: 0,
                 incumbent: Arc::clone(&out.solution),
+                // Tracks *event* degradation (busy-skips, clock-cut
+                // re-solves); a fresh incumbent starts settled.
+                deadline_bound: false,
                 events: 0,
             };
             let session = shared.sessions.open(state, req.ttl_ms);
@@ -1014,6 +1017,7 @@ fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
     fields.push(("objective".into(), state.incumbent.objective.name().into()));
     fields.push(("value".into(), state.incumbent.value.into()));
     fields.push(("makespan".into(), state.incumbent.makespan.into()));
+    fields.push(("deadline_bound".into(), state.deadline_bound.into()));
     fields.push((
         "schedule".into(),
         crate::protocol::schedule_to_json(&state.incumbent.schedule),
@@ -1978,6 +1982,143 @@ mod tests {
         let got = crate::json::parse(&responses[4]).unwrap();
         assert_eq!(got.get("events").unwrap().as_u64(), Some(1));
         assert_eq!(got.get("now").unwrap().as_u64(), Some(30));
+        service.shutdown();
+    }
+
+    #[test]
+    fn busy_degraded_event_reports_deadline_bound_in_session_get() {
+        let service = Service::bind(ServeConfig {
+            workers: 2,
+            gen_cap: 60,
+            max_queue_depth: 1,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":5,"deadline_ms":2000}"#
+                    .to_string(),
+            ],
+        );
+        let opened = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            opened.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{opened:?}"
+        );
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        let mk = opened.get("makespan").unwrap().as_u64().unwrap();
+
+        // Saturate the racer pool so the event's re-solve leg is shed:
+        // one gated job per racer thread occupies every slot, and two
+        // more sit queued, holding `queue_depth` over the admission
+        // limit for as long as the gate stays closed.
+        let gate = Arc::new((Mutex::new(false), std::sync::Condvar::new()));
+        let cancel = Arc::new(crate::scheduler::CancelToken::default());
+        let job_deadline = Instant::now() + Duration::from_secs(30);
+        for _ in 0..service.racer_pool_size() + 2 {
+            let gate = Arc::clone(&gate);
+            service.shared.pool.submit(
+                job_deadline,
+                Arc::clone(&cancel),
+                Box::new(move |_run| {
+                    let (lock, cv) = &*gate;
+                    let mut open = lock.lock().unwrap();
+                    while !*open {
+                        open = cv.wait(open).unwrap();
+                    }
+                }),
+            );
+        }
+        for _ in 0..400 {
+            if service.queue_depth() >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(service.queue_depth() >= 1, "pool saturation did not take");
+
+        let responses = send_lines(
+            addr,
+            &[format!(
+                r#"{{"id":"e1","cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":1,"from":{},"duration":{}}},"deadline_ms":500}}"#,
+                mk / 4,
+                mk / 3
+            )],
+        );
+        let event = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            event.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{event:?}"
+        );
+        assert_eq!(event.get("resolve_skipped").unwrap().as_str(), Some("busy"));
+        assert_eq!(event.get("winner").unwrap().as_str(), Some("repair"));
+        assert_eq!(event.get("deadline_bound").unwrap().as_bool(), Some(true));
+        let value = event.get("value").unwrap().as_f64().unwrap();
+        assert_eq!(
+            Some(value),
+            event.get("repair_value").unwrap().as_f64(),
+            "a shed re-solve answers with the repaired schedule"
+        );
+
+        // The regression under test: session_get must replay the busy
+        // event's degraded incumbent — the repaired value, flagged
+        // deadline_bound — not a stale or settled view of it.
+        let responses = send_lines(
+            addr,
+            &[format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#)],
+        );
+        let got = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            got.get("deadline_bound").unwrap().as_bool(),
+            Some(true),
+            "{got:?}"
+        );
+        assert_eq!(got.get("value").unwrap().as_f64(), Some(value));
+        assert_eq!(
+            got.get("schedule").unwrap().encode(),
+            event.get("schedule").unwrap().encode()
+        );
+
+        // Release the pool: the next event gets its re-solve slot and
+        // the session settles back to deadline_bound=false.
+        {
+            let (lock, cv) = &*gate;
+            *lock.lock().unwrap() = true;
+            cv.notify_all();
+        }
+        cancel.cancel();
+        for _ in 0..400 {
+            if service.queue_depth() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let responses = send_lines(
+            addr,
+            &[
+                format!(
+                    r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":0,"from":{},"duration":5}},"deadline_ms":2000}}"#,
+                    mk / 2
+                ),
+                format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#),
+            ],
+        );
+        let second = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(
+            second.get("status").unwrap().as_str(),
+            Some("ok"),
+            "{second:?}"
+        );
+        let settled = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(
+            settled.get("deadline_bound").unwrap().as_bool(),
+            Some(false),
+            "a full-budget event settles the session again: {settled:?}"
+        );
         service.shutdown();
     }
 

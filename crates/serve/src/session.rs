@@ -35,14 +35,15 @@
 //! session, so events on different sessions race concurrently while
 //! events on one session serialise in arrival order.
 
-use crate::portfolio::{plan_lineup, race};
+use crate::portfolio::{plan_lineup, race_core, run_member, BestSoFar, MemberRunner, StopRule};
 use crate::protocol::{Objective, Solution};
 use crate::scheduler::RacerPool;
-use ga::engine::Toolkit;
+use ga::engine::{Individual, Toolkit};
 use ga::rng::split_seed;
 use shop::dynamic::{
-    apply_event, frozen_prefix, reschedule_suffix_with_windows, DownWindow, Event,
+    apply_event, frozen_prefix, reschedule_suffix_with_windows, DownWindow, Event, SuffixRedecoder,
 };
+use shop::gen::Family;
 use shop::instance::JobShopInstance;
 use shop::schedule::Schedule;
 use shop::{Problem, Time};
@@ -81,6 +82,12 @@ pub struct SessionState {
     pub now: Time,
     /// The incumbent solution for the current instance/windows.
     pub incumbent: Arc<Solution>,
+    /// Whether the incumbent is budget-degraded: the last event's
+    /// re-solve was cut by the clock or skipped under backpressure
+    /// (`ResolveSkip::Busy`), so a rerun with more budget could hold a
+    /// better schedule. `session_get` reports this as
+    /// `deadline_bound`, mirroring the solver's semantics.
+    pub deadline_bound: bool,
     /// Events applied so far.
     pub events: u64,
 }
@@ -355,42 +362,80 @@ pub fn handle_event(
         let shared_frozen = Arc::new(frozen.clone());
         let shared_suffix = Arc::new(suffix.clone());
         let shared_windows = Arc::new(windows.clone());
-        let decode = {
-            let inst = Arc::clone(&shared_inst);
-            let frozen = Arc::clone(&shared_frozen);
-            let suffix = Arc::clone(&shared_suffix);
-            let windows = Arc::clone(&shared_windows);
-            move |perm: &Vec<usize>| -> Schedule {
-                let order: Vec<(usize, usize)> = perm.iter().map(|&i| suffix[i]).collect();
-                // Floor at the event time: a live scheduler cannot
-                // start work in the past, and repair's suffix already
-                // satisfies the floor, so resolve <= repair survives.
-                reschedule_suffix_with_windows(&inst, &frozen, &order, &windows, t)
-            }
-        };
-        let eval = {
-            let decode = decode.clone();
-            let inst = Arc::clone(&shared_inst);
-            move |perm: &Vec<usize>| objective_value(&inst, &decode(perm), objective)
-        };
         // Warm start: the identity permutation *is* the incumbent
         // order, so the race's first individual already matches (or
         // beats — greedy dispatch) right-shift repair; a handful of
         // mutated clones around it seeds the neighbourhood.
         let clones = (k / 2).clamp(2, 8);
-        let toolkit_factory = move || suffix_toolkit(k).with_warm_start(vec![identity(k)], clones);
-        let lineup = plan_lineup(k, racers.max(1));
-        let outcome = race(
+        let lineup = plan_lineup(Family::Job, k, racers.max(1));
+        // Every race member shares the Arc'd (instance, frozen,
+        // suffix, windows) base data and wraps it in its own
+        // incremental suffix re-decoder: evaluations are bit-identical
+        // to materialising via reschedule_suffix_with_windows (with
+        // the `now` floor at the event time, which is what keeps
+        // resolve <= repair), but a warm-started population's
+        // mutated-clone traffic re-times only the changed tail.
+        let runner: Arc<MemberRunner<Vec<usize>>> = {
+            let inst = Arc::clone(&shared_inst);
+            let frozen = Arc::clone(&shared_frozen);
+            let suffix = Arc::clone(&shared_suffix);
+            let windows = Arc::clone(&shared_windows);
+            Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                // Per-member mutable decode state; the mutex satisfies
+                // the `Fn + Sync` evaluator bound and is uncontended
+                // (one evaluator per member run).
+                let redecoder = Mutex::new(SuffixRedecoder::new(
+                    Arc::clone(&inst),
+                    &frozen,
+                    Arc::clone(&suffix),
+                    Arc::clone(&windows),
+                    t,
+                ));
+                let eval = move |perm: &Vec<usize>| {
+                    let mut r = redecoder.lock().unwrap();
+                    match objective {
+                        Objective::Makespan => r.makespan(perm) as f64,
+                        Objective::TotalCompletion => r.completion_sum(perm) as f64,
+                    }
+                };
+                let toolkit_factory =
+                    || suffix_toolkit(k).with_warm_start(vec![identity(k)], clones);
+                let mut report = |ind: &Individual<Vec<usize>>| shared.report(ind.cost);
+                run_member(
+                    member,
+                    mseed,
+                    &toolkit_factory,
+                    &eval,
+                    stop,
+                    shared,
+                    &mut report,
+                )
+            })
+        };
+        let outcome = race_core(
             pool,
             &lineup,
-            toolkit_factory,
-            eval,
+            runner,
             split_seed(state.seed, state.events + 1),
             deadline,
             gen_cap,
             0.0, // no cheap certificate for a frozen-prefix re-solve
         );
-        let schedule = decode(&outcome.best.genome);
+        // The winner is materialised and validated by the reference
+        // path — the incremental decoder never answers unchecked.
+        let order: Vec<(usize, usize)> = outcome
+            .best
+            .genome
+            .iter()
+            .map(|&i| shared_suffix[i])
+            .collect();
+        let schedule = reschedule_suffix_with_windows(
+            &shared_inst,
+            &shared_frozen,
+            &order,
+            &shared_windows,
+            t,
+        );
         let value = objective_value(&inst, &schedule, state.objective);
         let generations = outcome
             .models
@@ -416,7 +461,11 @@ pub fn handle_event(
 
     let mut resolve_value = None;
     let mut generations = 0;
-    let mut deadline_bound = false;
+    // A backpressure skip is a budget-degraded answer — the repaired
+    // schedule stands in because the service had no re-solve capacity,
+    // exactly the solver's "never got a slot" semantics — so it must
+    // surface as deadline_bound, not masquerade as a settled incumbent.
+    let mut deadline_bound = matches!(skip, Some(ResolveSkip::Busy));
     let (winner, value, schedule, model) = match resolve {
         Some((rv, schedule, member, gens, bound)) => {
             resolve_value = Some(rv);
@@ -445,6 +494,7 @@ pub fn handle_event(
     state.windows = windows;
     state.now = t;
     state.incumbent = Arc::clone(&solution);
+    state.deadline_bound = deadline_bound;
     state.events += 1;
     Ok(EventOutcome {
         winner,
@@ -522,6 +572,7 @@ mod tests {
             windows: Vec::new(),
             now: 0,
             incumbent: Arc::new(out.solution),
+            deadline_bound: false,
             events: 0,
         }
     }

@@ -6,10 +6,14 @@
 //! The family-generic instance type is [`shop::gen::AnyInstance`];
 //! this module only adds the protocol-level resolution
 //! ([`load_instance`]) and the racing glue ([`solve`]). Because races
-//! run as tasks on a persistent pool (see [`crate::scheduler`]), the
-//! per-family evaluator closures own an `Arc` of the instance and
-//! construct their decoder inside the racer task — one decoder build
-//! per member run, nothing borrowed across threads.
+//! run as tasks on a persistent pool (see [`crate::scheduler`]), all
+//! race members share one `Arc`-cached flat operation table
+//! ([`shop::decoder::table`]) built once per solve; each member run
+//! wraps it in its own incremental re-decoder, so consecutive
+//! evaluations of near-identical genomes (mutation traffic) re-time
+//! only the changed suffix. The final winning genome is decoded by the
+//! family's reference decoder and validated — the hot path never gets
+//! to answer unchecked.
 
 use crate::portfolio::{plan_lineup, race_core, run_member, BestSoFar, MemberRunner, ModelKind};
 use crate::portfolio::{RaceResult, StopRule};
@@ -22,10 +26,13 @@ use shop::decoder::flexible::FlexDecoder;
 use shop::decoder::flow::FlowDecoder;
 use shop::decoder::job::JobDecoder;
 use shop::decoder::open::OpenDecoder;
+use shop::decoder::table::{
+    FlexTable, IncrementalFlex, IncrementalFlow, IncrementalJob, IncrementalOpenOrder, OpTable,
+};
 use shop::gen::AnyInstance;
 use shop::schedule::Schedule;
 use shop::Problem;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// The parsed problem instance a request resolves to. Kept as an alias
@@ -144,7 +151,7 @@ pub fn solve(
     gen_cap: u64,
     threads: usize,
 ) -> SolveOutcome {
-    let lineup = plan_lineup(inst.total_ops(), threads);
+    let lineup = plan_lineup(inst.family(), inst.total_ops(), threads);
     // Early-exit target: the makespan lower bound certifies optimality;
     // other objectives have no cheap bound, so they race to the cap.
     let target = match objective {
@@ -154,22 +161,29 @@ pub fn solve(
     match &**inst {
         LoadedInstance::Flow(flow) => {
             let n_jobs = flow.n_jobs();
-            let shared_inst = Arc::clone(inst);
+            // One flat operation table per solve, shared by every race
+            // member — members used to rebuild their decoder per run.
+            let table = Arc::new(OpTable::from_flow(flow));
             let runner: Arc<MemberRunner<Vec<usize>>> =
                 Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
-                    let LoadedInstance::Flow(flow) = &*shared_inst else {
-                        unreachable!("family pinned at dispatch")
-                    };
-                    let decoder = FlowDecoder::new(flow);
-                    let eval = |perm: &Vec<usize>| match objective {
-                        Objective::Makespan => decoder.makespan(perm) as f64,
-                        Objective::TotalCompletion => {
-                            objective_of(flow, &decoder.schedule(perm), objective)
+                    // Each member owns its incremental decoder state
+                    // (the table behind it stays shared); the mutex
+                    // satisfies the `Fn + Sync` evaluator bound and is
+                    // uncontended — one evaluator per member run.
+                    let inc = Mutex::new(IncrementalFlow::new(Arc::clone(&table)));
+                    let eval = move |perm: &Vec<usize>| {
+                        let mut inc = inc.lock().unwrap();
+                        match objective {
+                            Objective::Makespan => inc.decode(perm) as f64,
+                            Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
                         }
                     };
                     run_member_with(member, mseed, stop, shared, || perm_toolkit(n_jobs), eval)
                 });
             let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            // The final answer goes through the reference decoder — the
+            // materialised schedule cross-checks the hot path (validated
+            // in finish's caller tests and the property suite).
             let decoder = FlowDecoder::new(flow);
             finish(
                 inst,
@@ -180,17 +194,15 @@ pub fn solve(
         }
         LoadedInstance::Job(job) => {
             let ops_per_job: Vec<usize> = (0..job.n_jobs()).map(|j| job.n_ops(j)).collect();
-            let shared_inst = Arc::clone(inst);
+            let table = Arc::new(OpTable::from_job(job));
             let runner: Arc<MemberRunner<Vec<usize>>> =
                 Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
-                    let LoadedInstance::Job(job) = &*shared_inst else {
-                        unreachable!("family pinned at dispatch")
-                    };
-                    let decoder = JobDecoder::new(job);
-                    let eval = |seq: &Vec<usize>| match objective {
-                        Objective::Makespan => decoder.semi_active_makespan(seq) as f64,
-                        Objective::TotalCompletion => {
-                            objective_of(job, &decoder.semi_active(seq), objective)
+                    let inc = Mutex::new(IncrementalJob::new(Arc::clone(&table)));
+                    let eval = move |seq: &Vec<usize>| {
+                        let mut inc = inc.lock().unwrap();
+                        match objective {
+                            Objective::Makespan => inc.decode(seq) as f64,
+                            Objective::TotalCompletion => inc.decode_completion_sum(seq) as f64,
                         }
                     };
                     let ops_per_job = ops_per_job.clone();
@@ -214,24 +226,28 @@ pub fn solve(
         }
         LoadedInstance::Open(open) => {
             let (n, m) = (open.n_jobs(), open.n_machines());
-            let to_order = move |perm: &[usize]| -> Vec<(usize, usize)> {
-                perm.iter().map(|&v| (v / m, v % m)).collect()
-            };
-            let shared_inst = Arc::clone(inst);
+            let table = Arc::new(OpTable::from_open(open));
             let runner: Arc<MemberRunner<Vec<usize>>> =
                 Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
-                    let LoadedInstance::Open(open) = &*shared_inst else {
-                        unreachable!("family pinned at dispatch")
-                    };
-                    let decoder = OpenDecoder::new(open);
-                    let eval = |perm: &Vec<usize>| {
-                        objective_of(open, &decoder.by_op_order(&to_order(perm)), objective)
+                    let inc = Mutex::new(IncrementalOpenOrder::new(Arc::clone(&table)));
+                    let eval = move |perm: &Vec<usize>| {
+                        let mut inc = inc.lock().unwrap();
+                        match objective {
+                            Objective::Makespan => inc.decode(perm) as f64,
+                            Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
+                        }
                     };
                     run_member_with(member, mseed, stop, shared, || perm_toolkit(n * m), eval)
                 });
             let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
             let decoder = OpenDecoder::new(open);
-            let schedule = decoder.by_op_order(&to_order(&outcome.best.genome));
+            let order: Vec<(usize, usize)> = outcome
+                .best
+                .genome
+                .iter()
+                .map(|&v| (v / m, v % m))
+                .collect();
+            let schedule = decoder.by_op_order(&order);
             finish(inst, objective, schedule, outcome)
         }
         LoadedInstance::Flexible(flex) => {
@@ -241,17 +257,17 @@ pub fn solve(
                 .max()
                 .unwrap_or(1);
             let n_jobs = flex.n_jobs();
-            let shared_inst = Arc::clone(inst);
+            let table = Arc::new(FlexTable::from_flexible(flex));
             let runner: Arc<MemberRunner<DualGenome>> =
                 Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
-                    let LoadedInstance::Flexible(flex) = &*shared_inst else {
-                        unreachable!("family pinned at dispatch")
-                    };
-                    let decoder = FlexDecoder::new(flex);
-                    let eval = |g: &DualGenome| match objective {
-                        Objective::Makespan => decoder.makespan(&g.assign, &g.seq) as f64,
-                        Objective::TotalCompletion => {
-                            objective_of(flex, &decoder.decode(&g.assign, &g.seq), objective)
+                    let inc = Mutex::new(IncrementalFlex::new(Arc::clone(&table)));
+                    let eval = move |g: &DualGenome| {
+                        let mut inc = inc.lock().unwrap();
+                        match objective {
+                            Objective::Makespan => inc.decode(&g.assign, &g.seq) as f64,
+                            Objective::TotalCompletion => {
+                                inc.decode_completion_sum(&g.assign, &g.seq) as f64
+                            }
                         }
                     };
                     let ops_per_job = ops_per_job.clone();

@@ -107,9 +107,43 @@ impl<'a> FlexDecoder<'a> {
         Schedule::new(ops)
     }
 
-    /// Makespan-only fast path of [`decode`](Self::decode).
+    /// Makespan-only fast path of [`decode`](Self::decode): the same
+    /// fold without materialising a [`Schedule`].
     pub fn makespan(&self, assignment: &[usize], sequence: &[usize]) -> Time {
-        self.decode(assignment, sequence).makespan()
+        let n = self.inst.n_jobs();
+        debug_assert_eq!(assignment.len(), self.assignment_len());
+        debug_assert_eq!(sequence.len(), self.assignment_len());
+        let mut next_op = vec![0usize; n];
+        let mut job_free: Vec<Time> = (0..n).map(|j| self.inst.release(j)).collect();
+        let mut machine_free: Vec<Time> = self.constraints.release.clone();
+        let mut last_job_on: Vec<Option<usize>> = vec![None; self.inst.n_machines()];
+        let mut mk = 0;
+        for &j in sequence {
+            let s = next_op[j];
+            let flex = self.inst.op(j, s);
+            let choice = assignment[self.offsets[j] + s] % flex.choices.len();
+            let (machine, duration) = flex.choices[choice];
+            let job_ready = if s == 0 {
+                job_free[j]
+            } else {
+                job_free[j] + self.constraints.job_lag
+            };
+            let setup = self
+                .setups
+                .map(|su| su.setup(machine, last_job_on[machine], j))
+                .unwrap_or(0);
+            let start = match self.constraints.setup_kind {
+                SetupKind::Attached => machine_free[machine].max(job_ready) + setup,
+                SetupKind::Detached => (machine_free[machine] + setup).max(job_ready),
+            };
+            let end = start + duration;
+            job_free[j] = end;
+            machine_free[machine] = end;
+            last_job_on[machine] = Some(j);
+            next_op[j] = s + 1;
+            mk = mk.max(end);
+        }
+        mk
     }
 
     /// The all-fastest assignment (greedy baseline / seeding aid).

@@ -12,6 +12,7 @@ pub mod flow;
 pub mod heuristics;
 pub mod job;
 pub mod open;
+pub mod table;
 
 /// Dispatching rules available to the indirect job-shop encoding
 /// (Cheng, Gen & Tsujimura's survey \[12\] taxonomy).

@@ -89,9 +89,28 @@ impl<'a> OpenDecoder<'a> {
         self.by_op_order(&order)
     }
 
-    /// Makespan-only fast path for [`lpt_task`](Self::lpt_task).
+    /// Makespan-only fast path for [`lpt_task`](Self::lpt_task): same
+    /// greedy fold, flat `done` bitmap, no `Schedule` materialised.
     pub fn lpt_task_makespan(&self, job_sequence: &[usize]) -> Time {
-        self.lpt_task(job_sequence).makespan()
+        let n = self.inst.n_jobs();
+        let m = self.inst.n_machines();
+        let mut done = vec![false; n * m];
+        let mut job_free: Vec<Time> = (0..n).map(|j| self.inst.release(j)).collect();
+        let mut machine_free = vec![0 as Time; m];
+        let mut mk = 0;
+        for &j in job_sequence {
+            let mach = (0..m)
+                .filter(|&k| !done[j * m + k])
+                .max_by_key(|&k| self.inst.proc(j, k))
+                .expect("gene count exceeds remaining tasks");
+            done[j * m + mach] = true;
+            let start = job_free[j].max(machine_free[mach]);
+            let end = start + self.inst.proc(j, mach);
+            job_free[j] = end;
+            machine_free[mach] = end;
+            mk = mk.max(end);
+        }
+        mk
     }
 }
 

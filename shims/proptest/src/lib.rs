@@ -1,6 +1,7 @@
 //! Offline shim for the `proptest` API subset `tests/properties.rs`
 //! uses: the `proptest!` macro with `arg in strategy` bindings,
-//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`, range and tuple
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`/`prop_assume!`,
+//! range and tuple
 //! strategies, `prop::collection::vec`, `Strategy::prop_map` and
 //! `ProptestConfig::with_cases`.
 //!
@@ -154,13 +155,28 @@ pub mod collection {
 }
 
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
     pub use crate::{ProptestConfig, Strategy};
 
     /// Mirror of real proptest's `prelude::prop` re-export module.
     pub mod prop {
         pub use crate::collection;
     }
+}
+
+/// Mirror of real proptest's `prop_assume!`: a failed assumption
+/// rejects the current case. The shim's `proptest!` expands each body
+/// inline inside the per-case loop, so rejection is a plain `continue`
+/// to the next deterministic case (no replacement draw — rejected
+/// cases simply don't run, mirroring how sparse assumptions thin real
+/// proptest runs too).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            continue;
+        }
+    };
 }
 
 #[macro_export]

@@ -1,0 +1,321 @@
+//! Property and boundary tests for the struct-of-arrays decoder hot
+//! path (`shop::decoder::table`) and the dynamic-session suffix
+//! re-decoder (`shop::dynamic::SuffixRedecoder`).
+//!
+//! The contract under test: for *any* pair of genomes — and in
+//! particular mutation-local pairs differing at a single position —
+//! the incremental re-decode, the full table decode, and the
+//! reference decoder's materialised-and-validated schedule all agree
+//! bit-identically, for all four shop families. The boundary cases
+//! (divergence at position 0 → full replay; unchanged genome → no-op;
+//! mutation whose replay crosses a machine-down window inherited from
+//! a frozen prefix) get dedicated tests.
+
+use proptest::prelude::*;
+use shop::decoder::flexible::FlexDecoder;
+use shop::decoder::flow::FlowDecoder;
+use shop::decoder::job::JobDecoder;
+use shop::decoder::open::OpenDecoder;
+use shop::decoder::table::{
+    DecodeScratch, FlexTable, IncrementalFlex, IncrementalFlow, IncrementalJob,
+    IncrementalOpenOrder, OpTable,
+};
+use shop::dynamic::{
+    apply_event, frozen_prefix, reschedule_suffix_with_windows, Event, SuffixRedecoder,
+};
+use shop::instance::generate::{
+    flexible_job_shop, flow_shop_taillard, job_shop_uniform, open_shop_uniform, GenConfig,
+};
+use shop::Problem;
+use std::sync::Arc;
+
+/// An arbitrary permutation of `0..n` built from a shuffle-key vector.
+fn permutation(n: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0u64..u64::MAX, n).prop_map(move |keys| {
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by_key(|&i| keys[i]);
+        idx
+    })
+}
+
+/// An arbitrary operation sequence for `n` jobs x `m` ops (a shuffled
+/// permutation with repetition).
+fn op_sequence(n: usize, m: usize) -> impl Strategy<Value = Vec<usize>> {
+    permutation(n * m).prop_map(move |p| p.into_iter().map(|v| v % n).collect())
+}
+
+/// The mutated clone of `g`: positions `i` and `j` swapped (reduced
+/// into range). A swap is the multiset-preserving single-site
+/// mutation every sequence operator reduces to; when `i == j` the
+/// clone is identical and the re-decode must be a no-op.
+fn swapped(g: &[usize], i: usize, j: usize) -> Vec<usize> {
+    let mut out = g.to_vec();
+    out.swap(i % g.len(), j % g.len());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Satellite: full decode, incremental re-decode, and schedule
+    // validation agree bit-identically on genome pairs differing at
+    // one mutation site — flow family.
+    #[test]
+    fn flow_incremental_matches_full_and_schedule(
+        perm in permutation(9),
+        i in 0usize..9,
+        j in 0usize..9,
+        seed in 0u64..300,
+    ) {
+        let inst = flow_shop_taillard(&GenConfig::new(9, 4, seed));
+        let table = Arc::new(OpTable::from_flow(&inst));
+        let reference = FlowDecoder::new(&inst);
+        let mut scratch = DecodeScratch::new();
+        let mut inc = IncrementalFlow::new(Arc::clone(&table));
+        let mutant = swapped(&perm, i, j);
+        for g in [&perm, &mutant, &perm] {
+            let got = inc.decode(g);
+            prop_assert_eq!(got, table.flow_makespan(g, &mut scratch));
+            prop_assert_eq!(got, reference.makespan(g));
+            let s = reference.schedule(g);
+            prop_assert!(s.validate_flow(&inst).is_ok());
+            prop_assert_eq!(got, s.makespan());
+            let sum: u64 = s.completion_times(inst.n_jobs()).iter().sum();
+            prop_assert_eq!(inc.decode_completion_sum(g), sum);
+        }
+    }
+
+    // Job family: operation sequences with repetition.
+    #[test]
+    fn job_incremental_matches_full_and_schedule(
+        seq in op_sequence(6, 4),
+        i in 0usize..24,
+        j in 0usize..24,
+        seed in 0u64..300,
+    ) {
+        let inst = job_shop_uniform(&GenConfig::new(6, 4, seed));
+        let table = Arc::new(OpTable::from_job(&inst));
+        let reference = JobDecoder::new(&inst);
+        let mut scratch = DecodeScratch::new();
+        let mut inc = IncrementalJob::new(Arc::clone(&table));
+        let mutant = swapped(&seq, i, j);
+        for g in [&seq, &mutant, &seq] {
+            let got = inc.decode(g);
+            prop_assert_eq!(got, table.job_makespan(g, &mut scratch));
+            prop_assert_eq!(got, reference.semi_active_makespan(g));
+            let s = reference.semi_active(g);
+            prop_assert!(s.validate_job(&inst).is_ok());
+            prop_assert_eq!(got, s.makespan());
+            let sum: u64 = s.completion_times(inst.n_jobs()).iter().sum();
+            prop_assert_eq!(inc.decode_completion_sum(g), sum);
+        }
+    }
+
+    // Open family: dense-op-id permutations (gene v = job v/m on
+    // machine v%m — the encoding the service races).
+    #[test]
+    fn open_incremental_matches_full_and_schedule(
+        perm in permutation(20),
+        i in 0usize..20,
+        j in 0usize..20,
+        seed in 0u64..300,
+    ) {
+        let inst = open_shop_uniform(&GenConfig::new(5, 4, seed));
+        let m = inst.n_machines();
+        let table = Arc::new(OpTable::from_open(&inst));
+        let reference = OpenDecoder::new(&inst);
+        let mut scratch = DecodeScratch::new();
+        let mut inc = IncrementalOpenOrder::new(Arc::clone(&table));
+        let mutant = swapped(&perm, i, j);
+        for g in [&perm, &mutant, &perm] {
+            let got = inc.decode(g);
+            prop_assert_eq!(got, table.open_order_makespan(g, &mut scratch));
+            let order: Vec<(usize, usize)> = g.iter().map(|&v| (v / m, v % m)).collect();
+            let s = reference.by_op_order(&order);
+            prop_assert!(s.validate_open(&inst).is_ok());
+            prop_assert_eq!(got, s.makespan());
+            let sum: u64 = s.completion_times(inst.n_jobs()).iter().sum();
+            prop_assert_eq!(inc.decode_completion_sum(g), sum);
+        }
+    }
+
+    // Flexible family: the dual genome's assignment half admits a true
+    // single-position mutation (any gene value is legal), the sequence
+    // half mutates by swap.
+    #[test]
+    fn flexible_incremental_matches_full_and_schedule(
+        assign in prop::collection::vec(0usize..100, 15),
+        seq in op_sequence(5, 3),
+        site in 0usize..15,
+        gene in 0usize..100,
+        i in 0usize..15,
+        j in 0usize..15,
+        seed in 0u64..300,
+    ) {
+        let inst = flexible_job_shop(&GenConfig::new(5, 4, seed), 3, 3);
+        let table = Arc::new(FlexTable::from_flexible(&inst));
+        let reference = FlexDecoder::new(&inst);
+        let mut scratch = DecodeScratch::new();
+        let mut inc = IncrementalFlex::new(Arc::clone(&table));
+        let mut assign_mut = assign.clone();
+        assign_mut[site] = gene;
+        let seq_mut = swapped(&seq, i, j);
+        for (a, q) in [(&assign, &seq), (&assign_mut, &seq), (&assign, &seq_mut), (&assign, &seq)] {
+            let got = inc.decode(a, q);
+            prop_assert_eq!(got, table.makespan(a, q, &mut scratch));
+            prop_assert_eq!(got, reference.makespan(a, q));
+            let s = reference.decode(a, q);
+            prop_assert!(s.validate_flexible(&inst).is_ok());
+            prop_assert_eq!(got, s.makespan());
+            let sum: u64 = s.completion_times(inst.n_jobs()).iter().sum();
+            prop_assert_eq!(inc.decode_completion_sum(a, q), sum);
+        }
+    }
+
+    // The session-path suffix re-decoder against the materialising
+    // reference, across random suffix permutations and mutation swaps,
+    // with a live machine-down window folded into the suffix horizon.
+    #[test]
+    fn suffix_redecoder_matches_materialised_reschedule(
+        keys in prop::collection::vec(0u64..u64::MAX, 40),
+        i in 0usize..40,
+        j in 0usize..40,
+        seed in 0u64..100,
+    ) {
+        let inst = job_shop_uniform(&GenConfig::new(6, 4, seed));
+        let schedule = JobDecoder::new(&inst).semi_active(
+            &(0..inst.n_jobs() * inst.n_machines())
+                .map(|v| v % inst.n_jobs())
+                .collect::<Vec<_>>(),
+        );
+        let mk = schedule.makespan();
+        let event = Event::Breakdown { machine: 0, from: mk / 4, duration: mk / 3 };
+        let (next_inst, windows, repaired) =
+            apply_event(&inst, &schedule, &[], &event).expect("breakdown applies");
+        let t = event.at();
+        let (frozen, suffix) = frozen_prefix(&repaired, t);
+        prop_assume!(!suffix.is_empty());
+        let k = suffix.len();
+        let mut perm: Vec<usize> = (0..k).collect();
+        perm.sort_by_key(|&p| keys[p % keys.len()]);
+        let mutant = swapped(&perm, i, j);
+        let shared = Arc::new(next_inst);
+        let mut r = SuffixRedecoder::new(
+            Arc::clone(&shared),
+            &frozen,
+            Arc::new(suffix.clone()),
+            Arc::new(windows.clone()),
+            t,
+        );
+        for g in [&perm, &mutant, &perm] {
+            let order: Vec<(usize, usize)> = g.iter().map(|&p| suffix[p]).collect();
+            let s = reschedule_suffix_with_windows(&shared, &frozen, &order, &windows, t);
+            prop_assert!(s.validate_job(&shared).is_ok());
+            prop_assert_eq!(r.makespan(g), s.makespan());
+            let sum: u64 = s.completion_times(shared.n_jobs()).iter().sum();
+            prop_assert_eq!(r.completion_sum(g), sum);
+        }
+    }
+}
+
+/// Boundary: a mutation at position 0 diverges the whole genome — the
+/// incremental path degenerates to a full re-decode and must still
+/// agree with a cold full decode.
+#[test]
+fn divergence_at_position_zero_is_a_full_redecode() {
+    let inst = flow_shop_taillard(&GenConfig::new(8, 4, 7));
+    let table = Arc::new(OpTable::from_flow(&inst));
+    let mut scratch = DecodeScratch::new();
+    let mut inc = IncrementalFlow::new(Arc::clone(&table));
+    let a: Vec<usize> = (0..8).collect();
+    let mut b = a.clone();
+    b.swap(0, 7);
+    inc.decode(&a);
+    let got = inc.decode(&b);
+    assert_eq!(inc.divergence(), 0, "first-position mutation diverges at 0");
+    assert_eq!(got, table.flow_makespan(&b, &mut scratch));
+    assert_eq!(got, FlowDecoder::new(&inst).makespan(&b));
+}
+
+/// Boundary: re-decoding an unchanged genome reports divergence past
+/// the last position and returns the cached value without replay.
+#[test]
+fn unchanged_genome_is_a_noop_redecode() {
+    let inst = job_shop_uniform(&GenConfig::new(5, 3, 11));
+    let table = Arc::new(OpTable::from_job(&inst));
+    let mut inc = IncrementalJob::new(table);
+    let seq: Vec<usize> = (0..15).map(|v| v % 5).collect();
+    let first = inc.decode(&seq);
+    let again = inc.decode(&seq);
+    assert_eq!(first, again);
+    assert_eq!(
+        inc.divergence(),
+        seq.len(),
+        "unchanged genome diverges past the end"
+    );
+}
+
+/// Boundary: a mutation whose replayed suffix lands inside a
+/// machine-down window inherited from the frozen prefix. The suffix
+/// re-decoder must push the affected operations past the window
+/// exactly as the materialising rescheduler does.
+#[test]
+fn mutation_into_frozen_window_stays_exact() {
+    let inst = job_shop_uniform(&GenConfig::new(6, 4, 3));
+    let seq: Vec<usize> = (0..24).map(|v| v % 6).collect();
+    let schedule = JobDecoder::new(&inst).semi_active(&seq);
+    let mk = schedule.makespan();
+    // A long outage straight through the middle of the horizon: the
+    // frozen prefix ends at the event time, so every replayed suffix
+    // op on machine 0 must clear the window.
+    let event = Event::Breakdown {
+        machine: 0,
+        from: mk / 3,
+        duration: mk / 2,
+    };
+    let (next_inst, windows, repaired) =
+        apply_event(&inst, &schedule, &[], &event).expect("breakdown applies");
+    let t = event.at();
+    let (frozen, suffix) = frozen_prefix(&repaired, t);
+    assert!(
+        suffix.len() >= 2,
+        "test premise: the outage leaves work to re-sequence"
+    );
+    let shared = Arc::new(next_inst);
+    let windows = Arc::new(windows);
+    let suffix = Arc::new(suffix);
+    let mut r = SuffixRedecoder::new(
+        Arc::clone(&shared),
+        &frozen,
+        Arc::clone(&suffix),
+        Arc::clone(&windows),
+        t,
+    );
+    let identity: Vec<usize> = (0..suffix.len()).collect();
+    // Warm the cache, then mutate at every position in turn — each
+    // replay crosses the down window at a different depth.
+    r.makespan(&identity);
+    for site in 0..suffix.len() - 1 {
+        let mut perm = identity.clone();
+        perm.swap(site, site + 1);
+        let order: Vec<(usize, usize)> = perm.iter().map(|&p| suffix[p]).collect();
+        let reference = reschedule_suffix_with_windows(&shared, &frozen, &order, &windows, t);
+        reference
+            .validate_job(&shared)
+            .expect("windowed reschedule stays feasible");
+        assert_eq!(
+            r.makespan(&perm),
+            reference.makespan(),
+            "mutation at suffix position {site} must re-time exactly"
+        );
+        assert!(
+            r.divergence() <= site + 1,
+            "divergence {} should not exceed mutation site {}",
+            r.divergence(),
+            site + 1
+        );
+        // Return to the incumbent so the next iteration's divergence
+        // is pinned to its own mutation site.
+        r.makespan(&identity);
+    }
+}
