@@ -54,6 +54,7 @@ fn solve_line(seed: u64) -> String {
         objective: Objective::Makespan,
         seed,
         deadline_ms: 200,
+        trace: false,
     })
 }
 

@@ -32,6 +32,7 @@ pub mod experiments {
     pub mod e19_rashidi;
     pub mod f01_matrix;
     pub mod g01_generated;
+    pub mod o01_overhead;
     pub mod x01_energy;
     pub mod x02_dynamic;
     pub mod x03_session;
@@ -69,6 +70,7 @@ pub mod experiments {
             x01_energy::run,
             x02_dynamic::run,
             x03_session::run,
+            o01_overhead::run,
         ]
     }
 }

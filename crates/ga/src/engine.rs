@@ -241,6 +241,7 @@ pub struct Engine<'a, G> {
     evaluations: u64,
     best: Individual<G>,
     gens_since_improvement: u64,
+    improvements: u64,
     history: History,
     started: Instant,
 }
@@ -293,6 +294,7 @@ impl<'a, G: Clone> Engine<'a, G> {
             evaluations,
             best,
             gens_since_improvement: 0,
+            improvements: 0,
             history: History::default(),
             started: Instant::now(),
         };
@@ -326,6 +328,7 @@ impl<'a, G: Clone> Engine<'a, G> {
             if b.cost < self.best.cost {
                 self.best = b.clone();
                 self.gens_since_improvement = 0;
+                self.improvements += 1;
             }
         }
     }
@@ -479,6 +482,15 @@ impl<'a, G: Clone> Engine<'a, G> {
 
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Strict improvements of the best-so-far since construction (the
+    /// initial population's best is the baseline, not an improvement).
+    /// This is the count an anytime observer sees fire via
+    /// [`run_observed`](Self::run_observed), and the basis of the
+    /// serve layer's per-member improvement timelines.
+    pub fn improvements(&self) -> u64 {
+        self.improvements
     }
 
     /// Mutable access to the engine RNG (migration policies draw from the

@@ -239,7 +239,11 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         termination: &ga::termination::Termination,
         on_best: &mut dyn FnMut(&Individual<G>),
     ) -> Individual<G> {
-        ga::engine::run_anytime(
+        // Count strict improvements into the run telemetry (the
+        // baseline report of the starting best is not one).
+        let mut last = self.best.cost;
+        let mut seen = 0u64;
+        let best = ga::engine::run_anytime(
             self,
             termination,
             &|m| ga::engine::AnytimeStatus {
@@ -249,8 +253,16 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
             },
             &|m| m.step(),
             &|m| m.best.clone(),
-            on_best,
-        )
+            &mut |ind| {
+                if ind.cost < last {
+                    last = ind.cost;
+                    seen += 1;
+                }
+                on_best(ind);
+            },
+        );
+        self.telemetry.improvements += seen;
+        best
     }
 
     pub fn best(&self) -> &Individual<G> {

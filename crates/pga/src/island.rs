@@ -322,7 +322,12 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
         termination: &ga::termination::Termination,
         on_best: &mut dyn FnMut(&Individual<G>),
     ) -> Individual<G> {
-        ga::engine::run_anytime(
+        // Count strict improvements into the run telemetry (the
+        // baseline report of the starting best is not one); `<`
+        // filters it out because its cost equals `last`.
+        let mut last = self.best_overall.cost;
+        let mut seen = 0u64;
+        let best = ga::engine::run_anytime(
             self,
             termination,
             &|m| ga::engine::AnytimeStatus {
@@ -332,8 +337,16 @@ impl<'a, G: Clone + Send + Sync> IslandGa<'a, G> {
             },
             &|m| m.step_generation(),
             &|m| m.best_overall.clone(),
-            on_best,
-        )
+            &mut |ind| {
+                if ind.cost < last {
+                    last = ind.cost;
+                    seen += 1;
+                }
+                on_best(ind);
+            },
+        );
+        self.telemetry.improvements += seen;
+        best
     }
 
     /// Best individual found so far across all islands (including merged

@@ -23,6 +23,21 @@ pub struct RunTelemetry {
     pub migrants: u64,
     /// Number of parallel workers the model logically used.
     pub workers: usize,
+    /// Strict best-so-far improvements observed during the run (the
+    /// starting best is the baseline, not an improvement) — the points
+    /// on an anytime convergence curve. Accumulated by the observed
+    /// run entry points (`run_until_observed` and friends); zero for
+    /// runs driven without an observer.
+    pub improvements: u64,
+    /// Incremental-decoder invocations behind this run's evaluations
+    /// (zero when the evaluator is not decoder-backed or the caller
+    /// did not wire the counters through).
+    pub decode_calls: u64,
+    /// Schedule positions actually re-timed by those decodes — the
+    /// work left after the divergence cut skipped the unchanged
+    /// prefix. `retimed_positions / decode_calls` against the genome
+    /// length is the incremental path's observed saving.
+    pub retimed_positions: u64,
 }
 
 impl RunTelemetry {

@@ -7,6 +7,7 @@
 //!                [--max-queue-depth N] [--cache-shards N]
 //!                [--session-ttl-ms N] [--max-sessions N]
 //!                [--event-deadline-ms N] [--port-file PATH]
+//!                [--metrics-interval-ms N] [--trace-ring N]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (port 0 = ephemeral;
@@ -21,7 +22,9 @@ fn usage() -> ! {
          [--default-deadline-ms N] [--max-deadline-ms N] [--gen-cap N] [--racers N] \
          [--racer-pool N (0 = host cores)] [--max-queue-depth N (0 = auto)] \
          [--cache-shards N (0 = auto)] [--session-ttl-ms N] [--max-sessions N] \
-         [--event-deadline-ms N] [--port-file PATH]"
+         [--event-deadline-ms N] [--port-file PATH] \
+         [--metrics-interval-ms N (0 = no stderr summary)] \
+         [--trace-ring N (retained traces, 0 = default 64)]"
     );
     std::process::exit(2);
 }
@@ -82,6 +85,14 @@ fn main() {
                 config.default_event_deadline_ms = value("--event-deadline-ms")
                     .parse()
                     .unwrap_or_else(|_| usage())
+            }
+            "--metrics-interval-ms" => {
+                config.metrics_interval_ms = value("--metrics-interval-ms")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--trace-ring" => {
+                config.trace_ring = value("--trace-ring").parse().unwrap_or_else(|_| usage())
             }
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),

@@ -55,6 +55,7 @@
 
 pub mod cache;
 pub mod json;
+pub mod obs;
 pub mod portfolio;
 pub mod protocol;
 pub mod scheduler;
@@ -64,6 +65,8 @@ pub mod solver;
 
 pub use cache::{CacheKey, CachedSolve, ShardedCache, SolutionCache};
 pub use json::Json;
+pub use obs::metrics::{Counter, Gauge, Histogram, Registry};
+pub use obs::trace::{MemberTrace, Span, Trace, TraceRing};
 pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind};
 pub use protocol::{
     BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec, Objective,
@@ -75,4 +78,4 @@ pub use server::{ServeConfig, Service, StatsSnapshot};
 pub use session::{
     EventOutcome, ResolveSkip, SessionConfig, SessionGauges, SessionRegistry, SessionState,
 };
-pub use solver::{load_instance, solve, LoadedInstance, SolveOutcome};
+pub use solver::{load_instance, solve, solve_traced, LoadedInstance, SolveOutcome};

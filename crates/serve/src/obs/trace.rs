@@ -1,0 +1,283 @@
+//! Per-request tracing: timestamped spans, per-race-member anytime
+//! improvement timelines, and a bounded ring of recent traces.
+//!
+//! A [`Trace`] is owned by the worker thread handling one request —
+//! building it never synchronises. Race members contribute
+//! [`MemberTrace`]s (recorded inside the portfolio race under its own
+//! per-member accumulators) which the solver/session glue converts to
+//! `member/<model>` spans. Finished traces are rendered to JSON once
+//! and pushed into the service's [`TraceRing`], where `trace_dump`
+//! reads them back newest-last; when the ring is full the *oldest*
+//! trace is evicted first.
+//!
+//! Span taxonomy (all offsets µs-relative to the trace start):
+//! `parse` (request line → typed request), `cache_lookup`, `admission`
+//! (queue-depth check), `race` (the whole portfolio race),
+//! `member/<model>` (one race member, with its improvement timeline),
+//! `repair` / `resolve` (the two legs of a session event).
+
+use crate::json::{obj, Json};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One timed leg of a request.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Taxonomy name (`parse`, `cache_lookup`, `member/island`, ...).
+    pub name: String,
+    /// Start offset from the trace start, in µs.
+    pub start_us: u64,
+    /// Duration, in µs.
+    pub dur_us: u64,
+    /// Span-specific payload fields, rendered verbatim into the span
+    /// object (e.g. `hit` on `cache_lookup`, `timeline` on members).
+    pub fields: Vec<(String, Json)>,
+}
+
+impl Span {
+    /// Renders the span as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(self.name.clone())),
+            ("start_us".to_string(), self.start_us.into()),
+            ("dur_us".to_string(), self.dur_us.into()),
+        ];
+        fields.extend(self.fields.iter().cloned());
+        Json::Obj(fields)
+    }
+}
+
+/// One race member's trace: when it ran (µs-relative to the race
+/// start) and its anytime improvement points `(elapsed_us,
+/// best_value)` — the first point is the member's initial best, each
+/// further point a strict improvement.
+#[derive(Debug, Clone)]
+pub struct MemberTrace {
+    /// The member's stable model label (`master_slave`, `island`, ...).
+    pub member: String,
+    /// Run start, µs after the race began (includes pool queue wait).
+    pub start_us: u64,
+    /// Run duration in µs.
+    pub dur_us: u64,
+    /// `(elapsed_us since race start, best value)` improvement points.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl MemberTrace {
+    /// Renders the timeline as `[[elapsed_us, value], ...]`.
+    pub fn timeline_json(&self) -> Json {
+        Json::Arr(
+            self.points
+                .iter()
+                .map(|&(us, v)| Json::Arr(vec![us.into(), v.into()]))
+                .collect(),
+        )
+    }
+}
+
+/// A request trace under construction: an id, a kind, a start instant
+/// and the spans recorded so far.
+#[derive(Debug)]
+pub struct Trace {
+    /// Ring-unique trace id.
+    pub id: u64,
+    /// Request kind (`solve`, `session_event`, ...).
+    pub kind: &'static str,
+    started: Instant,
+    /// Spans recorded so far, in recording order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// Starts a trace now.
+    pub fn new(id: u64, kind: &'static str) -> Self {
+        Trace {
+            id,
+            kind,
+            started: Instant::now(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// µs elapsed since the trace started — use as a span's start
+    /// offset before the work, then close with [`Trace::span`].
+    pub fn elapsed_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Records a span that started at offset `start_us` and ends now.
+    pub fn span(&mut self, name: &str, start_us: u64, fields: Vec<(String, Json)>) {
+        let dur_us = self.elapsed_us().saturating_sub(start_us);
+        self.spans.push(Span {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            fields,
+        });
+    }
+
+    /// Records a span with an explicit duration (legs timed elsewhere,
+    /// e.g. race members).
+    pub fn span_at(&mut self, name: &str, start_us: u64, dur_us: u64, fields: Vec<(String, Json)>) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            start_us,
+            dur_us,
+            fields,
+        });
+    }
+
+    /// Records one `member/<model>` span per race-member timeline,
+    /// offset by `base_us` — the race's start within this trace — so
+    /// member spans and their anytime `timeline` points share the
+    /// trace's clock.
+    pub fn member_spans(&mut self, base_us: u64, timelines: &[MemberTrace]) {
+        for m in timelines {
+            self.span_at(
+                &format!("member/{}", m.member),
+                base_us + m.start_us,
+                m.dur_us,
+                vec![("timeline".to_string(), m.timeline_json())],
+            );
+        }
+    }
+
+    /// Renders the finished trace: `{id, kind, total_us, spans}`.
+    pub fn to_json(&self) -> Json {
+        obj([
+            ("id", self.id.into()),
+            ("kind", self.kind.into()),
+            ("total_us", self.elapsed_us().into()),
+            (
+                "spans",
+                Json::Arr(self.spans.iter().map(Span::to_json).collect()),
+            ),
+        ])
+    }
+}
+
+/// Bounded ring of recently finished traces (rendered JSON). Push
+/// evicts the oldest entry once the ring is at capacity.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    next_id: AtomicU64,
+    ring: Mutex<VecDeque<Json>>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Mints the next trace id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Capacity the ring was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").len()
+    }
+
+    /// True when no trace has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Stores a finished trace, evicting the oldest when full.
+    pub fn push(&self, trace: Json) {
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The most recent `limit` traces, oldest first.
+    pub fn dump(&self, limit: usize) -> Vec<Json> {
+        let ring = self.ring.lock().expect("trace ring poisoned");
+        let skip = ring.len().saturating_sub(limit);
+        ring.iter().skip(skip).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_render_with_offsets_and_fields() {
+        let mut t = Trace::new(3, "solve");
+        let s = t.elapsed_us();
+        t.span("parse", s, vec![("bytes".to_string(), 42u64.into())]);
+        t.span_at("member/island", 10, 250, vec![]);
+        let json = t.to_json();
+        assert_eq!(json.get("id").and_then(Json::as_u64), Some(3));
+        assert_eq!(json.get("kind").and_then(Json::as_str), Some("solve"));
+        let spans = json.get("spans").and_then(Json::as_arr).expect("spans");
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").and_then(Json::as_str), Some("parse"));
+        assert_eq!(spans[0].get("bytes").and_then(Json::as_u64), Some(42));
+        assert_eq!(spans[1].get("start_us").and_then(Json::as_u64), Some(10));
+        assert_eq!(spans[1].get("dur_us").and_then(Json::as_u64), Some(250));
+    }
+
+    #[test]
+    fn member_timeline_renders_point_pairs() {
+        let m = MemberTrace {
+            member: "cellular".to_string(),
+            start_us: 5,
+            dur_us: 100,
+            points: vec![(7, 61.0), (80, 55.0)],
+        };
+        let tl = m.timeline_json();
+        let points = tl.as_arr().expect("timeline array");
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].as_arr().unwrap()[1].as_f64(), Some(61.0));
+        assert_eq!(points[1].as_arr().unwrap()[0].as_u64(), Some(80));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_evicts_oldest_first() {
+        let ring = TraceRing::new(3);
+        for i in 0..5u64 {
+            ring.push(obj([("id", i.into())]));
+        }
+        assert_eq!(ring.len(), 3);
+        let all = ring.dump(usize::MAX);
+        let ids: Vec<u64> = all
+            .iter()
+            .map(|t| t.get("id").and_then(Json::as_u64).unwrap())
+            .collect();
+        // 0 and 1 were evicted (oldest first); survivors stay ordered.
+        assert_eq!(ids, vec![2, 3, 4]);
+        // A bounded dump returns the most recent traces, oldest first.
+        let last_two: Vec<u64> = ring
+            .dump(2)
+            .iter()
+            .map(|t| t.get("id").and_then(Json::as_u64).unwrap())
+            .collect();
+        assert_eq!(last_two, vec![3, 4]);
+    }
+
+    #[test]
+    fn ring_ids_are_unique_and_monotone() {
+        let ring = TraceRing::new(2);
+        let a = ring.next_id();
+        let b = ring.next_id();
+        assert!(b > a);
+    }
+}

@@ -25,6 +25,7 @@
 //! holds the best solution (the winner label) can vary run to run even
 //! though the certified cost cannot.
 
+use crate::obs::trace::MemberTrace;
 use crate::scheduler::{CancelToken, RacerPool, TaskRun};
 use ga::engine::{GaConfig, Individual, Toolkit};
 use ga::rng::split_seed;
@@ -204,6 +205,11 @@ pub struct RaceResult<G> {
     /// racer slot (zero when every member started immediately, and for
     /// single-member lineups, which run entirely inline).
     pub pool_wait: Duration,
+    /// Per-member anytime improvement timelines, in lineup order —
+    /// recorded only for traced races (`race_core` with `traced =
+    /// true`), empty otherwise. Members cancelled before getting a
+    /// pool slot are absent.
+    pub timelines: Vec<MemberTrace>,
 }
 
 /// A racer's stopping parameters, kept as parts (rather than one
@@ -219,11 +225,51 @@ pub struct StopRule {
     pub target: f64,
 }
 
+/// What one race member reports through: the shared best-so-far cell,
+/// plus — when the race is traced — this member's improvement-timeline
+/// accumulator. [`MemberObs::report`] is the single funnel every model
+/// improvement passes on its way to the cooperative race state, which
+/// is what lets tracing ride along without touching the GA layers.
+pub(crate) struct MemberObs<'a> {
+    /// The race-wide monotone best cell (the anytime contract).
+    pub(crate) best: &'a BestSoFar,
+    /// `(race start, this member's accumulator)` when traced.
+    timeline: Option<(Instant, &'a Mutex<MemberAcc>)>,
+}
+
+/// A traced member's in-flight accumulator (slot of
+/// `RaceState::timelines`).
+#[derive(Debug, Default)]
+pub(crate) struct MemberAcc {
+    start_us: u64,
+    dur_us: u64,
+    points: Vec<(u64, f64)>,
+}
+
+impl MemberObs<'_> {
+    /// Reports a candidate cost into the shared cell, recording an
+    /// improvement point when traced. Models re-report their current
+    /// best at every cooperative chunk boundary, so the timeline keeps
+    /// only *strict* improvements (plus the member's very first
+    /// report, its starting best).
+    pub(crate) fn report(&self, cost: f64) {
+        self.best.report(cost);
+        if let Some((t0, acc)) = &self.timeline {
+            let mut acc = acc.lock().expect("member timeline poisoned");
+            if acc.points.last().is_none_or(|&(_, v)| cost < v) {
+                let elapsed = t0.elapsed().as_micros() as u64;
+                acc.points.push((elapsed, cost));
+            }
+        }
+    }
+}
+
 /// The type-erased per-member work unit `race_core` schedules: run
 /// `ModelKind` with the given derived seed under the stop rule,
-/// reporting improvements into the shared cell; return the member's
-/// best, its telemetry, and whether the deadline alone cut it short.
-pub(crate) type MemberRunner<G> = dyn Fn(ModelKind, u64, &StopRule, &BestSoFar) -> (Individual<G>, RunTelemetry, bool)
+/// reporting improvements through the member observer; return the
+/// member's best, its telemetry, and whether the deadline alone cut it
+/// short.
+pub(crate) type MemberRunner<G> = dyn Fn(ModelKind, u64, &StopRule, &MemberObs) -> (Individual<G>, RunTelemetry, bool)
     + Send
     + Sync;
 
@@ -249,10 +295,15 @@ struct RaceState<G> {
     done: Condvar,
     /// Max pool-queue wait over this race's members, in µs.
     pool_wait_us: AtomicU64,
+    /// Race start — the zero point of every member timeline.
+    t0: Instant,
+    /// Per-member improvement accumulators; allocated only for traced
+    /// races so untraced requests pay nothing.
+    timelines: Option<Vec<Mutex<MemberAcc>>>,
 }
 
 impl<G> RaceState<G> {
-    fn new(members: usize) -> Self {
+    fn new(members: usize, traced: bool) -> Self {
         RaceState {
             best: BestSoFar::default(),
             results: Mutex::new((0..members).map(|_| None).collect()),
@@ -262,6 +313,32 @@ impl<G> RaceState<G> {
             }),
             done: Condvar::new(),
             pool_wait_us: AtomicU64::new(0),
+            t0: Instant::now(),
+            timelines: traced.then(|| (0..members).map(|_| Mutex::default()).collect()),
+        }
+    }
+
+    /// The observer member `i` reports through.
+    fn obs(&self, i: usize) -> MemberObs<'_> {
+        MemberObs {
+            best: &self.best,
+            timeline: self.timelines.as_ref().map(|tls| (self.t0, &tls[i])),
+        }
+    }
+
+    /// Stamps member `i`'s run start (µs after the race began).
+    fn mark_start(&self, i: usize) {
+        if let Some(tls) = &self.timelines {
+            tls[i].lock().expect("member timeline poisoned").start_us =
+                self.t0.elapsed().as_micros() as u64;
+        }
+    }
+
+    /// Stamps member `i`'s run end.
+    fn mark_end(&self, i: usize) {
+        if let Some(tls) = &self.timelines {
+            let mut acc = tls[i].lock().expect("member timeline poisoned");
+            acc.dur_us = (self.t0.elapsed().as_micros() as u64).saturating_sub(acc.start_us);
         }
     }
 
@@ -330,7 +407,10 @@ impl<G> RaceState<G> {
 
 /// The scheduling core shared by [`race`] and the solver glue: run
 /// `lineup[0]` inline on the calling thread and the rest as cancellable
-/// tasks on `pool`, then merge whatever completed.
+/// tasks on `pool`, then merge whatever completed. With `traced` set,
+/// every member additionally records its anytime improvement timeline
+/// (relative to the race start) into `RaceResult::timelines`.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn race_core<G: Send + 'static>(
     pool: &RacerPool,
     lineup: &[ModelKind],
@@ -339,6 +419,7 @@ pub(crate) fn race_core<G: Send + 'static>(
     deadline: Instant,
     gen_cap: u64,
     target: f64,
+    traced: bool,
 ) -> RaceResult<G> {
     assert!(!lineup.is_empty(), "portfolio needs at least one member");
     let stop = StopRule {
@@ -346,7 +427,7 @@ pub(crate) fn race_core<G: Send + 'static>(
         gen_cap,
         target,
     };
-    let state: Arc<RaceState<G>> = Arc::new(RaceState::new(lineup.len()));
+    let state: Arc<RaceState<G>> = Arc::new(RaceState::new(lineup.len(), traced));
     let cancel = Arc::new(CancelToken::default());
 
     for (i, member) in lineup.iter().enumerate().skip(1) {
@@ -379,7 +460,9 @@ pub(crate) fn race_core<G: Send + 'static>(
                     }
                 }
                 let _guard = FinishGuard(&state);
-                let out = runner(member, split_seed(seed, i as u64), &stop, &state.best);
+                state.mark_start(i);
+                let out = runner(member, split_seed(seed, i as u64), &stop, &state.obs(i));
+                state.mark_end(i);
                 state.results.lock().expect("results poisoned")[i] = Some(out);
             }),
         );
@@ -388,7 +471,9 @@ pub(crate) fn race_core<G: Send + 'static>(
     // The predicted-cheapest member races inline on this thread: even a
     // fully saturated pool cannot starve a race of progress, and total
     // racing threads stay bounded by pool size + serving workers.
-    let inline = runner(lineup[0], split_seed(seed, 0), &stop, &state.best);
+    state.mark_start(0);
+    let inline = runner(lineup[0], split_seed(seed, 0), &stop, &state.obs(0));
+    state.mark_end(0);
     state.results.lock().expect("results poisoned")[0] = Some(inline);
     state.wait_for_members(deadline, target, &cancel);
     // Idempotent; covers the all-members-finished path too, where any
@@ -398,6 +483,27 @@ pub(crate) fn race_core<G: Send + 'static>(
     let collected: Vec<RacerSlot<G>> = {
         let mut slots = state.results.lock().expect("results poisoned");
         slots.iter_mut().map(Option::take).collect()
+    };
+    // Snapshot the improvement timelines of every member that ran
+    // (cloned under each member's own short lock — a straggler that is
+    // still winding down can keep appending to its accumulator without
+    // blocking this read).
+    let timelines: Vec<MemberTrace> = match &state.timelines {
+        Some(tls) => tls
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| collected[i].is_some())
+            .map(|(i, acc)| {
+                let acc = acc.lock().expect("member timeline poisoned");
+                MemberTrace {
+                    member: lineup[i].name().to_string(),
+                    start_us: acc.start_us,
+                    dur_us: acc.dur_us,
+                    points: acc.points.clone(),
+                }
+            })
+            .collect(),
+        None => Vec::new(),
     };
     let mut models = Vec::with_capacity(lineup.len());
     let mut winner: Option<(usize, Individual<G>)> = None;
@@ -437,6 +543,7 @@ pub(crate) fn race_core<G: Send + 'static>(
         models,
         deadline_bound,
         pool_wait: Duration::from_micros(state.pool_wait_us.load(Ordering::Relaxed)),
+        timelines,
     }
 }
 
@@ -510,20 +617,11 @@ where
     E: Evaluator<G> + Send + Sync + 'static,
 {
     let runner: Arc<MemberRunner<G>> = Arc::new(
-        move |member: ModelKind, member_seed: u64, stop: &StopRule, shared: &BestSoFar| {
-            let mut report = |ind: &Individual<G>| shared.report(ind.cost);
-            run_member(
-                member,
-                member_seed,
-                &toolkit_factory,
-                &evaluator,
-                stop,
-                shared,
-                &mut report,
-            )
+        move |member: ModelKind, member_seed: u64, stop: &StopRule, obs: &MemberObs| {
+            run_member(member, member_seed, &toolkit_factory, &evaluator, stop, obs)
         },
     );
-    race_core(pool, lineup, runner, seed, deadline, gen_cap, target)
+    race_core(pool, lineup, runner, seed, deadline, gen_cap, target, false)
 }
 
 /// Evaluator adapter forwarding to a borrowed evaluator (lets one
@@ -586,14 +684,15 @@ pub(crate) fn run_member<G, TF, E>(
     toolkit_factory: &TF,
     evaluator: &E,
     stop: &StopRule,
-    shared: &BestSoFar,
-    report: &mut dyn FnMut(&Individual<G>),
+    obs: &MemberObs,
 ) -> (Individual<G>, RunTelemetry, bool)
 where
     G: Clone + Send + Sync,
     TF: Fn() -> Toolkit<G> + Sync,
     E: Evaluator<G> + Sync,
 {
+    let shared = obs.best;
+    let report = &mut |ind: &Individual<G>| obs.report(ind.cost);
     match member {
         ModelKind::MasterSlave { pop } => {
             let cfg = GaConfig {
@@ -614,6 +713,7 @@ where
             let telemetry = RunTelemetry {
                 generations: engine.generation(),
                 evaluations: engine.evaluations(),
+                improvements: engine.improvements(),
                 workers: 1, // logical master; slave count is rayon's pool
                 ..Default::default()
             };

@@ -92,6 +92,11 @@ pub struct SolveRequest {
     pub seed: u64,
     /// Wall-clock budget for this request in milliseconds.
     pub deadline_ms: u64,
+    /// When true, the server records a request trace (spans for parse,
+    /// cache lookup, admission and the race, plus per-member anytime
+    /// timelines), attaches it to the response as `trace`, and retains
+    /// it in the trace ring for `trace_dump`.
+    pub trace: bool,
 }
 
 /// A `generate` request: mint a reproducible instance from a
@@ -183,6 +188,9 @@ pub struct SessionOpenRequest {
     /// Session idle time-to-live in milliseconds (0 = server default).
     /// A session untouched for this long is evicted.
     pub ttl_ms: u64,
+    /// When true, the initial solve is traced (see
+    /// [`SolveRequest::trace`]).
+    pub trace: bool,
 }
 
 /// A `session_event` request: apply one disruption to a session under a
@@ -200,6 +208,10 @@ pub struct SessionEventRequest {
     /// Wall-clock budget for the repair-vs-resolve race
     /// (0 = the server's per-event default).
     pub deadline_ms: u64,
+    /// When true, the event is traced: distinct `repair` and `resolve`
+    /// spans plus per-member anytime timelines, attached to the
+    /// response as `trace` and retained for `trace_dump`.
+    pub trace: bool,
 }
 
 /// A `session_get` / `session_close` request: fetch a session's current
@@ -235,6 +247,15 @@ pub enum Request {
     SessionClose(SessionRef),
     /// Service counters (`{"cmd":"stats"}`).
     Stats,
+    /// Metrics-registry exposition, JSON and Prometheus-style text
+    /// (`{"cmd":"metrics"}`).
+    Metrics,
+    /// Recent retained request traces (`{"cmd":"trace_dump"}`),
+    /// most recent first limited to `limit` (0 = the whole ring).
+    TraceDump {
+        /// Maximum traces to return (0 = the ring's full capacity).
+        limit: u64,
+    },
     /// Graceful shutdown (`{"cmd":"shutdown"}`).
     Shutdown,
 }
@@ -269,6 +290,17 @@ fn u64_field(v: &Json, key: &str, default: u64) -> Result<u64, ProtocolError> {
                 "{key} must be a non-negative integer <= 2^53-1, got {x}"
             ))
         }),
+    }
+}
+
+/// Optional bool field defaulting to `false`; a present non-bool is a
+/// wire error (so `"trace": "yes"` is rejected, not truthy-coerced).
+fn bool_field(v: &Json, key: &str) -> Result<bool, ProtocolError> {
+    match v.get(key) {
+        None => Ok(false),
+        Some(b) => b
+            .as_bool()
+            .ok_or_else(|| bad(format!("{key} must be a bool"))),
     }
 }
 
@@ -482,6 +514,7 @@ fn parse_session_open(v: &Json) -> Result<Request, ProtocolError> {
         seed: u64_field(v, "seed", 0)?,
         deadline_ms: u64_field(v, "deadline_ms", 0)?,
         ttl_ms: u64_field(v, "ttl_ms", 0)?,
+        trace: bool_field(v, "trace")?,
     })))
 }
 
@@ -499,6 +532,7 @@ fn parse_session_event(v: &Json) -> Result<Request, ProtocolError> {
         session: session_field(v)?,
         event,
         deadline_ms: u64_field(v, "deadline_ms", 0)?,
+        trace: bool_field(v, "trace")?,
     })))
 }
 
@@ -523,6 +557,9 @@ pub fn encode_session_open(req: &SessionOpenRequest) -> String {
     if req.ttl_ms != 0 {
         fields.push(("ttl_ms".into(), req.ttl_ms.into()));
     }
+    if req.trace {
+        fields.push(("trace".into(), true.into()));
+    }
     Json::Obj(fields).encode()
 }
 
@@ -536,6 +573,9 @@ pub fn encode_session_event(req: &SessionEventRequest) -> String {
     fields.push(("session".into(), req.session.as_str().into()));
     fields.push(("event".into(), event_to_json(&req.event)));
     fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    if req.trace {
+        fields.push(("trace".into(), true.into()));
+    }
     Json::Obj(fields).encode()
 }
 
@@ -629,6 +669,10 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     if let Some(cmd) = v.get("cmd").and_then(Json::as_str) {
         return match cmd {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
+            "trace_dump" => Ok(Request::TraceDump {
+                limit: u64_field(&v, "limit", 0)?,
+            }),
             "shutdown" => Ok(Request::Shutdown),
             "generate" => parse_generate(&v),
             "batch" => parse_batch(&v),
@@ -647,6 +691,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         objective: objective_field(&v)?.unwrap_or_default(),
         seed: u64_field(&v, "seed", 0)?,
         deadline_ms: u64_field(&v, "deadline_ms", 0)?,
+        trace: bool_field(&v, "trace")?,
     })))
 }
 
@@ -670,6 +715,9 @@ pub fn encode_request(req: &SolveRequest) -> String {
     fields.push(("objective".into(), req.objective.name().into()));
     fields.push(("seed".into(), req.seed.into()));
     fields.push(("deadline_ms".into(), req.deadline_ms.into()));
+    if req.trace {
+        fields.push(("trace".into(), true.into()));
+    }
     Json::Obj(fields).encode()
 }
 
@@ -885,12 +933,25 @@ mod tests {
             objective: Objective::Makespan,
             seed: 42,
             deadline_ms: 2000,
+            trace: false,
         };
         let line = encode_request(&req);
+        assert!(!line.contains("trace"), "trace=false stays off the wire");
         let Request::Solve(back) = parse_request(&line).unwrap() else {
             panic!("expected solve");
         };
         assert_eq!(*back, req);
+
+        let traced = SolveRequest {
+            trace: true,
+            ..req.clone()
+        };
+        let Request::Solve(back) = parse_request(&encode_request(&traced)).unwrap() else {
+            panic!("expected solve");
+        };
+        assert_eq!(*back, traced);
+        // A non-bool trace is a wire error, never truthy-coerced.
+        assert!(parse_request(r#"{"instance":{"name":"ft06"},"trace":1}"#).is_err());
     }
 
     #[test]
@@ -904,6 +965,7 @@ mod tests {
             objective: Objective::TotalCompletion,
             seed: 7,
             deadline_ms: 100,
+            trace: false,
         };
         let Request::Solve(back) = parse_request(&encode_request(&req)).unwrap() else {
             panic!("expected solve");
@@ -1017,6 +1079,7 @@ mod tests {
             seed: 42,
             deadline_ms: 2_000,
             ttl_ms: 30_000,
+            trace: true,
         };
         let Request::SessionOpen(back) = parse_request(&encode_session_open(&open)).unwrap() else {
             panic!("expected session_open");
@@ -1045,6 +1108,7 @@ mod tests {
                 session: "sess-1".into(),
                 event,
                 deadline_ms: 150,
+                trace: true,
             };
             let Request::SessionEvent(back) = parse_request(&encode_session_event(&req)).unwrap()
             else {
@@ -1097,6 +1161,19 @@ mod tests {
     #[test]
     fn commands_parse() {
         assert_eq!(parse_request(r#"{"cmd":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace_dump"}"#).unwrap(),
+            Request::TraceDump { limit: 0 }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace_dump","limit":4}"#).unwrap(),
+            Request::TraceDump { limit: 4 }
+        );
+        assert!(parse_request(r#"{"cmd":"trace_dump","limit":-1}"#).is_err());
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown

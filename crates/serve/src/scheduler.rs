@@ -81,6 +81,9 @@ struct Task {
     cancel: Arc<CancelToken>,
     deadline: Instant,
     enqueued_at: Instant,
+    /// 1-based submission sequence number, for naming the task in the
+    /// panic-recovery warning.
+    seq: u64,
 }
 
 /// Monotonic pool counters (exposed through the service's `stats`).
@@ -92,6 +95,11 @@ pub struct PoolStats {
     pub ran: AtomicU64,
     /// Tasks skipped (cancelled, expired, or drained at shutdown).
     pub skipped: AtomicU64,
+    /// Task panics a racer thread caught and survived. A non-zero
+    /// value means some race member died mid-run (its race degrades to
+    /// the surviving members) — worth alerting on, which is why the
+    /// count is surfaced as the `serve_worker_panics_total` metric.
+    pub panics: AtomicU64,
 }
 
 struct PoolShared {
@@ -177,18 +185,24 @@ impl RacerPool {
         )
     }
 
+    /// Task panics the racer threads caught and survived.
+    pub fn panics(&self) -> u64 {
+        self.shared.stats.panics.load(Ordering::Relaxed)
+    }
+
     /// Enqueues a task. The pool calls `job` exactly once — either with
     /// `skipped: false` on a racer thread (do the work), or with
     /// `skipped: true` when the task was cancelled, expired past
     /// `deadline`, or drained at shutdown (do only the completion
     /// bookkeeping). Submission never blocks on the racer threads.
     pub fn submit(&self, deadline: Instant, cancel: Arc<CancelToken>, job: Job) {
-        self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        let seq = self.shared.stats.submitted.fetch_add(1, Ordering::Relaxed) + 1;
         let task = Task {
             job,
             cancel,
             deadline,
             enqueued_at: Instant::now(),
+            seq,
         };
         {
             let mut q = self.shared.queue.lock().expect("pool queue poisoned");
@@ -244,7 +258,14 @@ fn racer_loop(shared: &PoolShared) {
         // bookkeeping is drop-guarded on the submitting side, so even a
         // panic mid-job unblocks its race.
         let job = task.job;
-        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || job(run)));
+        let seq = task.seq;
+        if std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || job(run))).is_err() {
+            shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "[serve] racer recovered from a panic in pool task #{seq}; \
+                 its race degrades to the surviving members"
+            );
+        }
     }
 }
 
@@ -385,6 +406,7 @@ mod tests {
     #[test]
     fn a_panicking_task_does_not_kill_the_racer_thread() {
         let pool = RacerPool::new(1);
+        assert_eq!(pool.panics(), 0);
         pool.submit(
             Instant::now() + Duration::from_secs(10),
             Arc::new(CancelToken::default()),
@@ -410,6 +432,12 @@ mod tests {
             assert!(!t.timed_out(), "racer thread died on a task panic");
             d = g;
         }
+        drop(d);
+        // The recovery was counted (and only the panicking task's).
+        assert_eq!(pool.panics(), 1);
+        let (submitted, ran, _) = pool.stats();
+        assert_eq!(submitted, 2);
+        assert_eq!(ran, 2);
     }
 
     #[test]

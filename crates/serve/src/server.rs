@@ -24,6 +24,8 @@
 
 use crate::cache::{CacheKey, CachedSolve, ShardedCache};
 use crate::json::{obj, Json};
+use crate::obs::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::obs::trace::{Trace, TraceRing};
 use crate::protocol::{
     busy_json, encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest,
     BatchSource, GenerateRequest, Objective, Request, SessionEventRequest, SessionOpenRequest,
@@ -31,14 +33,14 @@ use crate::protocol::{
 };
 use crate::scheduler::RacerPool;
 use crate::session::{SessionConfig, SessionGauges, SessionRegistry, SessionState};
-use crate::solver::{load_instance, solve, LoadedInstance};
+use crate::solver::{load_instance, solve_traced, LoadedInstance};
 use pga::telemetry::RequestTelemetry;
 use shop::schedule::Schedule;
 use shop::Problem;
 use std::collections::VecDeque;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -101,6 +103,13 @@ pub struct ServeConfig {
     /// and right-shift repair guarantees *some* feasible answer
     /// whatever the budget.
     pub default_event_deadline_ms: u64,
+    /// When nonzero, a background thread prints a one-line service
+    /// summary (requests, solves, cache hits, queue depth, sessions,
+    /// worker panics) to stderr every this-many milliseconds.
+    pub metrics_interval_ms: u64,
+    /// Capacity of the retained-trace ring served by `trace_dump`
+    /// (0, the default, resolves to 64).
+    pub trace_ring: usize,
 }
 
 impl Default for ServeConfig {
@@ -119,6 +128,8 @@ impl Default for ServeConfig {
             session_ttl_ms: 600_000,
             max_sessions: 256,
             default_event_deadline_ms: 200,
+            metrics_interval_ms: 0,
+            trace_ring: 0,
         }
     }
 }
@@ -138,12 +149,19 @@ impl ServeConfig {
         if self.cache_shards == 0 {
             self.cache_shards = self.cache_capacity.clamp(1, 8);
         }
+        if self.trace_ring == 0 {
+            self.trace_ring = 64;
+        }
         self
     }
 }
 
 /// Monotonic service counters (lock-free; read with
-/// [`Service::stats`]).
+/// [`Service::stats`]). Since the observability layer landed these are
+/// *views over the metrics registry*: each field is the
+/// `serve_<field>_total` counter registered at construction, so
+/// `stats`, `metrics` and the periodic stderr summary all read the
+/// same cells and can never disagree.
 ///
 /// `cache_hits` counts responses answered from the memoised solution
 /// (including the rare validation-failure fallback); `cache_misses`
@@ -151,41 +169,41 @@ impl ServeConfig {
 /// request increments both, so `cache_hits + cache_misses` can exceed
 /// the number of solve requests by the (error-counted) fallbacks —
 /// hit-rate consumers should divide by `requests` instead.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServiceStats {
     /// Request lines received (any kind, including malformed).
-    pub requests: AtomicU64,
+    pub requests: Arc<Counter>,
     /// Portfolio races run to completion (batch items included;
     /// cache replays excluded).
-    pub solved: AtomicU64,
+    pub solved: Arc<Counter>,
     /// Responses answered from the memoised solution.
-    pub cache_hits: AtomicU64,
+    pub cache_hits: Arc<Counter>,
     /// Cache lookups that could not be replayed directly.
-    pub cache_misses: AtomicU64,
+    pub cache_misses: Arc<Counter>,
     /// Protocol, load and internal-validation failures.
-    pub errors: AtomicU64,
+    pub errors: Arc<Counter>,
     /// Cold solves refused with the `busy` backpressure error because
     /// the racer-pool queue was past the admission limit. Not counted
     /// under `errors`: shedding load is the service working as
     /// configured, not failing.
-    pub busy_rejections: AtomicU64,
+    pub busy_rejections: Arc<Counter>,
     /// Summed connection queue wait, in microseconds.
-    pub queue_wait_us: AtomicU64,
+    pub queue_wait_us: Arc<Counter>,
     /// Summed racer-pool queue wait over solved requests, in
     /// microseconds (each request contributes its longest member
     /// wait).
-    pub pool_wait_us: AtomicU64,
+    pub pool_wait_us: Arc<Counter>,
     /// Session disruption events applied (errors excluded).
-    pub session_events: AtomicU64,
+    pub session_events: Arc<Counter>,
     /// Events where right-shift repair held the answer (the GA
     /// re-solve lost the tie, was skipped, or was shed as busy).
-    pub session_repair_wins: AtomicU64,
+    pub session_repair_wins: Arc<Counter>,
     /// Events where the warm-started re-solve strictly beat repair.
-    pub session_resolve_wins: AtomicU64,
+    pub session_resolve_wins: Arc<Counter>,
     /// Events whose re-solve was shed by admission control (answered
     /// with repair alone). Like `busy_rejections`, not an error: the
     /// repair answer is feasible and within the deadline.
-    pub session_resolve_busy: AtomicU64,
+    pub session_resolve_busy: Arc<Counter>,
 }
 
 /// Point-in-time copy of the counters.
@@ -219,21 +237,206 @@ pub struct StatsSnapshot {
 }
 
 impl ServiceStats {
+    /// Registers every legacy stats counter in `registry` (names below)
+    /// and returns the view. The mapping is 1:1 — the
+    /// snapshot-equivalence test in this module walks it field by
+    /// field.
+    fn new(registry: &Registry) -> ServiceStats {
+        ServiceStats {
+            requests: registry.counter(
+                "serve_requests_total",
+                "request lines received (any kind, including malformed)",
+            ),
+            solved: registry.counter(
+                "serve_solved_total",
+                "portfolio races run to completion (cache replays excluded)",
+            ),
+            cache_hits: registry.counter(
+                "serve_cache_hits_total",
+                "responses answered from the memoised solution",
+            ),
+            cache_misses: registry.counter(
+                "serve_cache_misses_total",
+                "cache lookups that could not be replayed directly",
+            ),
+            errors: registry.counter(
+                "serve_errors_total",
+                "protocol, load and internal-validation failures",
+            ),
+            busy_rejections: registry.counter(
+                "serve_busy_rejections_total",
+                "cold solves refused by admission control",
+            ),
+            queue_wait_us: registry.counter(
+                "serve_queue_wait_us_total",
+                "summed connection queue wait in microseconds",
+            ),
+            pool_wait_us: registry.counter(
+                "serve_pool_wait_us_total",
+                "summed racer-pool queue wait over solved requests in microseconds",
+            ),
+            session_events: registry.counter(
+                "serve_session_events_total",
+                "session disruption events applied",
+            ),
+            session_repair_wins: registry.counter(
+                "serve_session_repair_wins_total",
+                "events answered by right-shift repair",
+            ),
+            session_resolve_wins: registry.counter(
+                "serve_session_resolve_wins_total",
+                "events answered by the warm-started re-solve",
+            ),
+            session_resolve_busy: registry.counter(
+                "serve_session_resolve_busy_total",
+                "events whose re-solve was shed by admission control",
+            ),
+        }
+    }
+
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
-            requests: self.requests.load(Ordering::Relaxed),
-            solved: self.solved.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            queue_wait_us: self.queue_wait_us.load(Ordering::Relaxed),
-            pool_wait_us: self.pool_wait_us.load(Ordering::Relaxed),
-            session_events: self.session_events.load(Ordering::Relaxed),
-            session_repair_wins: self.session_repair_wins.load(Ordering::Relaxed),
-            session_resolve_wins: self.session_resolve_wins.load(Ordering::Relaxed),
-            session_resolve_busy: self.session_resolve_busy.load(Ordering::Relaxed),
+            requests: self.requests.get(),
+            solved: self.solved.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            errors: self.errors.get(),
+            busy_rejections: self.busy_rejections.get(),
+            queue_wait_us: self.queue_wait_us.get(),
+            pool_wait_us: self.pool_wait_us.get(),
+            session_events: self.session_events.get(),
+            session_repair_wins: self.session_repair_wins.get(),
+            session_resolve_wins: self.session_resolve_wins.get(),
+            session_resolve_busy: self.session_resolve_busy.get(),
         }
+    }
+}
+
+/// Wire request type labels of the `serve_requests_by_type_total`
+/// series; `invalid` covers lines that failed to parse.
+const REQUEST_TYPES: [&str; 12] = [
+    "solve",
+    "generate",
+    "batch",
+    "session_open",
+    "session_event",
+    "session_get",
+    "session_close",
+    "stats",
+    "metrics",
+    "trace_dump",
+    "shutdown",
+    "invalid",
+];
+
+/// Instance families of `serve_solved_by_family_total` (must match
+/// [`shop::gen::Family::name`]).
+const FAMILIES: [&str; 4] = ["flow", "job", "open", "flexible"];
+
+/// Race member kinds of `serve_race_wins_total` (must match
+/// `portfolio::ModelKind` names).
+const MEMBERS: [&str; 3] = ["master_slave", "island", "cellular"];
+
+/// Registry handles beyond the legacy [`ServiceStats`] counters:
+/// latency histograms, labeled counters (static label sets registered
+/// once at bind), and the gauges the exposition path refreshes at
+/// scrape time.
+struct ServeMetrics {
+    /// End-to-end per-request latency (any request kind), µs.
+    request_us: Arc<Histogram>,
+    /// Per-`session_event` latency (repair + optional re-solve), µs.
+    session_event_us: Arc<Histogram>,
+    /// `serve_requests_by_type_total{type=...}` — one pre-registered
+    /// counter per [`REQUEST_TYPES`] label.
+    by_type: Vec<(&'static str, Arc<Counter>)>,
+    /// `serve_solved_by_family_total{family=...}` per [`FAMILIES`].
+    by_family: Vec<(&'static str, Arc<Counter>)>,
+    /// `serve_race_wins_total{member=...}` per [`MEMBERS`].
+    race_wins: Vec<(&'static str, Arc<Counter>)>,
+    uptime_ms: Arc<Gauge>,
+    cache_len: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    worker_panics: Arc<Gauge>,
+    sessions_open: Arc<Gauge>,
+    sessions_opened: Arc<Gauge>,
+    sessions_closed: Arc<Gauge>,
+    sessions_expired: Arc<Gauge>,
+    sessions_evicted: Arc<Gauge>,
+    workers: Arc<Gauge>,
+    racer_pool: Arc<Gauge>,
+    max_queue_depth: Arc<Gauge>,
+    max_sessions: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Registry) -> ServeMetrics {
+        let labeled = |base: &str, label: &str, values: &[&'static str], help: &'static str| {
+            values
+                .iter()
+                .map(|&v| {
+                    (
+                        v,
+                        registry.counter(&format!("{base}{{{label}=\"{v}\"}}"), help),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        ServeMetrics {
+            request_us: registry.histogram(
+                "serve_request_us",
+                "end-to-end request latency in microseconds",
+            ),
+            session_event_us: registry.histogram(
+                "serve_session_event_us",
+                "session_event latency (repair + re-solve race) in microseconds",
+            ),
+            by_type: labeled(
+                "serve_requests_by_type_total",
+                "type",
+                &REQUEST_TYPES,
+                "requests by wire request type",
+            ),
+            by_family: labeled(
+                "serve_solved_by_family_total",
+                "family",
+                &FAMILIES,
+                "completed races by instance family",
+            ),
+            race_wins: labeled(
+                "serve_race_wins_total",
+                "member",
+                &MEMBERS,
+                "race wins by portfolio member kind",
+            ),
+            uptime_ms: registry.gauge("serve_uptime_ms", "milliseconds since bind"),
+            cache_len: registry.gauge("serve_cache_len", "memoised solutions currently held"),
+            queue_depth: registry.gauge(
+                "serve_queue_depth",
+                "race tasks currently queued on the racer pool",
+            ),
+            worker_panics: registry.gauge(
+                "serve_worker_panics_total",
+                "racer-pool tasks recovered from a panic",
+            ),
+            sessions_open: registry.gauge("serve_sessions_open", "sessions currently open"),
+            sessions_opened: registry.gauge("serve_sessions_opened", "sessions ever opened"),
+            sessions_closed: registry.gauge("serve_sessions_closed", "sessions explicitly closed"),
+            sessions_expired: registry.gauge("serve_sessions_expired", "sessions expired by TTL"),
+            sessions_evicted: registry
+                .gauge("serve_sessions_evicted", "sessions evicted by the LRU cap"),
+            workers: registry.gauge("serve_workers", "worker threads serving connections"),
+            racer_pool: registry.gauge("serve_racer_pool", "persistent racer threads"),
+            max_queue_depth: registry.gauge("serve_max_queue_depth", "admission limit"),
+            max_sessions: registry.gauge("serve_max_sessions", "open-session cap"),
+        }
+    }
+
+    /// The pre-registered counter for a static label value; `None` for
+    /// a value outside the set fixed at bind.
+    fn labeled(set: &[(&'static str, Arc<Counter>)], value: &str) -> Option<Arc<Counter>> {
+        set.iter()
+            .find(|(label, _)| *label == value)
+            .map(|(_, c)| Arc::clone(c))
     }
 }
 
@@ -250,6 +453,34 @@ struct Shared {
     /// Dynamic-rescheduling sessions (see [`crate::session`]).
     sessions: SessionRegistry,
     stats: ServiceStats,
+    /// The metrics registry behind `stats`, `metrics` and the periodic
+    /// stderr summary.
+    registry: Registry,
+    metrics: ServeMetrics,
+    /// Recently finished request traces, served by `trace_dump`.
+    traces: TraceRing,
+    /// Bind instant — the base of `uptime_ms`.
+    started: Instant,
+}
+
+impl Shared {
+    /// Refreshes the point-in-time gauges from their sources (cache,
+    /// pool, session registry, clock). Called at exposition and by the
+    /// periodic summary — gauges mirror live state, they are not
+    /// updated on the hot path.
+    fn refresh_gauges(&self) {
+        let m = &self.metrics;
+        m.uptime_ms.set(self.started.elapsed().as_millis() as u64);
+        m.cache_len.set(self.cache.len() as u64);
+        m.queue_depth.set(self.pool.queue_depth() as u64);
+        m.worker_panics.set(self.pool.panics());
+        let sg = self.sessions.gauges();
+        m.sessions_open.set(sg.open);
+        m.sessions_opened.set(sg.opened);
+        m.sessions_closed.set(sg.closed);
+        m.sessions_expired.set(sg.expired);
+        m.sessions_evicted.set(sg.evicted);
+    }
 }
 
 /// A running solver service. Binds eagerly in [`Service::bind`]; stops
@@ -281,6 +512,12 @@ impl Service {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let registry = Registry::new();
+        let stats = ServiceStats::new(&registry);
+        let metrics = ServeMetrics::new(&registry);
+        metrics.workers.set(config.workers as u64);
+        metrics.max_queue_depth.set(config.max_queue_depth as u64);
+        metrics.max_sessions.set(config.max_sessions as u64);
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             pool: RacerPool::new(config.racer_pool),
@@ -289,13 +526,18 @@ impl Service {
                 max_ttl: Duration::from_millis(config.session_ttl_ms.max(1).saturating_mul(10)),
                 max_sessions: config.max_sessions.max(1),
             }),
+            traces: TraceRing::new(config.trace_ring),
             config,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            stats: ServiceStats::default(),
+            stats,
+            registry,
+            metrics,
+            started: Instant::now(),
         });
-        let mut threads = Vec::with_capacity(shared.config.workers + 1);
+        shared.metrics.racer_pool.set(shared.pool.size() as u64);
+        let mut threads = Vec::with_capacity(shared.config.workers + 2);
         {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -314,6 +556,15 @@ impl Service {
                     .expect("spawn worker"),
             );
         }
+        if shared.config.metrics_interval_ms > 0 {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-metrics".into())
+                    .spawn(move || metrics_summary_loop(&shared))
+                    .expect("spawn metrics summary"),
+            );
+        }
         Ok(Service {
             addr,
             shared,
@@ -329,6 +580,13 @@ impl Service {
     /// Counter snapshot.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// The service's metrics registry — every counter, gauge and
+    /// histogram behind the `metrics` wire command, for embedders that
+    /// want programmatic access instead of a scrape.
+    pub fn registry(&self) -> &Registry {
+        &self.shared.registry
     }
 
     /// Entries currently memoised (summed over cache shards).
@@ -387,6 +645,37 @@ impl Drop for Service {
     }
 }
 
+/// Prints a one-line service summary to stderr every
+/// `metrics_interval_ms`, sleeping in short slices so shutdown is
+/// observed promptly.
+fn metrics_summary_loop(shared: &Shared) {
+    let interval = Duration::from_millis(shared.config.metrics_interval_ms.max(1));
+    let mut last = Instant::now();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(interval.as_millis().min(25) as u64));
+        if last.elapsed() < interval {
+            continue;
+        }
+        last = Instant::now();
+        shared.refresh_gauges();
+        let s = shared.stats.snapshot();
+        eprintln!(
+            "[serve] up {}s: {} requests ({} solved, {} cache hits, {} errors, {} busy), \
+             queue depth {}, {} sessions open, {} session events, {} worker panics",
+            shared.started.elapsed().as_secs(),
+            s.requests,
+            s.solved,
+            s.cache_hits,
+            s.errors,
+            s.busy_rejections,
+            shared.pool.queue_depth(),
+            shared.sessions.gauges().open,
+            s.session_events,
+            shared.pool.panics(),
+        );
+    }
+}
+
 fn acceptor_loop(listener: TcpListener, shared: &Shared) {
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
@@ -432,7 +721,7 @@ fn worker_loop(shared: &Shared) {
         shared
             .stats
             .queue_wait_us
-            .fetch_add(queue_wait.as_micros() as u64, Ordering::Relaxed);
+            .add(queue_wait.as_micros() as u64);
         handle_connection(stream, queue_wait, shared);
     }
 }
@@ -570,13 +859,37 @@ fn respond(
     Ok(!stop)
 }
 
+/// The `serve_requests_by_type_total` label of a parse outcome.
+fn request_type_label(parsed: &Result<Request, crate::protocol::ProtocolError>) -> &'static str {
+    match parsed {
+        Err(_) => "invalid",
+        Ok(Request::Solve(_)) => "solve",
+        Ok(Request::Generate(_)) => "generate",
+        Ok(Request::Batch(_)) => "batch",
+        Ok(Request::SessionOpen(_)) => "session_open",
+        Ok(Request::SessionEvent(_)) => "session_event",
+        Ok(Request::SessionGet(_)) => "session_get",
+        Ok(Request::SessionClose(_)) => "session_close",
+        Ok(Request::Stats) => "stats",
+        Ok(Request::Metrics) => "metrics",
+        Ok(Request::TraceDump { .. }) => "trace_dump",
+        Ok(Request::Shutdown) => "shutdown",
+    }
+}
+
 /// Handles one request line; returns the response line and whether the
 /// connection (and, after a shutdown command, the service) should stop.
 fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bool) {
-    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
-    match parse_request(text) {
+    let started = Instant::now();
+    shared.stats.requests.inc();
+    let parsed = parse_request(text);
+    let parse_us = started.elapsed().as_micros() as u64;
+    if let Some(c) = ServeMetrics::labeled(&shared.metrics.by_type, request_type_label(&parsed)) {
+        c.inc();
+    }
+    let answer = match parsed {
         Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             (encode_error(None, &e.to_string()), false)
         }
         Ok(Request::Stats) => {
@@ -611,6 +924,35 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
                 ("session_resolve_wins", s.session_resolve_wins.into()),
                 ("session_resolve_busy", s.session_resolve_busy.into()),
                 ("max_sessions", (shared.config.max_sessions as u64).into()),
+                (
+                    "uptime_ms",
+                    (shared.started.elapsed().as_millis() as u64).into(),
+                ),
+                ("worker_panics", shared.pool.panics().into()),
+                ("version", env!("CARGO_PKG_VERSION").into()),
+            ]);
+            (body.encode(), false)
+        }
+        Ok(Request::Metrics) => {
+            shared.refresh_gauges();
+            let body = obj([
+                ("status", "ok".into()),
+                ("json", shared.registry.expose_json()),
+                ("text", shared.registry.expose_text().into()),
+            ]);
+            (body.encode(), false)
+        }
+        Ok(Request::TraceDump { limit }) => {
+            let limit = match limit {
+                0 => shared.traces.capacity(),
+                n => n as usize,
+            };
+            let traces = shared.traces.dump(limit);
+            let body = obj([
+                ("status", "ok".into()),
+                ("count", (traces.len() as u64).into()),
+                ("capacity", (shared.traces.capacity() as u64).into()),
+                ("traces", Json::Arr(traces)),
             ]);
             (body.encode(), false)
         }
@@ -620,14 +962,22 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
             let body = obj([("status", "ok".into()), ("shutting_down", true.into())]);
             (body.encode(), true)
         }
-        Ok(Request::Solve(req)) => (handle_solve(&req, queue_wait, shared), false),
+        Ok(Request::Solve(req)) => (handle_solve(&req, queue_wait, parse_us, shared), false),
         Ok(Request::Generate(req)) => (handle_generate(&req, queue_wait, shared), false),
         Ok(Request::Batch(req)) => (handle_batch(&req, queue_wait, shared), false),
-        Ok(Request::SessionOpen(req)) => (handle_session_open(&req, queue_wait, shared), false),
-        Ok(Request::SessionEvent(req)) => (handle_session_event(&req, shared), false),
+        Ok(Request::SessionOpen(req)) => (
+            handle_session_open(&req, queue_wait, parse_us, shared),
+            false,
+        ),
+        Ok(Request::SessionEvent(req)) => (handle_session_event(&req, parse_us, shared), false),
         Ok(Request::SessionGet(r)) => (handle_session_get(&r, shared), false),
         Ok(Request::SessionClose(r)) => (handle_session_close(&r, shared), false),
-    }
+    };
+    shared
+        .metrics
+        .request_us
+        .observe(started.elapsed().as_micros() as u64);
+    answer
 }
 
 /// Clamps a request's deadline to the service policy (0 = default).
@@ -671,6 +1021,7 @@ fn solve_core(
     deadline: Instant,
     budget_ms: u64,
     queue_wait: Duration,
+    mut trace: Option<&mut Trace>,
     shared: &Shared,
 ) -> Result<CoreOutcome, CoreFail> {
     let key = CacheKey {
@@ -684,21 +1035,31 @@ fn solve_core(
     // budget is smaller than this request's falls through to a re-race
     // below — replaying it would silently answer a long-deadline
     // request with short-deadline quality.
+    let lookup_start = trace.as_deref().map(Trace::elapsed_us);
     let prev = shared.cache.get(&key);
-    if let Some(hit) = &prev {
-        if hit.replayable_for(budget_ms) {
-            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            let telemetry = RequestTelemetry {
-                queue_wait,
-                cache_hit: true,
-                ..Default::default()
-            };
-            return Ok(CoreOutcome {
-                solution: Arc::clone(&hit.solution),
-                cached: true,
-                telemetry,
-            });
-        }
+    let replayable = prev
+        .as_ref()
+        .is_some_and(|hit| hit.replayable_for(budget_ms));
+    if let (Some(tr), Some(start)) = (trace.as_deref_mut(), lookup_start) {
+        tr.span(
+            "cache_lookup",
+            start,
+            vec![("hit".to_string(), replayable.into())],
+        );
+    }
+    if replayable {
+        let hit = prev.as_ref().expect("replayable implies a cache entry");
+        shared.stats.cache_hits.inc();
+        let telemetry = RequestTelemetry {
+            queue_wait,
+            cache_hit: true,
+            ..Default::default()
+        };
+        return Ok(CoreOutcome {
+            solution: Arc::clone(&hit.solution),
+            cached: true,
+            telemetry,
+        });
     }
     // Admission control (after the cache lookup, so a saturated
     // service keeps answering cached traffic): a cold solve whose race
@@ -707,15 +1068,28 @@ fn solve_core(
     // deadline-starved race. Shed requests count only as
     // busy_rejections, not as cache misses, so the documented
     // hits/misses-vs-solved relationship survives saturation.
+    let admission_start = trace.as_deref().map(Trace::elapsed_us);
     let depth = shared.pool.queue_depth();
-    if depth >= shared.config.max_queue_depth {
-        shared.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    let admitted = depth < shared.config.max_queue_depth;
+    if let (Some(tr), Some(start)) = (trace.as_deref_mut(), admission_start) {
+        tr.span(
+            "admission",
+            start,
+            vec![
+                ("admitted".to_string(), admitted.into()),
+                ("queue_depth".to_string(), (depth as u64).into()),
+            ],
+        );
+    }
+    if !admitted {
+        shared.stats.busy_rejections.inc();
         return Err(CoreFail::Busy { depth });
     }
-    shared.stats.cache_misses.fetch_add(1, Ordering::Relaxed);
+    shared.stats.cache_misses.inc();
 
     let solve_started = Instant::now();
-    let outcome = solve(
+    let race_start = trace.as_deref().map(Trace::elapsed_us);
+    let outcome = solve_traced(
         &shared.pool,
         inst,
         objective,
@@ -723,7 +1097,34 @@ fn solve_core(
         deadline,
         shared.config.gen_cap,
         shared.config.racers,
+        trace.is_some(),
     );
+    if let (Some(tr), Some(start)) = (trace, race_start) {
+        tr.member_spans(start, &outcome.timelines);
+        let decodes: u64 = outcome.models.iter().map(|(_, t)| t.decode_calls).sum();
+        let retimed: u64 = outcome
+            .models
+            .iter()
+            .map(|(_, t)| t.retimed_positions)
+            .sum();
+        tr.span(
+            "race",
+            start,
+            vec![
+                ("winner".to_string(), outcome.solution.model.as_str().into()),
+                ("deadline_bound".to_string(), outcome.deadline_bound.into()),
+                (
+                    "pool_wait_us".to_string(),
+                    (outcome.pool_wait.as_micros() as u64).into(),
+                ),
+                ("decode_calls".to_string(), decodes.into()),
+                ("retimed_positions".to_string(), retimed.into()),
+            ],
+        );
+    }
+    if let Some(c) = ServeMetrics::labeled(&shared.metrics.race_wins, &outcome.solution.model) {
+        c.inc();
+    }
 
     // Never hand out an infeasible schedule: validate before replying
     // (and before caching). If the fresh race misbehaves while a valid
@@ -731,12 +1132,12 @@ fn solve_core(
     // rather than failing a request the cache can still answer.
     let schedule = Schedule::new(outcome.solution.schedule.clone());
     if let Err(e) = inst.validate(&schedule) {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         if let Some(prev) = prev {
             // Served from the cache after all: count the hit so the
             // counter stays consistent with the response's cache_hit
             // flag (the error counter already records the anomaly).
-            shared.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            shared.stats.cache_hits.inc();
             let telemetry = RequestTelemetry {
                 queue_wait,
                 solve_time: solve_started.elapsed(),
@@ -777,7 +1178,7 @@ fn solve_core(
     shared
         .stats
         .pool_wait_us
-        .fetch_add(outcome.pool_wait.as_micros() as u64, Ordering::Relaxed);
+        .add(outcome.pool_wait.as_micros() as u64);
     let telemetry = RequestTelemetry {
         queue_wait,
         pool_wait: outcome.pool_wait,
@@ -789,7 +1190,10 @@ fn solve_core(
     }
     .with_decodes_from_models();
 
-    shared.stats.solved.fetch_add(1, Ordering::Relaxed);
+    shared.stats.solved.inc();
+    if let Some(c) = ServeMetrics::labeled(&shared.metrics.by_family, inst.family().name()) {
+        c.inc();
+    }
     Ok(CoreOutcome {
         solution: merged.solution,
         cached: false,
@@ -798,6 +1202,7 @@ fn solve_core(
 }
 
 /// [`solve_core`] rendered as a solve-shaped response body.
+#[allow(clippy::too_many_arguments)]
 fn solve_cached(
     id: Option<&str>,
     inst: &Arc<LoadedInstance>,
@@ -806,16 +1211,47 @@ fn solve_cached(
     deadline: Instant,
     budget_ms: u64,
     queue_wait: Duration,
+    trace: Option<&mut Trace>,
     shared: &Shared,
 ) -> Json {
     match solve_core(
-        inst, objective, seed, deadline, budget_ms, queue_wait, shared,
+        inst, objective, seed, deadline, budget_ms, queue_wait, trace, shared,
     ) {
         Ok(out) => solution_json(id, &out.solution, out.cached, &out.telemetry),
         Err(CoreFail::Busy { depth }) => {
             busy_json(id, depth as u64, shared.config.max_queue_depth as u64)
         }
         Err(CoreFail::Internal(msg)) => error_json(id, &msg),
+    }
+}
+
+/// Starts a request trace when the request opted in (`"trace": true`):
+/// mints a ring id and records the already-measured `parse` span.
+fn start_trace(
+    opted_in: bool,
+    kind: &'static str,
+    parse_us: u64,
+    shared: &Shared,
+) -> Option<Trace> {
+    opted_in.then(|| {
+        let mut tr = Trace::new(shared.traces.next_id(), kind);
+        tr.span_at("parse", 0, parse_us, Vec::new());
+        tr
+    })
+}
+
+/// Finishes a trace: renders it once, retains it in the service ring
+/// for `trace_dump`, and attaches it to the response body as `trace`.
+fn attach_trace(body: Json, trace: Option<Trace>, shared: &Shared) -> Json {
+    let Some(tr) = trace else { return body };
+    let rendered = tr.to_json();
+    shared.traces.push(rendered.clone());
+    match body {
+        Json::Obj(mut fields) => {
+            fields.push(("trace".into(), rendered));
+            Json::Obj(fields)
+        }
+        other => other,
     }
 }
 
@@ -841,17 +1277,23 @@ fn unknown_session_json(id: Option<&str>, session: &str) -> Json {
 /// shops only — the `shop::dynamic` machinery is the job-shop
 /// predictive-reactive stack), solve it through the shared cache-aware
 /// core, and register the session with the solution as its incumbent.
-fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &Shared) -> String {
+fn handle_session_open(
+    req: &SessionOpenRequest,
+    queue_wait: Duration,
+    parse_us: u64,
+    shared: &Shared,
+) -> String {
     let id = req.id.as_deref();
+    let mut trace = start_trace(req.trace, "session_open", parse_us, shared);
     let inst = match load_instance(&req.instance) {
         Ok(inst) => Arc::new(inst),
         Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             return encode_error(id, &e.to_string());
         }
     };
     let LoadedInstance::Job(job) = &*inst else {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         return encode_error(
             id,
             &format!(
@@ -869,6 +1311,7 @@ fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &
         deadline,
         deadline_ms,
         queue_wait,
+        trace.as_mut(),
         shared,
     ) {
         Err(CoreFail::Busy { depth }) => {
@@ -896,7 +1339,7 @@ fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &
             fields.push(("session".into(), session.as_str().into()));
             fields.push(("now".into(), 0u64.into()));
             fields.push(("events".into(), 0u64.into()));
-            Json::Obj(fields).encode()
+            attach_trace(Json::Obj(fields), trace, shared).encode()
         }
     }
 }
@@ -906,10 +1349,11 @@ fn handle_session_open(req: &SessionOpenRequest, queue_wait: Duration, shared: &
 /// `crate::session`); a racer queue past the admission limit sheds the
 /// re-solve leg so the event still answers — with repair — inside its
 /// deadline.
-fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
+fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Shared) -> String {
     let id = req.id.as_deref();
+    let mut trace = start_trace(req.trace, "session_event", parse_us, shared);
     let Some(entry) = shared.sessions.get(&req.session) else {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         return unknown_session_json(id, &req.session).encode();
     };
     let deadline_ms = match req.deadline_ms {
@@ -922,7 +1366,7 @@ fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
     let skip_resolve = shared.pool.queue_depth() >= shared.config.max_queue_depth;
     let started = Instant::now();
     let mut state = entry.lock().expect("session poisoned");
-    match crate::session::handle_event(
+    let outcome = crate::session::handle_event_traced(
         &shared.pool,
         &mut state,
         &req.event,
@@ -930,27 +1374,30 @@ fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
         shared.config.gen_cap,
         shared.config.racers,
         skip_resolve,
-    ) {
+        trace.as_mut(),
+    );
+    shared
+        .metrics
+        .session_event_us
+        .observe(started.elapsed().as_micros() as u64);
+    match outcome {
         Err(msg) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             encode_error(id, &msg)
         }
         Ok(out) => {
-            shared.stats.session_events.fetch_add(1, Ordering::Relaxed);
+            shared.stats.session_events.inc();
             let winners = match out.winner {
                 "resolve" => &shared.stats.session_resolve_wins,
                 _ => &shared.stats.session_repair_wins,
             };
-            winners.fetch_add(1, Ordering::Relaxed);
+            winners.inc();
             match out.resolve_skipped {
                 Some(crate::session::ResolveSkip::Busy) => {
-                    shared
-                        .stats
-                        .session_resolve_busy
-                        .fetch_add(1, Ordering::Relaxed);
+                    shared.stats.session_resolve_busy.inc();
                 }
                 Some(crate::session::ResolveSkip::Infeasible) => {
-                    shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.errors.inc();
                 }
                 _ => {}
             }
@@ -991,7 +1438,7 @@ fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
                     ("resolve_generations", out.resolve_generations.into()),
                 ]),
             ));
-            Json::Obj(fields).encode()
+            attach_trace(Json::Obj(fields), trace, shared).encode()
         }
     }
 }
@@ -1000,7 +1447,7 @@ fn handle_session_event(req: &SessionEventRequest, shared: &Shared) -> String {
 fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
     let id = r.id.as_deref();
     let Some(entry) = shared.sessions.get(&r.session) else {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
     let state = entry.lock().expect("session poisoned");
@@ -1029,7 +1476,7 @@ fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
 fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
     let id = r.id.as_deref();
     let Some(entry) = shared.sessions.close(&r.session) else {
-        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
     let state = entry.lock().expect("session poisoned");
@@ -1044,18 +1491,24 @@ fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
     Json::Obj(fields).encode()
 }
 
-fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> String {
+fn handle_solve(
+    req: &SolveRequest,
+    queue_wait: Duration,
+    parse_us: u64,
+    shared: &Shared,
+) -> String {
     let id = req.id.as_deref();
+    let mut trace = start_trace(req.trace, "solve", parse_us, shared);
     let inst = match load_instance(&req.instance) {
         Ok(inst) => Arc::new(inst),
         Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             return encode_error(id, &e.to_string());
         }
     };
     let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
-    solve_cached(
+    let body = solve_cached(
         id,
         &inst,
         req.objective,
@@ -1063,9 +1516,10 @@ fn handle_solve(req: &SolveRequest, queue_wait: Duration, shared: &Shared) -> St
         deadline,
         deadline_ms,
         queue_wait,
+        trace.as_mut(),
         shared,
-    )
-    .encode()
+    );
+    attach_trace(body, trace, shared).encode()
 }
 
 fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared) -> String {
@@ -1073,7 +1527,7 @@ fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared)
     let generated = match req.spec.build() {
         Ok(g) => g,
         Err(e) => {
-            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            shared.stats.errors.inc();
             return encode_error(id, &e.to_string());
         }
     };
@@ -1109,6 +1563,7 @@ fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared)
             deadline,
             deadline_ms,
             queue_wait,
+            None,
             shared,
         );
         fields.push(("solution".into(), body));
@@ -1157,6 +1612,7 @@ fn solve_batch_item(
             deadline,
             remaining_ms,
             Duration::ZERO,
+            None,
             shared,
         ),
         index,
@@ -1226,10 +1682,7 @@ fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> St
                 // Sources are identical within a group by construction.
                 match resolve_batch_source(&req.items[group[0]].source) {
                     Err(e) => {
-                        shared
-                            .stats
-                            .errors
-                            .fetch_add(group.len() as u64, Ordering::Relaxed);
+                        shared.stats.errors.add(group.len() as u64);
                         for &i in group {
                             let id = req.items[i].id.as_deref();
                             *slots[i].lock().expect("slot poisoned") =
@@ -1328,6 +1781,7 @@ mod tests {
             objective: Objective::Makespan,
             seed: 9,
             deadline_ms: 2_000,
+            trace: false,
         });
         let responses = send_lines(
             addr,
@@ -1424,6 +1878,7 @@ mod tests {
                 objective: Objective::Makespan,
                 seed: 5,
                 deadline_ms,
+                trace: false,
             })
         };
         let responses = send_lines(addr, &[mk(60), mk(400), mk(300)]);
@@ -1518,6 +1973,7 @@ mod tests {
             objective: Objective::Makespan,
             seed: 3,
             deadline_ms: 2_000,
+            trace: false,
         });
         // A batch of 8 copies of the primed key: every item must replay
         // the entry, and no new portfolio race may start.
@@ -1726,6 +2182,7 @@ mod tests {
             objective: Objective::Makespan,
             seed: 3,
             deadline_ms: 800,
+            trace: false,
         });
         send_lines(addr, &[prime]);
 
@@ -1738,6 +2195,7 @@ mod tests {
             objective: Objective::Makespan,
             seed: 77,
             deadline_ms: 2_500,
+            trace: false,
         });
         std::thread::scope(|s| {
             let saturator = s.spawn(|| send_lines(addr, std::slice::from_ref(&long)));
@@ -1753,6 +2211,7 @@ mod tests {
                 objective: Objective::Makespan,
                 seed: 5,
                 deadline_ms: 2_000,
+                trace: false,
             });
             let asked = Instant::now();
             let resp = send_lines(addr, &[cold]);
@@ -1774,6 +2233,7 @@ mod tests {
                 objective: Objective::Makespan,
                 seed: 3,
                 deadline_ms: 500,
+                trace: false,
             });
             let hit = send_lines(addr, &[cached]);
             let v = crate::json::parse(&hit[0]).unwrap();
@@ -1802,6 +2262,7 @@ mod tests {
             objective: Objective::Makespan,
             seed: 5,
             deadline_ms: 300,
+            trace: false,
         });
         let resp = send_lines(addr, &[retry]);
         let v = crate::json::parse(&resp[0]).unwrap();
@@ -2186,6 +2647,7 @@ mod tests {
                 objective: Objective::Makespan,
                 seed,
                 deadline_ms: 2_000,
+                trace: false,
             })
         };
         std::thread::scope(|s| {
@@ -2199,6 +2661,272 @@ mod tests {
             }
         });
         assert_eq!(service.stats().solved, 4);
+        service.shutdown();
+    }
+
+    /// Every legacy `ServiceStats` field must read back identically
+    /// through the metrics registry — the snapshot is a *view*, not a
+    /// second set of counters that could drift.
+    #[test]
+    fn stats_snapshot_matches_metrics_registry() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let req = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 11,
+            deadline_ms: 1_000,
+            trace: false,
+        });
+        send_lines(addr, &[req.clone(), req, "nonsense".to_string()]);
+        let snap = service.stats();
+        let reg = service.registry();
+        for (name, value) in [
+            ("serve_requests_total", snap.requests),
+            ("serve_solved_total", snap.solved),
+            ("serve_cache_hits_total", snap.cache_hits),
+            ("serve_cache_misses_total", snap.cache_misses),
+            ("serve_errors_total", snap.errors),
+            ("serve_busy_rejections_total", snap.busy_rejections),
+            ("serve_queue_wait_us_total", snap.queue_wait_us),
+            ("serve_pool_wait_us_total", snap.pool_wait_us),
+            ("serve_session_events_total", snap.session_events),
+            ("serve_session_repair_wins_total", snap.session_repair_wins),
+            (
+                "serve_session_resolve_wins_total",
+                snap.session_resolve_wins,
+            ),
+            (
+                "serve_session_resolve_busy_total",
+                snap.session_resolve_busy,
+            ),
+        ] {
+            assert_eq!(reg.value(name), Some(value), "{name} drifted");
+        }
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.errors, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_command_exposes_json_and_text() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let solve = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 4,
+            deadline_ms: 1_000,
+            trace: false,
+        });
+        let responses = send_lines(
+            addr,
+            &[
+                solve,
+                r#"{"cmd":"stats"}"#.to_string(),
+                r#"{"cmd":"metrics"}"#.to_string(),
+            ],
+        );
+        let stats = crate::json::parse(&responses[1]).unwrap();
+        let metrics = crate::json::parse(&responses[2]).unwrap();
+        assert_eq!(metrics.get("status").unwrap().as_str(), Some("ok"));
+        let json = metrics.get("json").expect("json exposition");
+        // The exposition must round-trip every legacy stats field. The
+        // metrics request itself is the one extra request since the
+        // stats snapshot was taken.
+        assert_eq!(
+            json.get("serve_requests_total").and_then(Json::as_u64),
+            stats.get("requests").and_then(Json::as_u64).map(|n| n + 1)
+        );
+        for (wire, metric) in [
+            ("solved", "serve_solved_total"),
+            ("cache_hits", "serve_cache_hits_total"),
+            ("cache_misses", "serve_cache_misses_total"),
+            ("errors", "serve_errors_total"),
+            ("busy_rejections", "serve_busy_rejections_total"),
+            ("queue_wait_us", "serve_queue_wait_us_total"),
+            ("pool_wait_us", "serve_pool_wait_us_total"),
+            ("session_events", "serve_session_events_total"),
+            ("session_repair_wins", "serve_session_repair_wins_total"),
+            ("session_resolve_wins", "serve_session_resolve_wins_total"),
+            ("session_resolve_busy", "serve_session_resolve_busy_total"),
+        ] {
+            assert_eq!(
+                json.get(metric).and_then(Json::as_u64),
+                stats.get(wire).and_then(Json::as_u64),
+                "{metric} must match stats.{wire}"
+            );
+        }
+        // Labelled families, gauges and histograms ride along.
+        assert_eq!(
+            json.get("serve_requests_by_type_total{type=\"solve\"}")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            json.get("serve_solved_by_family_total{family=\"flow\"}")
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert!(json.get("serve_uptime_ms").is_some());
+        assert!(
+            json.get("serve_request_us")
+                .and_then(|h| h.get("count"))
+                .and_then(Json::as_u64)
+                .is_some_and(|n| n >= 1),
+            "request latency histogram observed the solve"
+        );
+        let text = metrics.get("text").unwrap().as_str().unwrap();
+        assert!(text.contains("# TYPE serve_requests_total counter"));
+        assert!(text.contains("# TYPE serve_request_us histogram"));
+        assert!(text.contains("serve_requests_by_type_total{type=\"solve\"} 1"));
+        // The stats body itself gained uptime and version.
+        assert!(stats.get("uptime_ms").is_some());
+        assert_eq!(
+            stats.get("version").unwrap().as_str(),
+            Some(env!("CARGO_PKG_VERSION"))
+        );
+        service.shutdown();
+    }
+
+    /// A traced solve returns the request's span tree inline and
+    /// retains it for `trace_dump`; the race leg carries per-member
+    /// anytime timelines.
+    #[test]
+    fn traced_solve_attaches_spans_and_timelines() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let mk = |trace: bool| {
+            encode_request(&SolveRequest {
+                id: None,
+                instance: InstanceSpec::Named("flow05".into()),
+                objective: Objective::Makespan,
+                seed: 21,
+                deadline_ms: 1_500,
+                trace,
+            })
+        };
+        let responses = send_lines(
+            addr,
+            &[
+                mk(true),
+                mk(false),
+                mk(true),
+                r#"{"cmd":"trace_dump"}"#.to_string(),
+            ],
+        );
+        let cold = crate::json::parse(&responses[0]).unwrap();
+        let trace = cold.get("trace").expect("traced solve returns a trace");
+        assert_eq!(trace.get("kind").unwrap().as_str(), Some("solve"));
+        let spans = trace.get("spans").unwrap().as_arr().unwrap();
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        for expected in ["parse", "cache_lookup", "admission", "race"] {
+            assert!(
+                names.contains(&expected),
+                "missing span {expected}: {names:?}"
+            );
+        }
+        // At least one member span with a non-empty anytime timeline
+        // whose points are (elapsed_us, best) with non-increasing best.
+        let member = spans
+            .iter()
+            .find(|s| {
+                s.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("member/"))
+            })
+            .expect("race records member spans");
+        let points = member.get("timeline").unwrap().as_arr().unwrap();
+        assert!(!points.is_empty(), "anytime timeline has points");
+        let values: Vec<f64> = points
+            .iter()
+            .filter_map(|p| p.as_arr().and_then(|xy| xy[1].as_f64()))
+            .collect();
+        assert!(values.windows(2).all(|w| w[1] <= w[0]), "{values:?}");
+        // Untraced requests stay clean; a traced cache hit records the
+        // lookup but no race.
+        let untraced = crate::json::parse(&responses[1]).unwrap();
+        assert!(untraced.get("trace").is_none());
+        let hit = crate::json::parse(&responses[2]).unwrap();
+        let hit_spans = hit.get("trace").unwrap().get("spans").unwrap();
+        let hit_names: Vec<&str> = hit_spans
+            .as_arr()
+            .unwrap()
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Json::as_str))
+            .collect();
+        assert!(hit_names.contains(&"cache_lookup"));
+        assert!(!hit_names.contains(&"race"));
+        // The ring retained both traced requests, oldest first.
+        let dump = crate::json::parse(&responses[3]).unwrap();
+        assert_eq!(dump.get("count").unwrap().as_u64(), Some(2));
+        let traces = dump.get("traces").unwrap().as_arr().unwrap();
+        assert_eq!(
+            traces[0].get("id").unwrap().as_u64(),
+            trace.get("id").unwrap().as_u64()
+        );
+        service.shutdown();
+    }
+
+    /// The acceptance path: a traced disruption shows the repair and
+    /// re-solve legs as distinct spans, with each race member's anytime
+    /// points riding on its member span.
+    #[test]
+    fn traced_session_event_shows_repair_and_resolve_legs() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":7,"deadline_ms":1500,"trace":true}"#
+                    .to_string(),
+            ],
+        );
+        let opened = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(opened.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            opened.get("trace").unwrap().get("kind").unwrap().as_str(),
+            Some("session_open")
+        );
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        let mk = opened.get("makespan").unwrap().as_u64().unwrap();
+        let responses = send_lines(
+            addr,
+            &[format!(
+                r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":1,"from":{},"duration":{}}},"deadline_ms":1200,"trace":true}}"#,
+                mk / 4,
+                mk / 3
+            )],
+        );
+        let event = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(event.get("status").unwrap().as_str(), Some("ok"));
+        let trace = event.get("trace").expect("traced event returns a trace");
+        assert_eq!(trace.get("kind").unwrap().as_str(), Some("session_event"));
+        let spans = trace.get("spans").unwrap().as_arr().unwrap();
+        let span = |name: &str| {
+            spans
+                .iter()
+                .find(|s| s.get("name").and_then(Json::as_str) == Some(name))
+        };
+        let repair = span("repair").expect("distinct repair span");
+        let resolve = span("resolve").expect("distinct resolve span");
+        assert!(repair.get("value").unwrap().as_f64().is_some());
+        assert!(resolve.get("value").unwrap().as_f64().is_some());
+        let timelines = spans
+            .iter()
+            .filter(|s| {
+                s.get("name")
+                    .and_then(Json::as_str)
+                    .is_some_and(|n| n.starts_with("member/"))
+            })
+            .count();
+        assert!(timelines >= 1, "re-solve race records member timelines");
         service.shutdown();
     }
 }

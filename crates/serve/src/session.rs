@@ -35,10 +35,11 @@
 //! session, so events on different sessions race concurrently while
 //! events on one session serialise in arrival order.
 
-use crate::portfolio::{plan_lineup, race_core, run_member, BestSoFar, MemberRunner, StopRule};
+use crate::obs::trace::Trace;
+use crate::portfolio::{plan_lineup, race_core, run_member, MemberObs, MemberRunner, StopRule};
 use crate::protocol::{Objective, Solution};
 use crate::scheduler::RacerPool;
-use ga::engine::{Individual, Toolkit};
+use ga::engine::Toolkit;
 use ga::rng::split_seed;
 use shop::dynamic::{
     apply_event, frozen_prefix, reschedule_suffix_with_windows, DownWindow, Event, SuffixRedecoder,
@@ -330,6 +331,34 @@ pub fn handle_event(
     racers: usize,
     skip_resolve: bool,
 ) -> Result<EventOutcome, String> {
+    handle_event_traced(
+        pool,
+        state,
+        event,
+        deadline,
+        gen_cap,
+        racers,
+        skip_resolve,
+        None,
+    )
+}
+
+/// [`handle_event`] with request tracing. When `trace` is given, the
+/// right-shift repair and the GA re-solve are recorded as distinct
+/// `repair` / `resolve` spans, and each race member's strictly-improving
+/// anytime `(elapsed_us, best)` points ride on a `member/<model>` span.
+/// The event computation itself is unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn handle_event_traced(
+    pool: &RacerPool,
+    state: &mut SessionState,
+    event: &Event,
+    deadline: Instant,
+    gen_cap: u64,
+    racers: usize,
+    skip_resolve: bool,
+    mut trace: Option<&mut Trace>,
+) -> Result<EventOutcome, String> {
     let t = event.at();
     if t < state.now {
         return Err(format!(
@@ -338,6 +367,7 @@ pub fn handle_event(
         ));
     }
     let incumbent_schedule = Schedule::new(state.incumbent.schedule.clone());
+    let repair_start = trace.as_deref().map(|tr| tr.elapsed_us());
     let (inst, windows, repaired) =
         apply_event(&state.inst, &incumbent_schedule, &state.windows, event)
             .map_err(|e| e.to_string())?;
@@ -345,6 +375,13 @@ pub fn handle_event(
         return Err(format!("internal: repair produced {e}"));
     }
     let repair_value = objective_value(&inst, &repaired, state.objective);
+    if let (Some(tr), Some(start)) = (trace.as_deref_mut(), repair_start) {
+        tr.span(
+            "repair",
+            start,
+            vec![("value".to_string(), repair_value.into())],
+        );
+    }
 
     let (frozen, suffix) = frozen_prefix(&repaired, t);
     let mut skip = None;
@@ -380,7 +417,7 @@ pub fn handle_event(
             let frozen = Arc::clone(&shared_frozen);
             let suffix = Arc::clone(&shared_suffix);
             let windows = Arc::clone(&shared_windows);
-            Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+            Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                 // Per-member mutable decode state; the mutex satisfies
                 // the `Fn + Sync` evaluator bound and is uncontended
                 // (one evaluator per member run).
@@ -400,18 +437,10 @@ pub fn handle_event(
                 };
                 let toolkit_factory =
                     || suffix_toolkit(k).with_warm_start(vec![identity(k)], clones);
-                let mut report = |ind: &Individual<Vec<usize>>| shared.report(ind.cost);
-                run_member(
-                    member,
-                    mseed,
-                    &toolkit_factory,
-                    &eval,
-                    stop,
-                    shared,
-                    &mut report,
-                )
+                run_member(member, mseed, &toolkit_factory, &eval, stop, obs)
             })
         };
+        let resolve_start = trace.as_deref().map(|tr| tr.elapsed_us());
         let outcome = race_core(
             pool,
             &lineup,
@@ -420,6 +449,7 @@ pub fn handle_event(
             deadline,
             gen_cap,
             0.0, // no cheap certificate for a frozen-prefix re-solve
+            trace.is_some(),
         );
         // The winner is materialised and validated by the reference
         // path — the incremental decoder never answers unchecked.
@@ -443,6 +473,18 @@ pub fn handle_event(
             .map(|(_, t)| t.generations)
             .max()
             .unwrap_or(0);
+        if let (Some(tr), Some(start)) = (trace, resolve_start) {
+            tr.member_spans(start, &outcome.timelines);
+            tr.span(
+                "resolve",
+                start,
+                vec![
+                    ("value".to_string(), value.into()),
+                    ("winner".to_string(), outcome.winner.as_str().into()),
+                    ("generations".to_string(), generations.into()),
+                ],
+            );
+        }
         match schedule.validate_job(&inst) {
             Ok(()) => {
                 resolve = Some((

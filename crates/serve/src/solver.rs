@@ -15,7 +15,8 @@
 //! family's reference decoder and validated — the hot path never gets
 //! to answer unchecked.
 
-use crate::portfolio::{plan_lineup, race_core, run_member, BestSoFar, MemberRunner, ModelKind};
+use crate::obs::trace::MemberTrace;
+use crate::portfolio::{plan_lineup, race_core, run_member, MemberObs, MemberRunner, ModelKind};
 use crate::portfolio::{RaceResult, StopRule};
 use crate::protocol::{InstanceSpec, Objective, Solution};
 use crate::scheduler::RacerPool;
@@ -27,7 +28,8 @@ use shop::decoder::flow::FlowDecoder;
 use shop::decoder::job::JobDecoder;
 use shop::decoder::open::OpenDecoder;
 use shop::decoder::table::{
-    FlexTable, IncrementalFlex, IncrementalFlow, IncrementalJob, IncrementalOpenOrder, OpTable,
+    DecodeCounters, FlexTable, IncrementalFlex, IncrementalFlow, IncrementalJob,
+    IncrementalOpenOrder, OpTable,
 };
 use shop::gen::AnyInstance;
 use shop::schedule::Schedule;
@@ -103,6 +105,9 @@ pub struct SolveOutcome {
     /// Longest time any of the race's pooled members waited for a racer
     /// slot (see `portfolio::RaceResult::pool_wait`).
     pub pool_wait: std::time::Duration,
+    /// Per-member anytime timelines, recorded only by traced solves
+    /// ([`solve_traced`] with `traced = true`); empty otherwise.
+    pub timelines: Vec<MemberTrace>,
 }
 
 /// Runs one member with a freshly constructed family toolkit/evaluator
@@ -115,7 +120,7 @@ fn run_member_with<G, TF, E>(
     member: ModelKind,
     member_seed: u64,
     stop: &StopRule,
-    shared: &BestSoFar,
+    obs: &MemberObs,
     toolkit_factory: TF,
     eval: E,
 ) -> (Individual<G>, pga::telemetry::RunTelemetry, bool)
@@ -124,16 +129,7 @@ where
     TF: Fn() -> Toolkit<G> + Sync,
     E: ga::Evaluator<G> + Sync,
 {
-    let mut report = |ind: &Individual<G>| shared.report(ind.cost);
-    run_member(
-        member,
-        member_seed,
-        &toolkit_factory,
-        &eval,
-        stop,
-        shared,
-        &mut report,
-    )
+    run_member(member, member_seed, &toolkit_factory, &eval, stop, obs)
 }
 
 /// Races the portfolio on `inst` until `deadline` on `pool` and returns
@@ -151,6 +147,26 @@ pub fn solve(
     gen_cap: u64,
     threads: usize,
 ) -> SolveOutcome {
+    solve_traced(
+        pool, inst, objective, seed, deadline, gen_cap, threads, false,
+    )
+}
+
+/// [`solve`] with anytime-timeline recording. With `traced` set, every
+/// race member logs its strictly-improving `(elapsed_us, best)` points
+/// into [`SolveOutcome::timelines`] for the request trace; the search
+/// itself is unchanged (same seeds, same stop rule, same winner).
+#[allow(clippy::too_many_arguments)]
+pub fn solve_traced(
+    pool: &RacerPool,
+    inst: &Arc<LoadedInstance>,
+    objective: Objective,
+    seed: u64,
+    deadline: Instant,
+    gen_cap: u64,
+    threads: usize,
+    traced: bool,
+) -> SolveOutcome {
     let lineup = plan_lineup(inst.family(), inst.total_ops(), threads);
     // Early-exit target: the makespan lower bound certifies optimality;
     // other objectives have no cheap bound, so they race to the cap.
@@ -165,22 +181,30 @@ pub fn solve(
             // member — members used to rebuild their decoder per run.
             let table = Arc::new(OpTable::from_flow(flow));
             let runner: Arc<MemberRunner<Vec<usize>>> =
-                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     // Each member owns its incremental decoder state
                     // (the table behind it stays shared); the mutex
                     // satisfies the `Fn + Sync` evaluator bound and is
                     // uncontended — one evaluator per member run.
                     let inc = Mutex::new(IncrementalFlow::new(Arc::clone(&table)));
-                    let eval = move |perm: &Vec<usize>| {
+                    // Borrow (not move) the decoder: its divergence
+                    // counters are folded into the member's telemetry
+                    // after the run.
+                    let eval = |perm: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
                         match objective {
                             Objective::Makespan => inc.decode(perm) as f64,
                             Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
                         }
                     };
-                    run_member_with(member, mseed, stop, shared, || perm_toolkit(n_jobs), eval)
+                    let (best, tel, hit) =
+                        run_member_with(member, mseed, stop, obs, || perm_toolkit(n_jobs), eval);
+                    let c = inc.lock().unwrap().counters();
+                    (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let outcome = race_core(
+                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            );
             // The final answer goes through the reference decoder — the
             // materialised schedule cross-checks the hot path (validated
             // in finish's caller tests and the property suite).
@@ -196,9 +220,9 @@ pub fn solve(
             let ops_per_job: Vec<usize> = (0..job.n_jobs()).map(|j| job.n_ops(j)).collect();
             let table = Arc::new(OpTable::from_job(job));
             let runner: Arc<MemberRunner<Vec<usize>>> =
-                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalJob::new(Arc::clone(&table)));
-                    let eval = move |seq: &Vec<usize>| {
+                    let eval = |seq: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
                         match objective {
                             Objective::Makespan => inc.decode(seq) as f64,
@@ -206,16 +230,20 @@ pub fn solve(
                         }
                     };
                     let ops_per_job = ops_per_job.clone();
-                    run_member_with(
+                    let (best, tel, hit) = run_member_with(
                         member,
                         mseed,
                         stop,
-                        shared,
+                        obs,
                         move || opseq_toolkit(ops_per_job.clone()),
                         eval,
-                    )
+                    );
+                    let c = inc.lock().unwrap().counters();
+                    (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let outcome = race_core(
+                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            );
             let decoder = JobDecoder::new(job);
             finish(
                 inst,
@@ -228,18 +256,23 @@ pub fn solve(
             let (n, m) = (open.n_jobs(), open.n_machines());
             let table = Arc::new(OpTable::from_open(open));
             let runner: Arc<MemberRunner<Vec<usize>>> =
-                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalOpenOrder::new(Arc::clone(&table)));
-                    let eval = move |perm: &Vec<usize>| {
+                    let eval = |perm: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
                         match objective {
                             Objective::Makespan => inc.decode(perm) as f64,
                             Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
                         }
                     };
-                    run_member_with(member, mseed, stop, shared, || perm_toolkit(n * m), eval)
+                    let (best, tel, hit) =
+                        run_member_with(member, mseed, stop, obs, || perm_toolkit(n * m), eval);
+                    let c = inc.lock().unwrap().counters();
+                    (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let outcome = race_core(
+                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            );
             let decoder = OpenDecoder::new(open);
             let order: Vec<(usize, usize)> = outcome
                 .best
@@ -259,9 +292,9 @@ pub fn solve(
             let n_jobs = flex.n_jobs();
             let table = Arc::new(FlexTable::from_flexible(flex));
             let runner: Arc<MemberRunner<DualGenome>> =
-                Arc::new(move |member, mseed, stop: &StopRule, shared: &BestSoFar| {
+                Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalFlex::new(Arc::clone(&table)));
-                    let eval = move |g: &DualGenome| {
+                    let eval = |g: &DualGenome| {
                         let mut inc = inc.lock().unwrap();
                         match objective {
                             Objective::Makespan => inc.decode(&g.assign, &g.seq) as f64,
@@ -271,21 +304,34 @@ pub fn solve(
                         }
                     };
                     let ops_per_job = ops_per_job.clone();
-                    run_member_with(
+                    let (best, tel, hit) = run_member_with(
                         member,
                         mseed,
                         stop,
-                        shared,
+                        obs,
                         move || dual_toolkit(ops_per_job.clone(), max_choices, n_jobs),
                         eval,
-                    )
+                    );
+                    let c = inc.lock().unwrap().counters();
+                    (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(pool, &lineup, runner, seed, deadline, gen_cap, target);
+            let outcome = race_core(
+                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            );
             let schedule = FlexDecoder::new(flex)
                 .decode(&outcome.best.genome.assign, &outcome.best.genome.seq);
             finish(inst, objective, schedule, outcome)
         }
     }
+}
+
+/// Folds an incremental decoder's divergence counters into a member's
+/// run telemetry (see [`shop::decoder::table::DecodeCounters`]): how
+/// many re-decodes ran and how many positions they actually re-timed.
+fn with_decode_counters(mut tel: RunTelemetry, c: DecodeCounters) -> RunTelemetry {
+    tel.decode_calls = c.decodes;
+    tel.retimed_positions = c.retimed_positions;
+    tel
 }
 
 fn finish<G>(
@@ -306,6 +352,7 @@ fn finish<G>(
         models: outcome.models,
         deadline_bound: outcome.deadline_bound,
         pool_wait: outcome.pool_wait,
+        timelines: outcome.timelines,
     }
 }
 

@@ -436,6 +436,21 @@ fn first_divergence(a: &[usize], b: &[usize]) -> usize {
     a.iter().zip(b).take_while(|(x, y)| x == y).count()
 }
 
+/// Cumulative work counters of one incremental decoder — the
+/// table-path numbers the serving layer surfaces in request traces
+/// (how many chromosome decodes a race member ran, and how much of
+/// that work the incremental cache actually had to re-time).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecodeCounters {
+    /// `decode*` calls answered, including unchanged-genome cache hits.
+    pub decodes: u64,
+    /// Positions re-timed across all decodes (`len - divergence`,
+    /// summed) — the suffix work the prefix cache could not skip. The
+    /// ratio `retimed_positions / (decodes * len)` is the live
+    /// counterpart of the d01 incremental-speedup lane.
+    pub retimed_positions: u64,
+}
+
 /// Incremental re-decode of job-shop operation sequences.
 ///
 /// Caches the last genome and the end time of every position. A
@@ -464,6 +479,7 @@ pub struct IncrementalJob {
     makespan: Time,
     completion_sum: Time,
     divergence: usize,
+    counters: DecodeCounters,
 }
 
 impl IncrementalJob {
@@ -480,6 +496,7 @@ impl IncrementalJob {
             makespan: 0,
             completion_sum: 0,
             divergence: 0,
+            counters: DecodeCounters::default(),
         }
     }
 
@@ -487,6 +504,11 @@ impl IncrementalJob {
     /// `decode` (`genome length` when the genome was unchanged).
     pub fn divergence(&self) -> usize {
         self.divergence
+    }
+
+    /// Cumulative decode-work counters since construction.
+    pub fn counters(&self) -> DecodeCounters {
+        self.counters
     }
 
     fn redecode(&mut self, op_sequence: &[usize]) {
@@ -499,9 +521,11 @@ impl IncrementalJob {
             0
         };
         self.divergence = d;
+        self.counters.decodes += 1;
         if d == n && !self.seq.is_empty() {
             return; // Unchanged genome: the cached answer stands.
         }
+        self.counters.retimed_positions += (n - d) as u64;
         let (nj, nm) = (table.n_jobs, table.n_machines);
         let stride = nj + nm + 1;
         self.span_end.resize(n, 0);
@@ -594,6 +618,7 @@ pub struct IncrementalFlow {
     makespan: Time,
     completion_sum: Time,
     divergence: usize,
+    counters: DecodeCounters,
 }
 
 impl IncrementalFlow {
@@ -607,6 +632,7 @@ impl IncrementalFlow {
             makespan: 0,
             completion_sum: 0,
             divergence: 0,
+            counters: DecodeCounters::default(),
         }
     }
 
@@ -614,6 +640,11 @@ impl IncrementalFlow {
     /// `decode` (`genome length` when the genome was unchanged).
     pub fn divergence(&self) -> usize {
         self.divergence
+    }
+
+    /// Cumulative decode-work counters since construction.
+    pub fn counters(&self) -> DecodeCounters {
+        self.counters
     }
 
     fn redecode(&mut self, perm: &[usize]) {
@@ -626,9 +657,11 @@ impl IncrementalFlow {
             0
         };
         self.divergence = d;
+        self.counters.decodes += 1;
         if d == n && !self.perm.is_empty() {
             return;
         }
+        self.counters.retimed_positions += (n - d) as u64;
         self.rows.resize(n * m, 0);
         self.span_completion.resize(n, 0);
         let mut frontier = vec![0; m];
@@ -684,6 +717,7 @@ pub struct IncrementalOpenOrder {
     makespan: Time,
     completion_sum: Time,
     divergence: usize,
+    counters: DecodeCounters,
 }
 
 impl IncrementalOpenOrder {
@@ -700,6 +734,7 @@ impl IncrementalOpenOrder {
             makespan: 0,
             completion_sum: 0,
             divergence: 0,
+            counters: DecodeCounters::default(),
         }
     }
 
@@ -707,6 +742,11 @@ impl IncrementalOpenOrder {
     /// `decode` (`genome length` when the genome was unchanged).
     pub fn divergence(&self) -> usize {
         self.divergence
+    }
+
+    /// Cumulative decode-work counters since construction.
+    pub fn counters(&self) -> DecodeCounters {
+        self.counters
     }
 
     fn redecode(&mut self, perm: &[usize]) {
@@ -719,9 +759,11 @@ impl IncrementalOpenOrder {
             0
         };
         self.divergence = d;
+        self.counters.decodes += 1;
         if d == n && !self.perm.is_empty() {
             return;
         }
+        self.counters.retimed_positions += (n - d) as u64;
         let (nj, nm) = (table.n_jobs, table.n_machines);
         let stride = nj + nm + 1;
         self.span_end.resize(n, 0);
@@ -815,6 +857,7 @@ pub struct IncrementalFlex {
     makespan: Time,
     completion_sum: Time,
     divergence: usize,
+    counters: DecodeCounters,
 }
 
 impl IncrementalFlex {
@@ -832,6 +875,7 @@ impl IncrementalFlex {
             makespan: 0,
             completion_sum: 0,
             divergence: 0,
+            counters: DecodeCounters::default(),
         }
     }
 
@@ -839,6 +883,11 @@ impl IncrementalFlex {
     /// `decode` (`genome length` when nothing effective changed).
     pub fn divergence(&self) -> usize {
         self.divergence
+    }
+
+    /// Cumulative decode-work counters since construction.
+    pub fn counters(&self) -> DecodeCounters {
+        self.counters
     }
 
     fn redecode(&mut self, assignment: &[usize], sequence: &[usize]) {
@@ -868,6 +917,7 @@ impl IncrementalFlex {
             0
         };
         self.divergence = d;
+        self.counters.decodes += 1;
         if d == n && !self.seq.is_empty() {
             // The sequence matches and every consumed assignment gene
             // matches; untouched genes cannot affect timing.
@@ -875,6 +925,7 @@ impl IncrementalFlex {
             self.assign.extend_from_slice(assignment);
             return;
         }
+        self.counters.retimed_positions += (n - d) as u64;
         let table = Arc::clone(&self.table);
         self.scratch
             .reset_dims(table.n_jobs, table.n_machines, &table.release);

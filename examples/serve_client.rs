@@ -53,7 +53,7 @@ fn usage() -> ! {
          | --session-open NAME [--ttl-ms N] \
          | --session SID (--event SPEC | --get | --close)) \
          [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
-         | --cmd stats|shutdown\n\
+         [--trace] | --metrics | --cmd stats|metrics|trace_dump|shutdown\n\
          event SPEC: breakdown:M:FROM:DUR | arrival:AT:m0xd0,m1xd1,... \
          | revision:AT:JOB:OP:DUR"
     );
@@ -110,6 +110,7 @@ fn main() {
     let mut objective = Objective::Makespan;
     let mut seed = 0u64;
     let mut deadline_ms = 2_000u64;
+    let mut trace = false;
     let mut cmd = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -131,6 +132,8 @@ fn main() {
             "--objective" => objective = Objective::from_name(&value()).unwrap_or_else(|| usage()),
             "--seed" => seed = value().parse().unwrap_or_else(|_| usage()),
             "--deadline-ms" => deadline_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--trace" => trace = true,
+            "--metrics" => cmd = Some("metrics".into()),
             "--cmd" => cmd = Some(value()),
             _ => usage(),
         }
@@ -147,6 +150,7 @@ fn main() {
             seed,
             deadline_ms,
             ttl_ms,
+            trace,
         }))
     } else if let Some(sid) = &session {
         if let Some(spec) = &event {
@@ -159,6 +163,7 @@ fn main() {
                 session: sid.clone(),
                 event,
                 deadline_ms,
+                trace,
             }))
         } else if session_get || session_close {
             let cmd = if session_close {
@@ -182,13 +187,16 @@ fn main() {
 
     let line = match (&cmd, &instance, &file, &batch, &generate) {
         _ if session_line.is_some() => session_line.clone().expect("checked"),
-        (Some(c), ..) if c == "stats" || c == "shutdown" => format!("{{\"cmd\":\"{c}\"}}"),
+        (Some(c), ..) if ["stats", "metrics", "trace_dump", "shutdown"].contains(&c.as_str()) => {
+            format!("{{\"cmd\":\"{c}\"}}")
+        }
         (None, Some(name), None, None, None) => encode_request(&SolveRequest {
             id: Some("client".into()),
             instance: InstanceSpec::Named(name.clone()),
             objective,
             seed,
             deadline_ms,
+            trace,
         }),
         (None, None, Some(path), None, None) => {
             let family = kind
@@ -205,6 +213,7 @@ fn main() {
                 objective,
                 seed,
                 deadline_ms,
+                trace,
             })
         }
         (None, None, None, Some(names), None) => encode_batch_request(&BatchRequest {

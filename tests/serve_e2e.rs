@@ -25,6 +25,7 @@ fn request_line() -> String {
         objective: Objective::Makespan,
         seed: 42,
         deadline_ms: 2_000,
+        trace: false,
     })
 }
 
@@ -233,6 +234,7 @@ fn inline_instance_hits_the_same_cache_entry_as_the_named_classic() {
             objective: Objective::Makespan,
             seed: 42,
             deadline_ms: 2_000,
+            trace: false,
         }),
     );
     let named_v = json::parse(&named).expect("json");
