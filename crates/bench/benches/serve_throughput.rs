@@ -9,6 +9,11 @@
 //! written to `BENCH_serve.json` in the working directory so the
 //! serving path has a tracked performance record (the file is
 //! gitignored; numbers are machine-local).
+//!
+//! A second group measures **session-event throughput vs. WAL mode**
+//! (no WAL / WAL+fsync / WAL without fsync) under concurrent
+//! sessions, appending rows to `BENCH_session.json` — the measured
+//! price of the fsync-before-answer durability guarantee.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use serve::json::obj;
@@ -111,6 +116,138 @@ fn concurrent_cold_sweep(
     )
 }
 
+fn session_open_line(seed: u64) -> String {
+    format!(
+        r#"{{"cmd":"session_open","instance":{{"name":"ft06"}},"seed":{seed},"deadline_ms":2000}}"#
+    )
+}
+
+fn session_event_line(sid: &str) -> String {
+    // A constant-time breakdown keeps the virtual clock legal
+    // (`at >= now` holds with equality) while still re-racing the
+    // whole unstarted suffix, so every event exercises the full
+    // accept-event path: fold, repair, capped race, WAL append.
+    format!(
+        r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":0,"from":1,"duration":1}},"deadline_ms":200}}"#
+    )
+}
+
+/// Aggregate session events/sec with `sessions` concurrent sessions
+/// (one connection each) for `window`. Every accepted event is fsync'd
+/// before its answer when the bound service has a WAL, so this is the
+/// durability tax measured end-to-end through the wire.
+fn session_events_sweep(addr: std::net::SocketAddr, sessions: usize, window: Duration) -> f64 {
+    let done = std::sync::atomic::AtomicU64::new(0);
+    let started = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..sessions {
+            let done = &done;
+            s.spawn(move || {
+                let mut client = Client::connect(addr);
+                let opened = client.roundtrip(&session_open_line(500 + c as u64));
+                let sid = serve::json::parse(opened.trim())
+                    .expect("parse open")
+                    .get("session")
+                    .expect("session id")
+                    .as_str()
+                    .expect("string id")
+                    .to_string();
+                let line = session_event_line(&sid);
+                while started.elapsed() < window {
+                    let response = client.roundtrip(&line);
+                    assert!(response.contains("\"status\":\"ok\""), "bad response");
+                    done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    done.load(std::sync::atomic::Ordering::Relaxed) as f64 / started.elapsed().as_secs_f64()
+}
+
+/// Session-event throughput with and without the WAL (ISSUE 8): the
+/// same concurrent event storm against a memory-only service, a
+/// durable one (fsync before every answer), and a durable one with
+/// fsync off — isolating framing+write cost from the fsync itself.
+/// Rows are *appended* to `BENCH_session.json` next to the
+/// x03_session_storm trajectory.
+fn bench_session_wal(c: &mut Criterion) {
+    const SESSIONS: usize = 4;
+    let wal_root = std::env::temp_dir().join(format!("pga-wal-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_root);
+    let modes: [(&str, bool, bool); 3] = [
+        ("no_wal", false, true),
+        ("wal_fsync", true, true),
+        ("wal_nofsync", true, false),
+    ];
+
+    let mut g = c.benchmark_group("serve_session");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(100))
+        .measurement_time(Duration::from_millis(500));
+    let mut rows: Vec<serve::Json> = Vec::new();
+    for (mode, wal, fsync) in modes {
+        let config = ServeConfig {
+            gen_cap: 10,
+            racers: 1,
+            workers: 8,
+            wal_dir: wal.then(|| wal_root.join(mode).to_string_lossy().into_owned()),
+            wal_fsync: fsync,
+            ..ServeConfig::default()
+        }
+        .resolved();
+        let service = Service::bind(config).expect("bind");
+        let addr = service.local_addr();
+
+        // Criterion line: one event on one warm session.
+        let mut client = Client::connect(addr);
+        let opened = client.roundtrip(&session_open_line(7));
+        let sid = serve::json::parse(opened.trim())
+            .expect("parse open")
+            .get("session")
+            .expect("session id")
+            .as_str()
+            .expect("string id")
+            .to_string();
+        let line = session_event_line(&sid);
+        g.bench_function(format!("event_{mode}"), |b| {
+            b.iter(|| client.roundtrip(&line))
+        });
+
+        let events_per_sec = session_events_sweep(addr, SESSIONS, Duration::from_millis(800));
+        rows.push(obj([
+            ("bench", "serve_session_wal".into()),
+            ("mode", mode.into()),
+            ("sessions", (SESSIONS as u64).into()),
+            ("events_per_sec", events_per_sec.into()),
+            ("gen_cap", 10u64.into()),
+        ]));
+
+        drop(client);
+        service.shutdown();
+    }
+    g.finish();
+
+    let stamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_session.json");
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .expect("open BENCH_session.json");
+    for row in &mut rows {
+        if let serve::Json::Obj(fields) = row {
+            fields.insert(1, ("run_epoch_s".into(), stamp.into()));
+        }
+        use std::io::Write as _;
+        writeln!(file, "{}", row.encode()).expect("append row");
+        println!("BENCH_session.json: {}", row.encode());
+    }
+    let _ = std::fs::remove_dir_all(&wal_root);
+}
+
 fn bench_serve(c: &mut Criterion) {
     let config = ServeConfig {
         // Small caps keep a cold ft06 race in the low milliseconds so
@@ -196,5 +333,5 @@ fn bench_serve(c: &mut Criterion) {
     service.shutdown();
 }
 
-criterion_group!(benches, bench_serve);
+criterion_group!(benches, bench_serve, bench_session_wal);
 criterion_main!(benches);

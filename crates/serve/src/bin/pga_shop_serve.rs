@@ -8,6 +8,8 @@
 //!                [--session-ttl-ms N] [--max-sessions N]
 //!                [--event-deadline-ms N] [--port-file PATH]
 //!                [--metrics-interval-ms N] [--trace-ring N]
+//!                [--wal-dir PATH] [--wal-snapshot-every N]
+//!                [--wal-no-fsync]
 //! ```
 //!
 //! Prints `LISTENING <addr>` on stdout once bound (port 0 = ephemeral;
@@ -24,7 +26,10 @@ fn usage() -> ! {
          [--cache-shards N (0 = auto)] [--session-ttl-ms N] [--max-sessions N] \
          [--event-deadline-ms N] [--port-file PATH] \
          [--metrics-interval-ms N (0 = no stderr summary)] \
-         [--trace-ring N (retained traces, 0 = default 64)]"
+         [--trace-ring N (retained traces, 0 = default 64)] \
+         [--wal-dir PATH (durable sessions: per-session write-ahead logs)] \
+         [--wal-snapshot-every N (compact cadence in events, 0 = default 64)] \
+         [--wal-no-fsync (skip fsync per append: faster, weaker crash story)]"
     );
     std::process::exit(2);
 }
@@ -94,6 +99,13 @@ fn main() {
             "--trace-ring" => {
                 config.trace_ring = value("--trace-ring").parse().unwrap_or_else(|_| usage())
             }
+            "--wal-dir" => config.wal_dir = Some(value("--wal-dir")),
+            "--wal-snapshot-every" => {
+                config.wal_snapshot_every = value("--wal-snapshot-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--wal-no-fsync" => config.wal_fsync = false,
             "--port-file" => port_file = Some(value("--port-file")),
             "--help" | "-h" => usage(),
             other => {

@@ -42,6 +42,15 @@
 //! whichever schedule is better. Sessions live in a TTL/LRU registry
 //! and surface gauges through `stats`.
 //!
+//! With `--wal-dir` the session tier is a **system of record**: every
+//! open and accepted event is appended to a per-session
+//! length-prefixed, checksummed write-ahead log ([`wal`]), fsync'd
+//! before the wire answer, compacted into snapshots on a cadence, and
+//! replayed bit-identically at restart (or lazily on first touch — a
+//! TTL-expired session with a log on disk is recovered, not
+//! `unknown_session`). A `session_events` request returns the whole
+//! ordered event journal in one round trip.
+//!
 //! The wire protocol is line-delimited JSON over TCP (hand-rolled
 //! [`json`] module — no external dependencies, consistent with the
 //! workspace's offline-shim policy); see [`protocol`] for the request
@@ -62,6 +71,7 @@ pub mod scheduler;
 pub mod server;
 pub mod session;
 pub mod solver;
+pub mod wal;
 
 pub use cache::{CacheKey, CachedSolve, ShardedCache, SolutionCache};
 pub use json::Json;
@@ -76,6 +86,8 @@ pub use protocol::{
 pub use scheduler::{CancelToken, RacerPool};
 pub use server::{ServeConfig, Service, StatsSnapshot};
 pub use session::{
-    EventOutcome, ResolveSkip, SessionConfig, SessionGauges, SessionRegistry, SessionState,
+    EventOutcome, JournalEntry, ResolveSkip, SessionConfig, SessionGauges, SessionRegistry,
+    SessionState,
 };
 pub use solver::{load_instance, solve, solve_traced, LoadedInstance, SolveOutcome};
+pub use wal::{RecoverOutcome, RecoveredSession, Wal, WalConfig};

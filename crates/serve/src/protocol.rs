@@ -243,6 +243,11 @@ pub enum Request {
     /// Fetch a session's current incumbent
     /// (`{"cmd":"session_get",...}`).
     SessionGet(SessionRef),
+    /// Fetch a session's whole ordered event log in one round trip
+    /// (`{"cmd":"session_events",...}`). Served from the session's
+    /// journal, which the write-ahead log persists — the history
+    /// survives restarts.
+    SessionEvents(SessionRef),
     /// Close a session (`{"cmd":"session_close",...}`).
     SessionClose(SessionRef),
     /// Service counters (`{"cmd":"stats"}`).
@@ -579,8 +584,8 @@ pub fn encode_session_event(req: &SessionEventRequest) -> String {
     Json::Obj(fields).encode()
 }
 
-/// Encodes a `session_get` or `session_close` request (client side);
-/// `cmd` must be one of those two strings.
+/// Encodes a `session_get`, `session_events` or `session_close`
+/// request (client side); `cmd` must be one of those three strings.
 pub fn encode_session_ref(cmd: &str, r: &SessionRef) -> String {
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = &r.id {
@@ -679,6 +684,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             "session_open" => parse_session_open(&v),
             "session_event" => parse_session_event(&v),
             "session_get" => parse_session_ref(&v).map(Request::SessionGet),
+            "session_events" => parse_session_ref(&v).map(Request::SessionEvents),
             "session_close" => parse_session_ref(&v).map(Request::SessionClose),
             other => Err(bad(format!("unknown cmd {other:?}"))),
         };
@@ -1124,6 +1130,10 @@ mod tests {
         assert_eq!(
             parse_request(&encode_session_ref("session_get", &r)).unwrap(),
             Request::SessionGet(r.clone())
+        );
+        assert_eq!(
+            parse_request(&encode_session_ref("session_events", &r)).unwrap(),
+            Request::SessionEvents(r.clone())
         );
         assert_eq!(
             parse_request(&encode_session_ref("session_close", &r)).unwrap(),

@@ -110,6 +110,19 @@ pub struct ServeConfig {
     /// Capacity of the retained-trace ring served by `trace_dump`
     /// (0, the default, resolves to 64).
     pub trace_ring: usize,
+    /// Write-ahead-log directory for durable sessions (`None`, the
+    /// default, keeps sessions memory-only). With a directory set,
+    /// every session's open + events are logged and fsync'd before the
+    /// wire answer, and the registry is rebuilt from the logs at bind
+    /// — see `crate::wal`.
+    pub wal_dir: Option<String>,
+    /// Compact a session's log into a single snapshot record every
+    /// this-many events (0, the default, resolves to 64).
+    pub wal_snapshot_every: u64,
+    /// Whether WAL appends fsync before the wire answer (default
+    /// true). Turning it off trades crash durability for event
+    /// throughput.
+    pub wal_fsync: bool,
 }
 
 impl Default for ServeConfig {
@@ -130,6 +143,9 @@ impl Default for ServeConfig {
             default_event_deadline_ms: 200,
             metrics_interval_ms: 0,
             trace_ring: 0,
+            wal_dir: None,
+            wal_snapshot_every: 0,
+            wal_fsync: true,
         }
     }
 }
@@ -151,6 +167,9 @@ impl ServeConfig {
         }
         if self.trace_ring == 0 {
             self.trace_ring = 64;
+        }
+        if self.wal_snapshot_every == 0 {
+            self.wal_snapshot_every = 64;
         }
         self
     }
@@ -204,6 +223,13 @@ pub struct ServiceStats {
     /// with repair alone). Like `busy_rejections`, not an error: the
     /// repair answer is feasible and within the deadline.
     pub session_resolve_busy: Arc<Counter>,
+    /// Write-ahead-log records durably appended (session opens, event
+    /// records and compaction snapshots; zero when no `wal_dir` is
+    /// configured).
+    pub wal_appends: Arc<Counter>,
+    /// Write-ahead-log records replayed into sessions (restart
+    /// recovery plus lazy recovery on first touch).
+    pub wal_replays: Arc<Counter>,
 }
 
 /// Point-in-time copy of the counters.
@@ -234,6 +260,10 @@ pub struct StatsSnapshot {
     pub session_resolve_wins: u64,
     /// Events whose re-solve was shed by admission control.
     pub session_resolve_busy: u64,
+    /// Write-ahead-log records durably appended.
+    pub wal_appends: u64,
+    /// Write-ahead-log records replayed into sessions.
+    pub wal_replays: u64,
 }
 
 impl ServiceStats {
@@ -291,6 +321,14 @@ impl ServiceStats {
                 "serve_session_resolve_busy_total",
                 "events whose re-solve was shed by admission control",
             ),
+            wal_appends: registry.counter(
+                "serve_wal_appends_total",
+                "write-ahead-log records durably appended",
+            ),
+            wal_replays: registry.counter(
+                "serve_wal_replays_total",
+                "write-ahead-log records replayed into sessions",
+            ),
         }
     }
 
@@ -308,19 +346,22 @@ impl ServiceStats {
             session_repair_wins: self.session_repair_wins.get(),
             session_resolve_wins: self.session_resolve_wins.get(),
             session_resolve_busy: self.session_resolve_busy.get(),
+            wal_appends: self.wal_appends.get(),
+            wal_replays: self.wal_replays.get(),
         }
     }
 }
 
 /// Wire request type labels of the `serve_requests_by_type_total`
 /// series; `invalid` covers lines that failed to parse.
-const REQUEST_TYPES: [&str; 12] = [
+const REQUEST_TYPES: [&str; 13] = [
     "solve",
     "generate",
     "batch",
     "session_open",
     "session_event",
     "session_get",
+    "session_events",
     "session_close",
     "stats",
     "metrics",
@@ -346,6 +387,9 @@ struct ServeMetrics {
     request_us: Arc<Histogram>,
     /// Per-`session_event` latency (repair + optional re-solve), µs.
     session_event_us: Arc<Histogram>,
+    /// Per-record WAL append latency (frame + write + fsync, and the
+    /// periodic snapshot rewrite when one triggers), µs.
+    wal_append_us: Arc<Histogram>,
     /// `serve_requests_by_type_total{type=...}` — one pre-registered
     /// counter per [`REQUEST_TYPES`] label.
     by_type: Vec<(&'static str, Arc<Counter>)>,
@@ -362,6 +406,7 @@ struct ServeMetrics {
     sessions_closed: Arc<Gauge>,
     sessions_expired: Arc<Gauge>,
     sessions_evicted: Arc<Gauge>,
+    sessions_recovered: Arc<Gauge>,
     workers: Arc<Gauge>,
     racer_pool: Arc<Gauge>,
     max_queue_depth: Arc<Gauge>,
@@ -389,6 +434,10 @@ impl ServeMetrics {
             session_event_us: registry.histogram(
                 "serve_session_event_us",
                 "session_event latency (repair + re-solve race) in microseconds",
+            ),
+            wal_append_us: registry.histogram(
+                "serve_wal_append_us",
+                "write-ahead-log append latency (write + fsync) in microseconds",
             ),
             by_type: labeled(
                 "serve_requests_by_type_total",
@@ -424,6 +473,10 @@ impl ServeMetrics {
             sessions_expired: registry.gauge("serve_sessions_expired", "sessions expired by TTL"),
             sessions_evicted: registry
                 .gauge("serve_sessions_evicted", "sessions evicted by the LRU cap"),
+            sessions_recovered: registry.gauge(
+                "serve_sessions_recovered",
+                "sessions rebuilt from the write-ahead log",
+            ),
             workers: registry.gauge("serve_workers", "worker threads serving connections"),
             racer_pool: registry.gauge("serve_racer_pool", "persistent racer threads"),
             max_queue_depth: registry.gauge("serve_max_queue_depth", "admission limit"),
@@ -452,6 +505,9 @@ struct Shared {
     pool: RacerPool,
     /// Dynamic-rescheduling sessions (see [`crate::session`]).
     sessions: SessionRegistry,
+    /// Per-session write-ahead log (`None` without `wal_dir`); see
+    /// [`crate::wal`].
+    wal: Option<crate::wal::Wal>,
     stats: ServiceStats,
     /// The metrics registry behind `stats`, `metrics` and the periodic
     /// stderr summary.
@@ -480,6 +536,7 @@ impl Shared {
         m.sessions_closed.set(sg.closed);
         m.sessions_expired.set(sg.expired);
         m.sessions_evicted.set(sg.evicted);
+        m.sessions_recovered.set(sg.recovered);
     }
 }
 
@@ -518,6 +575,14 @@ impl Service {
         metrics.workers.set(config.workers as u64);
         metrics.max_queue_depth.set(config.max_queue_depth as u64);
         metrics.max_sessions.set(config.max_sessions as u64);
+        let wal = match &config.wal_dir {
+            Some(dir) => Some(crate::wal::Wal::new(crate::wal::WalConfig {
+                dir: std::path::PathBuf::from(dir),
+                snapshot_every: config.wal_snapshot_every,
+                fsync: config.wal_fsync,
+            })?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.cache_capacity, config.cache_shards),
             pool: RacerPool::new(config.racer_pool),
@@ -527,6 +592,7 @@ impl Service {
                 max_sessions: config.max_sessions.max(1),
             }),
             traces: TraceRing::new(config.trace_ring),
+            wal,
             config,
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
@@ -537,6 +603,25 @@ impl Service {
             started: Instant::now(),
         });
         shared.metrics.racer_pool.set(shared.pool.size() as u64);
+        // Restart recovery: rebuild the registry from every log on
+        // disk before accepting a single connection, so a client that
+        // reconnects immediately after a crash sees its session (a
+        // corrupt or unreadable log is quarantined, never fatal).
+        if let Some(wal) = shared.wal.as_ref() {
+            match wal.recover_all() {
+                Ok(recovered) => {
+                    for rec in recovered {
+                        if let Some(salvaged) = &rec.salvaged {
+                            eprintln!("[serve::wal] {}: {salvaged}", rec.session);
+                        }
+                        shared.stats.wal_replays.add(rec.records);
+                        let id = rec.session;
+                        shared.sessions.restore(&id, rec.state, rec.ttl_ms);
+                    }
+                }
+                Err(e) => eprintln!("[serve::wal] recovery scan failed: {e}"),
+            }
+        }
         let mut threads = Vec::with_capacity(shared.config.workers + 2);
         {
             let shared = Arc::clone(&shared);
@@ -869,6 +954,7 @@ fn request_type_label(parsed: &Result<Request, crate::protocol::ProtocolError>) 
         Ok(Request::SessionOpen(_)) => "session_open",
         Ok(Request::SessionEvent(_)) => "session_event",
         Ok(Request::SessionGet(_)) => "session_get",
+        Ok(Request::SessionEvents(_)) => "session_events",
         Ok(Request::SessionClose(_)) => "session_close",
         Ok(Request::Stats) => "stats",
         Ok(Request::Metrics) => "metrics",
@@ -923,6 +1009,9 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
                 ("session_repair_wins", s.session_repair_wins.into()),
                 ("session_resolve_wins", s.session_resolve_wins.into()),
                 ("session_resolve_busy", s.session_resolve_busy.into()),
+                ("sessions_recovered", sg.recovered.into()),
+                ("wal_appends", s.wal_appends.into()),
+                ("wal_replays", s.wal_replays.into()),
                 ("max_sessions", (shared.config.max_sessions as u64).into()),
                 (
                     "uptime_ms",
@@ -971,6 +1060,7 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         ),
         Ok(Request::SessionEvent(req)) => (handle_session_event(&req, parse_us, shared), false),
         Ok(Request::SessionGet(r)) => (handle_session_get(&r, shared), false),
+        Ok(Request::SessionEvents(r)) => (handle_session_events(&r, shared), false),
         Ok(Request::SessionClose(r)) => (handle_session_close(&r, shared), false),
     };
     shared
@@ -1273,6 +1363,93 @@ fn unknown_session_json(id: Option<&str>, session: &str) -> Json {
     Json::Obj(fields)
 }
 
+/// Session down-windows on the wire: `[machine, from, until]` rows in
+/// machine order.
+fn windows_json(windows: &[shop::dynamic::DownWindow]) -> Json {
+    Json::Arr(
+        windows
+            .iter()
+            .map(|w| {
+                Json::Arr(vec![
+                    (w.machine as u64).into(),
+                    w.from.into(),
+                    w.until.into(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Looks up a session, falling back to write-ahead-log replay when the
+/// registry no longer holds it — idle-TTL expiry, LRU eviction, or a
+/// restart that has not touched this id yet. Durability beats expiry:
+/// a session with a log on disk stays reachable until explicitly
+/// closed.
+fn session_entry(session: &str, shared: &Shared) -> Option<Arc<Mutex<SessionState>>> {
+    if let Some(entry) = shared.sessions.get(session) {
+        return Some(entry);
+    }
+    let wal = shared.wal.as_ref()?;
+    match wal.recover_one(session) {
+        Ok(crate::wal::RecoverOutcome::Recovered(rec)) => {
+            if let Some(salvaged) = &rec.salvaged {
+                eprintln!("[serve::wal] {session}: {salvaged}");
+            }
+            shared.stats.wal_replays.add(rec.records);
+            let (entry, _) = shared.sessions.restore(session, rec.state, rec.ttl_ms);
+            Some(entry)
+        }
+        Ok(crate::wal::RecoverOutcome::Missing) => None,
+        Ok(crate::wal::RecoverOutcome::Quarantined { path, error }) => {
+            eprintln!(
+                "[serve::wal] {session}: quarantined {} ({error})",
+                path.display()
+            );
+            shared.stats.errors.inc();
+            None
+        }
+        Err(e) => {
+            eprintln!("[serve::wal] {session}: recovery failed: {e}");
+            shared.stats.errors.inc();
+            None
+        }
+    }
+}
+
+/// Durably appends one accepted event to a session's log (and compacts
+/// it into a snapshot when the cadence triggers), before the caller
+/// writes the wire answer. WAL IO failure degrades to memory-only
+/// service — the event was already applied, losing the answer would be
+/// worse than losing durability.
+fn wal_append_event(
+    session: &str,
+    state: &SessionState,
+    event: &shop::dynamic::Event,
+    out: &crate::session::EventOutcome,
+    shared: &Shared,
+) {
+    let Some(wal) = shared.wal.as_ref() else {
+        return;
+    };
+    let started = Instant::now();
+    let mut result = wal.append(session, &crate::wal::event_record(state.events, event, out));
+    let every = wal.config().snapshot_every;
+    if result.is_ok() && every > 0 && state.events.is_multiple_of(every) {
+        result = wal.rewrite(session, &crate::wal::snapshot_record(session, state));
+    }
+    shared
+        .metrics
+        .wal_append_us
+        .observe(started.elapsed().as_micros() as u64);
+    match result {
+        Ok(()) => shared.stats.wal_appends.inc(),
+        Err(e) => {
+            eprintln!("[serve::wal] {session}: append failed: {e} (continuing without durability)");
+            shared.stats.errors.inc();
+        }
+    }
+}
+
 /// Opens a dynamic-rescheduling session: resolve the instance (job
 /// shops only — the `shop::dynamic` machinery is the job-shop
 /// predictive-reactive stack), solve it through the shared cache-aware
@@ -1330,8 +1507,33 @@ fn handle_session_open(
                 // re-solves); a fresh incumbent starts settled.
                 deadline_bound: false,
                 events: 0,
+                ttl_ms: req.ttl_ms,
+                journal: Vec::new(),
             };
             let session = shared.sessions.open(state, req.ttl_ms);
+            // Durability: the open record is on disk (and fsync'd)
+            // before the client hears the session id.
+            if let Some(wal) = shared.wal.as_ref() {
+                if let Some(entry) = shared.sessions.get(&session) {
+                    let state = entry.lock().expect("session poisoned");
+                    let started = Instant::now();
+                    let result = wal.begin(&session, &crate::wal::open_record(&session, &state));
+                    shared
+                        .metrics
+                        .wal_append_us
+                        .observe(started.elapsed().as_micros() as u64);
+                    match result {
+                        Ok(()) => shared.stats.wal_appends.inc(),
+                        Err(e) => {
+                            eprintln!(
+                                "[serve::wal] {session}: open append failed: {e} \
+                                 (continuing without durability)"
+                            );
+                            shared.stats.errors.inc();
+                        }
+                    }
+                }
+            }
             let body = solution_json(id, &out.solution, out.cached, &out.telemetry);
             let Json::Obj(mut fields) = body else {
                 unreachable!("solution_json builds an object")
@@ -1352,7 +1554,7 @@ fn handle_session_open(
 fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Shared) -> String {
     let id = req.id.as_deref();
     let mut trace = start_trace(req.trace, "session_event", parse_us, shared);
-    let Some(entry) = shared.sessions.get(&req.session) else {
+    let Some(entry) = session_entry(&req.session, shared) else {
         shared.stats.errors.inc();
         return unknown_session_json(id, &req.session).encode();
     };
@@ -1401,6 +1603,10 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
                 }
                 _ => {}
             }
+            // Still under the session lock: the record hits disk (and
+            // fsyncs) before the wire answer, and appends stay ordered
+            // per session.
+            wal_append_event(&req.session, &state, &req.event, &out, shared);
             let mut fields: Vec<(String, Json)> = Vec::new();
             if let Some(id) = id {
                 fields.push(("id".into(), id.into()));
@@ -1443,10 +1649,10 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
     }
 }
 
-/// Returns a session's current incumbent and clock.
+/// Returns a session's current incumbent, clock and down-windows.
 fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
     let id = r.id.as_deref();
-    let Some(entry) = shared.sessions.get(&r.session) else {
+    let Some(entry) = session_entry(&r.session, shared) else {
         shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
@@ -1465,6 +1671,7 @@ fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
     fields.push(("value".into(), state.incumbent.value.into()));
     fields.push(("makespan".into(), state.incumbent.makespan.into()));
     fields.push(("deadline_bound".into(), state.deadline_bound.into()));
+    fields.push(("windows".into(), windows_json(&state.windows)));
     fields.push((
         "schedule".into(),
         crate::protocol::schedule_to_json(&state.incumbent.schedule),
@@ -1472,13 +1679,64 @@ fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
     Json::Obj(fields).encode()
 }
 
-/// Closes a session and reports how many events it absorbed.
-fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
+/// Returns a session's whole ordered event log in one round trip: one
+/// row per accepted event with the disruption, the winning leg and the
+/// post-event incumbent summary. Served from the journal the WAL
+/// persists, so the history survives restarts and compaction.
+fn handle_session_events(r: &SessionRef, shared: &Shared) -> String {
     let id = r.id.as_deref();
-    let Some(entry) = shared.sessions.close(&r.session) else {
+    let Some(entry) = session_entry(&r.session, shared) else {
         shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
+    let state = entry.lock().expect("session poisoned");
+    let log: Vec<Json> = state
+        .journal
+        .iter()
+        .map(|e| {
+            obj([
+                ("seq", e.seq.into()),
+                ("event", crate::protocol::event_to_json(&e.event)),
+                ("winner", e.winner.as_str().into()),
+                ("value", e.value.into()),
+                ("makespan", e.makespan.into()),
+                ("deadline_bound", e.deadline_bound.into()),
+            ])
+        })
+        .collect();
+    let mut fields: Vec<(String, Json)> = Vec::new();
+    if let Some(id) = id {
+        fields.push(("id".into(), id.into()));
+    }
+    fields.push(("status".into(), "ok".into()));
+    fields.push(("session".into(), r.session.as_str().into()));
+    fields.push(("now".into(), state.now.into()));
+    fields.push(("events".into(), state.events.into()));
+    fields.push(("log".into(), Json::Arr(log)));
+    Json::Obj(fields).encode()
+}
+
+/// Closes a session and reports how many events it absorbed. With a
+/// WAL the log is deleted too — close is the one path that forgets a
+/// durable session.
+fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
+    let id = r.id.as_deref();
+    let entry = shared.sessions.close(&r.session).or_else(|| {
+        // An expired-but-durable session must be closable: recover it,
+        // then close it (and drop its log below).
+        session_entry(&r.session, shared)?;
+        shared.sessions.close(&r.session)
+    });
+    let Some(entry) = entry else {
+        shared.stats.errors.inc();
+        return unknown_session_json(id, &r.session).encode();
+    };
+    if let Some(wal) = shared.wal.as_ref() {
+        if let Err(e) = wal.remove(&r.session) {
+            eprintln!("[serve::wal] {}: remove failed: {e}", r.session);
+            shared.stats.errors.inc();
+        }
+    }
     let state = entry.lock().expect("session poisoned");
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
@@ -2624,6 +2882,151 @@ mod tests {
         service.shutdown();
     }
 
+    /// A scratch WAL directory, removed on drop.
+    struct TmpWalDir(std::path::PathBuf);
+
+    impl TmpWalDir {
+        fn new(tag: &str) -> TmpWalDir {
+            let dir = std::env::temp_dir().join(format!("pga-wal-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            TmpWalDir(dir)
+        }
+
+        fn path(&self) -> String {
+            self.0.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for TmpWalDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    // The TTL-vs-durability regression: an idle-expired session whose
+    // log is on disk must come back via replay — bit-identically — not
+    // answer `unknown_session`, and stats must count the recovery.
+    #[test]
+    fn expired_session_with_wal_recovers_via_replay() {
+        let tmp = TmpWalDir::new("ttl");
+        let service = Service::bind(ServeConfig {
+            workers: 1,
+            gen_cap: 30,
+            session_ttl_ms: 80,
+            wal_dir: Some(tmp.path()),
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":2,"deadline_ms":1000}"#
+                    .to_string(),
+            ],
+        );
+        let opened = crate::json::parse(&responses[0]).unwrap();
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        let responses = send_lines(
+            addr,
+            &[format!(
+                r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":2,"from":10,"duration":12}},"deadline_ms":1000}}"#
+            )],
+        );
+        let event = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(event.get("status").unwrap().as_str(), Some("ok"));
+        std::thread::sleep(Duration::from_millis(200));
+        assert_eq!(service.session_gauges().open, 0, "session must expire");
+        let responses = send_lines(
+            addr,
+            &[
+                format!(r#"{{"cmd":"session_get","session":"{sid}"}}"#),
+                r#"{"cmd":"stats"}"#.to_string(),
+            ],
+        );
+        let got = crate::json::parse(&responses[0]).unwrap();
+        assert_eq!(got.get("status").unwrap().as_str(), Some("ok"), "{got:?}");
+        assert_eq!(got.get("events").unwrap().as_u64(), Some(1));
+        assert_eq!(got.get("now").unwrap().as_u64(), Some(10));
+        assert_eq!(
+            got.get("value").unwrap().as_f64(),
+            event.get("value").unwrap().as_f64()
+        );
+        assert_eq!(
+            got.get("schedule").unwrap().encode(),
+            event.get("schedule").unwrap().encode(),
+            "replayed incumbent must be bit-identical"
+        );
+        assert_eq!(got.get("windows").unwrap().encode(), "[[2,10,22]]");
+        let stats = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(stats.get("sessions_recovered").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("wal_replays").unwrap().as_u64(), Some(2));
+        assert!(stats.get("wal_appends").unwrap().as_u64().unwrap() >= 2);
+        service.shutdown();
+    }
+
+    #[test]
+    fn session_events_returns_the_ordered_log() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let responses = send_lines(
+            addr,
+            &[
+                r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":5,"deadline_ms":1000}"#
+                    .to_string(),
+            ],
+        );
+        let sid = crate::json::parse(&responses[0])
+            .unwrap()
+            .get("session")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let responses = send_lines(
+            addr,
+            &[
+                format!(
+                    r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":1,"from":8,"duration":6}},"deadline_ms":800}}"#
+                ),
+                format!(
+                    r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"job_arrival","at":15,"route":[[0,5],[3,7]]}},"deadline_ms":800}}"#
+                ),
+                format!(r#"{{"id":"log","cmd":"session_events","session":"{sid}"}}"#),
+                r#"{"cmd":"session_events","session":"sess-unknown"}"#.to_string(),
+            ],
+        );
+        let second = crate::json::parse(&responses[1]).unwrap();
+        assert_eq!(second.get("status").unwrap().as_str(), Some("ok"));
+        let log = crate::json::parse(&responses[2]).unwrap();
+        assert_eq!(log.get("id").unwrap().as_str(), Some("log"));
+        assert_eq!(log.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(log.get("events").unwrap().as_u64(), Some(2));
+        let rows = log.get("log").unwrap().as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].get("seq").unwrap().as_u64(), Some(1));
+        assert_eq!(
+            rows[0].get("event").unwrap().get("type").unwrap().as_str(),
+            Some("breakdown")
+        );
+        assert_eq!(rows[1].get("seq").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            rows[1].get("event").unwrap().get("type").unwrap().as_str(),
+            Some("job_arrival")
+        );
+        // The last row mirrors the session's incumbent summary.
+        assert_eq!(
+            rows[1].get("value").unwrap().as_f64(),
+            second.get("value").unwrap().as_f64()
+        );
+        let missing = crate::json::parse(&responses[3]).unwrap();
+        assert_eq!(
+            missing.get("code").unwrap().as_str(),
+            Some("unknown_session")
+        );
+        service.shutdown();
+    }
+
     #[test]
     fn shutdown_command_stops_the_service() {
         let service = Service::bind(tiny_config()).unwrap();
@@ -2701,6 +3104,8 @@ mod tests {
                 "serve_session_resolve_busy_total",
                 snap.session_resolve_busy,
             ),
+            ("serve_wal_appends_total", snap.wal_appends),
+            ("serve_wal_replays_total", snap.wal_replays),
         ] {
             assert_eq!(reg.value(name), Some(value), "{name} drifted");
         }
@@ -2753,6 +3158,9 @@ mod tests {
             ("session_repair_wins", "serve_session_repair_wins_total"),
             ("session_resolve_wins", "serve_session_resolve_wins_total"),
             ("session_resolve_busy", "serve_session_resolve_busy_total"),
+            ("wal_appends", "serve_wal_appends_total"),
+            ("wal_replays", "serve_wal_replays_total"),
+            ("sessions_recovered", "serve_sessions_recovered"),
         ] {
             assert_eq!(
                 json.get(metric).and_then(Json::as_u64),

@@ -91,6 +91,35 @@ pub struct SessionState {
     pub deadline_bound: bool,
     /// Events applied so far.
     pub events: u64,
+    /// The TTL the client requested at open (0 = server default).
+    /// Carried in the state so the WAL can preserve it across a
+    /// restart.
+    pub ttl_ms: u64,
+    /// The ordered event journal: one entry per applied event, in
+    /// arrival order. Served by `session_events` and persisted in WAL
+    /// snapshots so the full history survives both compaction and a
+    /// restart.
+    pub journal: Vec<JournalEntry>,
+}
+
+/// One line of a session's event journal: the disruption plus the
+/// summary of the answer it got (the full winning schedule lives in
+/// the incumbent / the WAL, not here).
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// 1-based event sequence number.
+    pub seq: u64,
+    /// The disruption that was applied.
+    pub event: Event,
+    /// `"repair"` or `"resolve"` — which responder won.
+    pub winner: String,
+    /// The post-event incumbent's objective value.
+    pub value: f64,
+    /// The post-event incumbent's makespan.
+    pub makespan: u64,
+    /// Whether the answer was budget-degraded (see
+    /// [`SessionState::deadline_bound`]).
+    pub deadline_bound: bool,
 }
 
 /// One registry slot: the shared session entry plus recency metadata
@@ -114,6 +143,9 @@ pub struct SessionCounters {
     pub expired: AtomicU64,
     /// Sessions evicted by the LRU capacity cap.
     pub evicted: AtomicU64,
+    /// Sessions rebuilt from the write-ahead log (at restart or
+    /// lazily on first touch after expiry).
+    pub recovered: AtomicU64,
 }
 
 /// Point-in-time copy of [`SessionCounters`] plus the open gauge.
@@ -129,6 +161,8 @@ pub struct SessionGauges {
     pub expired: u64,
     /// Sessions evicted by the LRU capacity cap.
     pub evicted: u64,
+    /// Sessions rebuilt from the write-ahead log.
+    pub recovered: u64,
 }
 
 /// The TTL/LRU session registry. One short mutex guards the map;
@@ -192,6 +226,7 @@ impl SessionRegistry {
             closed: self.counters.closed.load(Ordering::Relaxed),
             expired: self.counters.expired.load(Ordering::Relaxed),
             evicted: self.counters.evicted.load(Ordering::Relaxed),
+            recovered: self.counters.recovered.load(Ordering::Relaxed),
         }
     }
 
@@ -241,6 +276,60 @@ impl SessionRegistry {
         );
         self.counters.opened.fetch_add(1, Ordering::Relaxed);
         id
+    }
+
+    /// Re-registers a session rebuilt from its write-ahead log under
+    /// its *original* id — restart recovery and lazy recovery after an
+    /// idle-TTL expiry both land here. Keep-existing semantics: when
+    /// the id is already live (two requests racing the same recovery)
+    /// the state on hand is dropped and the live entry returned, so a
+    /// session never forks. Returns the entry plus whether this call
+    /// actually inserted (and counted) the recovery.
+    ///
+    /// The id minter is bumped past any recovered `sess-<n>` so a
+    /// post-restart `session_open` can never re-issue a recovered id.
+    pub fn restore(
+        &self,
+        id: &str,
+        state: SessionState,
+        ttl_ms: u64,
+    ) -> (Arc<Mutex<SessionState>>, bool) {
+        if let Some(n) = id.strip_prefix("sess-").and_then(|n| n.parse::<u64>().ok()) {
+            self.next_id.fetch_max(n, Ordering::Relaxed);
+        }
+        let ttl = match ttl_ms {
+            0 => self.config.default_ttl,
+            ms => Duration::from_millis(ms).min(self.config.max_ttl),
+        };
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut slots = self.slots.lock().expect("session registry poisoned");
+        self.sweep(&mut slots);
+        if let Some(live) = slots.get(id) {
+            return (Arc::clone(&live.entry), false);
+        }
+        while slots.len() >= self.config.max_sessions {
+            let Some(lru) = slots
+                .iter()
+                .min_by_key(|(_, s)| s.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            slots.remove(&lru);
+            self.counters.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        let entry = Arc::new(Mutex::new(state));
+        slots.insert(
+            id.to_string(),
+            Slot {
+                stamp,
+                last_touch: Instant::now(),
+                ttl,
+                entry: Arc::clone(&entry),
+            },
+        );
+        self.counters.recovered.fetch_add(1, Ordering::Relaxed);
+        (entry, true)
     }
 
     /// Looks up (and touches) a session. `None` when unknown or
@@ -538,6 +627,14 @@ pub fn handle_event_traced(
     state.incumbent = Arc::clone(&solution);
     state.deadline_bound = deadline_bound;
     state.events += 1;
+    state.journal.push(JournalEntry {
+        seq: state.events,
+        event: event.clone(),
+        winner: winner.to_string(),
+        value,
+        makespan: solution.makespan,
+        deadline_bound,
+    });
     Ok(EventOutcome {
         winner,
         repair_value,
@@ -616,6 +713,8 @@ mod tests {
             incumbent: Arc::new(out.solution),
             deadline_bound: false,
             events: 0,
+            ttl_ms: 0,
+            journal: Vec::new(),
         }
     }
 
@@ -640,6 +739,25 @@ mod tests {
         assert!(reg.close(&id).is_none());
         let g = reg.gauges();
         assert_eq!((g.open, g.opened, g.closed), (0, 1, 1));
+    }
+
+    #[test]
+    fn restore_reuses_ids_and_never_forks_a_live_session() {
+        let reg = SessionRegistry::new(cfg());
+        let (a, b) = (open_state(1), open_state(2));
+        let (_, inserted) = reg.restore("sess-7", a, 0);
+        assert!(inserted);
+        assert_eq!(reg.gauges().recovered, 1);
+        // A live id is never forked: the second restore returns the
+        // existing entry and counts nothing.
+        let entry = reg.get("sess-7").unwrap();
+        let (same, inserted) = reg.restore("sess-7", b, 0);
+        assert!(!inserted);
+        assert!(Arc::ptr_eq(&entry, &same));
+        assert_eq!(reg.gauges().recovered, 1);
+        // The minter was bumped past the recovered id.
+        let fresh = reg.open(open_state(3), 0);
+        assert_eq!(fresh, "sess-8");
     }
 
     #[test]

@@ -1,0 +1,1027 @@
+//! Durable, replayable session logs — the write-ahead log behind
+//! dynamic-rescheduling sessions (`serve::session`).
+//!
+//! Every durable session owns one append-only file
+//! `<wal_dir>/<session-id>.wal` holding length-prefixed, checksummed
+//! records: a `session_open` header (or a `snapshot` after
+//! compaction), then one `event` record per accepted disruption. A
+//! record is framed as
+//!
+//! ```text
+//! [u32 LE payload length][u64 LE FNV-1a of payload][payload JSON]
+//! ```
+//!
+//! and appended — fsync'd when the WAL is configured to — *before* the
+//! wire answer leaves the server, so an answered event is a durable
+//! event. After `snapshot_every` events the log is compacted: the
+//! whole session state (instance text, windows, clock, incumbent,
+//! event journal) is rewritten as a single `snapshot` record via an
+//! atomic tmp-file rename, bounding both file size and recovery time.
+//!
+//! **Recovery** ([`replay`]) rebuilds a [`SessionState`] bit-identical
+//! to the pre-crash state: the header re-parses the instance and
+//! installs the logged incumbent, then each event record re-derives
+//! the instance/windows evolution through `shop::dynamic::apply_event`
+//! (the same per-step transform `fold_events` folds) and installs the
+//! *logged* winning schedule — re-validated against the evolved
+//! instance, never trusted blindly. Storing the winner rather than
+//! re-racing it is what makes recovery exact even for deadline-bound
+//! events whose GA outcome was timing-dependent.
+//!
+//! **Corruption** never panics and never poisons recovery: framing
+//! stops at the first bad frame (truncated tail, checksum mismatch),
+//! replay stops at the first bad record (duplicate / out-of-order
+//! sequence number, stale clock, infeasible schedule), the valid
+//! prefix is salvaged, and the damaged file is quarantined to
+//! `<session-id>.wal.corrupt` with the salvaged state rewritten as a
+//! fresh snapshot. The fault-injection proptests in
+//! `crates/serve/tests/wal_props.rs` drive byte soup, truncations and
+//! bit flips through this contract.
+
+use crate::json::{obj, Json};
+use crate::protocol::{
+    event_from_json, event_to_json, schedule_from_json, schedule_to_json, Objective, Solution,
+};
+use crate::session::{JournalEntry, SessionState};
+use shop::dynamic::{apply_event, DownWindow, Event};
+use shop::instance::hash::Fnv1a;
+use shop::instance::parse::{parse_job_shop_ragged, write_job_shop_ragged};
+use shop::instance::JobMeta;
+use shop::schedule::Schedule;
+use shop::{Problem, Time};
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Frame header size: u32 payload length + u64 FNV-1a checksum.
+const FRAME_HEADER: usize = 12;
+
+/// Upper bound on one record's payload. A corrupt length prefix must
+/// never drive a multi-gigabyte allocation; real records (snapshot of
+/// a large session) stay far below this.
+pub const MAX_RECORD_BYTES: usize = 16 * 1024 * 1024;
+
+/// Frames one record payload: `[u32 LE len][u64 LE FNV-1a][payload]`.
+pub fn frame(payload: &str) -> Vec<u8> {
+    let bytes = payload.as_bytes();
+    let mut h = Fnv1a::default();
+    h.write_bytes(bytes);
+    let mut out = Vec::with_capacity(FRAME_HEADER + bytes.len());
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(&h.finish().to_le_bytes());
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Splits a log's bytes into record payloads. Stops at the first bad
+/// frame — truncated header, oversized or truncated payload, checksum
+/// mismatch, non-UTF-8 payload — returning every intact payload before
+/// it plus a description of the damage (`None` when the whole buffer
+/// framed cleanly). Total function: never panics, whatever the bytes.
+pub fn read_frames(bytes: &[u8]) -> (Vec<String>, Option<String>) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        if rest.len() < FRAME_HEADER {
+            return (
+                out,
+                Some(format!(
+                    "truncated frame header at byte {pos}: {} of {FRAME_HEADER} bytes",
+                    rest.len()
+                )),
+            );
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let sum = u64::from_le_bytes([
+            rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
+        ]);
+        if len > MAX_RECORD_BYTES {
+            return (
+                out,
+                Some(format!(
+                    "frame at byte {pos} claims {len} payload bytes (cap {MAX_RECORD_BYTES}); \
+                     length prefix is corrupt"
+                )),
+            );
+        }
+        if rest.len() < FRAME_HEADER + len {
+            return (
+                out,
+                Some(format!(
+                    "truncated record at byte {pos}: header claims {len} payload bytes, \
+                     {} available",
+                    rest.len() - FRAME_HEADER
+                )),
+            );
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let mut h = Fnv1a::default();
+        h.write_bytes(payload);
+        if h.finish() != sum {
+            return (
+                out,
+                Some(format!(
+                    "checksum mismatch at byte {pos}: stored {sum:#018x}, computed {:#018x}",
+                    h.finish()
+                )),
+            );
+        }
+        match std::str::from_utf8(payload) {
+            Ok(s) => out.push(s.to_string()),
+            Err(e) => return (out, Some(format!("non-UTF-8 payload at byte {pos}: {e}"))),
+        }
+        pos += FRAME_HEADER + len;
+    }
+    (out, None)
+}
+
+/// Job metadata rows `[release, due, weight]`. Due dates are encoded
+/// as decimal strings: the neutral due is `Time::MAX`, far past what a
+/// JSON number (f64) can carry exactly.
+fn meta_to_json(meta: &JobMeta) -> Json {
+    Json::Arr(
+        (0..meta.release.len())
+            .map(|j| {
+                Json::Arr(vec![
+                    meta.release[j].into(),
+                    meta.due[j].to_string().into(),
+                    meta.weight[j].into(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn meta_from_json(v: &Json) -> Result<JobMeta, String> {
+    let rows = v.as_arr().ok_or("meta must be an array")?;
+    let mut meta = JobMeta {
+        release: Vec::with_capacity(rows.len()),
+        due: Vec::with_capacity(rows.len()),
+        weight: Vec::with_capacity(rows.len()),
+    };
+    for row in rows {
+        let f = row
+            .as_arr()
+            .filter(|f| f.len() == 3)
+            .ok_or("meta row must be [release, due, weight]")?;
+        meta.release
+            .push(f[0].as_u64().ok_or("meta release not a u64")?);
+        meta.due.push(
+            f[1].as_str()
+                .and_then(|s| s.parse().ok())
+                .ok_or("meta due not a decimal string")?,
+        );
+        meta.weight
+            .push(f[2].as_f64().ok_or("meta weight not a number")?);
+    }
+    Ok(meta)
+}
+
+fn windows_to_json(windows: &[DownWindow]) -> Json {
+    Json::Arr(
+        windows
+            .iter()
+            .map(|w| {
+                Json::Arr(vec![
+                    (w.machine as u64).into(),
+                    w.from.into(),
+                    w.until.into(),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn windows_from_json(v: &Json) -> Result<Vec<DownWindow>, String> {
+    let rows = v.as_arr().ok_or("windows must be an array")?;
+    rows.iter()
+        .map(|row| {
+            let f = row
+                .as_arr()
+                .filter(|f| f.len() == 3)
+                .ok_or("window row must be [machine, from, until]")?;
+            let g = |i: usize| f[i].as_u64().ok_or("window entry not a u64");
+            Ok(DownWindow {
+                machine: g(0)? as usize,
+                from: g(1)?,
+                until: g(2)?,
+            })
+        })
+        .collect::<Result<Vec<_>, &str>>()
+        .map_err(str::to_string)
+}
+
+fn journal_entry_to_json(e: &JournalEntry) -> Json {
+    obj([
+        ("seq", e.seq.into()),
+        ("event", event_to_json(&e.event)),
+        ("winner", e.winner.as_str().into()),
+        ("value", e.value.into()),
+        ("makespan", e.makespan.into()),
+        ("deadline_bound", e.deadline_bound.into()),
+    ])
+}
+
+fn journal_entry_from_json(v: &Json) -> Result<JournalEntry, String> {
+    let event = event_from_json(v.get("event").ok_or("journal entry needs an event")?)
+        .map_err(|e| e.to_string())?;
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("journal entry needs a u64 {key}"))
+    };
+    Ok(JournalEntry {
+        seq: u("seq")?,
+        event,
+        winner: v
+            .get("winner")
+            .and_then(Json::as_str)
+            .ok_or("journal entry needs a winner")?
+            .to_string(),
+        value: v
+            .get("value")
+            .and_then(Json::as_f64)
+            .ok_or("journal entry needs a value")?,
+        makespan: u("makespan")?,
+        deadline_bound: v
+            .get("deadline_bound")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    })
+}
+
+/// Incumbent fields common to every record kind.
+fn incumbent_fields(fields: &mut Vec<(String, Json)>, sol: &Solution, deadline_bound: bool) {
+    fields.push(("value".into(), sol.value.into()));
+    fields.push(("makespan".into(), sol.makespan.into()));
+    fields.push(("model".into(), sol.model.as_str().into()));
+    fields.push(("deadline_bound".into(), deadline_bound.into()));
+    fields.push(("schedule".into(), schedule_to_json(&sol.schedule)));
+}
+
+/// Builds the `session_open` header record: everything needed to
+/// reconstruct the session's birth state (instance text, objective,
+/// seed, TTL request, initial incumbent).
+pub fn open_record(session: &str, state: &SessionState) -> String {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("kind".into(), "open".into()),
+        ("session".into(), session.into()),
+        ("objective".into(), state.objective.name().into()),
+        ("seed".into(), state.seed.into()),
+        ("ttl_ms".into(), state.ttl_ms.into()),
+        ("instance".into(), write_job_shop_ragged(&state.inst).into()),
+        ("meta".into(), meta_to_json(&state.inst.meta)),
+    ];
+    incumbent_fields(&mut fields, &state.incumbent, state.deadline_bound);
+    Json::Obj(fields).encode()
+}
+
+/// Builds one `event` record: the accepted disruption plus the winning
+/// post-event incumbent. `seq` is 1-based and must equal the session's
+/// event count after the event; replay enforces contiguity.
+pub fn event_record(seq: u64, event: &Event, outcome: &crate::session::EventOutcome) -> String {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("kind".into(), "event".into()),
+        ("seq".into(), seq.into()),
+        ("event".into(), event_to_json(event)),
+        ("winner".into(), outcome.winner.into()),
+    ];
+    incumbent_fields(&mut fields, &outcome.solution, outcome.deadline_bound);
+    Json::Obj(fields).encode()
+}
+
+/// Builds a `snapshot` record: the complete session state at one
+/// instant (evolved instance text, windows, clock, event count,
+/// incumbent, and the event journal so `session_events` survives
+/// compaction). Replaces the whole log during compaction.
+pub fn snapshot_record(session: &str, state: &SessionState) -> String {
+    let mut fields: Vec<(String, Json)> = vec![
+        ("kind".into(), "snapshot".into()),
+        ("session".into(), session.into()),
+        ("objective".into(), state.objective.name().into()),
+        ("seed".into(), state.seed.into()),
+        ("ttl_ms".into(), state.ttl_ms.into()),
+        ("instance".into(), write_job_shop_ragged(&state.inst).into()),
+        ("meta".into(), meta_to_json(&state.inst.meta)),
+        ("windows".into(), windows_to_json(&state.windows)),
+        ("now".into(), state.now.into()),
+        ("events".into(), state.events.into()),
+        (
+            "journal".into(),
+            Json::Arr(state.journal.iter().map(journal_entry_to_json).collect()),
+        ),
+    ];
+    incumbent_fields(&mut fields, &state.incumbent, state.deadline_bound);
+    Json::Obj(fields).encode()
+}
+
+/// A session rebuilt from its log.
+#[derive(Debug)]
+pub struct RecoveredSession {
+    /// The session id the log belongs to.
+    pub session: String,
+    /// The `ttl_ms` the session was opened with (0 = server default).
+    pub ttl_ms: u64,
+    /// The rebuilt state — bit-identical to the state that wrote the
+    /// last intact record (incumbent, clock, windows, journal).
+    pub state: SessionState,
+    /// Records replayed (header plus intact event records).
+    pub records: u64,
+    /// `Some(description)` when the log was damaged and only a valid
+    /// prefix was salvaged; `None` for a clean replay.
+    pub salvaged: Option<String>,
+}
+
+fn incumbent_from_record(v: &Json, objective: Objective) -> Result<(Arc<Solution>, bool), String> {
+    let schedule = schedule_from_json(v.get("schedule").ok_or("record needs a schedule")?)
+        .map_err(|e| e.to_string())?;
+    let value = v
+        .get("value")
+        .and_then(Json::as_f64)
+        .ok_or("record needs a value")?;
+    let makespan = v
+        .get("makespan")
+        .and_then(Json::as_u64)
+        .ok_or("record needs a makespan")?;
+    let model = v
+        .get("model")
+        .and_then(Json::as_str)
+        .ok_or("record needs a model")?
+        .to_string();
+    let deadline_bound = v
+        .get("deadline_bound")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
+    Ok((
+        Arc::new(Solution {
+            objective,
+            value,
+            makespan,
+            model,
+            schedule,
+        }),
+        deadline_bound,
+    ))
+}
+
+/// Parses the base record (`open` or `snapshot`) into a session state.
+fn base_state(v: &Json) -> Result<(String, SessionState), String> {
+    let session = v
+        .get("session")
+        .and_then(Json::as_str)
+        .ok_or("header record needs a session id")?
+        .to_string();
+    let objective = v
+        .get("objective")
+        .and_then(Json::as_str)
+        .and_then(Objective::from_name)
+        .ok_or("header record needs a valid objective")?;
+    let text = v
+        .get("instance")
+        .and_then(Json::as_str)
+        .ok_or("header record needs the instance text")?;
+    let mut inst = parse_job_shop_ragged(text).map_err(|e| format!("header instance: {e}"))?;
+    // Job metadata (release/due/weight) evolves with arrivals and must
+    // survive the roundtrip exactly — a replayed repair leans on
+    // release times.
+    let meta = meta_from_json(v.get("meta").ok_or("header record needs meta")?)?;
+    if meta.release.len() != inst.n_jobs() {
+        return Err(format!(
+            "meta rows ({}) do not match job count ({})",
+            meta.release.len(),
+            inst.n_jobs()
+        ));
+    }
+    inst.meta = meta;
+    let seed = v
+        .get("seed")
+        .and_then(Json::as_u64)
+        .ok_or("header record needs a seed")?;
+    let ttl_ms = v.get("ttl_ms").and_then(Json::as_u64).unwrap_or(0);
+    let (incumbent, deadline_bound) = incumbent_from_record(v, objective)?;
+    let is_snapshot = v.get("kind").and_then(Json::as_str) == Some("snapshot");
+    let (windows, now, events, journal) = if is_snapshot {
+        let windows = windows_from_json(v.get("windows").ok_or("snapshot needs windows")?)?;
+        let now = v
+            .get("now")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot needs now")?;
+        let events = v
+            .get("events")
+            .and_then(Json::as_u64)
+            .ok_or("snapshot needs events")?;
+        let journal = v
+            .get("journal")
+            .and_then(Json::as_arr)
+            .ok_or("snapshot needs a journal")?
+            .iter()
+            .map(journal_entry_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        (windows, now, events, journal)
+    } else {
+        (Vec::new(), 0, 0, Vec::new())
+    };
+    Schedule::new(incumbent.schedule.clone())
+        .validate_job(&inst)
+        .map_err(|e| format!("header incumbent is infeasible: {e}"))?;
+    Ok((
+        session,
+        SessionState {
+            inst,
+            objective,
+            seed,
+            windows,
+            now,
+            incumbent,
+            deadline_bound,
+            events,
+            ttl_ms,
+            journal,
+        },
+    ))
+}
+
+/// Replays one record batch into a [`RecoveredSession`].
+///
+/// The first payload must be an `open` or `snapshot` header; each
+/// following payload must be an `event` record whose `seq` extends the
+/// count by exactly one (a duplicate or out-of-order record is
+/// corruption, not a merge). Every event re-derives the
+/// instance/window evolution through [`apply_event`] — the same
+/// transform `shop::dynamic::fold_events` folds — and installs the
+/// logged winning schedule after re-validating it against the evolved
+/// instance.
+///
+/// A bad header is unrecoverable (`Err`). A bad record *after* a valid
+/// prefix salvages the prefix: the returned state reflects everything
+/// up to the damage and [`RecoveredSession::salvaged`] describes it.
+/// `frame_error` (damage the framing layer already found past the last
+/// intact frame) is folded into the same salvage channel.
+pub fn replay(
+    payloads: &[String],
+    frame_error: Option<String>,
+) -> Result<RecoveredSession, String> {
+    let Some(first) = payloads.first() else {
+        return Err(frame_error.unwrap_or_else(|| "empty log".into()));
+    };
+    let head = crate::json::parse(first).map_err(|e| format!("header record is not JSON: {e}"))?;
+    match head.get("kind").and_then(Json::as_str) {
+        Some("open") | Some("snapshot") => {}
+        other => return Err(format!("log must start with open/snapshot, got {other:?}")),
+    }
+    let (session, mut state) = base_state(&head)?;
+    let mut records = 1u64;
+    let mut salvaged = None;
+    for payload in &payloads[1..] {
+        match replay_event(&mut state, payload) {
+            Ok(()) => records += 1,
+            Err(e) => {
+                salvaged = Some(format!("record {}: {e}", records + 1));
+                break;
+            }
+        }
+    }
+    if salvaged.is_none() {
+        salvaged = frame_error;
+    }
+    Ok(RecoveredSession {
+        session,
+        ttl_ms: state.ttl_ms,
+        state,
+        records,
+        salvaged,
+    })
+}
+
+/// Applies one `event` record to the state being rebuilt. Any error
+/// leaves `state` untouched (the caller salvages the prefix).
+fn replay_event(state: &mut SessionState, payload: &str) -> Result<(), String> {
+    let v = crate::json::parse(payload).map_err(|e| format!("not JSON: {e}"))?;
+    if v.get("kind").and_then(Json::as_str) != Some("event") {
+        return Err("expected an event record".into());
+    }
+    let seq = v
+        .get("seq")
+        .and_then(Json::as_u64)
+        .ok_or("event record needs a seq")?;
+    if seq != state.events + 1 {
+        return Err(format!(
+            "duplicate or out-of-order event: expected seq {}, got {seq}",
+            state.events + 1
+        ));
+    }
+    let event = event_from_json(v.get("event").ok_or("event record needs an event")?)
+        .map_err(|e| format!("bad event body: {e}"))?;
+    let t: Time = event.at();
+    if t < state.now {
+        return Err(format!(
+            "event at {t} is behind the replayed clock {}",
+            state.now
+        ));
+    }
+    let winner = v
+        .get("winner")
+        .and_then(Json::as_str)
+        .ok_or("event record needs a winner")?
+        .to_string();
+    let (incumbent, deadline_bound) = incumbent_from_record(&v, state.objective)?;
+    // Re-derive the world exactly as the live path did: apply_event
+    // evolves (instance, windows) deterministically; the logged winner
+    // replaces the repair schedule it returned.
+    let incumbent_schedule = Schedule::new(state.incumbent.schedule.clone());
+    let (inst, windows, _repaired) =
+        apply_event(&state.inst, &incumbent_schedule, &state.windows, &event)
+            .map_err(|e| format!("apply_event failed: {e}"))?;
+    Schedule::new(incumbent.schedule.clone())
+        .validate_job(&inst)
+        .map_err(|e| format!("logged incumbent is infeasible: {e}"))?;
+    state.journal.push(JournalEntry {
+        seq,
+        event,
+        winner,
+        value: incumbent.value,
+        makespan: incumbent.makespan,
+        deadline_bound,
+    });
+    state.inst = inst;
+    state.windows = windows;
+    state.now = t;
+    state.incumbent = incumbent;
+    state.deadline_bound = deadline_bound;
+    state.events = seq;
+    Ok(())
+}
+
+/// WAL policy knobs (resolved from `ServeConfig`).
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding one `<session-id>.wal` file per durable
+    /// session (created if missing).
+    pub dir: PathBuf,
+    /// Compact the log into a single snapshot record every this-many
+    /// events (0 is resolved to 64 by the server).
+    pub snapshot_every: u64,
+    /// Whether appends fsync (`sync_data`) before the wire answer.
+    /// Turning this off trades crash durability for event throughput —
+    /// the bench lane in `serve_throughput` measures the gap.
+    pub fsync: bool,
+}
+
+/// What [`Wal::recover_one`] found for a session id.
+#[derive(Debug)]
+pub enum RecoverOutcome {
+    /// No log on disk (or the id is not a valid session id).
+    Missing,
+    /// The session was rebuilt — possibly from a salvaged prefix (see
+    /// [`RecoveredSession::salvaged`], in which case the damaged file
+    /// was quarantined and the salvaged state rewritten).
+    Recovered(Box<RecoveredSession>),
+    /// The log was unusable (bad header): quarantined, nothing
+    /// rebuilt.
+    Quarantined {
+        /// Where the damaged file was moved.
+        path: PathBuf,
+        /// What was wrong with it.
+        error: String,
+    },
+}
+
+/// The per-session write-ahead log manager: appends on the event hot
+/// path, snapshot/compaction, removal on close, and crash recovery.
+/// All methods take `&self`; per-session write ordering is the
+/// caller's (the server holds the session entry lock across an
+/// append).
+#[derive(Debug)]
+pub struct Wal {
+    config: WalConfig,
+}
+
+/// Session ids are server-minted (`sess-<n>`), but recovery paths are
+/// reachable with client-supplied ids — only plain token ids may ever
+/// touch the filesystem.
+fn valid_session_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+}
+
+impl Wal {
+    /// Opens (creating if needed) the WAL directory.
+    pub fn new(config: WalConfig) -> std::io::Result<Wal> {
+        std::fs::create_dir_all(&config.dir)?;
+        Ok(Wal { config })
+    }
+
+    /// The policy in force.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// The log path for a session id; `None` for ids that may not
+    /// touch the filesystem.
+    pub fn path(&self, session: &str) -> Option<PathBuf> {
+        valid_session_id(session).then(|| self.config.dir.join(format!("{session}.wal")))
+    }
+
+    fn sync(&self, file: &std::fs::File) -> std::io::Result<()> {
+        if self.config.fsync {
+            file.sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// Starts a session's log: truncates any leftover file and writes
+    /// the header record.
+    pub fn begin(&self, session: &str, record: &str) -> std::io::Result<()> {
+        let path = self.require(session)?;
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(&frame(record))?;
+        self.sync(&file)
+    }
+
+    /// Appends one record to a session's log (fsync'd per
+    /// [`WalConfig::fsync`]). The caller answers the wire only after
+    /// this returns.
+    pub fn append(&self, session: &str, record: &str) -> std::io::Result<()> {
+        let path = self.require(session)?;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)?;
+        file.write_all(&frame(record))?;
+        self.sync(&file)
+    }
+
+    /// Compacts a session's log to a single snapshot record, via an
+    /// atomic tmp-file rename (a crash mid-compaction leaves either the
+    /// old log or the new snapshot, never a torn file).
+    pub fn rewrite(&self, session: &str, snapshot: &str) -> std::io::Result<()> {
+        let path = self.require(session)?;
+        let tmp = path.with_extension("wal.tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&frame(snapshot))?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        // Make the rename itself durable (best effort — not every
+        // platform lets a directory be fsync'd).
+        if let Ok(dir) = std::fs::File::open(&self.config.dir) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Deletes a session's log (explicit close: the session's life is
+    /// over, nothing to recover). Missing files are fine.
+    pub fn remove(&self, session: &str) -> std::io::Result<()> {
+        let path = self.require(session)?;
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Moves a damaged log aside to `<session-id>.wal.corrupt` so it is
+    /// never re-read (but stays inspectable). Returns the new path.
+    pub fn quarantine(&self, session: &str) -> std::io::Result<PathBuf> {
+        let path = self.require(session)?;
+        let corrupt = path.with_extension("wal.corrupt");
+        std::fs::rename(&path, &corrupt)?;
+        Ok(corrupt)
+    }
+
+    fn require(&self, session: &str) -> std::io::Result<PathBuf> {
+        self.path(session).ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("invalid session id {session:?}"),
+            )
+        })
+    }
+
+    /// Recovers one session from its log, if present: frames, replays,
+    /// and on damage salvages the valid prefix (quarantining the bad
+    /// file and rewriting the salvaged state as a fresh snapshot) or
+    /// quarantines outright when not even the header survived.
+    pub fn recover_one(&self, session: &str) -> std::io::Result<RecoverOutcome> {
+        let Some(path) = self.path(session) else {
+            return Ok(RecoverOutcome::Missing);
+        };
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Ok(RecoverOutcome::Missing)
+            }
+            Err(e) => return Err(e),
+        };
+        let (payloads, frame_error) = read_frames(&bytes);
+        match replay(&payloads, frame_error) {
+            Ok(mut rec) => {
+                // The file name is authoritative: a renamed log recovers
+                // under the id it is reachable (and appendable) as.
+                rec.session = session.to_string();
+                if let Some(reason) = &rec.salvaged {
+                    // Keep the evidence, then make the salvage durable
+                    // so the damaged tail is never replayed again.
+                    eprintln!("[serve::wal] {session}: salvaged valid prefix ({reason})");
+                    let _ = self.quarantine(session);
+                    self.rewrite(session, &snapshot_record(session, &rec.state))?;
+                }
+                Ok(RecoverOutcome::Recovered(Box::new(rec)))
+            }
+            Err(error) => {
+                let path = self.quarantine(session)?;
+                Ok(RecoverOutcome::Quarantined { path, error })
+            }
+        }
+    }
+
+    /// Session ids with a log on disk (sorted for deterministic
+    /// recovery order).
+    pub fn sessions_on_disk(&self) -> std::io::Result<Vec<String>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(&self.config.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("wal") {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if valid_session_id(stem) {
+                    out.push(stem.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    /// Recovers every session with a log on disk. Returns the rebuilt
+    /// sessions; unusable logs are quarantined and reported on stderr
+    /// (a corrupt log must not stop the service from binding).
+    pub fn recover_all(&self) -> std::io::Result<Vec<RecoveredSession>> {
+        let mut out = Vec::new();
+        for session in self.sessions_on_disk()? {
+            match self.recover_one(&session)? {
+                RecoverOutcome::Recovered(rec) => out.push(*rec),
+                RecoverOutcome::Quarantined { path, error } => {
+                    eprintln!(
+                        "[serve::wal] {session}: unrecoverable log quarantined to {}: {error}",
+                        path.display()
+                    );
+                }
+                RecoverOutcome::Missing => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shop::dynamic::{fold_events, reschedule_suffix_with_windows};
+    use shop::instance::classic;
+    use shop::instance::Op;
+    use shop::Problem;
+
+    /// A deterministic session state with a cheaply built (greedy
+    /// job-major dispatch) incumbent — no GA involved.
+    fn seed_state() -> SessionState {
+        let inst = classic::ft06().instance;
+        let order: Vec<(usize, usize)> = (0..inst.n_jobs())
+            .flat_map(|j| (0..inst.n_ops(j)).map(move |s| (j, s)))
+            .collect();
+        let schedule = reschedule_suffix_with_windows(&inst, &[], &order, &[], 0);
+        let value = schedule.makespan() as f64;
+        let makespan = schedule.makespan();
+        SessionState {
+            inst,
+            objective: Objective::Makespan,
+            seed: 7,
+            windows: Vec::new(),
+            now: 0,
+            incumbent: Arc::new(Solution {
+                objective: Objective::Makespan,
+                value,
+                makespan,
+                model: "greedy".into(),
+                schedule: schedule.ops,
+            }),
+            deadline_bound: false,
+            events: 0,
+            ttl_ms: 0,
+            journal: Vec::new(),
+        }
+    }
+
+    /// Applies `event` to `state` the way a repair-only live event
+    /// would (winner = right-shift repair), returning the log record.
+    fn apply_repair(state: &mut SessionState, event: &Event) -> String {
+        let incumbent = Schedule::new(state.incumbent.schedule.clone());
+        let (inst, windows, repaired) =
+            apply_event(&state.inst, &incumbent, &state.windows, event).unwrap();
+        let seq = state.events + 1;
+        let solution = Arc::new(Solution {
+            objective: state.objective,
+            value: repaired.makespan() as f64,
+            makespan: repaired.makespan(),
+            model: "right_shift".into(),
+            schedule: repaired.ops,
+        });
+        state.journal.push(JournalEntry {
+            seq,
+            event: event.clone(),
+            winner: "repair".into(),
+            value: solution.value,
+            makespan: solution.makespan,
+            deadline_bound: false,
+        });
+        state.inst = inst;
+        state.windows = windows;
+        state.now = event.at();
+        state.incumbent = Arc::clone(&solution);
+        state.events = seq;
+        let mut fields: Vec<(String, Json)> = vec![
+            ("kind".into(), "event".into()),
+            ("seq".into(), seq.into()),
+            ("event".into(), event_to_json(event)),
+            ("winner".into(), "repair".into()),
+        ];
+        incumbent_fields(&mut fields, &solution, false);
+        Json::Obj(fields).encode()
+    }
+
+    fn storm() -> Vec<Event> {
+        vec![
+            Event::Breakdown {
+                machine: 2,
+                from: 10,
+                duration: 12,
+            },
+            Event::JobArrival {
+                at: 20,
+                route: vec![Op::new(0, 5), Op::new(3, 7)],
+            },
+            Event::Revision {
+                at: 30,
+                job: 1,
+                op: 5,
+                duration: 9,
+            },
+        ]
+    }
+
+    fn build_log(events: &[Event]) -> (Vec<String>, SessionState) {
+        let mut state = seed_state();
+        let mut payloads = vec![open_record("sess-1", &state)];
+        for e in events {
+            payloads.push(apply_repair(&mut state, e));
+        }
+        (payloads, state)
+    }
+
+    fn assert_state_eq(a: &SessionState, b: &SessionState) {
+        assert_eq!(a.now, b.now);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.windows, b.windows);
+        assert_eq!(a.incumbent.value, b.incumbent.value);
+        assert_eq!(a.incumbent.makespan, b.incumbent.makespan);
+        assert_eq!(a.incumbent.schedule, b.incumbent.schedule);
+        assert_eq!(a.inst, b.inst); // routes, inferred machines AND meta
+        assert_eq!(a.journal.len(), b.journal.len());
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let records = ["{}", "{\"kind\":\"event\",\"seq\":1}", ""];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&frame(r));
+        }
+        let (back, err) = read_frames(&bytes);
+        assert!(err.is_none(), "{err:?}");
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn replay_rebuilds_the_exact_state_and_matches_fold_events() {
+        let events = storm();
+        let (payloads, live) = build_log(&events);
+        let rec = replay(&payloads, None).unwrap();
+        assert_eq!(rec.session, "sess-1");
+        assert_eq!(rec.records, 4);
+        assert!(rec.salvaged.is_none());
+        assert_state_eq(&rec.state, &live);
+        // Because every logged winner here *is* the repair schedule,
+        // replay must agree with folding the raw event sequence.
+        let base = seed_state();
+        let (inst, windows, folded) = fold_events(
+            &base.inst,
+            &Schedule::new(base.incumbent.schedule.clone()),
+            &events,
+        )
+        .unwrap();
+        assert_eq!(rec.state.inst.to_string(), inst.to_string());
+        assert_eq!(rec.state.windows, windows);
+        assert_eq!(rec.state.incumbent.schedule, folded.ops);
+    }
+
+    #[test]
+    fn snapshot_compacts_and_replays_identically() {
+        let (payloads, live) = build_log(&storm());
+        let snap = snapshot_record("sess-1", &live);
+        let rec = replay(&[snap], None).unwrap();
+        assert_state_eq(&rec.state, &live);
+        assert_eq!(rec.state.journal.len(), 3, "journal survives compaction");
+        assert_eq!(rec.records, 1);
+        // And the compacted log accepts further events.
+        let mut more = vec![snapshot_record("sess-1", &live)];
+        let mut cont = replay(&[more[0].clone()], None).unwrap().state;
+        more.push(apply_repair(
+            &mut cont,
+            &Event::Breakdown {
+                machine: 0,
+                from: 50,
+                duration: 5,
+            },
+        ));
+        let rec2 = replay(&more, None).unwrap();
+        assert_state_eq(&rec2.state, &cont);
+        let _ = payloads;
+    }
+
+    #[test]
+    fn duplicate_and_out_of_order_records_salvage_the_prefix() {
+        let (mut payloads, _) = build_log(&storm());
+        // Duplicate the last event record.
+        payloads.push(payloads.last().unwrap().clone());
+        let rec = replay(&payloads, None).unwrap();
+        assert_eq!(rec.records, 4);
+        assert_eq!(rec.state.events, 3);
+        let why = rec.salvaged.expect("duplicate must be flagged");
+        assert!(why.contains("duplicate or out-of-order"), "{why}");
+        // Swap two event records: replay stops at the gap.
+        let (payloads, _) = build_log(&storm());
+        let swapped = vec![
+            payloads[0].clone(),
+            payloads[2].clone(),
+            payloads[1].clone(),
+        ];
+        let rec = replay(&swapped, None).unwrap();
+        assert_eq!(rec.records, 1, "seq 2 cannot follow the header");
+        assert!(rec.salvaged.is_some());
+    }
+
+    #[test]
+    fn wal_files_roundtrip_and_quarantine() {
+        let dir = std::env::temp_dir().join(format!("pga-wal-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let wal = Wal::new(WalConfig {
+            dir: dir.clone(),
+            snapshot_every: 64,
+            fsync: false,
+        })
+        .unwrap();
+        let (payloads, live) = build_log(&storm());
+        wal.begin("sess-1", &payloads[0]).unwrap();
+        for p in &payloads[1..] {
+            wal.append("sess-1", p).unwrap();
+        }
+        assert_eq!(wal.sessions_on_disk().unwrap(), vec!["sess-1"]);
+        let RecoverOutcome::Recovered(rec) = wal.recover_one("sess-1").unwrap() else {
+            panic!("expected recovery");
+        };
+        assert_state_eq(&rec.state, &live);
+        // Truncate the tail mid-record: the prefix is salvaged, the
+        // damaged file is quarantined, and the rewritten log replays
+        // to the prefix state cleanly.
+        let path = wal.path("sess-1").unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let RecoverOutcome::Recovered(rec) = wal.recover_one("sess-1").unwrap() else {
+            panic!("expected salvage");
+        };
+        assert_eq!(rec.state.events, 2);
+        assert!(rec.salvaged.is_some());
+        assert!(path.with_extension("wal.corrupt").exists());
+        let RecoverOutcome::Recovered(again) = wal.recover_one("sess-1").unwrap() else {
+            panic!("rewritten salvage must replay");
+        };
+        assert!(again.salvaged.is_none());
+        assert_eq!(again.state.events, 2);
+        // Path traversal attempts never touch the filesystem.
+        assert!(wal.path("../evil").is_none());
+        assert!(matches!(
+            wal.recover_one("../evil").unwrap(),
+            RecoverOutcome::Missing
+        ));
+        // remove() ends the story.
+        wal.remove("sess-1").unwrap();
+        assert!(wal.sessions_on_disk().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,214 @@
+//! Fault-injection property tests for the WAL reader (ISSUE 8): a
+//! session log fed back through recovery after real-world damage —
+//! truncated tail records, flipped bytes, duplicate or out-of-order
+//! event records, and outright byte soup — must salvage the longest
+//! valid prefix, describe the damage, and never panic. File-level
+//! recovery additionally must quarantine unusable logs to
+//! `<session>.wal.corrupt` instead of dying or silently dropping them.
+
+use proptest::prelude::*;
+use serve::wal::{frame, read_frames, replay, RecoverOutcome, Wal, WalConfig};
+
+/// A tiny 2-job / 2-machine instance in the ragged replay format, with
+/// a hand-checked feasible schedule (makespan 8).
+const INSTANCE: &str = "2 2\\n2 0 3 1 4\\n2 1 2 0 5\\n";
+const SCHEDULE: &str = "[[0,0,0,0,3],[0,1,1,3,7],[1,0,1,0,2],[1,1,0,3,8]]";
+
+/// The `open` header record for the tiny instance.
+fn header() -> String {
+    format!(
+        r#"{{"kind":"open","session":"sess-1","objective":"makespan","seed":7,"ttl_ms":0,"instance":"{INSTANCE}","meta":[[0,"18446744073709551615",1],[0,"18446744073709551615",1]],"value":8,"makespan":8,"model":"seed","deadline_bound":false,"schedule":{SCHEDULE}}}"#
+    )
+}
+
+/// One breakdown `event` record. The down-window opens past the whole
+/// schedule, so the logged winner legitimately keeps the old ops.
+fn event(seq: u64, at: u64) -> String {
+    format!(
+        r#"{{"kind":"event","seq":{seq},"event":{{"type":"breakdown","machine":0,"from":{at},"duration":5}},"winner":"repair","value":8,"makespan":8,"model":"repair","deadline_bound":false,"schedule":{SCHEDULE}}}"#
+    )
+}
+
+/// A clean 3-record log (header + 2 events) as framed bytes, plus the
+/// byte offset where each frame starts.
+fn clean_log() -> (Vec<u8>, Vec<usize>) {
+    let mut bytes = Vec::new();
+    let mut starts = Vec::new();
+    for payload in [header(), event(1, 10), event(2, 20)] {
+        starts.push(bytes.len());
+        bytes.extend_from_slice(&frame(&payload));
+    }
+    (bytes, starts)
+}
+
+#[test]
+fn the_clean_log_replays_fully() {
+    let (bytes, _) = clean_log();
+    let (payloads, err) = read_frames(&bytes);
+    assert!(err.is_none(), "{err:?}");
+    let rec = replay(&payloads, None).expect("clean log must replay");
+    assert_eq!(rec.session, "sess-1");
+    assert_eq!(rec.records, 3);
+    assert_eq!(rec.state.events, 2);
+    assert_eq!(rec.state.now, 20);
+    assert_eq!(rec.state.windows.len(), 2);
+    assert!(rec.salvaged.is_none());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Truncating the log anywhere salvages every record that still
+    // frames — and never panics. With the header intact the session
+    // recovers; with it damaged, replay errors descriptively.
+    #[test]
+    fn truncated_tail_salvages_the_prefix(cut_pick in 0.0f64..1.0) {
+        let (bytes, starts) = clean_log();
+        let cut = ((bytes.len() - 1) as f64 * cut_pick) as usize;
+        let (payloads, err) = read_frames(&bytes[..cut]);
+        let intact = starts.iter().filter(|&&s| {
+            // A frame survives iff the cut is at or past its end.
+            let next = starts.iter().find(|&&n| n > s).copied().unwrap_or(bytes.len());
+            cut >= next
+        }).count();
+        let at_boundary = cut == bytes.len() || starts.contains(&cut);
+        prop_assert_eq!(payloads.len(), intact);
+        prop_assert_eq!(err.is_none(), at_boundary);
+        match replay(&payloads, err) {
+            Ok(rec) => {
+                prop_assert!(intact >= 1);
+                prop_assert_eq!(rec.records, intact as u64);
+                prop_assert_eq!(rec.state.events, intact as u64 - 1);
+                prop_assert_eq!(rec.salvaged.is_some(), !at_boundary);
+            }
+            Err(e) => {
+                prop_assert_eq!(intact, 0);
+                prop_assert!(!e.is_empty());
+            }
+        }
+    }
+
+    // Flipping any single byte never panics, and every frame before
+    // the damaged one still salvages (framing reads sequentially, so
+    // later corruption cannot reach backwards).
+    #[test]
+    fn flipped_byte_keeps_the_earlier_records(offset_pick in 0.0f64..1.0, bit in 0u32..8) {
+        let (mut bytes, starts) = clean_log();
+        let offset = ((bytes.len() - 1) as f64 * offset_pick) as usize;
+        bytes[offset] ^= 1u8 << bit;
+        let damaged_frame = starts.iter().filter(|&&s| s <= offset).count() - 1;
+        let (payloads, _err) = read_frames(&bytes);
+        prop_assert!(payloads.len() >= damaged_frame);
+        // Whatever survived framing must replay or error — not panic.
+        match replay(&payloads, None) {
+            Ok(rec) => prop_assert!(rec.records >= 1),
+            Err(e) => prop_assert!(!e.is_empty()),
+        }
+    }
+
+    // A duplicate or out-of-order sequence number is corruption:
+    // replay keeps the contiguous prefix and reports the damage.
+    #[test]
+    fn duplicate_and_out_of_order_seqs_salvage(seqs in prop::collection::vec(0u64..5, 1..6)) {
+        let mut payloads = vec![header()];
+        let mut at = 10;
+        for &s in &seqs {
+            payloads.push(event(s, at));
+            at += 10;
+        }
+        // The valid prefix: events numbered exactly 1, 2, 3, ...
+        let valid = seqs.iter().take_while({
+            let mut want = 1u64;
+            move |&&s| {
+                let ok = s == want;
+                want += 1;
+                ok
+            }
+        }).count();
+        let rec = replay(&payloads, None).expect("header is intact");
+        prop_assert_eq!(rec.records, valid as u64 + 1);
+        prop_assert_eq!(rec.state.events, valid as u64);
+        prop_assert_eq!(rec.salvaged.is_some(), valid < seqs.len());
+    }
+
+    // Arbitrary byte soup through the framing layer never panics; the
+    // worst outcome is an empty salvage plus an error description.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(0u32..256, 0..200)) {
+        let raw: Vec<u8> = bytes.into_iter().map(|b| b as u8).collect();
+        let (payloads, err) = read_frames(&raw);
+        match replay(&payloads, err) {
+            Ok(rec) => prop_assert!(rec.records >= 1),
+            Err(e) => prop_assert!(!e.is_empty()),
+        }
+    }
+
+    // Soup that *frames* cleanly (valid checksums over garbage JSON)
+    // still never panics replay.
+    #[test]
+    fn framed_garbage_never_panics(
+        soup in prop::collection::vec(prop::collection::vec(32u32..127, 0..40), 0..4)
+    ) {
+        let payloads: Vec<String> = soup
+            .into_iter()
+            .map(|chars| chars.into_iter().filter_map(char::from_u32).collect())
+            .collect();
+        match replay(&payloads, None) {
+            Ok(rec) => prop_assert!(rec.records >= 1),
+            Err(e) => prop_assert!(!e.is_empty()),
+        }
+    }
+}
+
+/// File-level recovery: a damaged log is salvaged onto disk (the bad
+/// original quarantined, the salvage rewritten) or quarantined
+/// outright — and a second recovery of the same session is clean.
+#[test]
+fn damaged_files_are_salvaged_and_quarantined() {
+    let dir = std::env::temp_dir().join(format!("pga-wal-props-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let wal = Wal::new(WalConfig {
+        dir: dir.clone(),
+        snapshot_every: 64,
+        fsync: false,
+    })
+    .expect("wal dir");
+    let (bytes, starts) = clean_log();
+
+    // Case 1: truncated tail — salvage, quarantine, rewrite.
+    std::fs::write(dir.join("sess-1.wal"), &bytes[..bytes.len() - 7]).unwrap();
+    match wal.recover_one("sess-1").expect("io") {
+        RecoverOutcome::Recovered(rec) => {
+            assert_eq!(rec.state.events, 1, "last record was torn");
+            assert!(rec.salvaged.is_some());
+        }
+        other => panic!("expected salvage, got {other:?}"),
+    }
+    assert!(dir.join("sess-1.wal.corrupt").exists(), "evidence kept");
+    match wal.recover_one("sess-1").expect("io") {
+        RecoverOutcome::Recovered(rec) => {
+            assert_eq!(rec.state.events, 1);
+            assert!(rec.salvaged.is_none(), "rewritten salvage is clean");
+        }
+        other => panic!("expected clean recovery, got {other:?}"),
+    }
+
+    // Case 2: header destroyed — quarantine outright, nothing rebuilt.
+    let mut broken = bytes.clone();
+    broken[starts[0] + 20] ^= 0xFF;
+    std::fs::write(dir.join("sess-2.wal"), &broken).unwrap();
+    match wal.recover_one("sess-2").expect("io") {
+        RecoverOutcome::Quarantined { path, error } => {
+            assert!(path.ends_with("sess-2.wal.corrupt"));
+            assert!(!error.is_empty());
+            assert!(path.exists());
+        }
+        other => panic!("expected quarantine, got {other:?}"),
+    }
+    assert!(matches!(
+        wal.recover_one("sess-2").expect("io"),
+        RecoverOutcome::Missing
+    ));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -80,6 +80,67 @@ pub fn write_job_shop(inst: &JobShopInstance) -> String {
     out
 }
 
+/// Parses the ragged-route job-shop format (see
+/// [`write_job_shop_ragged`]).
+pub fn parse_job_shop_ragged(text: &str) -> ShopResult<JobShopInstance> {
+    let mut it = tokens(text);
+    let n = parse_usize(it.next(), "job count")?;
+    let m = parse_usize(it.next(), "machine count")?;
+    let mut jobs = Vec::with_capacity(n);
+    for j in 0..n {
+        let n_ops = parse_usize(it.next(), &format!("operation count of job {j}"))?;
+        let mut route = Vec::with_capacity(n_ops);
+        for s in 0..n_ops {
+            let machine = parse_usize(it.next(), &format!("machine of ({j},{s})"))?;
+            let dur = parse_time(it.next(), &format!("duration of ({j},{s})"))?;
+            if machine >= m {
+                return Err(ShopError::Parse(format!(
+                    "job {j} stage {s}: machine {machine} out of range"
+                )));
+            }
+            if dur == 0 {
+                return Err(ShopError::Parse(format!(
+                    "job {j} stage {s}: zero duration"
+                )));
+            }
+            route.push(Op::new(machine, dur));
+        }
+        jobs.push(route);
+    }
+    if it.next().is_some() {
+        return Err(ShopError::Parse("trailing tokens".into()));
+    }
+    // `n_machines` is re-inferred from the routes, exactly as every
+    // live instance infers it — the header `m` only bounds indices.
+    JobShopInstance::new(jobs)
+}
+
+/// Serialises a job shop in a ragged-route variant of the OR-Library
+/// format — per job: operation count, then `machine duration` pairs:
+///
+/// ```text
+/// n m
+/// n_ops  m0 p0 m1 p1 ... # one line per job
+/// ```
+///
+/// The dynamic-events machinery (`crate::dynamic`) grows instances
+/// with arrived jobs whose routes are shorter than `m`, which the
+/// classic rectangular format cannot express; replay logs round-trip
+/// through this one.
+pub fn write_job_shop_ragged(inst: &JobShopInstance) -> String {
+    let mut out = format!("{} {}\n", inst.n_jobs(), inst.n_machines());
+    for j in 0..inst.n_jobs() {
+        let mut row = vec![inst.route(j).len().to_string()];
+        for op in inst.route(j) {
+            row.push(op.machine.to_string());
+            row.push(op.duration.to_string());
+        }
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
 fn parse_matrix(text: &str) -> ShopResult<Vec<Vec<Time>>> {
     let mut it = tokens(text);
     let n = parse_usize(it.next(), "job count")?;
@@ -238,6 +299,45 @@ mod tests {
         let orig = flow_shop_taillard(&GenConfig::new(7, 3, 2));
         let back = parse_flow_shop(&write_flow_shop(&orig)).unwrap();
         assert_eq!(orig, back);
+    }
+
+    #[test]
+    fn ragged_roundtrip() {
+        // A grown instance: the arrived job's route is shorter than m.
+        let orig = crate::dynamic::with_job_arrival(
+            &ft06().instance,
+            &[
+                crate::instance::Op::new(0, 5),
+                crate::instance::Op::new(3, 7),
+            ],
+            20,
+        )
+        .unwrap();
+        let text = write_job_shop_ragged(&orig);
+        let mut back = parse_job_shop_ragged(&text).unwrap();
+        back.meta = orig.meta.clone(); // meta travels out of band
+        assert_eq!(orig, back);
+        // The rectangular writer/parser cannot express this instance.
+        assert!(parse_job_shop(&write_job_shop(&orig)).is_err());
+    }
+
+    #[test]
+    fn ragged_errors_reported() {
+        // Machine out of range.
+        assert!(matches!(
+            parse_job_shop_ragged("1 2\n1 5 3\n"),
+            Err(ShopError::Parse(_))
+        ));
+        // Zero duration.
+        assert!(matches!(
+            parse_job_shop_ragged("1 2\n1 0 0\n"),
+            Err(ShopError::Parse(_))
+        ));
+        // Trailing tokens.
+        assert!(matches!(
+            parse_job_shop_ragged("1 2\n1 0 3 9\n"),
+            Err(ShopError::Parse(_))
+        ));
     }
 
     #[test]

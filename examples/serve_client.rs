@@ -21,6 +21,7 @@
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
 //!     --session sess-1 --event revision:80:1:2:9
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --get
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --events
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --close
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --cmd shutdown
 //! ```
@@ -51,7 +52,7 @@ fn usage() -> ! {
          (--instance NAME | --file PATH --kind FAMILY \
          | --batch NAME,NAME,... | --generate GEN-NAME [--solve] \
          | --session-open NAME [--ttl-ms N] \
-         | --session SID (--event SPEC | --get | --close)) \
+         | --session SID (--event SPEC | --get | --events | --close)) \
          [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
          [--trace] | --metrics | --cmd stats|metrics|trace_dump|shutdown\n\
          event SPEC: breakdown:M:FROM:DUR | arrival:AT:m0xd0,m1xd1,... \
@@ -105,6 +106,7 @@ fn main() {
     let mut session = None;
     let mut event = None;
     let mut session_get = false;
+    let mut session_events = false;
     let mut session_close = false;
     let mut ttl_ms = 0u64;
     let mut objective = Objective::Makespan;
@@ -127,6 +129,7 @@ fn main() {
             "--session" => session = Some(value()),
             "--event" => event = Some(value()),
             "--get" => session_get = true,
+            "--events" => session_events = true,
             "--close" => session_close = true,
             "--ttl-ms" => ttl_ms = value().parse().unwrap_or_else(|_| usage()),
             "--objective" => objective = Objective::from_name(&value()).unwrap_or_else(|| usage()),
@@ -165,9 +168,11 @@ fn main() {
                 deadline_ms,
                 trace,
             }))
-        } else if session_get || session_close {
+        } else if session_get || session_events || session_close {
             let cmd = if session_close {
                 "session_close"
+            } else if session_events {
+                "session_events"
             } else {
                 "session_get"
             };
@@ -298,6 +303,11 @@ fn main() {
                 .is_some_and(|s| !s.is_empty())
     } else if session_close {
         parsed.get("closed").and_then(json::Json::as_bool) == Some(true)
+    } else if session_events {
+        // The log must exist and have one row per applied event.
+        let rows = parsed.get("log").and_then(json::Json::as_arr);
+        let events = parsed.get("events").and_then(json::Json::as_u64);
+        matches!((rows, events), (Some(rows), Some(n)) if rows.len() as u64 == n)
     } else if session_get {
         parsed
             .get("schedule")
