@@ -1,0 +1,390 @@
+//! A minimal Rust lexer — just enough structure for lint rules.
+//!
+//! The lexer turns source text into a flat token stream with line
+//! numbers. It understands the constructs that would otherwise corrupt
+//! a naive text scan — nested block comments, all string literal
+//! flavours (including raw strings with arbitrary `#` fences), char
+//! literals vs. lifetimes, and numeric literals (so tuple-field access
+//! like `self.0 .0` stays intact) — and nothing more. There is no
+//! parser behind it; the item scanner in [`crate::scan`] works directly
+//! on this stream by brace matching.
+//!
+//! Line comments are kept as tokens because the panic-path rule reads
+//! `// panic-safe:` justifications out of them; block comments and
+//! whitespace are discarded.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (raw identifiers arrive with the `r#`
+    /// prefix stripped, so `r#fn` is indistinguishable from `fn` —
+    /// acceptable for linting, raw identifiers are unused in this
+    /// workspace).
+    Ident(String),
+    /// A single punctuation character (`::` is two `Punct(':')`).
+    Punct(char),
+    /// Numeric literal, original text preserved (tuple indices matter
+    /// for lock-receiver chains).
+    Num(String),
+    /// String literal of any flavour; contents discarded.
+    Str,
+    /// Char literal; contents discarded.
+    Char,
+    /// Lifetime such as `'a` (kept so token patterns stay aligned).
+    Life,
+    /// A `//` comment, full text after the slashes preserved.
+    LineComment(String),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token kind and payload.
+    pub tok: Tok,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Lexes `src` into a token stream. Never panics: malformed input
+/// (unterminated strings/comments) is truncated at end of input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                out.push(Token {
+                    tok: Tok::LineComment(text),
+                    line,
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Nested block comment.
+                let mut depth = 1;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&b, i + 1, &mut line);
+                out.push(Token {
+                    tok: Tok::Str,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Char literal or lifetime. `'\x'` and `'a'` are chars;
+                // `'a` followed by anything but `'` is a lifetime.
+                let tok_line = line;
+                if i + 1 < n && b[i + 1] == '\\' {
+                    // Escaped char literal: skip to closing quote.
+                    let mut j = i + 2;
+                    if j < n {
+                        j += 1; // the escaped char itself
+                    }
+                    // \u{...} escapes
+                    while j < n && b[j] != '\'' && b[j] != '\n' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                    out.push(Token {
+                        tok: Tok::Char,
+                        line: tok_line,
+                    });
+                } else {
+                    // Read an identifier run after the quote.
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j > i + 1 {
+                        // 'a' style char literal (single char run + quote).
+                        i = j + 1;
+                        out.push(Token {
+                            tok: Tok::Char,
+                            line: tok_line,
+                        });
+                    } else if j == i + 1 && j < n && b[j] == '\'' {
+                        // Degenerate `''` — treat as char.
+                        i = j + 1;
+                        out.push(Token {
+                            tok: Tok::Char,
+                            line: tok_line,
+                        });
+                    } else {
+                        // Lifetime.
+                        i = j;
+                        out.push(Token {
+                            tok: Tok::Life,
+                            line: tok_line,
+                        });
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let start = i;
+                i += 1;
+                while i < n
+                    && (b[i].is_alphanumeric()
+                        || b[i] == '_'
+                        || ((b[i] == '+' || b[i] == '-')
+                            && (b[i - 1] == 'e' || b[i - 1] == 'E')
+                            && !b[start..i].iter().any(|&x| x == 'x' || x == 'b')))
+                {
+                    i += 1;
+                }
+                // Fractional part — but never swallow `..` ranges.
+                if i + 1 < n && b[i] == '.' && b[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < n
+                        && (b[i].is_alphanumeric()
+                            || b[i] == '_'
+                            || ((b[i] == '+' || b[i] == '-')
+                                && (b[i - 1] == 'e' || b[i - 1] == 'E')))
+                    {
+                        i += 1;
+                    }
+                }
+                out.push(Token {
+                    tok: Tok::Num(b[start..i].iter().collect()),
+                    line: tok_line,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let tok_line = line;
+                let start = i;
+                while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                // String-literal prefixes: r" r#" b" br" c" etc.
+                if i < n && matches!(word.as_str(), "r" | "b" | "br" | "rb" | "c" | "cr") {
+                    if b[i] == '"' {
+                        if word.contains('r') {
+                            i = skip_raw_string(&b, i + 1, 0, &mut line);
+                        } else {
+                            i = skip_string(&b, i + 1, &mut line);
+                        }
+                        out.push(Token {
+                            tok: Tok::Str,
+                            line: tok_line,
+                        });
+                        continue;
+                    }
+                    if b[i] == '#' && word.contains('r') {
+                        let mut fences = 0usize;
+                        let mut j = i;
+                        while j < n && b[j] == '#' {
+                            fences += 1;
+                            j += 1;
+                        }
+                        if j < n && b[j] == '"' {
+                            i = skip_raw_string(&b, j + 1, fences, &mut line);
+                            out.push(Token {
+                                tok: Tok::Str,
+                                line: tok_line,
+                            });
+                            continue;
+                        }
+                    }
+                }
+                // Raw identifier r#ident.
+                if word == "r"
+                    && i + 1 < n
+                    && b[i] == '#'
+                    && (b[i + 1].is_alphanumeric() || b[i + 1] == '_')
+                {
+                    let start2 = i + 1;
+                    i += 1;
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        tok: Tok::Ident(b[start2..i].iter().collect()),
+                        line: tok_line,
+                    });
+                    continue;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(word),
+                    line: tok_line,
+                });
+            }
+            c => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips a cooked string body (after the opening quote); returns the
+/// index one past the closing quote. Tracks newlines.
+fn skip_string(b: &[char], mut i: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        match b[i] {
+            // An escaped character; `\<newline>` is a line continuation
+            // and must still advance the line counter.
+            '\\' => {
+                if i + 1 < n && b[i + 1] == '\n' {
+                    *line += 1;
+                }
+                i += 2;
+            }
+            '"' => return i + 1,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw string body (after the opening quote) with `fences`
+/// trailing `#` characters; returns the index past the full closer.
+fn skip_raw_string(b: &[char], mut i: usize, fences: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+            continue;
+        }
+        if b[i] == '"' {
+            let mut ok = true;
+            for k in 0..fences {
+                if i + 1 + k >= n || b[i + 1 + k] != '#' {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return i + 1 + fences;
+            }
+        }
+        i += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_opaque() {
+        let src = r##"
+            let a = "Instant::now() { } \" quoted";
+            /* Instant::now() /* nested */ still comment */
+            let b = r#"raw " fence { Instant::now() }"#;
+            let c = 'x'; let d: &'static str = "s";
+        "##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        // `'static` must lex as a lifetime, not a char literal.
+        let lifes = lex(src).iter().filter(|t| t.tok == Tok::Life).count();
+        assert_eq!(lifes, 1);
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_and_line_comments() {
+        let src = "fn a() {}\n// panic-safe: fine\nfn b() {}\n";
+        let toks = lex(src);
+        let comment = toks
+            .iter()
+            .find(|t| matches!(t.tok, Tok::LineComment(_)))
+            .unwrap();
+        assert_eq!(comment.line, 2);
+        match &comment.tok {
+            Tok::LineComment(text) => assert!(text.contains("panic-safe:")),
+            _ => unreachable!(),
+        }
+        let b = toks
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "b"))
+            .unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn tuple_fields_and_ranges_lex_apart() {
+        let toks = lex("self.0 .0.lock(); 0..n; 1.5e-3");
+        let nums: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Num(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["0", "0", "0", "1.5e-3"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_still_counts_the_line() {
+        let src = "let a = \"one \\\n   two\";\nlet after = 1;\n";
+        let toks = lex(src);
+        let after = toks
+            .iter()
+            .find(|t| matches!(&t.tok, Tok::Ident(s) if s == "after"))
+            .unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = lex("let c = 'a'; fn f<'a>(x: &'a str) {} let e = '\\n';");
+        let chars = toks.iter().filter(|t| t.tok == Tok::Char).count();
+        let lifes = toks.iter().filter(|t| t.tok == Tok::Life).count();
+        assert_eq!(chars, 2);
+        assert_eq!(lifes, 2);
+    }
+}

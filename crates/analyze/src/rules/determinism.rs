@@ -1,0 +1,76 @@
+//! Rule `determinism` — the seed-pure universe never reads ambient
+//! clocks or entropy.
+//!
+//! DESIGN.md §2: a (instance, seed, budget-cap) triple must reproduce
+//! bit-identically. Everything under the configured `crates` list is
+//! part of that universe; the only sanctioned portals to wall time are
+//! the `clock_modules` (today `ga::clock` and `hpc::calibrate` — see
+//! the `[determinism]` section of `analyze.toml`). A banned call
+//! anywhere else is a finding, test code excepted (tests measure real
+//! time freely).
+//!
+//! The banned list is data: path calls (`Instant::now`), method calls
+//! (`.elapsed`) and bare calls (`thread_rng`) all match — including
+//! through longer paths such as `std::time::Instant::now()`.
+
+use super::{match_banned, Rule};
+use crate::config::Config;
+use crate::scan::Workspace;
+use crate::Finding;
+
+/// See module docs.
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn name(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let crates = cfg.list("determinism", "crates");
+        let banned = cfg.list("determinism", "banned");
+        let clock_modules = cfg.list("determinism", "clock_modules");
+        for file in &ws.files {
+            if !crates.contains(&file.crate_name) {
+                continue;
+            }
+            if clock_modules
+                .iter()
+                .any(|m| file.module == *m || file.module.starts_with(&format!("{m}::")))
+            {
+                continue;
+            }
+            for f in &file.fns {
+                if f.is_test {
+                    continue;
+                }
+                for i in f.body.0..=f.body.1.min(file.tokens.len().saturating_sub(1)) {
+                    // Skip tokens owned by a nested fn item — they get
+                    // their own iteration.
+                    if file
+                        .fn_at(i)
+                        .map(|inner| inner.body != f.body)
+                        .unwrap_or(true)
+                    {
+                        continue;
+                    }
+                    for pat in &banned {
+                        if let Some(line) = match_banned(&file.tokens, i, pat) {
+                            out.push(Finding {
+                                rule: "determinism",
+                                path: file.rel.clone(),
+                                line,
+                                function: f.name.clone(),
+                                message: format!(
+                                    "ambient clock/entropy read `{pat}` in seed-pure code; \
+                                     route it through an audited clock module ({})",
+                                    clock_modules.join(", ")
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Rule `durability` — acknowledged ⇒ durable (DESIGN.md §11).
+//!
+//! Two syntactic checks over the configured `paths`:
+//!
+//! 1. **append-before-answer** — a function that both appends to the
+//!    WAL (calls a marker from `append`) and constructs a wire answer
+//!    (calls a marker from `answer`) must place its *final* answer
+//!    after its *final* append. Early error answers before the append
+//!    are legitimate (nothing durable was promised yet); a reordered
+//!    hot path — answer built after the handler logically finished but
+//!    before the append — is exactly the crash window §11 forbids.
+//! 2. **fsync-on-append** — a function that *is* an append marker and
+//!    performs raw file writes (`write` markers, e.g. `write_all`)
+//!    must reach an `fsync` marker (`sync`, `sync_data`, `sync_all`)
+//!    after its last write. The `--wal-no-fsync` escape hatch lives
+//!    *inside* the audited `Wal::sync` wrapper, so calling the wrapper
+//!    satisfies the rule while a bare unsynced write cannot.
+//!
+//! Both checks are lexical order over the token stream — "syntactic
+//! ordering" is the contract this rule can actually promise; the
+//! crash-matrix tests in `serve::wal` prove the semantic one.
+
+use super::{is_call, Rule};
+use crate::config::Config;
+use crate::lexer::Tok;
+use crate::scan::Workspace;
+use crate::Finding;
+
+/// See module docs.
+pub struct Durability;
+
+#[derive(PartialEq, Clone, Copy)]
+enum Kind {
+    Append,
+    Fsync,
+    Answer,
+    Write,
+}
+
+impl Rule for Durability {
+    fn name(&self) -> &'static str {
+        "durability"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let paths = cfg.list("durability", "paths");
+        let append = cfg.list("durability", "append");
+        let fsync = cfg.list("durability", "fsync");
+        let answer = cfg.list("durability", "answer");
+        let write = cfg.list("durability", "write");
+        for file in &ws.files {
+            if !paths.iter().any(|p| file.rel.starts_with(p.as_str())) {
+                continue;
+            }
+            for f in &file.fns {
+                if f.is_test {
+                    continue;
+                }
+                // Ordered marker events in this function body.
+                let mut events: Vec<(Kind, usize, u32)> = Vec::new();
+                for i in f.body.0..=f.body.1.min(file.tokens.len().saturating_sub(1)) {
+                    if file
+                        .fn_at(i)
+                        .map(|inner| inner.body != f.body)
+                        .unwrap_or(true)
+                    {
+                        continue;
+                    }
+                    if !is_call(&file.tokens, i) {
+                        continue;
+                    }
+                    let Tok::Ident(name) = &file.tokens[i].tok else {
+                        continue;
+                    };
+                    let line = file.tokens[i].line;
+                    if append.iter().any(|m| m == name) {
+                        events.push((Kind::Append, i, line));
+                    } else if fsync.iter().any(|m| m == name) {
+                        events.push((Kind::Fsync, i, line));
+                    } else if answer.iter().any(|m| m == name) {
+                        events.push((Kind::Answer, i, line));
+                    } else if write.iter().any(|m| m == name) {
+                        events.push((Kind::Write, i, line));
+                    }
+                }
+                let last = |k: Kind| events.iter().rfind(|e| e.0 == k).copied();
+                // Check 1: append-before-answer.
+                if let (Some(ap), Some(an)) = (last(Kind::Append), last(Kind::Answer)) {
+                    if an.1 < ap.1 {
+                        out.push(Finding {
+                            rule: "durability",
+                            path: file.rel.clone(),
+                            line: an.2,
+                            function: f.name.clone(),
+                            message: format!(
+                                "final wire answer (`{}` at line {}) precedes the final WAL \
+                                 append at line {} in source order — the append+fsync must \
+                                 complete before the answer (acknowledged ⇒ durable, DESIGN.md §11)",
+                                marker_at(&file.tokens, an.1),
+                                an.2,
+                                ap.2
+                            ),
+                        });
+                    }
+                }
+                // Check 2: fsync-on-append.
+                if append.contains(&f.name) {
+                    if let Some(w) = last(Kind::Write) {
+                        let synced = events.iter().any(|e| e.0 == Kind::Fsync && e.1 > w.1);
+                        if !synced {
+                            out.push(Finding {
+                                rule: "durability",
+                                path: file.rel.clone(),
+                                line: w.2,
+                                function: f.name.clone(),
+                                message: "append path writes the log without reaching an fsync \
+                                          marker afterwards — a crash here loses an acknowledged \
+                                          record (route the skip through the audited sync wrapper)"
+                                    .to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The marker identifier at token index `i` (for messages).
+fn marker_at(tokens: &[crate::lexer::Token], i: usize) -> String {
+    match &tokens[i].tok {
+        Tok::Ident(w) => w.clone(),
+        _ => String::new(),
+    }
+}

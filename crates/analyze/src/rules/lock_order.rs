@@ -1,0 +1,532 @@
+//! Rule `lock_order` — the per-crate lock-acquisition graph stays
+//! acyclic.
+//!
+//! The serve tier's locking discipline (DESIGN.md §7–§8) is a strict
+//! hierarchy: registry map lock → per-session mutex → cache-shard /
+//! race-internal locks. Nothing enforces it but convention — until a
+//! PR takes two of them in the other order on one path and the service
+//! deadlocks under load. This rule approximates the check:
+//!
+//! * **Lock identity** is the receiver chain of a `.lock()` /
+//!   `.read()` / `.write()` call with empty argument lists, minus a
+//!   leading `self` and with index/call argument groups elided:
+//!   `self.shared.queue.lock()` and `shared.queue.lock()` are both
+//!   class `shared.queue`; `tls[i].lock()` is class `tls`. Same-named
+//!   receivers of *different* locks therefore merge — a documented
+//!   false-sharing approximation resolved case-by-case via
+//!   `ignore_classes` or the allowlist.
+//! * **Guard lifetime**: a `let g = recv.lock()…;` binding holds to
+//!   end of function (or an explicit `drop(g)`); a lock consumed
+//!   inside a larger expression or statement is transient — it
+//!   receives ordering edges from held locks but imposes none.
+//! * **Call graph** by name resolution: a call resolves only when
+//!   exactly one function in the crate bears that name (ambiguous
+//!   names — `get`, `new`, `push` — resolve to nothing rather than to
+//!   everything). The callee's transitively acquired classes land at
+//!   the call site under the caller's held set.
+//! * **Verdict**: any strongly connected component with ≥2 classes, or
+//!   a self-edge (re-acquiring a held class — std mutexes are not
+//!   reentrant), is one finding anchored at its first edge site.
+//!
+//! Threads spawned inside a function body are attributed to that body
+//! (closure acquisitions sequence after the spawn site) — conservative
+//! for ordering, also documented in DESIGN.md §12.
+
+use super::{is_keyword, Rule};
+use crate::config::Config;
+use crate::lexer::{Tok, Token};
+use crate::scan::Workspace;
+use crate::Finding;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// See module docs.
+pub struct LockOrder;
+
+/// One event inside a function body, in source order.
+enum Ev {
+    /// Lock acquisition: class, line, `Some(binding)` when let-bound
+    /// (held), `None` when transient, and the brace depth the guard
+    /// lives at (guards die with their block, like real drop scopes).
+    Acquire(String, u32, Option<String>, u32),
+    /// `drop(binding)`.
+    Drop(String),
+    /// A call that may transitively acquire locks.
+    Call(String, u32),
+    /// A `}` closed a block; the payload is the depth *after* closing.
+    /// Guards acquired deeper than this are released.
+    Close(u32),
+}
+
+/// Per-function extraction.
+struct FnLocks {
+    name: String,
+    file_idx: usize,
+    events: Vec<Ev>,
+    /// Classes acquired directly (held or transient).
+    direct: BTreeSet<String>,
+}
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock_order"
+    }
+
+    fn check(&self, ws: &Workspace, cfg: &Config, out: &mut Vec<Finding>) {
+        let crates = cfg.list("lock_order", "crates");
+        let ignore: BTreeSet<String> = cfg
+            .list("lock_order", "ignore_classes")
+            .into_iter()
+            .collect();
+        // Group files per crate; the discipline is intra-crate.
+        let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in ws.files.iter().enumerate() {
+            if crates.contains(&f.crate_name) {
+                by_crate.entry(&f.crate_name).or_default().push(i);
+            }
+        }
+        for (krate, file_idxs) in by_crate {
+            self.check_crate(ws, krate, &file_idxs, &ignore, out);
+        }
+    }
+}
+
+impl LockOrder {
+    fn check_crate(
+        &self,
+        ws: &Workspace,
+        krate: &str,
+        file_idxs: &[usize],
+        ignore: &BTreeSet<String>,
+        out: &mut Vec<Finding>,
+    ) {
+        // Extract per-function lock events.
+        let mut fns: Vec<FnLocks> = Vec::new();
+        for &fi in file_idxs {
+            let file = &ws.files[fi];
+            for f in &file.fns {
+                if f.is_test {
+                    continue;
+                }
+                fns.push(extract(file, fi, f, ignore));
+            }
+        }
+        // Name → unique function index (ambiguous names resolve to
+        // nothing).
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(&f.name).or_default().push(i);
+        }
+        let resolve: BTreeMap<&str, usize> = by_name
+            .iter()
+            .filter(|(_, v)| v.len() == 1)
+            .map(|(k, v)| (*k, v[0]))
+            .collect();
+        // Transitive acquired-class sets, to fixpoint.
+        let mut trans: Vec<BTreeSet<String>> = fns.iter().map(|f| f.direct.clone()).collect();
+        loop {
+            let mut changed = false;
+            for i in 0..fns.len() {
+                let mut add: Vec<String> = Vec::new();
+                for ev in &fns[i].events {
+                    if let Ev::Call(name, _) = ev {
+                        if let Some(&j) = resolve.get(name.as_str()) {
+                            for c in &trans[j] {
+                                if !trans[i].contains(c) {
+                                    add.push(c.clone());
+                                }
+                            }
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    changed = true;
+                    trans[i].extend(add);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Build the ordering graph: held class → acquired class, first
+        // site kept per edge.
+        type Site = (usize, u32, String); // file idx, line, fn name
+        let mut edges: BTreeMap<(String, String), Site> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            // binding, class, brace depth of acquisition
+            let mut held: Vec<(Option<String>, String, u32)> = Vec::new();
+            for ev in &f.events {
+                match ev {
+                    Ev::Acquire(class, line, binding, depth) => {
+                        // Self-edges (re-acquiring a held class) are
+                        // kept: std mutexes are not reentrant.
+                        for (_, h, _) in &held {
+                            edges.entry((h.clone(), class.clone())).or_insert((
+                                f.file_idx,
+                                *line,
+                                f.name.clone(),
+                            ));
+                        }
+                        if binding.is_some() {
+                            held.push((binding.clone(), class.clone(), *depth));
+                        }
+                    }
+                    Ev::Drop(b) => {
+                        held.retain(|(bind, _, _)| bind.as_deref() != Some(b.as_str()));
+                    }
+                    Ev::Close(depth) => {
+                        held.retain(|(_, _, d)| d <= depth);
+                    }
+                    Ev::Call(name, line) => {
+                        if let Some(&j) = resolve.get(name.as_str()) {
+                            if j == i {
+                                continue; // direct recursion adds nothing new
+                            }
+                            for c in &trans[j] {
+                                for (_, h, _) in &held {
+                                    edges.entry((h.clone(), c.clone())).or_insert((
+                                        f.file_idx,
+                                        *line,
+                                        f.name.clone(),
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // Cycle detection over the class graph.
+        let mut nodes: BTreeSet<&String> = BTreeSet::new();
+        for (a, b) in edges.keys() {
+            nodes.insert(a);
+            nodes.insert(b);
+        }
+        let sccs = tarjan(&nodes, &edges);
+        for scc in sccs {
+            let cyclic = scc.len() > 1 || edges.contains_key(&(scc[0].clone(), scc[0].clone()));
+            if !cyclic {
+                continue;
+            }
+            // Describe the cycle deterministically: the edges internal
+            // to the SCC, sorted, with their first sites.
+            let inset: BTreeSet<&String> = scc.iter().collect();
+            let mut parts: Vec<String> = Vec::new();
+            let mut anchor: Option<(usize, u32, String)> = None;
+            for ((a, b), site) in &edges {
+                if inset.contains(a) && inset.contains(b) {
+                    let file = &ws.files[site.0];
+                    parts.push(format!("{a} -> {b} ({}:{})", file.rel, site.1));
+                    let better = match &anchor {
+                        None => true,
+                        Some((fi, line, _)) => {
+                            (ws.files[site.0].rel.as_str(), site.1)
+                                < (ws.files[*fi].rel.as_str(), *line)
+                        }
+                    };
+                    if better {
+                        anchor = Some(site.clone());
+                    }
+                }
+            }
+            let Some((fi, line, fn_name)) = anchor else {
+                continue;
+            };
+            out.push(Finding {
+                rule: "lock_order",
+                path: ws.files[fi].rel.clone(),
+                line,
+                function: fn_name,
+                message: format!(
+                    "lock-order cycle in crate `{krate}`: {} — a fixed acquisition hierarchy \
+                     is required (DESIGN.md §7–§8)",
+                    parts.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// Extracts ordered lock events from one function body.
+fn extract(
+    file: &crate::scan::SourceFile,
+    file_idx: usize,
+    f: &crate::scan::FnItem,
+    ignore: &BTreeSet<String>,
+) -> FnLocks {
+    let tokens = &file.tokens;
+    let mut events = Vec::new();
+    let mut direct = BTreeSet::new();
+    let mut depth = 0u32;
+    let hi = f.body.1.min(tokens.len().saturating_sub(1));
+    for i in f.body.0..=hi {
+        if file
+            .fn_at(i)
+            .map(|inner| inner.body != f.body)
+            .unwrap_or(true)
+        {
+            continue;
+        }
+        match &tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                events.push(Ev::Close(depth));
+            }
+            // `drop(binding)`
+            Tok::Ident(w) if w == "drop" => {
+                if let (Some(Tok::Punct('(')), Some(Tok::Ident(b)), Some(Tok::Punct(')'))) = (
+                    tokens.get(i + 1).map(|t| &t.tok),
+                    tokens.get(i + 2).map(|t| &t.tok),
+                    tokens.get(i + 3).map(|t| &t.tok),
+                ) {
+                    events.push(Ev::Drop(b.clone()));
+                }
+            }
+            // `.lock()` / `.read()` / `.write()` with empty args.
+            Tok::Ident(w)
+                if (w == "lock" || w == "read" || w == "write")
+                    && matches!(
+                        tokens.get(i.wrapping_sub(1)).map(|t| &t.tok),
+                        Some(Tok::Punct('.'))
+                    )
+                    && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('(')))
+                    && matches!(tokens.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(')'))) =>
+            {
+                let class = receiver_class(tokens, i - 1);
+                if ignore.contains(&class) {
+                    continue;
+                }
+                let binding = held_binding(tokens, i, f.body.0);
+                direct.insert(class.clone());
+                events.push(Ev::Acquire(class, tokens[i].line, binding, depth));
+            }
+            // Any other call: candidate for name resolution.
+            Tok::Ident(w)
+                if !is_keyword(w)
+                    && matches!(tokens.get(i + 1).map(|t| &t.tok), Some(Tok::Punct('('))) =>
+            {
+                events.push(Ev::Call(w.clone(), tokens[i].line));
+            }
+            _ => {}
+        }
+    }
+    FnLocks {
+        name: f.name.clone(),
+        file_idx,
+        events,
+        direct,
+    }
+}
+
+/// Walks the receiver chain backwards from the `.` before the lock
+/// call and renders a class name: `self.shared.queue` → `shared.queue`,
+/// `tls[i]` → `tls`, `shard_of(key)` → `shard_of`, `gate.0` → `gate.0`.
+fn receiver_class(tokens: &[Token], dot: usize) -> String {
+    let mut segs: Vec<String> = Vec::new();
+    let mut j = dot as isize - 1;
+    loop {
+        if j < 0 {
+            break;
+        }
+        match &tokens[j as usize].tok {
+            Tok::Punct(')') | Tok::Punct(']') => {
+                // Skip the balanced group; the call/index target
+                // before it is the interesting segment.
+                let close = match &tokens[j as usize].tok {
+                    Tok::Punct(')') => ('(', ')'),
+                    _ => ('[', ']'),
+                };
+                let mut depth = 0i32;
+                while j >= 0 {
+                    match &tokens[j as usize].tok {
+                        Tok::Punct(c) if *c == close.1 => depth += 1,
+                        Tok::Punct(c) if *c == close.0 => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    j -= 1;
+                }
+                j -= 1; // land on the token before the opener
+            }
+            Tok::Ident(w) => {
+                if is_keyword(w) {
+                    break;
+                }
+                segs.push(w.clone());
+                // Continue through `.` or `::`.
+                if j >= 1 && matches!(tokens[j as usize - 1].tok, Tok::Punct('.')) {
+                    j -= 2;
+                } else if j >= 2
+                    && matches!(tokens[j as usize - 1].tok, Tok::Punct(':'))
+                    && matches!(tokens[j as usize - 2].tok, Tok::Punct(':'))
+                {
+                    segs.push("::".into());
+                    j -= 3;
+                } else {
+                    break;
+                }
+            }
+            Tok::Num(t) => {
+                segs.push(t.clone());
+                if j >= 1 && matches!(tokens[j as usize - 1].tok, Tok::Punct('.')) {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    segs.reverse();
+    // Re-join, folding the `::` markers, and strip a leading `self`.
+    let mut parts: Vec<String> = Vec::new();
+    for s in segs {
+        if s == "::" {
+            continue;
+        }
+        if parts.is_empty() && s == "self" {
+            continue;
+        }
+        parts.push(s);
+    }
+    if parts.is_empty() {
+        "<expr>".to_string()
+    } else {
+        parts.join(".")
+    }
+}
+
+/// Decides whether the guard from the lock call at token `i` is held
+/// (let-bound as the whole statement result) and returns the binding
+/// name if so.
+fn held_binding(tokens: &[Token], i: usize, lo: usize) -> Option<String> {
+    // Find the statement start: the token after the previous `;`,
+    // `{` or `}` (searching no further back than the body start).
+    let mut s = i;
+    while s > lo {
+        match &tokens[s - 1].tok {
+            Tok::Punct(';') | Tok::Punct('{') | Tok::Punct('}') => break,
+            _ => s -= 1,
+        }
+    }
+    match tokens.get(s).map(|t| &t.tok) {
+        Some(Tok::Ident(w)) if w == "let" => {}
+        _ => return None,
+    }
+    // Binding name: first ident after `let`, skipping `mut`.
+    let mut b = s + 1;
+    let binding = loop {
+        match tokens.get(b).map(|t| &t.tok) {
+            Some(Tok::Ident(w)) if w == "mut" => b += 1,
+            Some(Tok::Ident(w)) => break w.clone(),
+            _ => return None,
+        }
+    };
+    // Confirm the guard is the statement's value: after `lock()`
+    // and at most one `.unwrap()` / `.expect(…)`, the next token must
+    // end the statement.
+    let mut j = i + 3; // past `lock ( )`
+    if let (Some(Tok::Punct('.')), Some(Tok::Ident(w))) = (
+        tokens.get(j).map(|t| &t.tok),
+        tokens.get(j + 1).map(|t| &t.tok),
+    ) {
+        if w == "unwrap" || w == "expect" {
+            // Skip the balanced call parens.
+            let mut k = j + 2;
+            if matches!(tokens.get(k).map(|t| &t.tok), Some(Tok::Punct('('))) {
+                let mut depth = 0i32;
+                while k < tokens.len() {
+                    match &tokens[k].tok {
+                        Tok::Punct('(') => depth += 1,
+                        Tok::Punct(')') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                j = k + 1;
+            }
+        }
+    }
+    match tokens.get(j).map(|t| &t.tok) {
+        Some(Tok::Punct(';')) => Some(binding),
+        _ => None,
+    }
+}
+
+/// Iterative Tarjan SCC over the class graph.
+fn tarjan(
+    nodes: &BTreeSet<&String>,
+    edges: &BTreeMap<(String, String), (usize, u32, String)>,
+) -> Vec<Vec<String>> {
+    let idx_of: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let names: Vec<&str> = nodes.iter().map(|n| n.as_str()).collect();
+    let n = names.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (a, b) in edges.keys() {
+        adj[idx_of[a.as_str()]].push(idx_of[b.as_str()]);
+    }
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut counter = 0usize;
+    let mut out: Vec<Vec<String>> = Vec::new();
+    // Explicit DFS stack: (node, child cursor).
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(start, 0)];
+        while let Some(&mut (v, ref mut cursor)) = dfs.last_mut() {
+            if *cursor == 0 {
+                index[v] = counter;
+                low[v] = counter;
+                counter += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *cursor < adj[v].len() {
+                let w = adj[v][*cursor];
+                *cursor += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&mut (parent, _)) = dfs.last_mut() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        scc.push(names[w].to_string());
+                        if w == v {
+                            break;
+                        }
+                    }
+                    scc.sort();
+                    out.push(scc);
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}

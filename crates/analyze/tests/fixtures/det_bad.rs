@@ -1,0 +1,12 @@
+// Fixture: raw clock and entropy reads in seed-pure code (3 findings).
+use std::time::Instant;
+
+pub fn naughty_clock() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}
+
+pub fn naughty_entropy() -> u32 {
+    let mut rng = thread_rng();
+    rng.next_u32()
+}

@@ -1,0 +1,8 @@
+// Fixture twin: the same reads, but this module is one of the audited
+// `clock_modules`, so the determinism rule sanctions it (0 findings).
+use std::time::Instant;
+
+pub fn sanctioned_clock() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_millis()
+}

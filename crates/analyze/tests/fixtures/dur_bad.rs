@@ -1,0 +1,12 @@
+// Fixture: the wire answer is built after the final WAL append, and a
+// raw append path never reaches an fsync marker (2 findings).
+
+pub fn handle_event(wal: &mut Wal, req: &Request) -> Vec<u8> {
+    let reply = encode(req);
+    wal.append(reply.as_slice());
+    reply
+}
+
+pub fn append(file: &mut LogFile, record: &[u8]) {
+    file.write_all(record).ok();
+}

@@ -1,0 +1,13 @@
+// Fixture twin: append + fsync precede the answer, and the raw append
+// path syncs after its last write (clean).
+
+pub fn handle_event(wal: &mut Wal, req: &Request) -> Vec<u8> {
+    wal.append(req.record());
+    wal.sync_all();
+    encode(req)
+}
+
+pub fn append(file: &mut LogFile, record: &[u8]) {
+    file.write_all(record).ok();
+    file.sync_all().ok();
+}

@@ -1,0 +1,13 @@
+// Fixture: AB/BA lock-order cycle across two paths (1 finding).
+
+pub fn take_ab(s: &Shared) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    use_both(&ga, &gb);
+}
+
+pub fn take_ba(s: &Shared) {
+    let gb = s.b.lock().unwrap();
+    let ga = s.a.lock().unwrap();
+    use_both(&ga, &gb);
+}

@@ -1,0 +1,14 @@
+// Fixture twin: both paths honour the a-before-b hierarchy (clean).
+
+pub fn first(s: &Shared) {
+    let ga = s.a.lock().unwrap();
+    let gb = s.b.lock().unwrap();
+    use_both(&ga, &gb);
+}
+
+pub fn second(s: &Shared) {
+    let ga = s.a.lock().unwrap();
+    touch(&ga);
+    let gb = s.b.lock().unwrap();
+    use_both(&ga, &gb);
+}

@@ -1,0 +1,11 @@
+// Fixture: unjustified panic sites on a request path (4 findings).
+
+pub fn handle(xs: &[u32], i: usize) -> u32 {
+    let first = xs.first().unwrap();
+    let parsed: u32 = "7".parse().expect("literal");
+    let direct = xs[i];
+    if direct > 9000 {
+        panic!("over nine thousand");
+    }
+    first + parsed + direct
+}

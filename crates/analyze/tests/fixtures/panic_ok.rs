@@ -1,0 +1,18 @@
+// Fixture twin: every site is justified in place or covered by the
+// audited allowlist entry (0 findings, 1 suppressed).
+
+pub fn handle(xs: &[u32], i: usize) -> u32 {
+    // panic-safe: fixture — the caller guarantees xs is non-empty.
+    let first = xs.first().unwrap();
+    let parsed: u32 = "7".parse().expect("literal"); // panic-safe: a literal always parses
+    if i < xs.len() {
+        // panic-safe: bounds checked by the branch condition, which
+        // this two-line comment block also covers.
+        return first + parsed + xs[i];
+    }
+    first + parsed
+}
+
+pub fn audited(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

@@ -1,0 +1,35 @@
+//! The workspace must pass its own gates: running the analyzer over
+//! the real source tree with the committed `analyze.toml` yields zero
+//! findings and zero stale allowlist entries. This is the same check
+//! CI runs via `pga-shop-analyze --deny`.
+
+use analyze::config::Config;
+use analyze::scan::Workspace;
+
+#[test]
+fn workspace_self_analysis_is_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let ws = Workspace::load(&root).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "workspace walk looks wrong: only {} files",
+        ws.files.len()
+    );
+    let toml = std::fs::read_to_string(root.join("analyze.toml")).expect("analyze.toml readable");
+    let cfg = Config::parse(&toml).expect("analyze.toml parses");
+    let report = analyze::run(&ws, &cfg);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(
+        report.clean(),
+        "self-analysis found violations or stale allows:\n{}\nstale: {:?}",
+        rendered.join("\n"),
+        report
+            .unused_allows
+            .iter()
+            .map(|a| format!("{}:{} ({})", a.path, a.line, a.rule))
+            .collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,54 @@
+//! The audited wall-clock portal for the seed-pure universe.
+//!
+//! DESIGN.md §2: everything in the solver crates (`shop`, `ga`, `pga`,
+//! `hpc`) must reproduce bit-identically from a (instance, seed,
+//! budget-cap) triple — which forbids ambient clock or entropy reads
+//! anywhere an algorithmic decision is made. But anytime termination
+//! ([`crate::Termination::Deadline`]) and progress telemetry
+//! legitimately need wall time. This module is the one sanctioned
+//! doorway: every clock read in the solver crates goes through
+//! [`now`] / [`elapsed_since`], so an audit of determinism is an audit
+//! of this module's callers — and `pga-shop-analyze`'s `determinism`
+//! rule enforces exactly that, allowlisting `ga::clock` (and the
+//! measurement harness in `hpc::calibrate`) while flagging a raw
+//! `Instant::now()` anywhere else in the seed-pure crates.
+//!
+//! Two invariants keep clock reads harmless:
+//!
+//! 1. **Snapshots, not re-reads**: callers take one [`now`] snapshot
+//!    and thread it through combinators
+//!    ([`crate::Termination::should_stop_at`]) so a criterion tree sees
+//!    a single consistent reading.
+//! 2. **Time only gates *when to stop*, never *what to compute***: a
+//!    deadline may truncate a run (cap-bound determinism, DESIGN.md
+//!    §5), but no genome, ordering or tie-break ever derives from a
+//!    clock value.
+
+use std::time::{Duration, Instant};
+
+/// Reads the monotonic clock. The only sanctioned `Instant::now()` in
+/// the seed-pure crates (see module docs).
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+/// Wall time elapsed since `start` — the audited replacement for
+/// `start.elapsed()` (which reads the ambient clock internally).
+#[inline]
+pub fn elapsed_since(start: Instant) -> Duration {
+    now().saturating_duration_since(start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let t0 = now();
+        let a = elapsed_since(t0);
+        let b = elapsed_since(t0);
+        assert!(b >= a);
+    }
+}

@@ -200,7 +200,7 @@ pub fn run_anytime<M, G: Clone>(
     best: &dyn Fn(&M) -> Individual<G>,
     on_best: &mut dyn FnMut(&Individual<G>),
 ) -> Individual<G> {
-    let started = Instant::now();
+    let started = crate::clock::now();
     let mut since_improvement = 0u64;
     let mut last_best = status(model).best_cost;
     on_best(&best(model));
@@ -209,7 +209,7 @@ pub fn run_anytime<M, G: Clone>(
         let progress = Progress {
             generation: s.generation,
             evaluations: s.evaluations,
-            elapsed: started.elapsed(),
+            elapsed: crate::clock::elapsed_since(started),
             best_cost: s.best_cost,
             generations_since_improvement: since_improvement,
         };
@@ -296,7 +296,7 @@ impl<'a, G: Clone> Engine<'a, G> {
             gens_since_improvement: 0,
             improvements: 0,
             history: History::default(),
-            started: Instant::now(),
+            started: crate::clock::now(),
         };
         engine.record();
         engine
@@ -442,7 +442,7 @@ impl<'a, G: Clone> Engine<'a, G> {
             let progress = Progress {
                 generation: self.generation,
                 evaluations: self.evaluations,
-                elapsed: self.started.elapsed(),
+                elapsed: crate::clock::elapsed_since(self.started),
                 best_cost: self.best.cost,
                 generations_since_improvement: self.gens_since_improvement,
             };

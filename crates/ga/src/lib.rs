@@ -16,6 +16,7 @@
 //! (the survey notes the master-slave model "is the only one that does
 //! not affect the behavior of the algorithm").
 
+pub mod clock;
 pub mod crossover;
 pub mod dual;
 pub mod engine;

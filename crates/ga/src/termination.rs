@@ -68,14 +68,15 @@ impl Termination {
         }
     }
 
-    /// True when the run should stop, judged at the current instant.
+    /// True when the run should stop, judged at the current instant
+    /// (one snapshot through the audited [`crate::clock`] portal).
     pub fn should_stop(&self, p: &Progress) -> bool {
-        self.should_stop_at(p, Instant::now())
+        self.should_stop_at(p, crate::clock::now())
     }
 
     /// Convenience: a deadline `budget` from now.
     pub fn deadline_in(budget: Duration) -> Self {
-        Termination::Deadline(Instant::now() + budget)
+        Termination::Deadline(crate::clock::now() + budget)
     }
 }
 

@@ -415,6 +415,7 @@ impl<'a> Parser<'a> {
                     if start + len > self.bytes.len() {
                         return Err(self.err("truncated utf-8"));
                     }
+                    // panic-safe: start + len <= bytes.len() checked just above.
                     let s = std::str::from_utf8(&self.bytes[start..start + len])
                         .map_err(|_| self.err("invalid utf-8"))?;
                     out.push_str(s);
@@ -430,6 +431,7 @@ impl<'a> Parser<'a> {
         if self.pos + 4 > self.bytes.len() {
             return Err(self.err("truncated \\u escape"));
         }
+        // panic-safe: pos + 4 <= bytes.len() checked just above.
         let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
             .map_err(|_| self.err("bad \\u escape"))?;
         let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
@@ -470,6 +472,7 @@ impl<'a> Parser<'a> {
         // The scanned range is all ASCII by construction, but a decode
         // failure must surface as a parse error, never a panic — this
         // parser faces untrusted sockets.
+        // panic-safe: start..pos is in bounds — pos only advances past peeked bytes.
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("bad number"))?;
         let v: f64 = text.parse().map_err(|_| self.err("bad number"))?;

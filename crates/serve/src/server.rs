@@ -564,6 +564,7 @@ impl Service {
     /// the persistent racer pool (auto knobs resolved via
     /// [`ServeConfig::resolved`]).
     pub fn bind(config: ServeConfig) -> std::io::Result<Service> {
+        // panic-safe: operator-config validation at bind time, before any request.
         assert!(config.workers >= 1, "need at least one worker");
         let config = config.resolved();
         let listener = TcpListener::bind(&config.addr)?;
@@ -629,7 +630,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name("serve-acceptor".into())
                     .spawn(move || acceptor_loop(listener, &shared))
-                    .expect("spawn acceptor"),
+                    .expect("spawn acceptor"), // panic-safe: bind-time startup, before any request
             );
         }
         for i in 0..shared.config.workers {
@@ -638,7 +639,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
                     .spawn(move || worker_loop(&shared))
-                    .expect("spawn worker"),
+                    .expect("spawn worker"), // panic-safe: bind-time startup, before any request
             );
         }
         if shared.config.metrics_interval_ms > 0 {
@@ -647,7 +648,7 @@ impl Service {
                 std::thread::Builder::new()
                     .name("serve-metrics".into())
                     .spawn(move || metrics_summary_loop(&shared))
-                    .expect("spawn metrics summary"),
+                    .expect("spawn metrics summary"), // panic-safe: bind-time startup, before any request
             );
         }
         Ok(Service {
@@ -768,6 +769,8 @@ fn acceptor_loop(listener: TcpListener, shared: &Shared) {
         }
         match listener.accept() {
             Ok((stream, _)) => {
+                // panic-safe: queue poisoning means a worker already panicked;
+                // taking the acceptor down with it is the intended failure mode.
                 let mut q = shared.queue.lock().expect("queue poisoned");
                 q.push_back((stream, Instant::now()));
                 drop(q);
@@ -784,6 +787,8 @@ fn acceptor_loop(listener: TcpListener, shared: &Shared) {
 fn worker_loop(shared: &Shared) {
     loop {
         let picked = {
+            // panic-safe: queue poisoning means a sibling worker already
+            // panicked; stopping this worker too is the intended failure mode.
             let mut q = shared.queue.lock().expect("queue poisoned");
             loop {
                 if let Some(item) = q.pop_front() {
@@ -795,7 +800,7 @@ fn worker_loop(shared: &Shared) {
                 let (guard, _) = shared
                     .ready
                     .wait_timeout(q, Duration::from_millis(100))
-                    .expect("queue poisoned");
+                    .expect("queue poisoned"); // panic-safe: as above
                 q = guard;
             }
         };
@@ -848,6 +853,7 @@ fn read_bounded_line(
             }
             match available.iter().position(|&b| b == b'\n') {
                 Some(i) => {
+                    // panic-safe: position() returned i, so i < available.len().
                     buf.extend_from_slice(&available[..=i]);
                     i + 1
                 }
@@ -1138,6 +1144,7 @@ fn solve_core(
         );
     }
     if replayable {
+        // panic-safe: replayable is only set when prev matched Some above.
         let hit = prev.as_ref().expect("replayable implies a cache entry");
         shared.stats.cache_hits.inc();
         let telemetry = RequestTelemetry {
@@ -1515,7 +1522,7 @@ fn handle_session_open(
             // before the client hears the session id.
             if let Some(wal) = shared.wal.as_ref() {
                 if let Some(entry) = shared.sessions.get(&session) {
-                    let state = entry.lock().expect("session poisoned");
+                    let state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
                     let started = Instant::now();
                     let result = wal.begin(&session, &crate::wal::open_record(&session, &state));
                     shared
@@ -1536,6 +1543,7 @@ fn handle_session_open(
             }
             let body = solution_json(id, &out.solution, out.cached, &out.telemetry);
             let Json::Obj(mut fields) = body else {
+                // panic-safe: solution_json returns Json::Obj unconditionally.
                 unreachable!("solution_json builds an object")
             };
             fields.push(("session".into(), session.as_str().into()));
@@ -1567,7 +1575,7 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
     // the GA leg — repair needs no pool and always answers.
     let skip_resolve = shared.pool.queue_depth() >= shared.config.max_queue_depth;
     let started = Instant::now();
-    let mut state = entry.lock().expect("session poisoned");
+    let mut state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
     let outcome = crate::session::handle_event_traced(
         &shared.pool,
         &mut state,
@@ -1656,7 +1664,7 @@ fn handle_session_get(r: &SessionRef, shared: &Shared) -> String {
         shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
-    let state = entry.lock().expect("session poisoned");
+    let state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), id.into()));
@@ -1689,7 +1697,7 @@ fn handle_session_events(r: &SessionRef, shared: &Shared) -> String {
         shared.stats.errors.inc();
         return unknown_session_json(id, &r.session).encode();
     };
-    let state = entry.lock().expect("session poisoned");
+    let state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
     let log: Vec<Json> = state
         .journal
         .iter()
@@ -1737,7 +1745,7 @@ fn handle_session_close(r: &SessionRef, shared: &Shared) -> String {
             shared.stats.errors.inc();
         }
     }
-    let state = entry.lock().expect("session poisoned");
+    let state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
     let mut fields: Vec<(String, Json)> = Vec::new();
     if let Some(id) = id {
         fields.push(("id".into(), id.into()));
@@ -1914,6 +1922,7 @@ fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> St
             item.objective.unwrap_or(req.objective),
         );
         match group_of.entry(key) {
+            // panic-safe: the stored value is the index groups had when it was pushed.
             std::collections::hash_map::Entry::Occupied(e) => groups[*e.get()].push(i),
             std::collections::hash_map::Entry::Vacant(e) => {
                 e.insert(groups.len());
@@ -1938,19 +1947,25 @@ fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> St
                 let g = next.fetch_add(1, Ordering::SeqCst);
                 let Some(group) = groups.get(g) else { break };
                 // Sources are identical within a group by construction.
+                // panic-safe: every group is created non-empty and indexes req.items.
                 match resolve_batch_source(&req.items[group[0]].source) {
                     Err(e) => {
                         shared.stats.errors.add(group.len() as u64);
                         for &i in group {
+                            // panic-safe: group indices enumerate req.items; slots has one
+                            // entry per item; poisoning means a sibling already panicked.
                             let id = req.items[i].id.as_deref();
-                            *slots[i].lock().expect("slot poisoned") =
+                            *slots[i].lock().expect("slot poisoned") = // panic-safe: as above
                                 Some(with_index(error_json(id, &e), i));
                         }
                     }
                     Ok(inst) => {
                         for &i in group {
-                            let body =
+                            // panic-safe: group indices enumerate req.items; slots has one
+                            // entry per item; poisoning means a sibling already panicked.
+                            let body = // panic-safe: as above
                                 solve_batch_item(&req.items[i], i, req, &inst, deadline, shared);
+                            // panic-safe: as above
                             *slots[i].lock().expect("slot poisoned") = Some(body);
                         }
                     }
@@ -1962,8 +1977,8 @@ fn handle_batch(req: &BatchRequest, queue_wait: Duration, shared: &Shared) -> St
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("slot poisoned")
-                .expect("every item answered")
+                .expect("slot poisoned") // panic-safe: poisoning means a worker already panicked
+                .expect("every item answered") // panic-safe: the scope loop fills every slot
         })
         .collect();
     let ok = items

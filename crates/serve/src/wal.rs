@@ -82,6 +82,7 @@ pub fn read_frames(bytes: &[u8]) -> (Vec<String>, Option<String>) {
     let mut out = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
+        // panic-safe: pos < bytes.len() by the loop condition.
         let rest = &bytes[pos..];
         if rest.len() < FRAME_HEADER {
             return (
@@ -92,8 +93,10 @@ pub fn read_frames(bytes: &[u8]) -> (Vec<String>, Option<String>) {
                 )),
             );
         }
+        // panic-safe: rest.len() >= FRAME_HEADER (12 bytes) was checked above.
         let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
         let sum = u64::from_le_bytes([
+            // panic-safe: same FRAME_HEADER guard covers bytes 4..12.
             rest[4], rest[5], rest[6], rest[7], rest[8], rest[9], rest[10], rest[11],
         ]);
         if len > MAX_RECORD_BYTES {
@@ -115,6 +118,7 @@ pub fn read_frames(bytes: &[u8]) -> (Vec<String>, Option<String>) {
                 )),
             );
         }
+        // panic-safe: rest.len() >= FRAME_HEADER + len was checked just above.
         let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
         let mut h = Fnv1a::default();
         h.write_bytes(payload);
@@ -144,9 +148,9 @@ fn meta_to_json(meta: &JobMeta) -> Json {
         (0..meta.release.len())
             .map(|j| {
                 Json::Arr(vec![
-                    meta.release[j].into(),
-                    meta.due[j].to_string().into(),
-                    meta.weight[j].into(),
+                    meta.release[j].into(),         // panic-safe: j ranges over release.len()
+                    meta.due[j].to_string().into(), // panic-safe: parallel arrays, one length
+                    meta.weight[j].into(),          // panic-safe: parallel arrays, one length
                 ])
             })
             .collect(),
@@ -166,14 +170,14 @@ fn meta_from_json(v: &Json) -> Result<JobMeta, String> {
             .filter(|f| f.len() == 3)
             .ok_or("meta row must be [release, due, weight]")?;
         meta.release
-            .push(f[0].as_u64().ok_or("meta release not a u64")?);
+            .push(f[0].as_u64().ok_or("meta release not a u64")?); // panic-safe: len == 3 checked
         meta.due.push(
-            f[1].as_str()
+            f[1].as_str() // panic-safe: len == 3 checked
                 .and_then(|s| s.parse().ok())
                 .ok_or("meta due not a decimal string")?,
         );
         meta.weight
-            .push(f[2].as_f64().ok_or("meta weight not a number")?);
+            .push(f[2].as_f64().ok_or("meta weight not a number")?); // panic-safe: len == 3 checked
     }
     Ok(meta)
 }
@@ -201,6 +205,7 @@ fn windows_from_json(v: &Json) -> Result<Vec<DownWindow>, String> {
                 .as_arr()
                 .filter(|f| f.len() == 3)
                 .ok_or("window row must be [machine, from, until]")?;
+            // panic-safe: f.len() == 3 by the filter above; i is 0, 1 or 2.
             let g = |i: usize| f[i].as_u64().ok_or("window entry not a u64");
             Ok(DownWindow {
                 machine: g(0)? as usize,
@@ -473,6 +478,7 @@ pub fn replay(
     let (session, mut state) = base_state(&head)?;
     let mut records = 1u64;
     let mut salvaged = None;
+    // panic-safe: payloads is non-empty — `payloads.first()` matched above.
     for payload in &payloads[1..] {
         match replay_event(&mut state, payload) {
             Ok(()) => records += 1,
