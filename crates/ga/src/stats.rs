@@ -103,6 +103,38 @@ pub struct GenRecord {
     pub diversity: f64,
 }
 
+/// One generation's convergence telemetry as emitted by the sampled
+/// anytime runs (`Engine::run_sampled`, `run_until_sampled` on the
+/// parallel models): a [`GenRecord`] plus the anytime counters an
+/// external observer needs to judge progress without access to the
+/// model — evaluation count, stagnation age, and (for island models)
+/// which island produced the sample and whether migration fired on
+/// this generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationSample {
+    /// Island that produced this sample (`None` for panmictic models:
+    /// master-slave engines and the cellular torus, which sample their
+    /// whole population as one unit).
+    pub island: Option<u32>,
+    /// Generation the sample describes.
+    pub generation: u64,
+    /// Fitness evaluations the sampled unit had consumed when the
+    /// sample was taken (per island for island models).
+    pub evaluations: u64,
+    /// Best cost of the sampled unit at this generation.
+    pub best_cost: f64,
+    /// Mean population cost of the sampled unit.
+    pub mean_cost: f64,
+    /// Normalised mean-Hamming diversity (see [`mean_hamming`]) of the
+    /// sampled unit; `0.0` when the genome has no sequence view.
+    pub diversity: f64,
+    /// Generations since the sampled unit last improved its best.
+    pub since_improvement: u64,
+    /// True when a migration (or broadcast) exchange fired on this
+    /// generation — the discrete marks on an island convergence curve.
+    pub migration: bool,
+}
+
 /// Best/mean/diversity per generation over a run.
 #[derive(Debug, Clone, Default)]
 pub struct History {

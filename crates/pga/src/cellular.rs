@@ -10,9 +10,9 @@
 //! thread scheduling.
 
 use crate::telemetry::RunTelemetry;
-use ga::engine::{Individual, Toolkit};
+use ga::engine::{GaPhase, Individual, PhaseHook, Toolkit};
 use ga::rng::stream_rng;
-use ga::stats::{mean_hamming, GenRecord, History};
+use ga::stats::{mean_hamming, GenRecord, GenerationSample, History};
 use ga::Evaluator;
 use rayon::prelude::*;
 
@@ -81,6 +81,8 @@ pub struct CellularGa<'a, G> {
     best: Individual<G>,
     history: History,
     pub telemetry: RunTelemetry,
+    since_improvement: u64,
+    phase_hook: Option<&'a PhaseHook<'a>>,
 }
 
 impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
@@ -122,9 +124,19 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
             generation: 0,
             best,
             history: History::default(),
+            since_improvement: 0,
+            phase_hook: None,
         };
         cga.record();
         cga
+    }
+
+    /// Enables the phase profiler: `hook` receives each generation's
+    /// `Breed` (neighbourhood selection + crossover + mutation) and
+    /// `Evaluate` (grid-wide fitness batch) timings. Measurement-only —
+    /// the per-cell RNG streams never see the clock.
+    pub fn set_phase_hook(&mut self, hook: &'a PhaseHook<'a>) {
+        self.phase_hook = Some(hook);
     }
 
     fn neighbour_indices(&self, idx: usize) -> Vec<usize> {
@@ -155,6 +167,8 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         let neighbours: Vec<Vec<usize>> = (0..n).map(|i| self.neighbour_indices(i)).collect();
 
         // Phase 1 (parallel, read-only grid): breed one child per cell.
+        // Phase timing reads the clock only when a hook is installed.
+        let tb = self.phase_hook.map(|_| ga::clock::now());
         let grid = &self.grid;
         let toolkit = &self.toolkit;
         let children: Vec<G> = (0..n)
@@ -177,7 +191,14 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
 
         // Phase 2: evaluate all children (the massively-parallel fitness
         // phase of the survey's Table IV).
+        let te = self.phase_hook.map(|_| ga::clock::now());
+        if let (Some(hook), Some(tb), Some(te)) = (self.phase_hook, tb, te) {
+            hook(GaPhase::Breed, te.saturating_duration_since(tb));
+        }
         let costs = self.evaluator.cost_batch(&children);
+        if let (Some(hook), Some(te)) = (self.phase_hook, te) {
+            hook(GaPhase::Evaluate, ga::clock::elapsed_since(te));
+        }
         self.telemetry.evaluations += n as u64;
         self.telemetry.evals_per_generation.push(n as u64);
         self.telemetry.generations += 1;
@@ -185,6 +206,7 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         self.telemetry.messages += (n * self.config.shape.offsets().len()) as u64;
 
         // Phase 3 (synchronous write): elitist replacement.
+        let before = self.best.cost;
         for (i, (child, cost)) in children.into_iter().zip(costs).enumerate() {
             if cost <= self.grid[i].cost {
                 self.grid[i] = Individual {
@@ -197,6 +219,11 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
             if ind.cost < self.best.cost {
                 self.best = ind.clone();
             }
+        }
+        if self.best.cost < before {
+            self.since_improvement = 0;
+        } else {
+            self.since_improvement += 1;
         }
         self.record();
     }
@@ -239,11 +266,25 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
         termination: &ga::termination::Termination,
         on_best: &mut dyn FnMut(&Individual<G>),
     ) -> Individual<G> {
+        self.run_until_sampled(termination, on_best, &mut |_| {})
+    }
+
+    /// Like [`run_until_observed`](Self::run_until_observed), but also
+    /// emits one whole-grid [`GenerationSample`] per generation
+    /// (`island: None` — the torus is one panmictic sampling unit).
+    /// Sampling reads recorded state only, so a sampled run is
+    /// bit-identical to an unsampled one.
+    pub fn run_until_sampled(
+        &mut self,
+        termination: &ga::termination::Termination,
+        on_best: &mut dyn FnMut(&Individual<G>),
+        on_sample: &mut dyn FnMut(GenerationSample),
+    ) -> Individual<G> {
         // Count strict improvements into the run telemetry (the
         // baseline report of the starting best is not one).
         let mut last = self.best.cost;
         let mut seen = 0u64;
-        let best = ga::engine::run_anytime(
+        let best = ga::engine::run_anytime_sampled(
             self,
             termination,
             &|m| ga::engine::AnytimeStatus {
@@ -251,7 +292,21 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
                 evaluations: m.telemetry.evaluations,
                 best_cost: m.best.cost,
             },
-            &|m| m.step(),
+            &mut |m, emit| {
+                m.step();
+                if let Some(rec) = m.history.records.last() {
+                    emit(GenerationSample {
+                        island: None,
+                        generation: rec.generation,
+                        evaluations: m.telemetry.evaluations,
+                        best_cost: rec.best_cost,
+                        mean_cost: rec.mean_cost,
+                        diversity: rec.diversity,
+                        since_improvement: m.since_improvement,
+                        migration: false,
+                    });
+                }
+            },
             &|m| m.best.clone(),
             &mut |ind| {
                 if ind.cost < last {
@@ -260,6 +315,7 @@ impl<'a, G: Clone + Send + Sync> CellularGa<'a, G> {
                 }
                 on_best(ind);
             },
+            on_sample,
         );
         self.telemetry.improvements += seen;
         best
@@ -397,5 +453,70 @@ mod tests {
         // 9 cells x 4 neighbours x 2 generations.
         assert_eq!(cga.telemetry.messages, 72);
         assert_eq!(cga.telemetry.evaluations, 9 + 18);
+    }
+
+    #[test]
+    fn sampled_run_emits_whole_grid_samples() {
+        let eval = |g: &Vec<usize>| displacement(g);
+        let mut cga = CellularGa::new(CellularConfig::new(4, 4, 6), toolkit(8), &eval);
+        let mut samples = Vec::new();
+        use ga::termination::Termination;
+        let best = cga.run_until_sampled(&Termination::Generations(10), &mut |_| {}, &mut |s| {
+            samples.push(s)
+        });
+        assert_eq!(samples.len(), 10);
+        let mut prev_best = f64::INFINITY;
+        for (k, s) in samples.iter().enumerate() {
+            assert_eq!(s.island, None, "torus samples as one unit");
+            assert_eq!(s.generation, (k + 1) as u64);
+            assert!(!s.migration);
+            assert!(s.best_cost <= s.mean_cost);
+            assert!(s.best_cost <= prev_best, "elitist best is monotone");
+            assert!((0.0..=1.0).contains(&s.diversity));
+            prev_best = s.best_cost;
+        }
+        assert_eq!(samples.last().unwrap().best_cost, best.cost);
+        // Stagnation age resets on improvement, else increments.
+        let mut prev = samples[0];
+        for s in &samples[1..] {
+            if s.best_cost < prev.best_cost {
+                assert_eq!(s.since_improvement, 0);
+            } else {
+                assert_eq!(s.since_improvement, prev.since_improvement + 1);
+            }
+            prev = *s;
+        }
+    }
+
+    #[test]
+    fn profiled_grid_run_is_bit_identical() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let eval = |g: &Vec<usize>| displacement(g);
+        let mut bare = CellularGa::new(CellularConfig::new(4, 4, 7), toolkit(8), &eval);
+        bare.run(8);
+
+        let breed_ns = AtomicU64::new(0);
+        let evaluate_ns = AtomicU64::new(0);
+        let hook = |phase: GaPhase, d: std::time::Duration| {
+            let ns = d.as_nanos() as u64;
+            match phase {
+                GaPhase::Breed => {
+                    breed_ns.fetch_add(ns, Ordering::Relaxed);
+                }
+                GaPhase::Evaluate => {
+                    evaluate_ns.fetch_add(ns, Ordering::Relaxed);
+                }
+                _ => {}
+            }
+        };
+        let mut profiled = CellularGa::new(CellularConfig::new(4, 4, 7), toolkit(8), &eval);
+        profiled.set_phase_hook(&hook);
+        profiled.run(8);
+
+        assert_eq!(bare.best().cost, profiled.best().cost);
+        assert_eq!(bare.best().genome, profiled.best().genome);
+        assert_eq!(bare.history().records, profiled.history().records);
+        assert!(breed_ns.load(Ordering::Relaxed) > 0);
+        assert!(evaluate_ns.load(Ordering::Relaxed) > 0);
     }
 }

@@ -75,13 +75,14 @@ pub mod wal;
 
 pub use cache::{CacheKey, CachedSolve, ShardedCache, SolutionCache};
 pub use json::Json;
-pub use obs::metrics::{Counter, Gauge, Histogram, Registry};
-pub use obs::trace::{MemberTrace, Span, Trace, TraceRing};
-pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind};
+pub use obs::metrics::{escape_label_value, Counter, Gauge, Histogram, Registry};
+pub use obs::phase::{PhaseAcc, PHASE_NAMES};
+pub use obs::trace::{GenerationSample, MemberTrace, Span, Trace, TraceRing};
+pub use portfolio::{plan_lineup, price_lineup, BestSoFar, ModelKind, WatchSink};
 pub use protocol::{
-    BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec, Objective,
-    Request, SessionEventRequest, SessionOpenRequest, SessionRef, Solution, SolveRequest,
-    MAX_BATCH_ITEMS,
+    encode_watch, BatchItem, BatchRequest, BatchSource, Family, GenerateRequest, InstanceSpec,
+    Objective, Request, SessionEventRequest, SessionOpenRequest, SessionRef, Solution,
+    SolveRequest, WatchTarget, MAX_BATCH_ITEMS,
 };
 pub use scheduler::{CancelToken, RacerPool};
 pub use server::{ServeConfig, Service, StatsSnapshot};
@@ -89,5 +90,7 @@ pub use session::{
     EventOutcome, JournalEntry, ResolveSkip, SessionConfig, SessionGauges, SessionRegistry,
     SessionState,
 };
-pub use solver::{load_instance, solve, solve_traced, LoadedInstance, SolveOutcome};
+pub use solver::{
+    load_instance, solve, solve_hooked, solve_traced, LoadedInstance, SolveHooks, SolveOutcome,
+};
 pub use wal::{RecoverOutcome, RecoveredSession, Wal, WalConfig};

@@ -14,6 +14,23 @@ use crate::json::{obj, Json};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// Escapes a label *value* for Prometheus text exposition: backslash,
+/// double quote and newline must be escaped inside the quoted value
+/// (`\\`, `\"`, `\n`). Callers baking dynamic strings (instance names,
+/// session ids) into a series label must route them through here.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 /// A monotone counter.
 #[derive(Debug, Default)]
 pub struct Counter(AtomicU64);
@@ -272,6 +289,22 @@ impl Registry {
                 Metric::Counter(c) => out.push_str(&format!("{} {}\n", e.name, c.get())),
                 Metric::Gauge(g) => out.push_str(&format!("{} {}\n", e.name, g.get())),
                 Metric::Histogram(h) => {
+                    // A labeled series (`name{family="flow",...}`) must
+                    // merge its static labels with the `le` label on
+                    // every bucket line — `name{labels}_bucket{le=..}`
+                    // is not valid exposition text.
+                    let (base, labels) = match e.name.split_once('{') {
+                        Some((b, rest)) => (b, Some(rest.trim_end_matches('}'))),
+                        None => (e.name.as_str(), None),
+                    };
+                    let bucket = |le: &str| match labels {
+                        Some(l) => format!("{base}_bucket{{{l},le=\"{le}\"}}"),
+                        None => format!("{base}_bucket{{le=\"{le}\"}}"),
+                    };
+                    let series = |suffix: &str| match labels {
+                        Some(l) => format!("{base}{suffix}{{{l}}}"),
+                        None => format!("{base}{suffix}"),
+                    };
                     let counts = h.bucket_counts();
                     let total: u64 = counts.iter().sum();
                     let mut cumulative = 0u64;
@@ -287,15 +320,14 @@ impl Registry {
                             continue; // rendered by the +Inf line below
                         }
                         out.push_str(&format!(
-                            "{}_bucket{{le=\"{}\"}} {}\n",
-                            e.name,
-                            bucket_upper_bound(i),
+                            "{} {}\n",
+                            bucket(&bucket_upper_bound(i).to_string()),
                             cumulative
                         ));
                     }
-                    out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {}\n", e.name, total));
-                    out.push_str(&format!("{}_sum {}\n", e.name, h.sum()));
-                    out.push_str(&format!("{}_count {}\n", e.name, total));
+                    out.push_str(&format!("{} {}\n", bucket("+Inf"), total));
+                    out.push_str(&format!("{} {}\n", series("_sum"), h.sum()));
+                    out.push_str(&format!("{} {}\n", series("_count"), total));
                 }
             }
             last_base = e.base();
@@ -442,6 +474,149 @@ mod tests {
             json.get("lab_total{type=\"batch\"}").and_then(Json::as_u64),
             Some(2)
         );
+    }
+
+    #[test]
+    fn label_values_escape_prometheus_specials() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value(r#"a"b"#), r#"a\"b"#);
+        assert_eq!(escape_label_value(r"a\b"), r"a\\b");
+        assert_eq!(escape_label_value("a\nb"), r"a\nb");
+        // A hostile value baked into a series name cannot break the
+        // exposition line structure: the quoted value stays one line
+        // and its quotes stay balanced.
+        let r = Registry::new();
+        let v = escape_label_value("evil\"}\nfake_total 99");
+        r.counter(&format!("esc_total{{inst=\"{v}\"}}"), "escaped label")
+            .inc();
+        let text = r.expose_text();
+        let line = text
+            .lines()
+            .find(|l| l.starts_with("esc_total"))
+            .expect("series line");
+        assert!(line.ends_with(" 1"));
+        assert!(line.contains(r#"\"}\nfake_total"#));
+        assert!(!text.lines().any(|l| l.starts_with("fake_total")));
+    }
+
+    #[test]
+    fn bucket_lines_are_cumulative_and_monotone() {
+        let r = Registry::new();
+        let h = r.histogram("mono_us", "latency");
+        // Spread samples across several buckets, including repeats.
+        for v in [0u64, 1, 2, 3, 3, 100, 5000, 5000, u64::MAX] {
+            h.observe(v);
+        }
+        let text = r.expose_text();
+        let mut prev = 0u64;
+        let mut bucket_lines = 0;
+        for line in text.lines().filter(|l| l.starts_with("mono_us_bucket")) {
+            bucket_lines += 1;
+            let n: u64 = line
+                .rsplit(' ')
+                .next()
+                .and_then(|s| s.parse().ok())
+                .expect("bucket count");
+            assert!(n >= prev, "cumulative counts must be non-decreasing");
+            prev = n;
+        }
+        assert!(bucket_lines >= 4, "multiple buckets rendered");
+        // The +Inf line carries the grand total and closes the series.
+        assert!(text.contains("mono_us_bucket{le=\"+Inf\"} 9"));
+        assert_eq!(prev, 9);
+        assert!(text.contains("mono_us_count 9"));
+    }
+
+    #[test]
+    fn labeled_histogram_merges_static_labels_into_bucket_lines() {
+        // A histogram registered with a static label set must render
+        // bucket/sum/count lines with the labels *merged* alongside
+        // `le`, never as `name{labels}_bucket{...}` (invalid text).
+        let r = Registry::new();
+        let h = r.histogram("phase_us{family=\"flow\",phase=\"decode\"}", "phase time");
+        h.observe(3);
+        h.observe(700);
+        let text = r.expose_text();
+        assert!(
+            text.contains("# TYPE phase_us histogram"),
+            "HELP/TYPE use the base name: {text}"
+        );
+        assert!(
+            text.contains("phase_us_bucket{family=\"flow\",phase=\"decode\",le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("phase_us_sum{family=\"flow\",phase=\"decode\"} 703"));
+        assert!(text.contains("phase_us_count{family=\"flow\",phase=\"decode\"} 2"));
+        assert!(
+            !text.contains("}_bucket"),
+            "labels must never precede the _bucket suffix: {text}"
+        );
+    }
+
+    #[test]
+    fn sum_and_count_stay_consistent_under_concurrent_exposition() {
+        // Writers hammer one histogram while a reader renders the text
+        // exposition mid-burst: every rendered snapshot must satisfy
+        // sum == count * VALUE (all samples share one value, so any
+        // torn read shows up as an inconsistent pair), and the final
+        // exposition must account for every sample exactly once.
+        const VALUE: u64 = 37;
+        const THREADS: usize = 4;
+        const PER_THREAD: u64 = 20_000;
+        let r = Arc::new(Registry::new());
+        let h = r.histogram("cons_us", "burst consistency");
+        let writers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let h = Arc::clone(&h);
+                thread::spawn(move || {
+                    for _ in 0..PER_THREAD {
+                        h.observe(VALUE);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                let mut last_count = 0u64;
+                for _ in 0..50 {
+                    let text = r.expose_text();
+                    let grab = |prefix: &str| -> u64 {
+                        text.lines()
+                            .find(|l| l.starts_with(prefix))
+                            .and_then(|l| l.rsplit(' ').next())
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(0)
+                    };
+                    let (sum, count) = (grab("cons_us_sum"), grab("cons_us_count"));
+                    // No torn samples: the sum is always a whole number
+                    // of observations, the count is monotone across
+                    // snapshots, and since `observe` bumps the bucket
+                    // before the sum (and the renderer reads buckets
+                    // before the sum), the sum can lag the rendered
+                    // count by at most the in-flight writer set.
+                    assert_eq!(sum % VALUE, 0, "sum is a whole number of samples");
+                    assert!(count >= last_count, "count is monotone");
+                    last_count = count;
+                    let seen = sum / VALUE;
+                    assert!(
+                        seen >= count.saturating_sub(THREADS as u64),
+                        "sum ({seen} samples) lags count ({count}) by more \
+                         than the writer set"
+                    );
+                }
+            })
+        };
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        reader.join().expect("reader panicked");
+        let total = THREADS as u64 * PER_THREAD;
+        assert_eq!(h.count(), total);
+        assert_eq!(h.sum(), total * VALUE);
+        let text = r.expose_text();
+        assert!(text.contains(&format!("cons_us_count {total}")));
+        assert!(text.contains(&format!("cons_us_sum {}", total * VALUE)));
     }
 
     #[test]

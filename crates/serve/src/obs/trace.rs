@@ -16,7 +16,8 @@
 //! `member/<model>` (one race member, with its improvement timeline),
 //! `repair` / `resolve` (the two legs of a session event).
 
-use crate::json::{obj, Json};
+use crate::json::Json;
+pub use ga::stats::GenerationSample;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -63,6 +64,10 @@ pub struct MemberTrace {
     pub dur_us: u64,
     /// `(elapsed_us since race start, best value)` improvement points.
     pub points: Vec<(u64, f64)>,
+    /// Per-generation convergence samples retained for this member
+    /// (decimated to a bounded count by the portfolio's member
+    /// accumulator; empty on untraced runs).
+    pub samples: Vec<GenerationSample>,
 }
 
 impl MemberTrace {
@@ -75,6 +80,34 @@ impl MemberTrace {
                 .collect(),
         )
     }
+
+    /// Renders the retained convergence samples as an array of
+    /// `{generation, evaluations, best, mean, diversity,
+    /// since_improvement, island?, migration?}` objects (the optional
+    /// fields are omitted when `None`/`false` to keep traces compact).
+    pub fn samples_json(&self) -> Json {
+        Json::Arr(self.samples.iter().map(sample_json).collect())
+    }
+}
+
+/// Renders one [`GenerationSample`] as a JSON object (shared between
+/// trace retention and the live watch-stream frames).
+pub fn sample_json(s: &GenerationSample) -> Json {
+    let mut fields = vec![
+        ("generation".to_string(), s.generation.into()),
+        ("evaluations".to_string(), s.evaluations.into()),
+        ("best".to_string(), s.best_cost.into()),
+        ("mean".to_string(), s.mean_cost.into()),
+        ("diversity".to_string(), s.diversity.into()),
+        ("since_improvement".to_string(), s.since_improvement.into()),
+    ];
+    if let Some(island) = s.island {
+        fields.push(("island".to_string(), u64::from(island).into()));
+    }
+    if s.migration {
+        fields.push(("migration".to_string(), Json::Bool(true)));
+    }
+    Json::Obj(fields)
 }
 
 /// A request trace under construction: an id, a kind, a start instant
@@ -85,6 +118,9 @@ pub struct Trace {
     pub id: u64,
     /// Request kind (`solve`, `session_event`, ...).
     pub kind: &'static str,
+    /// Session the request belonged to (`session_event` traces); lets
+    /// `trace_dump` filter one session's traffic out of the ring.
+    pub session: Option<String>,
     started: Instant,
     /// Spans recorded so far, in recording order.
     pub spans: Vec<Span>,
@@ -96,6 +132,7 @@ impl Trace {
         Trace {
             id,
             kind,
+            session: None,
             started: Instant::now(),
             spans: Vec::new(),
         }
@@ -135,26 +172,35 @@ impl Trace {
     /// trace's clock.
     pub fn member_spans(&mut self, base_us: u64, timelines: &[MemberTrace]) {
         for m in timelines {
+            let mut fields = vec![("timeline".to_string(), m.timeline_json())];
+            if !m.samples.is_empty() {
+                fields.push(("samples".to_string(), m.samples_json()));
+            }
             self.span_at(
                 &format!("member/{}", m.member),
                 base_us + m.start_us,
                 m.dur_us,
-                vec![("timeline".to_string(), m.timeline_json())],
+                fields,
             );
         }
     }
 
-    /// Renders the finished trace: `{id, kind, total_us, spans}`.
+    /// Renders the finished trace: `{id, kind, session?, total_us,
+    /// spans}` (`session` only on session-scoped traces).
     pub fn to_json(&self) -> Json {
-        obj([
-            ("id", self.id.into()),
-            ("kind", self.kind.into()),
-            ("total_us", self.elapsed_us().into()),
-            (
-                "spans",
-                Json::Arr(self.spans.iter().map(Span::to_json).collect()),
-            ),
-        ])
+        let mut fields = vec![
+            ("id".to_string(), self.id.into()),
+            ("kind".to_string(), self.kind.into()),
+        ];
+        if let Some(session) = &self.session {
+            fields.push(("session".to_string(), Json::Str(session.clone())));
+        }
+        fields.push(("total_us".to_string(), self.elapsed_us().into()));
+        fields.push((
+            "spans".to_string(),
+            Json::Arr(self.spans.iter().map(Span::to_json).collect()),
+        ));
+        Json::Obj(fields)
     }
 }
 
@@ -217,6 +263,7 @@ impl TraceRing {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::json::obj;
 
     #[test]
     fn spans_render_with_offsets_and_fields() {
@@ -242,12 +289,75 @@ mod tests {
             start_us: 5,
             dur_us: 100,
             points: vec![(7, 61.0), (80, 55.0)],
+            samples: Vec::new(),
         };
         let tl = m.timeline_json();
         let points = tl.as_arr().expect("timeline array");
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].as_arr().unwrap()[1].as_f64(), Some(61.0));
         assert_eq!(points[1].as_arr().unwrap()[0].as_u64(), Some(80));
+    }
+
+    #[test]
+    fn samples_render_compactly_and_only_when_present() {
+        let sample = GenerationSample {
+            island: Some(2),
+            generation: 7,
+            evaluations: 140,
+            best_cost: 55.0,
+            mean_cost: 61.5,
+            diversity: 0.42,
+            since_improvement: 3,
+            migration: true,
+        };
+        let quiet = GenerationSample {
+            island: None,
+            migration: false,
+            ..sample
+        };
+        let m = MemberTrace {
+            member: "island".to_string(),
+            start_us: 0,
+            dur_us: 10,
+            points: vec![(0, 61.0)],
+            samples: vec![sample, quiet],
+        };
+        let arr = m.samples_json();
+        let arr = arr.as_arr().expect("samples array");
+        assert_eq!(arr[0].get("island").and_then(Json::as_u64), Some(2));
+        assert_eq!(arr[0].get("migration"), Some(&Json::Bool(true)));
+        assert_eq!(arr[0].get("best").and_then(Json::as_f64), Some(55.0));
+        assert_eq!(
+            arr[0].get("since_improvement").and_then(Json::as_u64),
+            Some(3)
+        );
+        // Panmictic, migration-free samples omit the optional fields.
+        assert!(arr[1].get("island").is_none());
+        assert!(arr[1].get("migration").is_none());
+
+        // member_spans only attaches `samples` when retained.
+        let mut t = Trace::new(1, "solve");
+        let bare = MemberTrace {
+            member: "master_slave".to_string(),
+            start_us: 0,
+            dur_us: 5,
+            points: Vec::new(),
+            samples: Vec::new(),
+        };
+        t.member_spans(0, &[m, bare]);
+        assert!(t.spans[0].fields.iter().any(|(k, _)| k == "samples"));
+        assert!(!t.spans[1].fields.iter().any(|(k, _)| k == "samples"));
+    }
+
+    #[test]
+    fn session_tag_renders_only_when_set() {
+        let mut t = Trace::new(9, "session_event");
+        assert!(t.to_json().get("session").is_none());
+        t.session = Some("s-1".to_string());
+        assert_eq!(
+            t.to_json().get("session").and_then(Json::as_str),
+            Some("s-1")
+        );
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //! holds the best solution (the winner label) can vary run to run even
 //! though the certified cost cannot.
 
-use crate::obs::trace::MemberTrace;
+use crate::json::Json;
+use crate::obs::phase::PhaseAcc;
+use crate::obs::trace::{sample_json, MemberTrace};
 use crate::scheduler::{CancelToken, RacerPool, TaskRun};
-use ga::engine::{GaConfig, Individual, Toolkit};
+use ga::engine::{GaConfig, GaPhase, Individual, Toolkit};
 use ga::rng::split_seed;
+use ga::stats::GenerationSample;
 use ga::termination::Termination;
 use ga::Evaluator;
 use hpc::model::{cellular_time, island_time, master_slave_time, RunShape};
@@ -36,9 +39,21 @@ use hpc::Platform;
 use pga::telemetry::RunTelemetry;
 use pga::{CellularConfig, CellularGa, IslandConfig, IslandGa, MigrationConfig, RayonEvaluator};
 use shop::gen::Family;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Where a watched race's live frames go. The server implements this
+/// over the subscribing connection (and the re-attach hub); the
+/// portfolio only ever *emits*. Emission happens from racer threads
+/// concurrently, so implementations must serialise internally, and
+/// must never block the race on a slow consumer (drop or buffer —
+/// the race's trajectory must not depend on who is watching).
+pub trait WatchSink: Send + Sync {
+    /// Delivers one frame (rendered line-delimited JSON downstream).
+    fn emit(&self, frame: &Json);
+}
 
 /// One portfolio member: a parallel model with its sizing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -206,10 +221,14 @@ pub struct RaceResult<G> {
     /// single-member lineups, which run entirely inline).
     pub pool_wait: Duration,
     /// Per-member anytime improvement timelines, in lineup order —
-    /// recorded only for traced races (`race_core` with `traced =
-    /// true`), empty otherwise. Members cancelled before getting a
-    /// pool slot are absent.
+    /// recorded only for traced (or watched) races, empty otherwise.
+    /// Members cancelled before getting a pool slot are absent.
     pub timelines: Vec<MemberTrace>,
+    /// Summed wall-clock nanoseconds the members actually ran (always
+    /// recorded — two `Instant` reads per member). Feeds the
+    /// cost-model drift gauge: observed ns/op is `run_ns /
+    /// (evaluations × total_ops)`.
+    pub run_ns: u64,
 }
 
 /// A racer's stopping parameters, kept as parts (rather than one
@@ -225,17 +244,87 @@ pub struct StopRule {
     pub target: f64,
 }
 
+/// The hooks a race threads through to its members: improvement-
+/// timeline tracing, a live watch sink, and the phase-time
+/// accumulator. `Arc`-owned because pooled member tasks outlive the
+/// submitting stack frame.
+#[derive(Default, Clone)]
+pub(crate) struct RaceHooks {
+    /// Record per-member improvement timelines and retained
+    /// convergence samples into `RaceResult::timelines`.
+    pub(crate) traced: bool,
+    /// Live frame sink (watched races).
+    pub(crate) watch: Option<Arc<dyn WatchSink>>,
+    /// Phase-time accumulator; when present every member installs the
+    /// engine phase hook (and the solver times decodes) into it.
+    pub(crate) phases: Option<Arc<PhaseAcc>>,
+}
+
+impl RaceHooks {
+    /// Trace-only hooks (the pre-watch surface of `race_core`).
+    pub(crate) fn bare(traced: bool) -> Self {
+        RaceHooks {
+            traced,
+            ..RaceHooks::default()
+        }
+    }
+
+    /// True when members must emit per-generation samples at all.
+    fn wants_samples(&self) -> bool {
+        self.traced || self.watch.is_some()
+    }
+}
+
+/// This member's slice of a watched race: where frames go and how to
+/// label them.
+struct WatchCtx<'a> {
+    sink: &'a dyn WatchSink,
+    member: usize,
+    model: &'static str,
+    t0: Instant,
+}
+
+impl WatchCtx<'_> {
+    /// Renders and emits one frame: `{"frame": kind, "member": i,
+    /// "model": name, ...extra}`.
+    fn emit(&self, kind: &str, extra: Vec<(String, Json)>) {
+        let mut fields = vec![
+            ("frame".to_string(), Json::Str(kind.to_string())),
+            ("member".to_string(), (self.member as u64).into()),
+            ("model".to_string(), Json::Str(self.model.to_string())),
+        ];
+        fields.extend(extra);
+        self.sink.emit(&Json::Obj(fields));
+    }
+}
+
 /// What one race member reports through: the shared best-so-far cell,
 /// plus — when the race is traced — this member's improvement-timeline
-/// accumulator. [`MemberObs::report`] is the single funnel every model
-/// improvement passes on its way to the cooperative race state, which
-/// is what lets tracing ride along without touching the GA layers.
+/// accumulator, plus — when watched — the live frame sink, plus — when
+/// profiled — the phase-time accumulator. [`MemberObs::report`] is the
+/// single funnel every model improvement passes on its way to the
+/// cooperative race state, and [`MemberObs::sample`] the funnel for
+/// per-generation convergence samples — which is what lets tracing,
+/// watching and profiling ride along without touching the GA layers.
 pub(crate) struct MemberObs<'a> {
     /// The race-wide monotone best cell (the anytime contract).
     pub(crate) best: &'a BestSoFar,
     /// `(race start, this member's accumulator)` when traced.
     timeline: Option<(Instant, &'a Mutex<MemberAcc>)>,
+    /// Live watch context, when the race has a subscriber.
+    watch: Option<WatchCtx<'a>>,
+    /// Best value already announced on the watch stream (models
+    /// re-report their best every chunk; the stream keeps strict
+    /// improvements only). Single-threaded per member run.
+    watch_best: Cell<f64>,
+    /// Phase-time accumulator, when the race is profiled.
+    pub(crate) phases: Option<&'a PhaseAcc>,
 }
+
+/// Retained convergence samples are capped per member; on overflow the
+/// retained set is halved and the stride doubled, so a long run keeps
+/// a bounded, evenly thinned history whose tail is always fresh.
+const SAMPLE_CAP: usize = 256;
 
 /// A traced member's in-flight accumulator (slot of
 /// `RaceState::timelines`).
@@ -244,14 +333,40 @@ pub(crate) struct MemberAcc {
     start_us: u64,
     dur_us: u64,
     points: Vec<(u64, f64)>,
+    samples: Vec<GenerationSample>,
+    /// Keep every `sample_stride`-th emitted sample (doubles on cap).
+    sample_stride: u64,
+    /// Samples emitted so far (the decimation counter).
+    sample_seen: u64,
+}
+
+impl MemberAcc {
+    /// Retains `s` under the cap-and-double decimation scheme.
+    fn retain_sample(&mut self, s: GenerationSample) {
+        let stride = self.sample_stride.max(1);
+        self.sample_seen += 1;
+        if !self.sample_seen.is_multiple_of(stride) {
+            return;
+        }
+        self.samples.push(s);
+        if self.samples.len() >= SAMPLE_CAP {
+            let mut keep = false;
+            self.samples.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.sample_stride = stride * 2;
+        }
+    }
 }
 
 impl MemberObs<'_> {
     /// Reports a candidate cost into the shared cell, recording an
-    /// improvement point when traced. Models re-report their current
-    /// best at every cooperative chunk boundary, so the timeline keeps
-    /// only *strict* improvements (plus the member's very first
-    /// report, its starting best).
+    /// improvement point when traced and announcing it on the watch
+    /// stream when watched. Models re-report their current best at
+    /// every cooperative chunk boundary, so both the timeline and the
+    /// stream keep only *strict* improvements (plus the member's very
+    /// first report, its starting best).
     pub(crate) fn report(&self, cost: f64) {
         self.best.report(cost);
         if let Some((t0, acc)) = &self.timeline {
@@ -261,6 +376,46 @@ impl MemberObs<'_> {
                 acc.points.push((elapsed, cost));
             }
         }
+        if let Some(w) = &self.watch {
+            if cost < self.watch_best.get() {
+                self.watch_best.set(cost);
+                w.emit(
+                    "best",
+                    vec![
+                        ("value".to_string(), cost.into()),
+                        (
+                            "elapsed_us".to_string(),
+                            (w.t0.elapsed().as_micros() as u64).into(),
+                        ),
+                    ],
+                );
+            }
+        }
+    }
+
+    /// Funnels one per-generation convergence sample: streamed live
+    /// when watched, retained (decimated) next to the improvement
+    /// timeline when traced. No-op — and never called by the models,
+    /// which check [`MemberObs::wants_samples`] — on bare races.
+    pub(crate) fn sample(&self, s: GenerationSample) {
+        if let Some(w) = &self.watch {
+            let Json::Obj(fields) = sample_json(&s) else {
+                unreachable!("sample_json renders an object")
+            };
+            w.emit("sample", fields);
+        }
+        if let Some((_, acc)) = &self.timeline {
+            acc.lock()
+                .expect("member timeline poisoned")
+                .retain_sample(s);
+        }
+    }
+
+    /// True when [`MemberObs::sample`] has somewhere to put samples —
+    /// models skip the sampled run paths entirely otherwise, keeping
+    /// the bare hot path byte-for-byte the pre-observability one.
+    pub(crate) fn wants_samples(&self) -> bool {
+        self.watch.is_some() || self.timeline.is_some()
     }
 }
 
@@ -295,15 +450,21 @@ struct RaceState<G> {
     done: Condvar,
     /// Max pool-queue wait over this race's members, in µs.
     pool_wait_us: AtomicU64,
+    /// Summed member run wall-clock, in ns (always recorded).
+    run_ns: AtomicU64,
     /// Race start — the zero point of every member timeline.
     t0: Instant,
     /// Per-member improvement accumulators; allocated only for traced
-    /// races so untraced requests pay nothing.
+    /// (or watched) races so untraced requests pay nothing.
     timelines: Option<Vec<Mutex<MemberAcc>>>,
+    /// Live frame sink (watched races).
+    watch: Option<Arc<dyn WatchSink>>,
+    /// Phase-time accumulator (profiled races).
+    phases: Option<Arc<PhaseAcc>>,
 }
 
 impl<G> RaceState<G> {
-    fn new(members: usize, traced: bool) -> Self {
+    fn new(members: usize, hooks: &RaceHooks) -> Self {
         RaceState {
             best: BestSoFar::default(),
             results: Mutex::new((0..members).map(|_| None).collect()),
@@ -313,16 +474,49 @@ impl<G> RaceState<G> {
             }),
             done: Condvar::new(),
             pool_wait_us: AtomicU64::new(0),
+            run_ns: AtomicU64::new(0),
             t0: Instant::now(),
-            timelines: traced.then(|| (0..members).map(|_| Mutex::default()).collect()),
+            timelines: hooks
+                .wants_samples()
+                .then(|| (0..members).map(|_| Mutex::default()).collect()),
+            watch: hooks.watch.clone(),
+            phases: hooks.phases.clone(),
         }
     }
 
-    /// The observer member `i` reports through.
-    fn obs(&self, i: usize) -> MemberObs<'_> {
+    /// The observer member `i` (model label `model`) reports through.
+    fn obs(&self, i: usize, model: &'static str) -> MemberObs<'_> {
         MemberObs {
             best: &self.best,
             timeline: self.timelines.as_ref().map(|tls| (self.t0, &tls[i])),
+            watch: self.watch.as_deref().map(|sink| WatchCtx {
+                sink,
+                member: i,
+                model,
+                t0: self.t0,
+            }),
+            watch_best: Cell::new(f64::INFINITY),
+            phases: self.phases.as_deref(),
+        }
+    }
+
+    /// Announces member `i`'s run start/finish on the watch stream.
+    fn watch_lifecycle(&self, i: usize, model: &'static str, kind: &str, best: Option<f64>) {
+        if let Some(sink) = self.watch.as_deref() {
+            let ctx = WatchCtx {
+                sink,
+                member: i,
+                model,
+                t0: self.t0,
+            };
+            let mut extra = vec![(
+                "elapsed_us".to_string(),
+                (self.t0.elapsed().as_micros() as u64).into(),
+            )];
+            if let Some(v) = best {
+                extra.push(("best".to_string(), v.into()));
+            }
+            ctx.emit(kind, extra);
         }
     }
 
@@ -405,11 +599,8 @@ impl<G> RaceState<G> {
     }
 }
 
-/// The scheduling core shared by [`race`] and the solver glue: run
-/// `lineup[0]` inline on the calling thread and the rest as cancellable
-/// tasks on `pool`, then merge whatever completed. With `traced` set,
-/// every member additionally records its anytime improvement timeline
-/// (relative to the race start) into `RaceResult::timelines`.
+/// The trace-only scheduling entry (kept for callers that predate the
+/// watch/profiler hooks): forwards to [`race_core_hooked`].
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn race_core<G: Send + 'static>(
     pool: &RacerPool,
@@ -421,13 +612,44 @@ pub(crate) fn race_core<G: Send + 'static>(
     target: f64,
     traced: bool,
 ) -> RaceResult<G> {
+    race_core_hooked(
+        pool,
+        lineup,
+        runner,
+        seed,
+        deadline,
+        gen_cap,
+        target,
+        RaceHooks::bare(traced),
+    )
+}
+
+/// The scheduling core shared by [`race`] and the solver glue: run
+/// `lineup[0]` inline on the calling thread and the rest as cancellable
+/// tasks on `pool`, then merge whatever completed. The hooks thread
+/// tracing (per-member improvement timelines plus retained convergence
+/// samples into `RaceResult::timelines`), live watch streaming
+/// (start/sample/best/finish frames into the sink) and phase profiling
+/// (engine phase times into the accumulator) through every member;
+/// none of them changes any member's search trajectory.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn race_core_hooked<G: Send + 'static>(
+    pool: &RacerPool,
+    lineup: &[ModelKind],
+    runner: Arc<MemberRunner<G>>,
+    seed: u64,
+    deadline: Instant,
+    gen_cap: u64,
+    target: f64,
+    hooks: RaceHooks,
+) -> RaceResult<G> {
     assert!(!lineup.is_empty(), "portfolio needs at least one member");
     let stop = StopRule {
         deadline,
         gen_cap,
         target,
     };
-    let state: Arc<RaceState<G>> = Arc::new(RaceState::new(lineup.len(), traced));
+    let state: Arc<RaceState<G>> = Arc::new(RaceState::new(lineup.len(), &hooks));
     let cancel = Arc::new(CancelToken::default());
 
     for (i, member) in lineup.iter().enumerate().skip(1) {
@@ -461,8 +683,19 @@ pub(crate) fn race_core<G: Send + 'static>(
                 }
                 let _guard = FinishGuard(&state);
                 state.mark_start(i);
-                let out = runner(member, split_seed(seed, i as u64), &stop, &state.obs(i));
+                state.watch_lifecycle(i, member.name(), "start", None);
+                let run_t0 = Instant::now();
+                let out = runner(
+                    member,
+                    split_seed(seed, i as u64),
+                    &stop,
+                    &state.obs(i, member.name()),
+                );
+                state
+                    .run_ns
+                    .fetch_add(run_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 state.mark_end(i);
+                state.watch_lifecycle(i, member.name(), "finish", Some(out.0.cost));
                 state.results.lock().expect("results poisoned")[i] = Some(out);
             }),
         );
@@ -472,8 +705,19 @@ pub(crate) fn race_core<G: Send + 'static>(
     // fully saturated pool cannot starve a race of progress, and total
     // racing threads stay bounded by pool size + serving workers.
     state.mark_start(0);
-    let inline = runner(lineup[0], split_seed(seed, 0), &stop, &state.obs(0));
+    state.watch_lifecycle(0, lineup[0].name(), "start", None);
+    let run_t0 = Instant::now();
+    let inline = runner(
+        lineup[0],
+        split_seed(seed, 0),
+        &stop,
+        &state.obs(0, lineup[0].name()),
+    );
+    state
+        .run_ns
+        .fetch_add(run_t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     state.mark_end(0);
+    state.watch_lifecycle(0, lineup[0].name(), "finish", Some(inline.0.cost));
     state.results.lock().expect("results poisoned")[0] = Some(inline);
     state.wait_for_members(deadline, target, &cancel);
     // Idempotent; covers the all-members-finished path too, where any
@@ -500,6 +744,7 @@ pub(crate) fn race_core<G: Send + 'static>(
                     start_us: acc.start_us,
                     dur_us: acc.dur_us,
                     points: acc.points.clone(),
+                    samples: acc.samples.clone(),
                 }
             })
             .collect(),
@@ -544,6 +789,7 @@ pub(crate) fn race_core<G: Send + 'static>(
         deadline_bound,
         pool_wait: Duration::from_micros(state.pool_wait_us.load(Ordering::Relaxed)),
         timelines,
+        run_ns: state.run_ns.load(Ordering::Relaxed),
     }
 }
 
@@ -693,6 +939,12 @@ where
 {
     let shared = obs.best;
     let report = &mut |ind: &Individual<G>| obs.report(ind.cost);
+    let sampled = obs.wants_samples();
+    // The engines skip their phase clock reads entirely when no hook
+    // is installed, so this closure only exists for profiled races.
+    let phase_hook = obs
+        .phases
+        .map(|acc| move |phase: GaPhase, d: Duration| acc.add(phase, d));
     match member {
         ModelKind::MasterSlave { pop } => {
             let cfg = GaConfig {
@@ -707,8 +959,16 @@ where
             // batch genuinely fans out.
             let fan_out = RayonEvaluator::new(ByRef(evaluator));
             let mut engine = ga::engine::Engine::new(cfg, toolkit_factory(), &fan_out);
+            if let Some(hook) = &phase_hook {
+                engine.set_phase_hook(hook);
+            }
             let (best, timed_out) = run_chunked(stop, shared, &mut |t| {
-                (engine.run_observed(t, report), engine.generation())
+                let best = if sampled {
+                    engine.run_sampled(t, report, &mut |s| obs.sample(s))
+                } else {
+                    engine.run_observed(t, report)
+                };
+                (best, engine.generation())
             });
             let telemetry = RunTelemetry {
                 generations: engine.generation(),
@@ -735,8 +995,16 @@ where
                 evaluator,
                 IslandConfig::new(MigrationConfig::ring(5, 2)),
             );
+            if let Some(hook) = &phase_hook {
+                ig.set_phase_hook(hook);
+            }
             let (best, timed_out) = run_chunked(stop, shared, &mut |t| {
-                (ig.run_until_observed(t, report), ig.generation())
+                let best = if sampled {
+                    ig.run_until_sampled(t, report, &mut |s| obs.sample(s))
+                } else {
+                    ig.run_until_observed(t, report)
+                };
+                (best, ig.generation())
             });
             let telemetry = ig.telemetry.clone();
             (best, telemetry, timed_out)
@@ -744,8 +1012,16 @@ where
         ModelKind::Cellular { rows, cols } => {
             let cfg = CellularConfig::new(rows, cols, seed);
             let mut cga = CellularGa::new(cfg, toolkit_factory(), evaluator);
+            if let Some(hook) = &phase_hook {
+                cga.set_phase_hook(hook);
+            }
             let (best, timed_out) = run_chunked(stop, shared, &mut |t| {
-                (cga.run_until_observed(t, report), cga.generation())
+                let best = if sampled {
+                    cga.run_until_sampled(t, report, &mut |s| obs.sample(s))
+                } else {
+                    cga.run_until_observed(t, report)
+                };
+                (best, cga.generation())
             });
             let telemetry = cga.telemetry.clone();
             (best, telemetry, timed_out)

@@ -214,6 +214,32 @@ pub struct SessionEventRequest {
     pub trace: bool,
 }
 
+/// What a `watch` request subscribes to. A watch runs (or attaches to)
+/// a portfolio race and streams line-delimited JSON frames — member
+/// lifecycle, per-generation convergence samples, best-so-far
+/// improvements — while it runs, ending with a terminal
+/// `{"frame":"answer",...}` line that carries the ordinary response
+/// body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WatchTarget {
+    /// Run a solve and stream its frames
+    /// (`{"cmd":"watch","instance":...}` — same fields as a solve
+    /// request).
+    Solve(SolveRequest),
+    /// Apply a session disruption and stream the repair-vs-resolve
+    /// race's frames (`{"cmd":"watch","session":...,"event":...}` —
+    /// same fields as a `session_event` request).
+    SessionEvent(SessionEventRequest),
+    /// Re-attach to an in-flight watched race by the `id` its
+    /// originating watch request carried
+    /// (`{"cmd":"watch","request":"r1"}`). Frames already emitted are
+    /// replayed from the start, then the stream continues live.
+    Attach {
+        /// The originating watch request's `id`.
+        request: String,
+    },
+}
+
 /// A `session_get` / `session_close` request: fetch a session's current
 /// incumbent, or end the session.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -256,11 +282,20 @@ pub enum Request {
     /// (`{"cmd":"metrics"}`).
     Metrics,
     /// Recent retained request traces (`{"cmd":"trace_dump"}`),
-    /// most recent first limited to `limit` (0 = the whole ring).
+    /// most recent first limited to `limit` (0 = the whole ring),
+    /// optionally filtered by trace kind and/or session id.
     TraceDump {
         /// Maximum traces to return (0 = the ring's full capacity).
         limit: u64,
+        /// When set, only traces whose `kind` equals this (`solve`,
+        /// `session_open`, `session_event`, ...). Wire field: `type`.
+        kind: Option<String>,
+        /// When set, only traces tagged with this session id.
+        session: Option<String>,
     },
+    /// Subscribe to a race and stream its convergence frames
+    /// (`{"cmd":"watch",...}`; see [`WatchTarget`]).
+    Watch(Box<WatchTarget>),
     /// Graceful shutdown (`{"cmd":"shutdown"}`).
     Shutdown,
 }
@@ -323,6 +358,17 @@ fn objective_field(v: &Json) -> Result<Option<Objective>, ProtocolError> {
 
 fn id_field(v: &Json) -> Option<String> {
     v.get("id").and_then(Json::as_str).map(str::to_string)
+}
+
+/// Optional string field; a present non-string is a wire error.
+fn opt_str_field(v: &Json, key: &str) -> Result<Option<String>, ProtocolError> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(s) => s
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| bad(format!("{key} must be a string"))),
+    }
 }
 
 /// Parses an instance spec object (`{"name":...}` or
@@ -530,15 +576,19 @@ fn session_field(v: &Json) -> Result<String, ProtocolError> {
         .ok_or_else(|| bad("missing session"))
 }
 
-fn parse_session_event(v: &Json) -> Result<Request, ProtocolError> {
+fn session_event_from_json(v: &Json) -> Result<SessionEventRequest, ProtocolError> {
     let event = event_from_json(v.get("event").ok_or_else(|| bad("missing event"))?)?;
-    Ok(Request::SessionEvent(Box::new(SessionEventRequest {
+    Ok(SessionEventRequest {
         id: id_field(v),
         session: session_field(v)?,
         event,
         deadline_ms: u64_field(v, "deadline_ms", 0)?,
         trace: bool_field(v, "trace")?,
-    })))
+    })
+}
+
+fn parse_session_event(v: &Json) -> Result<Request, ProtocolError> {
+    Ok(Request::SessionEvent(Box::new(session_event_from_json(v)?)))
 }
 
 fn parse_session_ref(v: &Json) -> Result<SessionRef, ProtocolError> {
@@ -668,6 +718,61 @@ fn parse_batch(v: &Json) -> Result<Request, ProtocolError> {
     })))
 }
 
+fn solve_request_from_json(v: &Json) -> Result<SolveRequest, ProtocolError> {
+    let instance =
+        instance_spec_from_json(v.get("instance").ok_or_else(|| bad("missing instance"))?)?;
+    Ok(SolveRequest {
+        id: id_field(v),
+        instance,
+        objective: objective_field(v)?.unwrap_or_default(),
+        seed: u64_field(v, "seed", 0)?,
+        deadline_ms: u64_field(v, "deadline_ms", 0)?,
+        trace: bool_field(v, "trace")?,
+    })
+}
+
+/// Parses a `watch` request body. Shape is discriminated by field:
+/// `request` ⇒ attach, `session` ⇒ session event, otherwise a solve
+/// (which then requires `instance`).
+fn parse_watch(v: &Json) -> Result<Request, ProtocolError> {
+    let target = if let Some(req) = v.get("request") {
+        let request = req
+            .as_str()
+            .ok_or_else(|| bad("request must be a string"))?
+            .to_string();
+        WatchTarget::Attach { request }
+    } else if v.get("session").is_some() {
+        WatchTarget::SessionEvent(session_event_from_json(v)?)
+    } else if v.get("instance").is_some() {
+        WatchTarget::Solve(solve_request_from_json(v)?)
+    } else {
+        return Err(bad(
+            "watch needs an instance (solve), session+event, or request (attach)",
+        ));
+    };
+    Ok(Request::Watch(Box::new(target)))
+}
+
+/// Encodes a `watch` request (client side).
+pub fn encode_watch(target: &WatchTarget) -> String {
+    match target {
+        WatchTarget::Solve(req) => {
+            let base = encode_request(req);
+            // Splice `"cmd":"watch"` in as the leading field.
+            format!(r#"{{"cmd":"watch",{}"#, &base[1..])
+        }
+        WatchTarget::SessionEvent(req) => {
+            let line = encode_session_event(req);
+            line.replace(r#""cmd":"session_event""#, r#""cmd":"watch""#)
+        }
+        WatchTarget::Attach { request } => Json::Obj(vec![
+            ("cmd".into(), "watch".into()),
+            ("request".into(), request.as_str().into()),
+        ])
+        .encode(),
+    }
+}
+
 /// Decodes one request line.
 pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
     let v = crate::json::parse(line).map_err(|e| bad(e.to_string()))?;
@@ -677,10 +782,13 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             "metrics" => Ok(Request::Metrics),
             "trace_dump" => Ok(Request::TraceDump {
                 limit: u64_field(&v, "limit", 0)?,
+                kind: opt_str_field(&v, "type")?,
+                session: opt_str_field(&v, "session")?,
             }),
             "shutdown" => Ok(Request::Shutdown),
             "generate" => parse_generate(&v),
             "batch" => parse_batch(&v),
+            "watch" => parse_watch(&v),
             "session_open" => parse_session_open(&v),
             "session_event" => parse_session_event(&v),
             "session_get" => parse_session_ref(&v).map(Request::SessionGet),
@@ -689,16 +797,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             other => Err(bad(format!("unknown cmd {other:?}"))),
         };
     }
-    let instance =
-        instance_spec_from_json(v.get("instance").ok_or_else(|| bad("missing instance"))?)?;
-    Ok(Request::Solve(Box::new(SolveRequest {
-        id: id_field(&v),
-        instance,
-        objective: objective_field(&v)?.unwrap_or_default(),
-        seed: u64_field(&v, "seed", 0)?,
-        deadline_ms: u64_field(&v, "deadline_ms", 0)?,
-        trace: bool_field(&v, "trace")?,
-    })))
+    Ok(Request::Solve(Box::new(solve_request_from_json(&v)?)))
 }
 
 fn instance_spec_to_json(spec: &InstanceSpec) -> Json {
@@ -1177,18 +1276,105 @@ mod tests {
         );
         assert_eq!(
             parse_request(r#"{"cmd":"trace_dump"}"#).unwrap(),
-            Request::TraceDump { limit: 0 }
+            Request::TraceDump {
+                limit: 0,
+                kind: None,
+                session: None
+            }
         );
         assert_eq!(
             parse_request(r#"{"cmd":"trace_dump","limit":4}"#).unwrap(),
-            Request::TraceDump { limit: 4 }
+            Request::TraceDump {
+                limit: 4,
+                kind: None,
+                session: None
+            }
+        );
+        assert_eq!(
+            parse_request(r#"{"cmd":"trace_dump","type":"session_event","session":"s-1"}"#)
+                .unwrap(),
+            Request::TraceDump {
+                limit: 0,
+                kind: Some("session_event".into()),
+                session: Some("s-1".into())
+            }
         );
         assert!(parse_request(r#"{"cmd":"trace_dump","limit":-1}"#).is_err());
+        assert!(parse_request(r#"{"cmd":"trace_dump","type":3}"#).is_err());
         assert_eq!(
             parse_request(r#"{"cmd":"shutdown"}"#).unwrap(),
             Request::Shutdown
         );
         assert!(parse_request(r#"{"cmd":"dance"}"#).is_err());
+    }
+
+    #[test]
+    fn watch_requests_roundtrip() {
+        // Solve-shaped watch: same fields as a solve request.
+        let solve = SolveRequest {
+            id: Some("w1".into()),
+            instance: InstanceSpec::Named("ft06".into()),
+            objective: Objective::Makespan,
+            seed: 42,
+            deadline_ms: 500,
+            trace: false,
+        };
+        let target = WatchTarget::Solve(solve.clone());
+        let Request::Watch(back) = parse_request(&encode_watch(&target)).unwrap() else {
+            panic!("expected watch");
+        };
+        assert_eq!(*back, target);
+
+        // Session-event-shaped watch.
+        let ev = WatchTarget::SessionEvent(SessionEventRequest {
+            id: Some("w2".into()),
+            session: "sess-1".into(),
+            event: Event::Breakdown {
+                machine: 2,
+                from: 40,
+                duration: 25,
+            },
+            deadline_ms: 150,
+            trace: false,
+        });
+        let Request::Watch(back) = parse_request(&encode_watch(&ev)).unwrap() else {
+            panic!("expected watch");
+        };
+        assert_eq!(*back, ev);
+
+        // Attach-shaped watch.
+        let attach = WatchTarget::Attach {
+            request: "w1".into(),
+        };
+        let Request::Watch(back) = parse_request(&encode_watch(&attach)).unwrap() else {
+            panic!("expected watch");
+        };
+        assert_eq!(*back, attach);
+
+        // `request` wins over other fields (it is the discriminator).
+        let Request::Watch(back) =
+            parse_request(r#"{"cmd":"watch","request":"r9","session":"s"}"#).unwrap()
+        else {
+            panic!("expected watch");
+        };
+        assert_eq!(
+            *back,
+            WatchTarget::Attach {
+                request: "r9".into()
+            }
+        );
+    }
+
+    #[test]
+    fn watch_parse_errors() {
+        // No discriminating field at all.
+        assert!(parse_request(r#"{"cmd":"watch"}"#).is_err());
+        // Attach request id must be a string.
+        assert!(parse_request(r#"{"cmd":"watch","request":7}"#).is_err());
+        // Session shape still needs a valid event.
+        assert!(parse_request(r#"{"cmd":"watch","session":"s"}"#).is_err());
+        // Solve shape still needs a resolvable instance.
+        assert!(parse_request(r#"{"cmd":"watch","instance":{"kind":"nope","data":""}}"#).is_err());
     }
 
     #[test]

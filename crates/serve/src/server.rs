@@ -25,22 +25,24 @@
 use crate::cache::{CacheKey, CachedSolve, ShardedCache};
 use crate::json::{obj, Json};
 use crate::obs::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::obs::phase::{PhaseAcc, PHASE_NAMES};
 use crate::obs::trace::{Trace, TraceRing};
+use crate::portfolio::WatchSink;
 use crate::protocol::{
     busy_json, encode_error, error_json, parse_request, solution_json, BatchItem, BatchRequest,
     BatchSource, GenerateRequest, Objective, Request, SessionEventRequest, SessionOpenRequest,
-    SessionRef, Solution, SolveRequest,
+    SessionRef, Solution, SolveRequest, WatchTarget,
 };
 use crate::scheduler::RacerPool;
 use crate::session::{SessionConfig, SessionGauges, SessionRegistry, SessionState};
-use crate::solver::{load_instance, solve_traced, LoadedInstance};
+use crate::solver::{load_instance, solve_hooked, LoadedInstance, SolveHooks};
 use pga::telemetry::RequestTelemetry;
 use shop::schedule::Schedule;
 use shop::Problem;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -354,10 +356,11 @@ impl ServiceStats {
 
 /// Wire request type labels of the `serve_requests_by_type_total`
 /// series; `invalid` covers lines that failed to parse.
-const REQUEST_TYPES: [&str; 13] = [
+const REQUEST_TYPES: [&str; 14] = [
     "solve",
     "generate",
     "batch",
+    "watch",
     "session_open",
     "session_event",
     "session_get",
@@ -397,6 +400,17 @@ struct ServeMetrics {
     by_family: Vec<(&'static str, Arc<Counter>)>,
     /// `serve_race_wins_total{member=...}` per [`MEMBERS`].
     race_wins: Vec<(&'static str, Arc<Counter>)>,
+    /// `serve_phase_us{family=...,phase=...}` — per-race search-phase
+    /// time histograms, one per ([`FAMILIES`] × [`PHASE_NAMES`]) pair.
+    phase_us: Vec<((&'static str, &'static str), Arc<Histogram>)>,
+    /// `serve_cost_model_drift_milli{family=...}` — cumulative observed
+    /// decode ns/op over the calibrated `hpc::calibrate` constant, in
+    /// thousandths (1000 = exactly calibrated; 2000 = 2× slower).
+    drift_milli: Vec<(&'static str, Arc<Gauge>)>,
+    /// Drift accumulators per family: summed observed decode
+    /// nanoseconds and summed decoded operations (`decode calls ×
+    /// instance total_ops`) across every profiled race.
+    drift_acc: Vec<(&'static str, AtomicU64, AtomicU64)>,
     uptime_ms: Arc<Gauge>,
     cache_len: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
@@ -457,6 +471,36 @@ impl ServeMetrics {
                 &MEMBERS,
                 "race wins by portfolio member kind",
             ),
+            phase_us: FAMILIES
+                .iter()
+                .flat_map(|&f| PHASE_NAMES.iter().map(move |&p| (f, p)))
+                .map(|(f, p)| {
+                    (
+                        (f, p),
+                        registry.histogram(
+                            &format!("serve_phase_us{{family=\"{f}\",phase=\"{p}\"}}"),
+                            "per-race search-phase time in microseconds",
+                        ),
+                    )
+                })
+                .collect(),
+            drift_milli: FAMILIES
+                .iter()
+                .map(|&f| {
+                    (
+                        f,
+                        registry.gauge(
+                            &format!("serve_cost_model_drift_milli{{family=\"{f}\"}}"),
+                            "observed per-op evaluation cost over the calibrated \
+                             cost model, in thousandths",
+                        ),
+                    )
+                })
+                .collect(),
+            drift_acc: FAMILIES
+                .iter()
+                .map(|&f| (f, AtomicU64::new(0), AtomicU64::new(0)))
+                .collect(),
             uptime_ms: registry.gauge("serve_uptime_ms", "milliseconds since bind"),
             cache_len: registry.gauge("serve_cache_len", "memoised solutions currently held"),
             queue_depth: registry.gauge(
@@ -491,6 +535,72 @@ impl ServeMetrics {
             .find(|(label, _)| *label == value)
             .map(|(_, c)| Arc::clone(c))
     }
+
+    /// Folds one profiled race into the family's phase histograms and
+    /// (when the race counted evaluations) the cost-model drift gauge.
+    /// `run_ns` is the summed wall-clock run time of the race's
+    /// members and `eval_ops` the race's fitness-evaluation count
+    /// times the instance's operation count — the unit the calibrated
+    /// `DECODE_OP_S_*` constants price: those nominal figures cost
+    /// one individual's *whole* walk through the GA loop (decode plus
+    /// its share of operator work, cloning and bookkeeping, see
+    /// `hpc::calibrate`), so the observed numerator is total member
+    /// time, not any scoped phase slice.
+    fn observe_race_profile(&self, family: &str, phases: &PhaseAcc, run_ns: u64, eval_ops: u64) {
+        let snapshot = phases.snapshot_ns();
+        for (i, &p) in PHASE_NAMES.iter().enumerate() {
+            // panic-safe: i < PHASE_NAMES.len() == snapshot_ns() length (5).
+            if snapshot[i] == 0 {
+                continue;
+            }
+            if let Some((_, h)) = self
+                .phase_us
+                .iter()
+                .find(|((f, ph), _)| *f == family && *ph == p)
+            {
+                // panic-safe: as above — i indexes the fixed 5-phase array.
+                h.observe(snapshot[i] / 1_000);
+            }
+        }
+        if run_ns == 0 || eval_ops == 0 {
+            return;
+        }
+        let Some((_, ns_acc, ops_acc)) = self.drift_acc.iter().find(|(f, _, _)| *f == family)
+        else {
+            return;
+        };
+        // Cumulative ratio: one slow outlier race cannot whipsaw the
+        // gauge the way a per-race ratio would.
+        let ns = ns_acc.fetch_add(run_ns, Ordering::Relaxed) + run_ns;
+        let ops = ops_acc.fetch_add(eval_ops, Ordering::Relaxed) + eval_ops;
+        let observed_ns_per_op = ns as f64 / ops as f64;
+        let calibrated_ns_per_op = calibrated_op_s(family) * 1e9;
+        let milli = (observed_ns_per_op / calibrated_ns_per_op * 1000.0).round();
+        if let Some((_, g)) = self.drift_milli.iter().find(|(f, _)| *f == family) {
+            g.set(milli.max(0.0) as u64);
+        }
+    }
+
+    /// Current drift gauge for a family, in thousandths of the
+    /// calibrated cost (0 = no profiled decode yet).
+    fn drift_reading(&self, family: &str) -> u64 {
+        self.drift_milli
+            .iter()
+            .find(|(f, _)| *f == family)
+            .map(|(_, g)| g.get())
+            .unwrap_or(0)
+    }
+}
+
+/// Calibrated whole-walk decode cost for a family, seconds per
+/// operation (see `hpc::calibrate`).
+fn calibrated_op_s(family: &str) -> f64 {
+    match family {
+        "flow" => hpc::calibrate::DECODE_OP_S_FLOW,
+        "job" => hpc::calibrate::DECODE_OP_S_JOB,
+        "open" => hpc::calibrate::DECODE_OP_S_OPEN,
+        _ => hpc::calibrate::DECODE_OP_S_FLEXIBLE,
+    }
 }
 
 struct Shared {
@@ -515,6 +625,11 @@ struct Shared {
     metrics: ServeMetrics,
     /// Recently finished request traces, served by `trace_dump`.
     traces: TraceRing,
+    /// In-flight watched races keyed by request id, for re-attach
+    /// (`{"cmd":"watch","request":ID}`). Entries live exactly as long
+    /// as the race: registered when a watched request carrying an id
+    /// starts, removed after its terminal answer frame.
+    watches: Mutex<HashMap<String, Arc<WatchChannel>>>,
     /// Bind instant — the base of `uptime_ms`.
     started: Instant,
 }
@@ -593,6 +708,7 @@ impl Service {
                 max_sessions: config.max_sessions.max(1),
             }),
             traces: TraceRing::new(config.trace_ring),
+            watches: Mutex::new(HashMap::new()),
             wal,
             config,
             queue: Mutex::new(VecDeque::new()),
@@ -759,6 +875,20 @@ fn metrics_summary_loop(shared: &Shared) {
             s.session_events,
             shared.pool.panics(),
         );
+        // Cost-model drift check: observed per-op evaluation cost vs
+        // the calibrated `hpc::calibrate::DECODE_OP_S_*` constant.
+        // Beyond 2x either way the calibration no longer describes
+        // this host.
+        for &family in &FAMILIES {
+            let milli = shared.metrics.drift_reading(family);
+            if milli > 0 && !(500..=2000).contains(&milli) {
+                eprintln!(
+                    "[serve] cost-model drift: family {family} evaluates at {:.2}x \
+                     its calibrated cost (re-run calibration for this host)",
+                    milli as f64 / 1000.0,
+                );
+            }
+        }
     }
 }
 
@@ -944,10 +1074,27 @@ fn respond(
     let text = String::from_utf8_lossy(buf).trim().to_string();
     buf.clear();
     let wait = queue_wait.take().unwrap_or(Duration::ZERO);
-    let (response, stop) = handle_line(&text, wait, shared);
-    writeln!(writer, "{response}")?;
-    writer.flush()?;
-    Ok(!stop)
+    match handle_line(&text, wait, shared) {
+        LineOutcome::Reply(response, stop) => {
+            writeln!(writer, "{response}")?;
+            writer.flush()?;
+            Ok(!stop)
+        }
+        LineOutcome::Watch(target) => {
+            handle_watch(writer, &target, wait, shared)?;
+            Ok(true)
+        }
+    }
+}
+
+/// What [`handle_line`] decided: either an ordinary one-line reply, or
+/// a watch subscription the connection loop must stream itself (the
+/// streaming path needs to own the socket for the race's duration).
+enum LineOutcome {
+    /// The response line, and whether the service should stop.
+    Reply(String, bool),
+    /// A parsed `watch` request; [`handle_watch`] takes over the socket.
+    Watch(Box<WatchTarget>),
 }
 
 /// The `serve_requests_by_type_total` label of a parse outcome.
@@ -965,13 +1112,16 @@ fn request_type_label(parsed: &Result<Request, crate::protocol::ProtocolError>) 
         Ok(Request::Stats) => "stats",
         Ok(Request::Metrics) => "metrics",
         Ok(Request::TraceDump { .. }) => "trace_dump",
+        Ok(Request::Watch(_)) => "watch",
         Ok(Request::Shutdown) => "shutdown",
     }
 }
 
-/// Handles one request line; returns the response line and whether the
-/// connection (and, after a shutdown command, the service) should stop.
-fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bool) {
+/// Handles one request line; ordinary requests come back as a
+/// [`LineOutcome::Reply`] (response line plus whether the service
+/// should stop), `watch` subscriptions as [`LineOutcome::Watch`] for
+/// the connection loop to stream.
+fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> LineOutcome {
     let started = Instant::now();
     shared.stats.requests.inc();
     let parsed = parse_request(text);
@@ -980,6 +1130,11 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         c.inc();
     }
     let answer = match parsed {
+        Ok(Request::Watch(target)) => {
+            // Streamed on the caller's socket; its latency is observed
+            // by handle_watch when the final frame lands.
+            return LineOutcome::Watch(target);
+        }
         Err(e) => {
             shared.stats.errors.inc();
             (encode_error(None, &e.to_string()), false)
@@ -1024,6 +1179,15 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
                     (shared.started.elapsed().as_millis() as u64).into(),
                 ),
                 ("worker_panics", shared.pool.panics().into()),
+                (
+                    "cost_model_drift_milli",
+                    Json::Obj(
+                        FAMILIES
+                            .iter()
+                            .map(|&f| (f.to_string(), shared.metrics.drift_reading(f).into()))
+                            .collect(),
+                    ),
+                ),
                 ("version", env!("CARGO_PKG_VERSION").into()),
             ]);
             (body.encode(), false)
@@ -1037,12 +1201,34 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
             ]);
             (body.encode(), false)
         }
-        Ok(Request::TraceDump { limit }) => {
+        Ok(Request::TraceDump {
+            limit,
+            kind,
+            session,
+        }) => {
             let limit = match limit {
                 0 => shared.traces.capacity(),
                 n => n as usize,
             };
-            let traces = shared.traces.dump(limit);
+            let filtered = kind.is_some() || session.is_some();
+            // Filters scan the whole ring so `limit` bounds *matching*
+            // traces, not the window they are searched in.
+            let mut traces = shared.traces.dump(if filtered {
+                shared.traces.capacity()
+            } else {
+                limit
+            });
+            if let Some(k) = &kind {
+                traces.retain(|t| t.get("kind").and_then(Json::as_str) == Some(k));
+            }
+            if let Some(sid) = &session {
+                traces.retain(|t| t.get("session").and_then(Json::as_str) == Some(sid));
+            }
+            if traces.len() > limit {
+                // The dump renders oldest first: drop from the front to
+                // keep the most recent `limit` matches.
+                traces.drain(..traces.len() - limit);
+            }
             let body = obj([
                 ("status", "ok".into()),
                 ("count", (traces.len() as u64).into()),
@@ -1073,7 +1259,7 @@ fn handle_line(text: &str, queue_wait: Duration, shared: &Shared) -> (String, bo
         .metrics
         .request_us
         .observe(started.elapsed().as_micros() as u64);
-    answer
+    LineOutcome::Reply(answer.0, answer.1)
 }
 
 /// Clamps a request's deadline to the service policy (0 = default).
@@ -1109,7 +1295,10 @@ enum CoreFail {
 /// *remaining* batch budget, so cache entries never claim more budget
 /// than the race really had). Shared by plain solves, generate+solve,
 /// batch items and `session_open` (which needs the [`Solution`] itself,
-/// not a wire body — hence the split from [`solve_cached`]).
+/// not a wire body — hence the split from [`solve_cached`]). A `watch`
+/// sink subscribes the caller to the race's live convergence frames;
+/// cache hits race nothing and therefore stream nothing.
+#[allow(clippy::too_many_arguments)]
 fn solve_core(
     inst: &Arc<LoadedInstance>,
     objective: Objective,
@@ -1118,6 +1307,7 @@ fn solve_core(
     budget_ms: u64,
     queue_wait: Duration,
     mut trace: Option<&mut Trace>,
+    watch: Option<Arc<dyn WatchSink>>,
     shared: &Shared,
 ) -> Result<CoreOutcome, CoreFail> {
     let key = CacheKey {
@@ -1186,7 +1376,13 @@ fn solve_core(
 
     let solve_started = Instant::now();
     let race_start = trace.as_deref().map(Trace::elapsed_us);
-    let outcome = solve_traced(
+    // Every cold solve is phase-profiled: the scoped timers behind
+    // `serve_phase_us` and the cost-model drift gauge cost one
+    // monotonic-clock read per phase boundary, cheap enough to leave
+    // always on (the o01 bench lane holds the whole observability
+    // stack under its overhead bound).
+    let phases = Arc::new(PhaseAcc::new());
+    let outcome = solve_hooked(
         &shared.pool,
         inst,
         objective,
@@ -1194,8 +1390,25 @@ fn solve_core(
         deadline,
         shared.config.gen_cap,
         shared.config.racers,
-        trace.is_some(),
+        SolveHooks {
+            traced: trace.is_some(),
+            watch,
+            phases: Some(Arc::clone(&phases)),
+        },
     );
+    // Drift compares the observed per-operation evaluation cost
+    // against the calibrated `DECODE_OP_S_*` constants, in the unit
+    // those constants price: one individual's whole walk through the
+    // GA loop costs `total_ops * DECODE_OP_S_<family>`.
+    let eval_ops: u64 = outcome
+        .models
+        .iter()
+        .map(|(_, t)| t.evaluations)
+        .sum::<u64>()
+        .saturating_mul(inst.total_ops() as u64);
+    shared
+        .metrics
+        .observe_race_profile(inst.family().name(), &phases, outcome.run_ns, eval_ops);
     if let (Some(tr), Some(start)) = (trace, race_start) {
         tr.member_spans(start, &outcome.timelines);
         let decodes: u64 = outcome.models.iter().map(|(_, t)| t.decode_calls).sum();
@@ -1309,10 +1522,11 @@ fn solve_cached(
     budget_ms: u64,
     queue_wait: Duration,
     trace: Option<&mut Trace>,
+    watch: Option<Arc<dyn WatchSink>>,
     shared: &Shared,
 ) -> Json {
     match solve_core(
-        inst, objective, seed, deadline, budget_ms, queue_wait, trace, shared,
+        inst, objective, seed, deadline, budget_ms, queue_wait, trace, watch, shared,
     ) {
         Ok(out) => solution_json(id, &out.solution, out.cached, &out.telemetry),
         Err(CoreFail::Busy { depth }) => {
@@ -1350,6 +1564,270 @@ fn attach_trace(body: Json, trace: Option<Trace>, shared: &Shared) -> Json {
         }
         other => other,
     }
+}
+
+/// A watched race's replayable frame log. The origin connection's sink
+/// appends every frame here (besides writing it to its own socket);
+/// re-attaching connections replay from the start, then follow live
+/// via the condvar until the terminal frame closes the log.
+struct WatchChannel {
+    state: Mutex<WatchLog>,
+    cond: Condvar,
+}
+
+#[derive(Default)]
+struct WatchLog {
+    /// Every frame emitted so far, already rendered to wire lines.
+    frames: Vec<String>,
+    /// Set once the terminal answer frame has been appended.
+    done: bool,
+}
+
+impl WatchChannel {
+    fn new() -> WatchChannel {
+        WatchChannel {
+            state: Mutex::new(WatchLog::default()),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Appends one rendered frame and wakes every attached follower.
+    fn push(&self, line: String) {
+        // panic-safe: watch-log poisoning means an emitter already panicked;
+        // taking followers down with it is the intended failure mode.
+        let mut s = self.state.lock().expect("watch log poisoned");
+        s.frames.push(line);
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// Closes the log (the terminal frame is already in) and wakes
+    /// followers one last time.
+    fn finish(&self) {
+        // panic-safe: as in push.
+        let mut s = self.state.lock().expect("watch log poisoned");
+        s.done = true;
+        drop(s);
+        self.cond.notify_all();
+    }
+
+    /// Streams the log to `writer` from the first frame: replays what
+    /// is already there, then blocks for live frames until the log is
+    /// closed and drained.
+    fn stream_to(&self, writer: &mut TcpStream) -> std::io::Result<()> {
+        let mut from = 0usize;
+        loop {
+            // panic-safe: as in push.
+            let mut s = self.state.lock().expect("watch log poisoned");
+            while s.frames.len() == from && !s.done {
+                // panic-safe: as in push.
+                s = self.cond.wait(s).expect("watch log poisoned");
+            }
+            // panic-safe: `from` only advances by lengths of batches taken
+            // from `frames`, which never shrinks, so from <= frames.len().
+            let batch: Vec<String> = s.frames[from..].to_vec();
+            let done = s.done;
+            drop(s);
+            if batch.is_empty() && done {
+                return Ok(());
+            }
+            from += batch.len();
+            for line in &batch {
+                writeln!(writer, "{line}")?;
+            }
+            writer.flush()?;
+        }
+    }
+}
+
+/// The origin connection's [`WatchSink`]: writes each frame to the
+/// subscribing socket immediately and mirrors it into the re-attach
+/// channel (when the request carried an id). Socket errors are
+/// swallowed — a watcher hanging up must not abort the race it was
+/// only observing.
+struct SocketWatchSink {
+    writer: Mutex<TcpStream>,
+    channel: Option<Arc<WatchChannel>>,
+}
+
+impl WatchSink for SocketWatchSink {
+    fn emit(&self, frame: &Json) {
+        let line = frame.encode();
+        // The channel push stays under the writer lock so concurrent
+        // emitters land in the same order on the socket and in the
+        // replay log — an attached follower sees the origin's exact
+        // stream. Lock order is writer → channel only; stream_to takes
+        // the channel lock alone.
+        // panic-safe: writer poisoning means another emitter panicked
+        // mid-frame; dropping this frame too is the right degradation.
+        let mut w = self.writer.lock().expect("watch writer poisoned");
+        let _ = writeln!(w, "{line}");
+        let _ = w.flush();
+        if let Some(ch) = &self.channel {
+            ch.push(line);
+        }
+    }
+}
+
+/// Serves one `watch` subscription on the subscriber's own socket:
+/// runs (or attaches to) a race, pushing line-delimited JSON frames as
+/// the race produces them; the final line is a `{"frame":"answer",...}`
+/// object carrying the ordinary response body. The connection stays
+/// usable for further requests afterwards.
+fn handle_watch(
+    writer: &mut TcpStream,
+    target: &WatchTarget,
+    queue_wait: Duration,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let started = Instant::now();
+    let result = match target {
+        WatchTarget::Attach { request } => attach_watch(writer, request, shared),
+        WatchTarget::Solve(req) => watch_solve(writer, req, queue_wait, shared),
+        WatchTarget::SessionEvent(req) => watch_session_event(writer, req, shared),
+    };
+    shared
+        .metrics
+        .request_us
+        .observe(started.elapsed().as_micros() as u64);
+    result
+}
+
+/// Builds the origin sink for a watched race — and, when the request
+/// carries an id, registers the re-attach channel under it.
+fn register_watch(
+    writer: &TcpStream,
+    id: Option<&str>,
+    shared: &Shared,
+) -> std::io::Result<Arc<SocketWatchSink>> {
+    let channel = id.map(|rid| {
+        let ch = Arc::new(WatchChannel::new());
+        // panic-safe: watch-hub poisoning means a watch handler already
+        // panicked; failing this request too is the intended failure mode.
+        shared
+            .watches
+            .lock()
+            .expect("watch hub poisoned") // panic-safe: see block above
+            .insert(rid.to_string(), Arc::clone(&ch));
+        ch
+    });
+    Ok(Arc::new(SocketWatchSink {
+        writer: Mutex::new(writer.try_clone()?),
+        channel,
+    }))
+}
+
+/// Emits the terminal `{"frame":"answer",...}` line through the sink
+/// (so followers see it too), closes the re-attach channel and drops
+/// its registration.
+fn finish_watch(sink: &SocketWatchSink, id: Option<&str>, body: Json, shared: &Shared) {
+    let frame = match body {
+        Json::Obj(mut fields) => {
+            fields.insert(0, ("frame".into(), "answer".into()));
+            Json::Obj(fields)
+        }
+        other => other,
+    };
+    // Deregister BEFORE the terminal frame goes out: a client that
+    // has seen the answer must deterministically find the id gone,
+    // so removal cannot trail the emit. An attacher that cloned the
+    // channel just before removal still streams to the terminal
+    // frame — `stream_to` drains until `finish` below.
+    if let Some(rid) = id {
+        // panic-safe: as in register_watch.
+        shared
+            .watches
+            .lock()
+            .expect("watch hub poisoned") // panic-safe: as in register_watch
+            .remove(rid);
+    }
+    sink.emit(&frame);
+    if let Some(ch) = &sink.channel {
+        ch.finish();
+    }
+}
+
+/// `{"cmd":"watch","request":ID}` — re-attach to an in-flight watched
+/// race: replay every frame streamed so far, then follow live until
+/// the terminal answer frame. Only races still running are attachable;
+/// a finished (or never-watched) id answers with an error line.
+fn attach_watch(writer: &mut TcpStream, request: &str, shared: &Shared) -> std::io::Result<()> {
+    // panic-safe: as in register_watch.
+    let channel = shared
+        .watches
+        .lock()
+        .expect("watch hub poisoned") // panic-safe: as in register_watch
+        .get(request)
+        .cloned();
+    let Some(channel) = channel else {
+        shared.stats.errors.inc();
+        writeln!(
+            writer,
+            "{}",
+            encode_error(
+                None,
+                &format!("no in-flight watched race with request id {request:?}"),
+            )
+        )?;
+        return writer.flush();
+    };
+    channel.stream_to(writer)
+}
+
+/// `{"cmd":"watch", ...solve fields...}` — a solve whose race streams
+/// convergence frames to this connection as it runs.
+fn watch_solve(
+    writer: &mut TcpStream,
+    req: &SolveRequest,
+    queue_wait: Duration,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let id = req.id.as_deref();
+    let inst = match load_instance(&req.instance) {
+        Ok(inst) => Arc::new(inst),
+        Err(e) => {
+            shared.stats.errors.inc();
+            writeln!(writer, "{}", encode_error(id, &e.to_string()))?;
+            return writer.flush();
+        }
+    };
+    let sink = register_watch(writer, id, shared)?;
+    let mut trace = start_trace(req.trace, "watch", 0, shared);
+    let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
+    let deadline = Instant::now() + Duration::from_millis(deadline_ms);
+    let body = solve_cached(
+        id,
+        &inst,
+        req.objective,
+        req.seed,
+        deadline,
+        deadline_ms,
+        queue_wait,
+        trace.as_mut(),
+        Some(Arc::clone(&sink) as Arc<dyn WatchSink>),
+        shared,
+    );
+    let body = attach_trace(body, trace, shared);
+    finish_watch(&sink, id, body, shared);
+    Ok(())
+}
+
+/// `{"cmd":"watch","session":S,"event":E}` — a session disruption whose
+/// repair-vs-resolve race streams frames to this connection.
+fn watch_session_event(
+    writer: &mut TcpStream,
+    req: &SessionEventRequest,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let sink = register_watch(writer, req.id.as_deref(), shared)?;
+    let body = session_event_body(
+        req,
+        0,
+        Some(Arc::clone(&sink) as Arc<dyn WatchSink>),
+        shared,
+    );
+    finish_watch(&sink, req.id.as_deref(), body, shared);
+    Ok(())
 }
 
 /// The `status:"error"` body for a session id that is not (or no
@@ -1496,6 +1974,7 @@ fn handle_session_open(
         deadline_ms,
         queue_wait,
         trace.as_mut(),
+        None,
         shared,
     ) {
         Err(CoreFail::Busy { depth }) => {
@@ -1518,6 +1997,9 @@ fn handle_session_open(
                 journal: Vec::new(),
             };
             let session = shared.sessions.open(state, req.ttl_ms);
+            if let Some(tr) = trace.as_mut() {
+                tr.session = Some(session.clone());
+            }
             // Durability: the open record is on disk (and fsync'd)
             // before the client hears the session id.
             if let Some(wal) = shared.wal.as_ref() {
@@ -1560,11 +2042,32 @@ fn handle_session_open(
 /// re-solve leg so the event still answers — with repair — inside its
 /// deadline.
 fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Shared) -> String {
+    session_event_body(req, parse_us, None, shared).encode()
+}
+
+/// The session-event core behind both the plain command and the
+/// watched variant: applies the disruption, races repair against the
+/// re-solve (streaming frames into `watch` when subscribed) and builds
+/// the response body.
+fn session_event_body(
+    req: &SessionEventRequest,
+    parse_us: u64,
+    watch: Option<Arc<dyn WatchSink>>,
+    shared: &Shared,
+) -> Json {
     let id = req.id.as_deref();
-    let mut trace = start_trace(req.trace, "session_event", parse_us, shared);
+    let kind = if watch.is_some() {
+        "watch"
+    } else {
+        "session_event"
+    };
+    let mut trace = start_trace(req.trace, kind, parse_us, shared);
+    if let Some(tr) = trace.as_mut() {
+        tr.session = Some(req.session.clone());
+    }
     let Some(entry) = session_entry(&req.session, shared) else {
         shared.stats.errors.inc();
-        return unknown_session_json(id, &req.session).encode();
+        return unknown_session_json(id, &req.session);
     };
     let deadline_ms = match req.deadline_ms {
         0 => shared.config.default_event_deadline_ms,
@@ -1575,8 +2078,9 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
     // the GA leg — repair needs no pool and always answers.
     let skip_resolve = shared.pool.queue_depth() >= shared.config.max_queue_depth;
     let started = Instant::now();
+    let phases = Arc::new(PhaseAcc::new());
     let mut state = entry.lock().expect("session poisoned"); // panic-safe: poisoned = a handler already panicked; never serve corrupt state
-    let outcome = crate::session::handle_event_traced(
+    let outcome = crate::session::handle_event_hooked(
         &shared.pool,
         &mut state,
         &req.event,
@@ -1585,15 +2089,20 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
         shared.config.racers,
         skip_resolve,
         trace.as_mut(),
+        watch,
+        Some(Arc::clone(&phases)),
     );
     shared
         .metrics
         .session_event_us
         .observe(started.elapsed().as_micros() as u64);
+    // Sessions are job-shop only; their suffix decodes are not timed
+    // per-op, so only the engine phases land (drift stays untouched).
+    shared.metrics.observe_race_profile("job", &phases, 0, 0);
     match outcome {
         Err(msg) => {
             shared.stats.errors.inc();
-            encode_error(id, &msg)
+            error_json(id, &msg)
         }
         Ok(out) => {
             shared.stats.session_events.inc();
@@ -1652,7 +2161,7 @@ fn handle_session_event(req: &SessionEventRequest, parse_us: u64, shared: &Share
                     ("resolve_generations", out.resolve_generations.into()),
                 ]),
             ));
-            attach_trace(Json::Obj(fields), trace, shared).encode()
+            attach_trace(Json::Obj(fields), trace, shared)
         }
     }
 }
@@ -1783,6 +2292,7 @@ fn handle_solve(
         deadline_ms,
         queue_wait,
         trace.as_mut(),
+        None,
         shared,
     );
     attach_trace(body, trace, shared).encode()
@@ -1829,6 +2339,7 @@ fn handle_generate(req: &GenerateRequest, queue_wait: Duration, shared: &Shared)
             deadline,
             deadline_ms,
             queue_wait,
+            None,
             None,
             shared,
         );
@@ -1878,6 +2389,7 @@ fn solve_batch_item(
             deadline,
             remaining_ms,
             Duration::ZERO,
+            None,
             None,
             shared,
         ),
@@ -3350,6 +3862,277 @@ mod tests {
             })
             .count();
         assert!(timelines >= 1, "re-solve race records member timelines");
+        service.shutdown();
+    }
+
+    /// Sends one request and reads streamed lines until a terminal one:
+    /// a `{"frame":"answer",...}` object or a frame-less line (error
+    /// bodies). Returns every line read, terminal included.
+    fn watch_lines(addr: SocketAddr, line: &str) -> Vec<String> {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut lines = Vec::new();
+        loop {
+            let mut l = String::new();
+            if reader.read_line(&mut l).unwrap() == 0 {
+                panic!("connection closed before a terminal frame: {lines:?}");
+            }
+            let l = l.trim().to_string();
+            let frame = crate::json::parse(&l)
+                .ok()
+                .and_then(|j| j.get("frame").and_then(Json::as_str).map(String::from));
+            let terminal = !matches!(frame.as_deref(), Some(f) if f != "answer");
+            lines.push(l);
+            if terminal {
+                return lines;
+            }
+        }
+    }
+
+    /// The frame kinds of a streamed transcript, in order.
+    fn frame_kinds(lines: &[String]) -> Vec<String> {
+        lines
+            .iter()
+            .filter_map(|l| {
+                crate::json::parse(l)
+                    .ok()?
+                    .get("frame")?
+                    .as_str()
+                    .map(String::from)
+            })
+            .collect()
+    }
+
+    /// A watched solve streams convergence frames and ends with an
+    /// answer bit-identical to an unwatched run of the same request;
+    /// the race also populates the phase histograms and the cost-model
+    /// drift gauge.
+    #[test]
+    fn watched_solve_streams_frames_then_bit_identical_answer() {
+        let req = encode_request(&SolveRequest {
+            id: None,
+            instance: InstanceSpec::Named("flow05".into()),
+            objective: Objective::Makespan,
+            seed: 33,
+            deadline_ms: 2_000,
+            trace: false,
+        });
+        // Reference run on its own service: own cache, own pool, no
+        // watch hooks anywhere near the race.
+        let bare = Service::bind(tiny_config()).unwrap();
+        let reference =
+            crate::json::parse(&send_lines(bare.local_addr(), std::slice::from_ref(&req))[0])
+                .unwrap();
+        bare.shutdown();
+
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let watch_req = crate::protocol::encode_watch(&WatchTarget::Solve(
+            crate::protocol::parse_request(&req)
+                .ok()
+                .and_then(|r| match r {
+                    Request::Solve(s) => Some(*s),
+                    _ => None,
+                })
+                .unwrap(),
+        ));
+        let lines = watch_lines(addr, &watch_req);
+        let kinds = frame_kinds(&lines);
+        assert!(kinds.contains(&"start".to_string()), "{kinds:?}");
+        let sample_at = kinds.iter().position(|k| k == "sample");
+        let answer_at = kinds.iter().position(|k| k == "answer");
+        assert!(
+            sample_at.is_some_and(|s| answer_at.is_some_and(|a| s < a)),
+            "a convergence sample precedes the answer: {kinds:?}"
+        );
+        let sample = crate::json::parse(&lines[sample_at.unwrap()]).unwrap();
+        for field in ["generation", "evaluations", "best", "mean", "diversity"] {
+            assert!(sample.get(field).is_some(), "sample carries {field}");
+        }
+        let answer = crate::json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(answer.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(
+            answer.get("value").unwrap(),
+            reference.get("value").unwrap()
+        );
+        assert_eq!(
+            answer.get("schedule").unwrap(),
+            reference.get("schedule").unwrap()
+        );
+
+        // A watched cache hit races nothing: the answer frame arrives
+        // alone. The connection stayed usable after the first stream —
+        // this request rides the same socket in a fresh connection.
+        let replay = watch_lines(addr, &watch_req);
+        assert_eq!(frame_kinds(&replay), vec!["answer".to_string()]);
+        let hit = crate::json::parse(&replay[0]).unwrap();
+        assert_eq!(hit.get("cached").unwrap().as_bool(), Some(true));
+
+        // The cold race fed the profiler: phase histograms and the
+        // drift gauge for the solved family are populated.
+        let metrics =
+            crate::json::parse(&send_lines(addr, &[r#"{"cmd":"metrics"}"#.to_string()])[0])
+                .unwrap();
+        let text = metrics.get("text").unwrap().as_str().unwrap();
+        let count_line = text
+            .lines()
+            .find(|l| l.starts_with(r#"serve_phase_us_count{family="flow",phase="evaluate"}"#))
+            .expect("evaluate phase histogram exposed");
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(count >= 1, "{count_line}");
+        let drift_line = text
+            .lines()
+            .find(|l| l.starts_with(r#"serve_cost_model_drift_milli{family="flow"}"#))
+            .expect("drift gauge exposed");
+        let drift: u64 = drift_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert!(drift > 0, "{drift_line}");
+        let stats =
+            crate::json::parse(&send_lines(addr, &[r#"{"cmd":"stats"}"#.to_string()])[0]).unwrap();
+        assert_eq!(
+            stats
+                .get("cost_model_drift_milli")
+                .unwrap()
+                .get("flow")
+                .unwrap()
+                .as_u64(),
+            Some(drift)
+        );
+        service.shutdown();
+    }
+
+    /// A second connection can attach to an in-flight watched race by
+    /// request id: it replays every frame streamed so far, follows the
+    /// rest live, and sees the same terminal answer. Once the race
+    /// finishes the id is gone.
+    #[test]
+    fn watch_attach_replays_the_stream_and_follows_live() {
+        let service = Service::bind(ServeConfig {
+            workers: 2,
+            gen_cap: u64::MAX,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        // ft10's optimum sits above its lower bound, so the race runs
+        // the full deadline — long enough to attach mid-flight.
+        let watch_req =
+            r#"{"cmd":"watch","id":"w-1","instance":{"name":"ft10"},"seed":5,"deadline_ms":1500}"#;
+        let origin = std::thread::spawn(move || watch_lines(addr, watch_req));
+        std::thread::sleep(Duration::from_millis(300));
+        let attached = watch_lines(addr, r#"{"cmd":"watch","request":"w-1"}"#);
+        let origin_lines = origin.join().unwrap();
+        assert!(
+            frame_kinds(&origin_lines)
+                .iter()
+                .filter(|k| *k == "sample")
+                .count()
+                >= 1,
+            "origin saw samples"
+        );
+        // The channel mirrors the origin stream frame for frame.
+        assert_eq!(attached, origin_lines);
+        let gone = watch_lines(addr, r#"{"cmd":"watch","request":"w-1"}"#);
+        assert_eq!(gone.len(), 1);
+        let err = crate::json::parse(&gone[0]).unwrap();
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        service.shutdown();
+    }
+
+    /// Watching a session disruption streams the repair-vs-resolve
+    /// race's frames and terminates with the ordinary event answer.
+    #[test]
+    fn watched_session_event_streams_resolve_race() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let opened = crate::json::parse(
+            &send_lines(
+                addr,
+                &[
+                    r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":3,"deadline_ms":1500}"#
+                        .to_string(),
+                ],
+            )[0],
+        )
+        .unwrap();
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        let mk = opened.get("makespan").unwrap().as_u64().unwrap();
+        let lines = watch_lines(
+            addr,
+            &format!(
+                r#"{{"cmd":"watch","session":"{sid}","event":{{"type":"breakdown","machine":1,"from":{},"duration":{}}},"deadline_ms":1200}}"#,
+                mk / 4,
+                mk / 3
+            ),
+        );
+        let kinds = frame_kinds(&lines);
+        assert_eq!(kinds.last().map(String::as_str), Some("answer"));
+        assert!(kinds.contains(&"start".to_string()), "{kinds:?}");
+        let answer = crate::json::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(answer.get("status").unwrap().as_str(), Some("ok"));
+        assert!(answer.get("winner").unwrap().as_str().is_some());
+        service.shutdown();
+    }
+
+    /// `trace_dump` narrows by request type and session id.
+    #[test]
+    fn trace_dump_filters_by_type_and_session() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let addr = service.local_addr();
+        let opened = crate::json::parse(
+            &send_lines(
+                addr,
+                &[
+                    r#"{"cmd":"session_open","instance":{"name":"ft06"},"seed":11,"deadline_ms":1500,"trace":true}"#
+                        .to_string(),
+                ],
+            )[0],
+        )
+        .unwrap();
+        let sid = opened.get("session").unwrap().as_str().unwrap().to_string();
+        let mk = opened.get("makespan").unwrap().as_u64().unwrap();
+        let responses = send_lines(
+            addr,
+            &[
+                format!(
+                    r#"{{"cmd":"session_event","session":"{sid}","event":{{"type":"breakdown","machine":0,"from":{},"duration":{}}},"deadline_ms":800,"trace":true}}"#,
+                    mk / 4,
+                    mk / 4
+                ),
+                r#"{"instance":{"name":"flow05"},"seed":2,"deadline_ms":1000,"trace":true}"#
+                    .to_string(),
+                r#"{"cmd":"trace_dump","type":"solve"}"#.to_string(),
+                format!(r#"{{"cmd":"trace_dump","session":"{sid}"}}"#),
+                format!(r#"{{"cmd":"trace_dump","type":"session_event","session":"{sid}"}}"#),
+                r#"{"cmd":"trace_dump","type":"watch"}"#.to_string(),
+            ],
+        );
+        let kinds_of = |resp: &str| -> Vec<String> {
+            crate::json::parse(resp)
+                .unwrap()
+                .get("traces")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .map(|t| t.get("kind").unwrap().as_str().unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(kinds_of(&responses[2]), vec!["solve".to_string()]);
+        // The session filter catches the open and the event, not the
+        // unrelated solve.
+        assert_eq!(
+            kinds_of(&responses[3]),
+            vec!["session_open".to_string(), "session_event".to_string()]
+        );
+        assert_eq!(kinds_of(&responses[4]), vec!["session_event".to_string()]);
+        assert!(kinds_of(&responses[5]).is_empty());
         service.shutdown();
     }
 }

@@ -35,8 +35,12 @@
 //! session, so events on different sessions race concurrently while
 //! events on one session serialise in arrival order.
 
+use crate::obs::phase::PhaseAcc;
 use crate::obs::trace::Trace;
-use crate::portfolio::{plan_lineup, race_core, run_member, MemberObs, MemberRunner, StopRule};
+use crate::portfolio::{
+    plan_lineup, race_core_hooked, run_member, MemberObs, MemberRunner, RaceHooks, StopRule,
+    WatchSink,
+};
 use crate::protocol::{Objective, Solution};
 use crate::scheduler::RacerPool;
 use ga::engine::Toolkit;
@@ -446,7 +450,39 @@ pub fn handle_event_traced(
     gen_cap: u64,
     racers: usize,
     skip_resolve: bool,
+    trace: Option<&mut Trace>,
+) -> Result<EventOutcome, String> {
+    handle_event_hooked(
+        pool,
+        state,
+        event,
+        deadline,
+        gen_cap,
+        racers,
+        skip_resolve,
+        trace,
+        None,
+        None,
+    )
+}
+
+/// [`handle_event_traced`] plus the live-observability hooks: a
+/// [`WatchSink`] streams the re-solve race's start/sample/best/finish
+/// frames as they happen, and a [`PhaseAcc`] accumulates the race's
+/// per-phase search time. Neither hook changes the race's trajectory —
+/// the event outcome is bit-identical with or without them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_event_hooked(
+    pool: &RacerPool,
+    state: &mut SessionState,
+    event: &Event,
+    deadline: Instant,
+    gen_cap: u64,
+    racers: usize,
+    skip_resolve: bool,
     mut trace: Option<&mut Trace>,
+    watch: Option<Arc<dyn WatchSink>>,
+    phases: Option<Arc<PhaseAcc>>,
 ) -> Result<EventOutcome, String> {
     let t = event.at();
     if t < state.now {
@@ -530,7 +566,7 @@ pub fn handle_event_traced(
             })
         };
         let resolve_start = trace.as_deref().map(|tr| tr.elapsed_us());
-        let outcome = race_core(
+        let outcome = race_core_hooked(
             pool,
             &lineup,
             runner,
@@ -538,7 +574,11 @@ pub fn handle_event_traced(
             deadline,
             gen_cap,
             0.0, // no cheap certificate for a frozen-prefix re-solve
-            trace.is_some(),
+            RaceHooks {
+                traced: trace.is_some(),
+                watch,
+                phases,
+            },
         );
         // The winner is materialised and validated by the reference
         // path — the incremental decoder never answers unchecked.

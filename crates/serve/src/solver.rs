@@ -15,9 +15,12 @@
 //! family's reference decoder and validated — the hot path never gets
 //! to answer unchecked.
 
+use crate::obs::phase::PhaseAcc;
 use crate::obs::trace::MemberTrace;
-use crate::portfolio::{plan_lineup, race_core, run_member, MemberObs, MemberRunner, ModelKind};
-use crate::portfolio::{RaceResult, StopRule};
+use crate::portfolio::{
+    plan_lineup, race_core_hooked, run_member, MemberObs, MemberRunner, ModelKind, WatchSink,
+};
+use crate::portfolio::{RaceHooks, RaceResult, StopRule};
 use crate::protocol::{InstanceSpec, Objective, Solution};
 use crate::scheduler::RacerPool;
 use ga::dual::DualGenome;
@@ -105,9 +108,53 @@ pub struct SolveOutcome {
     /// Longest time any of the race's pooled members waited for a racer
     /// slot (see `portfolio::RaceResult::pool_wait`).
     pub pool_wait: std::time::Duration,
-    /// Per-member anytime timelines, recorded only by traced solves
-    /// ([`solve_traced`] with `traced = true`); empty otherwise.
+    /// Per-member anytime timelines (with retained convergence
+    /// samples), recorded only by traced or watched solves; empty
+    /// otherwise.
     pub timelines: Vec<MemberTrace>,
+    /// Summed wall-clock nanoseconds the race members actually ran
+    /// (always recorded — see `portfolio::RaceResult::run_ns`).
+    pub run_ns: u64,
+    /// Operation count of the solved instance. With the summed member
+    /// evaluations from `models`, this prices the observed cost per
+    /// operation — `run_ns / (evaluations × total_ops)` — which the
+    /// server compares against the calibrated `hpc::calibrate`
+    /// constants for the drift gauge.
+    pub total_ops: u64,
+}
+
+/// Observation hooks for one solve: anytime-timeline tracing, live
+/// watch streaming, and phase profiling. All default off; none of them
+/// changes the search trajectory (same seeds, same stop rule, same
+/// winner — the bit-identity contract the server's watch tests pin).
+#[derive(Default, Clone)]
+pub struct SolveHooks {
+    /// Record per-member improvement timelines and retained
+    /// convergence samples into [`SolveOutcome::timelines`].
+    pub traced: bool,
+    /// Stream start/sample/best/finish frames live.
+    pub watch: Option<Arc<dyn WatchSink>>,
+    /// Accumulate per-phase search time (select / breed / evaluate /
+    /// migrate from the engines, decode from the evaluation closures).
+    pub phases: Option<Arc<PhaseAcc>>,
+}
+
+impl SolveHooks {
+    /// Trace-only hooks (the [`solve_traced`] surface).
+    pub fn traced(traced: bool) -> Self {
+        SolveHooks {
+            traced,
+            ..SolveHooks::default()
+        }
+    }
+
+    fn race_hooks(&self) -> RaceHooks {
+        RaceHooks {
+            traced: self.traced,
+            watch: self.watch.clone(),
+            phases: self.phases.clone(),
+        }
+    }
 }
 
 /// Runs one member with a freshly constructed family toolkit/evaluator
@@ -167,6 +214,34 @@ pub fn solve_traced(
     threads: usize,
     traced: bool,
 ) -> SolveOutcome {
+    solve_hooked(
+        pool,
+        inst,
+        objective,
+        seed,
+        deadline,
+        gen_cap,
+        threads,
+        SolveHooks::traced(traced),
+    )
+}
+
+/// [`solve`] with the full observation surface (see [`SolveHooks`]):
+/// tracing, live watch streaming, and phase profiling, in any
+/// combination. The decode leg of the profile is timed here, inside
+/// the per-family evaluation closures around the incremental
+/// re-decoders; the other phases come from the engines' phase hooks.
+#[allow(clippy::too_many_arguments)]
+pub fn solve_hooked(
+    pool: &RacerPool,
+    inst: &Arc<LoadedInstance>,
+    objective: Objective,
+    seed: u64,
+    deadline: Instant,
+    gen_cap: u64,
+    threads: usize,
+    hooks: SolveHooks,
+) -> SolveOutcome {
     let lineup = plan_lineup(inst.family(), inst.total_ops(), threads);
     // Early-exit target: the makespan lower bound certifies optimality;
     // other objectives have no cheap bound, so they race to the cap.
@@ -190,20 +265,33 @@ pub fn solve_traced(
                     // Borrow (not move) the decoder: its divergence
                     // counters are folded into the member's telemetry
                     // after the run.
+                    let profile = obs.phases;
                     let eval = |perm: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
-                        match objective {
+                        let t0 = profile.map(|_| Instant::now());
+                        let v = match objective {
                             Objective::Makespan => inc.decode(perm) as f64,
                             Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
+                        };
+                        if let (Some(acc), Some(t0)) = (profile, t0) {
+                            acc.add_decode(t0.elapsed());
                         }
+                        v
                     };
                     let (best, tel, hit) =
                         run_member_with(member, mseed, stop, obs, || perm_toolkit(n_jobs), eval);
                     let c = inc.lock().unwrap().counters();
                     (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(
-                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            let outcome = race_core_hooked(
+                pool,
+                &lineup,
+                runner,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+                hooks.race_hooks(),
             );
             // The final answer goes through the reference decoder — the
             // materialised schedule cross-checks the hot path (validated
@@ -222,12 +310,18 @@ pub fn solve_traced(
             let runner: Arc<MemberRunner<Vec<usize>>> =
                 Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalJob::new(Arc::clone(&table)));
+                    let profile = obs.phases;
                     let eval = |seq: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
-                        match objective {
+                        let t0 = profile.map(|_| Instant::now());
+                        let v = match objective {
                             Objective::Makespan => inc.decode(seq) as f64,
                             Objective::TotalCompletion => inc.decode_completion_sum(seq) as f64,
+                        };
+                        if let (Some(acc), Some(t0)) = (profile, t0) {
+                            acc.add_decode(t0.elapsed());
                         }
+                        v
                     };
                     let ops_per_job = ops_per_job.clone();
                     let (best, tel, hit) = run_member_with(
@@ -241,8 +335,15 @@ pub fn solve_traced(
                     let c = inc.lock().unwrap().counters();
                     (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(
-                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            let outcome = race_core_hooked(
+                pool,
+                &lineup,
+                runner,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+                hooks.race_hooks(),
             );
             let decoder = JobDecoder::new(job);
             finish(
@@ -258,20 +359,33 @@ pub fn solve_traced(
             let runner: Arc<MemberRunner<Vec<usize>>> =
                 Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalOpenOrder::new(Arc::clone(&table)));
+                    let profile = obs.phases;
                     let eval = |perm: &Vec<usize>| {
                         let mut inc = inc.lock().unwrap();
-                        match objective {
+                        let t0 = profile.map(|_| Instant::now());
+                        let v = match objective {
                             Objective::Makespan => inc.decode(perm) as f64,
                             Objective::TotalCompletion => inc.decode_completion_sum(perm) as f64,
+                        };
+                        if let (Some(acc), Some(t0)) = (profile, t0) {
+                            acc.add_decode(t0.elapsed());
                         }
+                        v
                     };
                     let (best, tel, hit) =
                         run_member_with(member, mseed, stop, obs, || perm_toolkit(n * m), eval);
                     let c = inc.lock().unwrap().counters();
                     (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(
-                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            let outcome = race_core_hooked(
+                pool,
+                &lineup,
+                runner,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+                hooks.race_hooks(),
             );
             let decoder = OpenDecoder::new(open);
             let order: Vec<(usize, usize)> = outcome
@@ -294,14 +408,20 @@ pub fn solve_traced(
             let runner: Arc<MemberRunner<DualGenome>> =
                 Arc::new(move |member, mseed, stop: &StopRule, obs: &MemberObs| {
                     let inc = Mutex::new(IncrementalFlex::new(Arc::clone(&table)));
+                    let profile = obs.phases;
                     let eval = |g: &DualGenome| {
                         let mut inc = inc.lock().unwrap();
-                        match objective {
+                        let t0 = profile.map(|_| Instant::now());
+                        let v = match objective {
                             Objective::Makespan => inc.decode(&g.assign, &g.seq) as f64,
                             Objective::TotalCompletion => {
                                 inc.decode_completion_sum(&g.assign, &g.seq) as f64
                             }
+                        };
+                        if let (Some(acc), Some(t0)) = (profile, t0) {
+                            acc.add_decode(t0.elapsed());
                         }
+                        v
                     };
                     let ops_per_job = ops_per_job.clone();
                     let (best, tel, hit) = run_member_with(
@@ -315,8 +435,15 @@ pub fn solve_traced(
                     let c = inc.lock().unwrap().counters();
                     (best, with_decode_counters(tel, c), hit)
                 });
-            let outcome = race_core(
-                pool, &lineup, runner, seed, deadline, gen_cap, target, traced,
+            let outcome = race_core_hooked(
+                pool,
+                &lineup,
+                runner,
+                seed,
+                deadline,
+                gen_cap,
+                target,
+                hooks.race_hooks(),
             );
             let schedule = FlexDecoder::new(flex)
                 .decode(&outcome.best.genome.assign, &outcome.best.genome.seq);
@@ -353,6 +480,8 @@ fn finish<G>(
         deadline_bound: outcome.deadline_bound,
         pool_wait: outcome.pool_wait,
         timelines: outcome.timelines,
+        run_ns: outcome.run_ns,
+        total_ops: inst.total_ops() as u64,
     }
 }
 

@@ -24,6 +24,12 @@
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --events
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --session sess-1 --close
 //! cargo run --example serve_client -- --addr 127.0.0.1:7077 --cmd shutdown
+//! # Live watch: stream the race's convergence frames while it runs.
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --instance ft10 --deadline-ms 2000 --watch
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 \
+//!     --session sess-1 --event breakdown:2:40:25 --watch
+//! cargo run --example serve_client -- --addr 127.0.0.1:7077 --attach client
 //! ```
 //!
 //! Event specs: `breakdown:MACHINE:FROM:DURATION`,
@@ -36,8 +42,9 @@
 use pga_shop::serve::json;
 use pga_shop::serve::protocol::{
     encode_batch_request, encode_generate_request, encode_request, encode_session_event,
-    encode_session_open, encode_session_ref, BatchItem, BatchRequest, BatchSource, GenerateRequest,
-    InstanceSpec, Objective, SessionEventRequest, SessionOpenRequest, SessionRef, SolveRequest,
+    encode_session_open, encode_session_ref, encode_watch, BatchItem, BatchRequest, BatchSource,
+    GenerateRequest, InstanceSpec, Objective, SessionEventRequest, SessionOpenRequest, SessionRef,
+    SolveRequest, WatchTarget,
 };
 use pga_shop::shop::dynamic::Event;
 use pga_shop::shop::gen::GenSpec;
@@ -54,9 +61,13 @@ fn usage() -> ! {
          | --session-open NAME [--ttl-ms N] \
          | --session SID (--event SPEC | --get | --events | --close)) \
          [--objective makespan|total_completion] [--seed N] [--deadline-ms N] \
-         [--trace] | --metrics | --cmd stats|metrics|trace_dump|shutdown\n\
+         [--trace] [--watch] | --attach REQUEST-ID \
+         | --metrics | --cmd stats|metrics|trace_dump|shutdown\n\
          event SPEC: breakdown:M:FROM:DUR | arrival:AT:m0xd0,m1xd1,... \
-         | revision:AT:JOB:OP:DUR"
+         | revision:AT:JOB:OP:DUR\n\
+         --watch streams the race's convergence frames live (solve and \
+         session-event requests); --attach re-joins an in-flight watched \
+         race by its request id"
     );
     std::process::exit(2);
 }
@@ -94,6 +105,75 @@ fn parse_event_spec(spec: &str) -> Option<Event> {
     }
 }
 
+/// Reads streamed watch frames until the terminal line — a
+/// `{"frame":"answer",...}` object or a frame-less error body —
+/// pretty-printing every convergence frame on the way, and returns the
+/// terminal line for the usual response checks.
+fn stream_watch(reader: &mut BufReader<TcpStream>) -> String {
+    loop {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).unwrap_or_else(|e| {
+            eprintln!("stream ended: {e}");
+            std::process::exit(1);
+        });
+        if n == 0 {
+            eprintln!("connection closed before the answer frame");
+            std::process::exit(1);
+        }
+        let line = line.trim().to_string();
+        let Ok(frame) = json::parse(&line) else {
+            eprintln!("unparseable frame: {line}");
+            std::process::exit(1);
+        };
+        match frame.get("frame").and_then(json::Json::as_str) {
+            Some("answer") | None => return line,
+            Some(kind) => print_frame(kind, &frame),
+        }
+    }
+}
+
+/// One human-readable line per streamed frame.
+fn print_frame(kind: &str, frame: &json::Json) {
+    let num = |k: &str| frame.get(k).and_then(json::Json::as_u64).unwrap_or(0);
+    let val = |k: &str| frame.get(k).and_then(json::Json::as_f64).unwrap_or(0.0);
+    let model = frame
+        .get("model")
+        .and_then(json::Json::as_str)
+        .unwrap_or("?");
+    let member = num("member");
+    let tag = format!("[{member} {model}]");
+    match kind {
+        "start" => println!("{tag} started (+{}us)", num("elapsed_us")),
+        "best" => println!("{tag} best {} (+{}us)", val("value"), num("elapsed_us")),
+        "finish" => println!(
+            "{tag} finished best {} (+{}us)",
+            val("best"),
+            num("elapsed_us")
+        ),
+        "sample" => {
+            let island = frame
+                .get("island")
+                .and_then(json::Json::as_u64)
+                .map(|i| format!(" island {i}"))
+                .unwrap_or_default();
+            let migration = match frame.get("migration").and_then(json::Json::as_bool) {
+                Some(true) => " [migration]",
+                _ => "",
+            };
+            println!(
+                "{tag}{island} gen {} evals {} best {} mean {:.1} div {:.3} stale {}{migration}",
+                num("generation"),
+                num("evaluations"),
+                val("best"),
+                val("mean"),
+                val("diversity"),
+                num("since_improvement"),
+            );
+        }
+        other => println!("{other}: {}", frame.encode()),
+    }
+}
+
 fn main() {
     let mut addr = None;
     let mut instance = None;
@@ -113,12 +193,16 @@ fn main() {
     let mut seed = 0u64;
     let mut deadline_ms = 2_000u64;
     let mut trace = false;
+    let mut watch = false;
+    let mut attach: Option<String> = None;
     let mut cmd = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
             "--addr" => addr = Some(value()),
+            "--watch" => watch = true,
+            "--attach" => attach = Some(value()),
             "--instance" => instance = Some(value()),
             "--file" => file = Some(value()),
             "--kind" => kind = Some(value()),
@@ -161,13 +245,18 @@ fn main() {
                 eprintln!("bad --event spec {spec:?}");
                 usage();
             });
-            Some(encode_session_event(&SessionEventRequest {
+            let req = SessionEventRequest {
                 id: Some("client".into()),
                 session: sid.clone(),
                 event,
                 deadline_ms,
                 trace,
-            }))
+            };
+            Some(if watch {
+                encode_watch(&WatchTarget::SessionEvent(req))
+            } else {
+                encode_session_event(&req)
+            })
         } else if session_get || session_events || session_close {
             let cmd = if session_close {
                 "session_close"
@@ -190,12 +279,23 @@ fn main() {
         None
     };
 
+    // Watched solves wrap the same request shape in a `watch` command.
+    let encode_solve = |req: SolveRequest| {
+        if watch {
+            encode_watch(&WatchTarget::Solve(req))
+        } else {
+            encode_request(&req)
+        }
+    };
     let line = match (&cmd, &instance, &file, &batch, &generate) {
+        _ if attach.is_some() => encode_watch(&WatchTarget::Attach {
+            request: attach.clone().expect("checked"),
+        }),
         _ if session_line.is_some() => session_line.clone().expect("checked"),
         (Some(c), ..) if ["stats", "metrics", "trace_dump", "shutdown"].contains(&c.as_str()) => {
             format!("{{\"cmd\":\"{c}\"}}")
         }
-        (None, Some(name), None, None, None) => encode_request(&SolveRequest {
+        (None, Some(name), None, None, None) => encode_solve(SolveRequest {
             id: Some("client".into()),
             instance: InstanceSpec::Named(name.clone()),
             objective,
@@ -212,7 +312,7 @@ fn main() {
                 eprintln!("cannot read {path}: {e}");
                 std::process::exit(1);
             });
-            encode_request(&SolveRequest {
+            encode_solve(SolveRequest {
                 id: Some("client".into()),
                 instance: InstanceSpec::Inline { family, text },
                 objective,
@@ -269,13 +369,17 @@ fn main() {
             eprintln!("send failed: {e}");
             std::process::exit(1);
         });
-    let mut response = String::new();
-    BufReader::new(stream)
-        .read_line(&mut response)
-        .unwrap_or_else(|e| {
+    let mut reader = BufReader::new(stream);
+    let response = if watch || attach.is_some() {
+        stream_watch(&mut reader)
+    } else {
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap_or_else(|e| {
             eprintln!("no response: {e}");
             std::process::exit(1);
         });
+        response
+    };
     println!("{}", response.trim());
 
     if cmd.is_some() {
@@ -286,7 +390,11 @@ fn main() {
         std::process::exit(1);
     });
     let ok = parsed.get("status").and_then(json::Json::as_str) == Some("ok");
-    let complete = if session_open.is_some() {
+    let complete = if attach.is_some() {
+        // The attached race's answer shape depends on the origin
+        // request; an ok status is the attach contract.
+        true
+    } else if session_open.is_some() {
         parsed.get("session").and_then(json::Json::as_str).is_some()
             && parsed
                 .get("schedule")
