@@ -49,7 +49,12 @@ use std::time::{Duration, Instant};
 /// portfolio only ever *emits*. Emission happens from racer threads
 /// concurrently, so implementations must serialise internally, and
 /// must never block the race on a slow consumer (drop or buffer —
-/// the race's trajectory must not depend on who is watching).
+/// the race's trajectory must not depend on who is watching). A
+/// pooled member popped just before cancellation can still run to
+/// completion after the race core has returned at the deadline, so
+/// `emit` may be called *after* the submitting thread moved on:
+/// implementations that write a terminal record must disarm
+/// themselves first (the server's sink drops post-seal frames).
 pub trait WatchSink: Send + Sync {
     /// Delivers one frame (rendered line-delimited JSON downstream).
     fn emit(&self, frame: &Json);

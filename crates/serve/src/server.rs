@@ -411,6 +411,9 @@ struct ServeMetrics {
     /// nanoseconds and summed decoded operations (`decode calls ×
     /// instance total_ops`) across every profiled race.
     drift_acc: Vec<(&'static str, AtomicU64, AtomicU64)>,
+    /// `serve_watch_frames_dropped_total` — frames dropped instead of
+    /// blocking a race on a watch subscriber that stopped reading.
+    watch_drops: Arc<Counter>,
     uptime_ms: Arc<Gauge>,
     cache_len: Arc<Gauge>,
     queue_depth: Arc<Gauge>,
@@ -501,6 +504,10 @@ impl ServeMetrics {
                 .iter()
                 .map(|&f| (f, AtomicU64::new(0), AtomicU64::new(0)))
                 .collect(),
+            watch_drops: registry.counter(
+                "serve_watch_frames_dropped_total",
+                "watch frames dropped to a slow subscriber instead of blocking the race",
+            ),
             uptime_ms: registry.gauge("serve_uptime_ms", "milliseconds since bind"),
             cache_len: registry.gauge("serve_cache_len", "memoised solutions currently held"),
             queue_depth: registry.gauge(
@@ -1602,10 +1609,14 @@ impl WatchChannel {
     }
 
     /// Closes the log (the terminal frame is already in) and wakes
-    /// followers one last time.
+    /// followers one last time. Poison-tolerant: this also runs on the
+    /// unwind path of a panicking watch handler, where followers must
+    /// still be released rather than left waiting forever.
     fn finish(&self) {
-        // panic-safe: as in push.
-        let mut s = self.state.lock().expect("watch log poisoned");
+        let mut s = match self.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
         s.done = true;
         drop(s);
         self.cond.notify_all();
@@ -1640,31 +1651,162 @@ impl WatchChannel {
     }
 }
 
-/// The origin connection's [`WatchSink`]: writes each frame to the
-/// subscribing socket immediately and mirrors it into the re-attach
-/// channel (when the request carried an id). Socket errors are
-/// swallowed — a watcher hanging up must not abort the race it was
-/// only observing.
+/// Frames buffered for a watcher's socket before new ones are dropped.
+/// The cap bounds both memory and the damage a stalled watcher can do:
+/// racer threads only ever enqueue (or drop) and move on.
+const WATCH_QUEUE_CAP: usize = 4096;
+
+/// State shared between frame emitters, the watch writer thread and
+/// [`SocketWatchSink::close`]: the pending socket frames plus the
+/// flags that sequence teardown.
+#[derive(Default)]
+struct WatchQueueState {
+    /// Rendered lines awaiting the writer thread, oldest first.
+    frames: VecDeque<String>,
+    /// Sealed by [`SocketWatchSink::close`] (terminal answer frame
+    /// already enqueued) or by the unwind guard: emits arriving later
+    /// are no-ops, so no race straggler can trail the answer frame on
+    /// the socket or in the replay channel.
+    closed: bool,
+    /// The writer thread hit a socket error; pending frames were
+    /// discarded and nothing further will be written.
+    dead: bool,
+    /// Frames dropped because the queue was full (slow watcher).
+    dropped: u64,
+}
+
+/// The bounded hand-off between emitters and the writer thread.
+#[derive(Default)]
+struct WatchQueue {
+    state: Mutex<WatchQueueState>,
+    cond: Condvar,
+}
+
+/// The origin connection's [`WatchSink`]. `emit` never touches the
+/// socket: it appends to a bounded in-memory queue drained by a
+/// dedicated writer thread (and mirrors the frame into the re-attach
+/// channel when the request carried an id). A watcher that stops
+/// reading therefore loses frames once the queue fills — never the
+/// race: per the [`WatchSink`] contract, racer threads (including the
+/// shared pool's) must not block on a slow consumer, or one idle
+/// client could stall every request's race and change deadline-bound
+/// answers. The replay channel still receives every frame, so an
+/// attached follower's view stays complete even when the origin's
+/// socket lagged.
 struct SocketWatchSink {
-    writer: Mutex<TcpStream>,
+    q: Arc<WatchQueue>,
     channel: Option<Arc<WatchChannel>>,
+    /// The writer thread, joined by [`SocketWatchSink::close`].
+    writer: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl WatchSink for SocketWatchSink {
     fn emit(&self, frame: &Json) {
         let line = frame.encode();
-        // The channel push stays under the writer lock so concurrent
-        // emitters land in the same order on the socket and in the
-        // replay log — an attached follower sees the origin's exact
-        // stream. Lock order is writer → channel only; stream_to takes
-        // the channel lock alone.
-        // panic-safe: writer poisoning means another emitter panicked
-        // mid-frame; dropping this frame too is the right degradation.
-        let mut w = self.writer.lock().expect("watch writer poisoned");
-        let _ = writeln!(w, "{line}");
-        let _ = w.flush();
+        // The channel push happens under the queue lock so concurrent
+        // emitters land in the same order in the socket queue and in
+        // the replay log — an attached follower sees the origin's
+        // exact stream. Lock order is queue → channel only; stream_to
+        // takes the channel lock alone.
+        // panic-safe: queue poisoning means another emitter panicked;
+        // dropping this frame too is the right degradation.
+        let mut s = self.q.state.lock().expect("watch queue poisoned");
+        if s.closed {
+            // The terminal answer frame is already in: this emitter is
+            // a race straggler winding down after the submitter
+            // returned. Dropping the frame everywhere keeps the answer
+            // the last line of both the stream and the replay log.
+            return;
+        }
         if let Some(ch) = &self.channel {
-            ch.push(line);
+            ch.push(line.clone());
+        }
+        if s.dead {
+            return;
+        }
+        if s.frames.len() >= WATCH_QUEUE_CAP {
+            s.dropped += 1;
+            return;
+        }
+        s.frames.push_back(line);
+        drop(s);
+        self.q.cond.notify_one();
+    }
+}
+
+impl SocketWatchSink {
+    /// Appends the terminal line (bypassing the overflow cap — the
+    /// answer frame is never dropped), seals the queue against further
+    /// emits, closes the replay channel and joins the writer thread,
+    /// so the socket is quiescent when the connection loop resumes.
+    /// Returns the overflow-drop count, plus an error when the
+    /// watcher's socket broke mid-stream — the connection may hold a
+    /// half-written frame and must be closed, not reused.
+    fn close(&self, terminal: String) -> (u64, std::io::Result<()>) {
+        {
+            // panic-safe: as in emit.
+            let mut s = self.q.state.lock().expect("watch queue poisoned");
+            if let Some(ch) = &self.channel {
+                ch.push(terminal.clone());
+            }
+            if !s.dead {
+                s.frames.push_back(terminal);
+            }
+            s.closed = true;
+        }
+        self.q.cond.notify_all();
+        if let Some(ch) = &self.channel {
+            ch.finish();
+        }
+        // panic-safe: as in emit.
+        let handle = self.writer.lock().expect("watch writer poisoned").take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+        // panic-safe: as in emit.
+        let s = self.q.state.lock().expect("watch queue poisoned");
+        let result = if s.dead {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "watch subscriber hung up mid-stream",
+            ))
+        } else {
+            Ok(())
+        };
+        (s.dropped, result)
+    }
+
+    /// The writer thread body: drains queued frames to the
+    /// subscriber's socket until the queue is closed and empty. A
+    /// write error marks the queue dead and discards what was pending
+    /// — the race keeps running, merely unwatched. Blocking here (a
+    /// watcher that reads slowly but steadily) pins only this thread,
+    /// never a racer.
+    fn drain_to(q: &WatchQueue, sock: &mut TcpStream) {
+        loop {
+            // panic-safe: as in emit.
+            let mut s = q.state.lock().expect("watch queue poisoned");
+            while s.frames.is_empty() && !s.closed {
+                // panic-safe: as in emit.
+                s = q.cond.wait(s).expect("watch queue poisoned");
+            }
+            if s.frames.is_empty() {
+                return; // closed and fully drained
+            }
+            let batch: Vec<String> = s.frames.drain(..).collect();
+            drop(s);
+            let mut write_batch = || -> std::io::Result<()> {
+                for line in &batch {
+                    writeln!(sock, "{line}")?;
+                }
+                sock.flush()
+            };
+            if write_batch().is_err() {
+                // panic-safe: as in emit.
+                let mut s = q.state.lock().expect("watch queue poisoned");
+                s.dead = true;
+                s.frames.clear();
+            }
         }
     }
 }
@@ -1693,34 +1835,148 @@ fn handle_watch(
     result
 }
 
-/// Builds the origin sink for a watched race — and, when the request
-/// carries an id, registers the re-attach channel under it.
+/// Builds the origin sink for a watched race — a bounded frame queue
+/// with a dedicated writer thread draining it to the subscriber's
+/// socket — and, when the request carries an id, registers the
+/// re-attach channel under it. An id another watched race already
+/// holds is rejected with an error line (`Ok(None)`: the error is
+/// already written): attach must be unambiguous, and two races
+/// sharing an id could otherwise deregister each other mid-flight.
 fn register_watch(
-    writer: &TcpStream,
+    writer: &mut TcpStream,
     id: Option<&str>,
     shared: &Shared,
-) -> std::io::Result<Arc<SocketWatchSink>> {
-    let channel = id.map(|rid| {
-        let ch = Arc::new(WatchChannel::new());
-        // panic-safe: watch-hub poisoning means a watch handler already
-        // panicked; failing this request too is the intended failure mode.
-        shared
-            .watches
-            .lock()
-            .expect("watch hub poisoned") // panic-safe: see block above
-            .insert(rid.to_string(), Arc::clone(&ch));
-        ch
+) -> std::io::Result<Option<Arc<SocketWatchSink>>> {
+    let channel = match id {
+        Some(rid) => {
+            let ch = Arc::new(WatchChannel::new());
+            // panic-safe: watch-hub poisoning means a watch handler
+            // already panicked while registering or attaching; failing
+            // this request too is the intended failure mode.
+            let mut hub = shared.watches.lock().expect("watch hub poisoned");
+            match hub.entry(rid.to_string()) {
+                std::collections::hash_map::Entry::Occupied(_) => {
+                    drop(hub);
+                    shared.stats.errors.inc();
+                    writeln!(
+                        writer,
+                        "{}",
+                        encode_error(
+                            Some(rid),
+                            &format!(
+                                "a watched race with request id {rid:?} is already in \
+                                 flight; attach to it or pick a fresh id"
+                            ),
+                        )
+                    )?;
+                    writer.flush()?;
+                    return Ok(None);
+                }
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(Arc::clone(&ch));
+                }
+            }
+            Some(ch)
+        }
+        None => None,
+    };
+    let q = Arc::new(WatchQueue::default());
+    let spawned = writer.try_clone().and_then(|mut sock| {
+        std::thread::Builder::new()
+            .name("serve-watch-writer".into())
+            .spawn({
+                let q = Arc::clone(&q);
+                move || SocketWatchSink::drain_to(&q, &mut sock)
+            })
     });
-    Ok(Arc::new(SocketWatchSink {
-        writer: Mutex::new(writer.try_clone()?),
+    let handle = match spawned {
+        Ok(handle) => handle,
+        Err(e) => {
+            // Roll the registration back — an entry without a running
+            // race would make its followers wait forever.
+            if let (Some(rid), Some(ch)) = (id, &channel) {
+                // panic-safe: as in the registration above.
+                shared
+                    .watches
+                    .lock()
+                    .expect("watch hub poisoned") // panic-safe: as above
+                    .remove(rid);
+                ch.finish();
+            }
+            return Err(e);
+        }
+    };
+    Ok(Some(Arc::new(SocketWatchSink {
+        q,
         channel,
-    }))
+        writer: Mutex::new(Some(handle)),
+    })))
 }
 
-/// Emits the terminal `{"frame":"answer",...}` line through the sink
-/// (so followers see it too), closes the re-attach channel and drops
-/// its registration.
-fn finish_watch(sink: &SocketWatchSink, id: Option<&str>, body: Json, shared: &Shared) {
+/// Drops the re-attach registration for `id` — but only when the hub
+/// still maps it to *this* race's channel (`Arc::ptr_eq`), so a finish
+/// (or unwind) can never deregister some other in-flight race that
+/// re-registered the id after ours left the map.
+fn deregister_watch(id: Option<&str>, sink: &SocketWatchSink, shared: &Shared) {
+    let (Some(rid), Some(ch)) = (id, &sink.channel) else {
+        return;
+    };
+    // Poison-tolerant: this also runs on the unwind path, where a
+    // second panic would abort the process.
+    let mut hub = match shared.watches.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if hub.get(rid).is_some_and(|c| Arc::ptr_eq(c, ch)) {
+        hub.remove(rid);
+    }
+}
+
+/// Unwind insurance for an in-flight watched race: if the handler
+/// panics before [`finish_watch`] runs (a panicking inline member
+/// unwinds through the watch functions), the drop deregisters the
+/// re-attach id, closes the replay channel — otherwise attached
+/// followers would wait forever on its condvar, pinning their
+/// connection threads, and the hub entry would leak — and seals the
+/// frame queue so the writer thread drains out and exits.
+/// [`finish_watch`] disarms it on the ordinary path.
+struct WatchGuard<'a> {
+    id: Option<&'a str>,
+    sink: Arc<SocketWatchSink>,
+    shared: &'a Shared,
+    armed: bool,
+}
+
+impl Drop for WatchGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        deregister_watch(self.id, &self.sink, self.shared);
+        // Poison-tolerant throughout: drop may run during a panic.
+        let mut s = match self.sink.q.state.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        s.closed = true;
+        drop(s);
+        self.sink.q.cond.notify_all();
+        if let Some(ch) = &self.sink.channel {
+            ch.finish();
+        }
+        // The writer thread exits on its own once the sealed queue is
+        // drained; no join here — this thread is unwinding.
+    }
+}
+
+/// Emits the terminal `{"frame":"answer",...}` line, seals the stream
+/// (late race stragglers are silenced, so nothing trails the answer)
+/// and tears the subscription down: deregisters the re-attach id,
+/// closes the replay channel and joins the writer thread. Propagates
+/// an error when the watcher hung up mid-stream — the connection may
+/// hold a half-written frame, so it must be closed, not reused.
+fn finish_watch(mut guard: WatchGuard<'_>, body: Json) -> std::io::Result<()> {
+    guard.armed = false;
     let frame = match body {
         Json::Obj(mut fields) => {
             fields.insert(0, ("frame".into(), "answer".into()));
@@ -1732,19 +1988,13 @@ fn finish_watch(sink: &SocketWatchSink, id: Option<&str>, body: Json, shared: &S
     // has seen the answer must deterministically find the id gone,
     // so removal cannot trail the emit. An attacher that cloned the
     // channel just before removal still streams to the terminal
-    // frame — `stream_to` drains until `finish` below.
-    if let Some(rid) = id {
-        // panic-safe: as in register_watch.
-        shared
-            .watches
-            .lock()
-            .expect("watch hub poisoned") // panic-safe: as in register_watch
-            .remove(rid);
+    // frame — `stream_to` drains until the close below.
+    deregister_watch(guard.id, &guard.sink, guard.shared);
+    let (dropped, result) = guard.sink.close(frame.encode());
+    if dropped > 0 {
+        guard.shared.metrics.watch_drops.add(dropped);
     }
-    sink.emit(&frame);
-    if let Some(ch) = &sink.channel {
-        ch.finish();
-    }
+    result
 }
 
 /// `{"cmd":"watch","request":ID}` — re-attach to an in-flight watched
@@ -1791,7 +2041,15 @@ fn watch_solve(
             return writer.flush();
         }
     };
-    let sink = register_watch(writer, id, shared)?;
+    let Some(sink) = register_watch(writer, id, shared)? else {
+        return Ok(());
+    };
+    let guard = WatchGuard {
+        id,
+        sink: Arc::clone(&sink),
+        shared,
+        armed: true,
+    };
     let mut trace = start_trace(req.trace, "watch", 0, shared);
     let deadline_ms = effective_deadline_ms(req.deadline_ms, &shared.config);
     let deadline = Instant::now() + Duration::from_millis(deadline_ms);
@@ -1808,8 +2066,7 @@ fn watch_solve(
         shared,
     );
     let body = attach_trace(body, trace, shared);
-    finish_watch(&sink, id, body, shared);
-    Ok(())
+    finish_watch(guard, body)
 }
 
 /// `{"cmd":"watch","session":S,"event":E}` — a session disruption whose
@@ -1819,15 +2076,23 @@ fn watch_session_event(
     req: &SessionEventRequest,
     shared: &Shared,
 ) -> std::io::Result<()> {
-    let sink = register_watch(writer, req.id.as_deref(), shared)?;
+    let id = req.id.as_deref();
+    let Some(sink) = register_watch(writer, id, shared)? else {
+        return Ok(());
+    };
+    let guard = WatchGuard {
+        id,
+        sink: Arc::clone(&sink),
+        shared,
+        armed: true,
+    };
     let body = session_event_body(
         req,
         0,
         Some(Arc::clone(&sink) as Arc<dyn WatchSink>),
         shared,
     );
-    finish_watch(&sink, req.id.as_deref(), body, shared);
-    Ok(())
+    finish_watch(guard, body)
 }
 
 /// The `status:"error"` body for a session id that is not (or no
@@ -4077,6 +4342,194 @@ mod tests {
         let answer = crate::json::parse(lines.last().unwrap()).unwrap();
         assert_eq!(answer.get("status").unwrap().as_str(), Some("ok"));
         assert!(answer.get("winner").unwrap().as_str().is_some());
+        service.shutdown();
+    }
+
+    /// Builds a [`SocketWatchSink`] (queue, writer thread, optional
+    /// replay channel) over one end of a fresh localhost socket pair.
+    /// Returns the sink, the server-side stream it writes to and the
+    /// client-side stream a test can read (or stall) at will.
+    fn test_sink(with_channel: bool) -> (SocketWatchSink, TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        let q = Arc::new(WatchQueue::default());
+        let handle = {
+            let q = Arc::clone(&q);
+            let mut sock = server_side.try_clone().unwrap();
+            std::thread::spawn(move || SocketWatchSink::drain_to(&q, &mut sock))
+        };
+        let sink = SocketWatchSink {
+            q,
+            channel: with_channel.then(|| Arc::new(WatchChannel::new())),
+            writer: Mutex::new(Some(handle)),
+        };
+        (sink, server_side, client)
+    }
+
+    /// Reads every line from `client` until EOF.
+    fn read_all_lines(client: TcpStream) -> std::thread::JoinHandle<Vec<String>> {
+        std::thread::spawn(move || {
+            let mut lines = Vec::new();
+            let mut reader = BufReader::new(client);
+            loop {
+                let mut l = String::new();
+                if reader.read_line(&mut l).unwrap_or(0) == 0 {
+                    return lines;
+                }
+                lines.push(l.trim().to_string());
+            }
+        })
+    }
+
+    /// A watcher that stops reading must cost the race nothing: once
+    /// the kernel buffers and the bounded queue are full, emits drop
+    /// the frame (counted) and return instead of blocking the racer
+    /// thread on the socket. The answer frame still arrives, last.
+    #[test]
+    fn watch_sink_drops_frames_for_a_stalled_subscriber_without_blocking() {
+        let (sink, server_side, client) = test_sink(false);
+        // ~32 MB of frames at a client that reads nothing — far beyond
+        // any kernel send+receive buffer plus the 4096-frame queue, so
+        // the pre-fix blocking sink would wedge this loop forever.
+        let pad: String = "x".repeat(1024);
+        let frame = obj([("frame", "sample".into()), ("pad", pad.into())]);
+        for _ in 0..32_000 {
+            sink.emit(&frame);
+        }
+        assert!(
+            sink.q.state.lock().unwrap().dropped > 0,
+            "overflow beyond the queue cap is dropped, not buffered"
+        );
+        // Now drain the client so close() can flush the pending tail.
+        let reader = read_all_lines(client);
+        let (dropped, io) = sink.close(r#"{"frame":"answer"}"#.to_string());
+        assert!(dropped > 0);
+        io.unwrap();
+        drop(sink);
+        drop(server_side);
+        let lines = reader.join().unwrap();
+        assert!(lines.len() < 32_001, "some frames were shed");
+        assert_eq!(
+            lines.last().map(String::as_str),
+            Some(r#"{"frame":"answer"}"#)
+        );
+    }
+
+    /// Emits after the sink is sealed — the straggler case: a pooled
+    /// member popped just before cancellation can finish after
+    /// `race_core` returned at the deadline — are dropped everywhere,
+    /// so the answer frame stays the last line on the socket (framing
+    /// of later requests on the connection survives) and in the
+    /// replay channel (attach replays match the origin stream).
+    #[test]
+    fn watch_sink_silences_straggler_emits_after_close() {
+        let (sink, server_side, client) = test_sink(true);
+        sink.emit(&obj([("frame", "sample".into())]));
+        let reader = read_all_lines(client);
+        let (dropped, io) = sink.close(r#"{"frame":"answer"}"#.to_string());
+        assert_eq!(dropped, 0);
+        io.unwrap();
+        sink.emit(&obj([("frame", "finish".into())]));
+        let log = sink.channel.as_ref().unwrap().state.lock().unwrap();
+        assert!(log.done, "replay channel closed with the answer");
+        let kinds: Vec<&str> = log
+            .frames
+            .iter()
+            .map(|l| {
+                if l.contains("answer") {
+                    "answer"
+                } else {
+                    "other"
+                }
+            })
+            .collect();
+        assert_eq!(kinds, ["other", "answer"], "nothing trails the answer");
+        drop(log);
+        drop(sink);
+        drop(server_side);
+        let lines = reader.join().unwrap();
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert_eq!(lines[1], r#"{"frame":"answer"}"#);
+    }
+
+    /// A watch id already carried by an in-flight race is rejected
+    /// with an error line: re-attach must be unambiguous, and the
+    /// rejection must leave the running race's registration (and its
+    /// stream) untouched.
+    #[test]
+    fn watch_rejects_a_duplicate_in_flight_id() {
+        let service = Service::bind(ServeConfig {
+            workers: 2,
+            gen_cap: u64::MAX,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = service.local_addr();
+        let watch_req =
+            r#"{"cmd":"watch","id":"dup","instance":{"name":"ft10"},"seed":5,"deadline_ms":1500}"#;
+        let origin = std::thread::spawn(move || watch_lines(addr, watch_req));
+        std::thread::sleep(Duration::from_millis(300));
+        let clash = watch_lines(
+            addr,
+            r#"{"cmd":"watch","id":"dup","instance":{"name":"ft06"},"seed":1,"deadline_ms":400}"#,
+        );
+        assert_eq!(clash.len(), 1, "{clash:?}");
+        let err = crate::json::parse(&clash[0]).unwrap();
+        assert_eq!(err.get("status").unwrap().as_str(), Some("error"));
+        assert!(
+            err.get("error")
+                .unwrap()
+                .as_str()
+                .unwrap()
+                .contains("already in flight"),
+            "{clash:?}"
+        );
+        let origin_lines = origin.join().unwrap();
+        assert_eq!(
+            frame_kinds(&origin_lines).last().map(String::as_str),
+            Some("answer"),
+            "the original race streamed to its answer untouched"
+        );
+        // The id is free again after the race finished.
+        assert!(!service.shared.watches.lock().unwrap().contains_key("dup"));
+        service.shutdown();
+    }
+
+    /// A watch handler that unwinds before `finish_watch` (a panicking
+    /// inline member is an expected failure mode) must not leak its
+    /// hub registration or strand attached followers on the channel
+    /// condvar. Dropping an armed [`WatchGuard`] is exactly what the
+    /// unwind does.
+    #[test]
+    fn watch_guard_unregisters_and_releases_followers_on_unwind() {
+        let service = Service::bind(tiny_config()).unwrap();
+        let shared = &service.shared;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (mut server_side, _) = listener.accept().unwrap();
+        let sink = register_watch(&mut server_side, Some("leak-1"), shared)
+            .unwrap()
+            .expect("fresh id registers");
+        assert!(shared.watches.lock().unwrap().contains_key("leak-1"));
+        let channel = Arc::clone(sink.channel.as_ref().unwrap());
+        let guard = WatchGuard {
+            id: Some("leak-1"),
+            sink: Arc::clone(&sink),
+            shared,
+            armed: true,
+        };
+        drop(guard);
+        assert!(
+            !shared.watches.lock().unwrap().contains_key("leak-1"),
+            "unwind removes the hub entry"
+        );
+        assert!(
+            channel.state.lock().unwrap().done,
+            "unwind closes the channel"
+        );
+        // A follower's stream_to terminates instead of waiting forever.
+        channel.stream_to(&mut server_side).unwrap();
         service.shutdown();
     }
 
